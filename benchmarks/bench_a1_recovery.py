@@ -1,0 +1,39 @@
+"""A1 — recovery correctness and cost under node failures.
+
+Beyond the paper's evaluation (which measures failure-free overheads),
+this bench exercises the full failure path: detection, restoration,
+reconfiguration and rollback re-execution, for both transient and
+permanent failures.
+"""
+
+from conftest import run_once
+from repro.experiments import ablation_recovery
+from repro.stats.report import format_table
+
+
+def test_a1_transient(benchmark):
+    result = run_once(benchmark, lambda: ablation_recovery(permanent=False))
+    print()
+    print(format_table(
+        ["kind", "recoveries", "recovery cycles", "reconfig items", "refs re-run"],
+        [(result.kind, result.n_recoveries, result.recovery_cycles,
+          result.reconfig_items, result.refs_reexecuted)],
+        title="A1 - transient failure"))
+    assert result.completed
+    assert result.n_recoveries == 1
+    assert result.refs_reexecuted >= 0
+
+
+def test_a1_permanent(benchmark):
+    result = run_once(benchmark, lambda: ablation_recovery(permanent=True))
+    print()
+    print(format_table(
+        ["kind", "recoveries", "recovery cycles", "reconfig items", "refs re-run"],
+        [(result.kind, result.n_recoveries, result.recovery_cycles,
+          result.reconfig_items, result.refs_reexecuted)],
+        title="A1 - permanent failure"))
+    assert result.completed
+    assert result.n_recoveries == 1
+    # a permanent failure loses recovery copies: reconfiguration had to
+    # re-replicate the singletons
+    assert result.reconfig_items > 0

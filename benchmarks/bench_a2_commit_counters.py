@@ -1,0 +1,23 @@
+"""A2 — the recovery-point-counter commit optimisation.
+
+Section 4.2.3: "Solutions using a node recovery point counter ...
+would nullify T_commit."  This bench measures T_commit with the
+state-memory scan vs with counters.
+"""
+
+from conftest import run_once
+from repro.experiments import ablation_commit_counters
+from repro.stats.report import format_table
+
+
+def test_a2(benchmark):
+    result = run_once(benchmark, ablation_commit_counters)
+    print()
+    print(format_table(
+        ["variant", "commit cycles"],
+        [("state-memory scan", result.commit_cycles_scan),
+         ("recovery-point counters", result.commit_cycles_counters)],
+        title="A2 - commit-phase cost"))
+    assert result.commit_cycles_scan > 0
+    # the optimisation removes essentially all of T_commit
+    assert result.reduction > 0.95

@@ -1,0 +1,23 @@
+"""A3 — capacity-replacement stress.
+
+The paper's runs never replace pages ("the size of the AM is large
+compared to the size of the applications").  This bench shrinks the
+AM until the working set no longer fits, forcing page evictions and
+the replacement injections of Table 1, and verifies the machine
+completes with invariants intact.
+"""
+
+from conftest import run_once
+from repro.experiments import ablation_capacity
+from repro.stats.report import format_table
+
+
+def test_a3(benchmark):
+    result = run_once(benchmark, ablation_capacity)
+    print()
+    print(format_table(
+        ["AM bytes", "page evictions", "replacement injections"],
+        [(result.am_bytes, result.page_evictions, result.replacement_injections)],
+        title="A3 - capacity stress"))
+    assert result.completed
+    assert result.page_evictions > 0

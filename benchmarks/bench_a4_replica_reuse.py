@@ -1,0 +1,29 @@
+"""A4 — the Master-Shared replica-reuse optimisation (Section 3.3).
+
+"For replicated Master-Shared items, an optimization consists in
+choosing one of the replica to become the second recovery copy, thus
+avoiding a data transfer."  Barnes (mostly-read shared data) is the
+paper's showcase: at 5 points/s, 52% of items needing replication are
+already replicated.
+"""
+
+from conftest import run_once
+from repro.experiments import ablation_replica_reuse
+from repro.stats.report import format_table
+
+
+def test_a4(benchmark):
+    result = run_once(benchmark, ablation_replica_reuse)
+    print()
+    print(format_table(
+        ["variant", "items reused", "bytes transferred", "create cycles"],
+        [("reuse on", result.items_reused_on, result.bytes_transferred_on,
+          result.create_cycles_on),
+         ("reuse off", 0, result.bytes_transferred_off,
+          result.create_cycles_off)],
+        title="A4 - replica reuse"))
+    assert result.items_reused_on > 0
+    # reuse avoids data transfers ...
+    assert result.bytes_transferred_on < result.bytes_transferred_off
+    # ... and does not lengthen the create phase
+    assert result.create_cycles_on <= result.create_cycles_off * 1.1

@@ -1,0 +1,34 @@
+"""A7 — why the paper picks a *non-hierarchical* COMA (Section 2.2).
+
+"The loss of an intermediate node in a hierarchy could cause the loss
+of the whole underlying sub-system, resulting in multiple failures."
+
+This bench quantifies the claim on a DDM-like two-level hierarchy: a
+leaf failure loses one AM (same as the flat machine), while a cluster-
+directory failure takes its whole subtree offline.
+"""
+
+from conftest import run_once
+from repro.hierarchy import HierarchyConfig, availability_after_failure
+from repro.stats.report import format_table
+
+
+def test_a7(benchmark):
+    cfg = HierarchyConfig(n_clusters=4, leaves_per_cluster=4)
+    summary = run_once(benchmark, lambda: availability_after_failure(cfg))
+    print()
+    print(format_table(
+        ["failure", "memory lost"],
+        [
+            ("flat COMA, one node", f"{summary['flat_loss']:.1%}"),
+            ("hierarchy, one leaf", f"{summary['leaf_failure_loss']:.1%}"),
+            ("hierarchy, one directory",
+             f"{summary['directory_failure_loss']:.1%}"),
+        ],
+        title="A7 - availability: flat vs hierarchical COMA (Section 2.2)",
+    ))
+    assert summary["leaf_failure_loss"] == summary["flat_loss"]
+    assert (
+        summary["directory_failure_loss"]
+        >= cfg.leaves_per_cluster * summary["flat_loss"]
+    )

@@ -1,0 +1,25 @@
+"""Fig. 10 — pollution effect vs processor count.
+
+The paper's finding: the pollution overhead stays the same or
+decreases as the number of processors grows.
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig10(benchmark, scaling_sweep):
+    rows = run_once(benchmark, scaling_sweep.fig10_rows)
+    print()
+    print(format_table(
+        ["app", "nodes", "pollution%"],
+        rows, title="Fig. 10 - pollution effect vs processors"))
+
+    pollution = {(r[0], r[1]): r[2] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    nodes = sorted({r[1] for r in rows})
+    n_lo, n_hi = nodes[0], nodes[-1]
+
+    for app in apps:
+        # pollution does not grow with the machine (flat or decreasing)
+        assert pollution[(app, n_hi)] <= pollution[(app, n_lo)] * 1.5 + 3.0

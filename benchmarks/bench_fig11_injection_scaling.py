@@ -1,0 +1,27 @@
+"""Fig. 11 — injections per node per 10 000 references vs processors.
+
+The paper's finding: write-triggered injections stay roughly constant
+while read-triggered injections *decrease* with more processors,
+because shared items have a greater probability of finding unused
+memory (more page copies) on a larger machine.
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig11(benchmark, scaling_sweep):
+    rows = run_once(benchmark, scaling_sweep.fig11_rows)
+    print()
+    print(format_table(
+        ["app", "nodes", "read inj/10k", "write inj/10k"],
+        rows, title="Fig. 11 - injections vs processors"))
+
+    read_inj = {(r[0], r[1]): r[2] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    nodes = sorted({r[1] for r in rows})
+    n_lo, n_hi = nodes[0], nodes[-1]
+
+    for app in apps:
+        # read injections do not grow with the machine
+        assert read_inj[(app, n_hi)] <= read_inj[(app, n_lo)] + 1.0

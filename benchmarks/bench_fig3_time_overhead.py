@@ -1,0 +1,45 @@
+"""Fig. 3 — execution-time overhead of the ECP.
+
+Regenerates the paper's per-application, per-frequency decomposition
+T_Ft = T_standard + T_create + T_commit + T_pollution and asserts the
+qualitative findings:
+
+- overhead falls as the recovery-point frequency drops (400 -> 5 /s);
+- Mp3d (high write rate, large working set) is the worst case;
+- T_create is the dominant fault-tolerance component at high frequency.
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig3(benchmark, freq_sweep):
+    rows = run_once(benchmark, freq_sweep.fig3_rows)
+    print()
+    print(format_table(
+        ["app", "freq/s", "create%", "commit%", "pollution%", "total%", "ckpts"],
+        rows, title="Fig. 3 - time overhead (percent of T_standard)"))
+
+    by_cell = {(app, freq): row for (app, freq, *row2), row in
+               [((r[0], r[1], None), r) for r in rows]}
+    overhead = {(r[0], r[1]): r[5] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    freqs = sorted({r[1] for r in rows})
+
+    # overhead shrinks with lower frequency for every app
+    for app in apps:
+        assert overhead[(app, min(freqs))] < overhead[(app, max(freqs))]
+
+    # Mp3d is the worst case at the highest frequency
+    worst = max(apps, key=lambda a: overhead[(a, max(freqs))])
+    assert worst == "mp3d"
+
+    # at the highest frequency, create dominates commit for every app
+    create = {(r[0], r[1]): r[2] for r in rows}
+    commit = {(r[0], r[1]): r[3] for r in rows}
+    for app in apps:
+        assert create[(app, max(freqs))] > commit[(app, max(freqs))]
+
+    # several recovery points were actually established in every cell
+    for r in rows:
+        assert r[6] >= 1

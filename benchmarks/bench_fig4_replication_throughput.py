@@ -1,0 +1,35 @@
+"""Fig. 4 — per-node replication throughput during establishment.
+
+The paper reports ~20 MB/s per node for all applications, rising to
+~30 MB/s for Barnes at low frequency because over half of its recovery
+items are already replicated (mostly-read shared data).
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig4(benchmark, freq_sweep):
+    rows = run_once(benchmark, freq_sweep.fig4_rows)
+    print()
+    print(format_table(
+        ["app", "freq/s", "MB/s/node", "reused%"],
+        rows, title="Fig. 4 - per-node replication throughput"))
+
+    throughput = {(r[0], r[1]): r[2] for r in rows}
+    reused = {(r[0], r[1]): r[3] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    freqs = sorted({r[1] for r in rows})
+
+    # the interconnect sustains multi-MB/s per-node replication for
+    # every app at every frequency (paper: ~20 MB/s per node)
+    for app in apps:
+        for freq in freqs:
+            assert throughput[(app, freq)] > 4.0
+
+    # the create phase covers part of its recovery data with replicas
+    # that already exist (the Section 3.3 optimisation); barnes's
+    # mostly-read sharing gives it more reuse at long periods than at
+    # short ones
+    assert reused[("barnes", min(freqs))] > 0.0
+    assert reused[("barnes", min(freqs))] >= reused[("barnes", max(freqs))] - 2.0

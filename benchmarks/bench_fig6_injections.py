@@ -1,0 +1,33 @@
+"""Fig. 6 — injections per node per 10 000 references vs frequency.
+
+Paper findings: read-triggered injections are roughly independent of
+the recovery-point frequency (unmodified recovery copies stay
+readable); write-triggered injections grow with frequency, and at
+400 points/s, 88-98% of them are writes on Shared-CK1 copies.
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig6(benchmark, freq_sweep):
+    rows = run_once(benchmark, freq_sweep.fig6_rows)
+    print()
+    print(format_table(
+        ["app", "freq/s", "read inj/10k", "write inj/10k", "Shared-CK1 share%"],
+        rows, title="Fig. 6 - injections per 10k references"))
+
+    read_inj = {(r[0], r[1]): r[2] for r in rows}
+    write_inj = {(r[0], r[1]): r[3] for r in rows}
+    ck1_share = {(r[0], r[1]): r[4] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    freqs = sorted({r[1] for r in rows})
+    f_hi, f_lo = max(freqs), min(freqs)
+
+    for app in apps:
+        # write injections grow with the recovery-point frequency
+        assert write_inj[(app, f_hi)] > write_inj[(app, f_lo)]
+        # at high frequency, write injections dominate read injections
+        assert write_inj[(app, f_hi)] > read_inj[(app, f_hi)]
+        # most write injections hit Shared-CK1 copies (paper: 88-98%)
+        assert ck1_share[(app, f_hi)] > 60.0

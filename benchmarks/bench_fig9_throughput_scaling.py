@@ -1,0 +1,28 @@
+"""Fig. 9 — aggregate recovery-data throughput vs processor count.
+
+The paper measures near-linear growth (Cholesky: 211 MB/s at 9
+processors to 1.1 GB/s at 56).
+"""
+
+from conftest import run_once
+from repro.stats.report import format_table
+
+
+def test_fig9(benchmark, scaling_sweep):
+    rows = run_once(benchmark, scaling_sweep.fig9_rows)
+    print()
+    print(format_table(
+        ["app", "nodes", "aggregate MB/s"],
+        rows, title="Fig. 9 - recovery data throughput vs processors"))
+
+    throughput = {(r[0], r[1]): r[2] for r in rows}
+    apps = sorted({r[0] for r in rows})
+    nodes = sorted({r[1] for r in rows})
+    n_lo, n_hi = nodes[0], nodes[-1]
+
+    for app in apps:
+        # aggregate throughput grows with the machine
+        assert throughput[(app, n_hi)] > throughput[(app, n_lo)]
+        # super-sub-linear but clearly scaling: at least ~2x over a
+        # ~6x node-count growth
+        assert throughput[(app, n_hi)] > 1.8 * throughput[(app, n_lo)]

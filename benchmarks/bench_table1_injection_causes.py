@@ -1,0 +1,26 @@
+"""Table 1 — new injections introduced by the ECP.
+
+Drives a machine into each (access, local copy state) combination of
+Table 1 and verifies the predicted injection cause fires.
+"""
+
+from conftest import run_once
+from repro.experiments.table1 import table1_injection_causes, print_table1
+
+EXPECTED = {
+    ("Replacement", "Shared-CK"): "replacement_shared_ck",
+    ("Replacement", "Inv-CK"): "replacement_inv_ck",
+    ("Read access", "Inv-CK"): "read_inv_ck",
+    ("Write access", "Inv-CK"): "write_inv_ck",
+    ("Write access", "Shared-CK"): "write_shared_ck",
+}
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_injection_causes)
+    print()
+    print_table1()
+    assert len(rows) == 5
+    for access, state, cause, count in rows:
+        assert EXPECTED[(access, state)] == cause
+        assert count >= 1, f"{access}/{state} did not trigger {cause}"

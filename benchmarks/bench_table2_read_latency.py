@@ -1,0 +1,20 @@
+"""Table 2 — read-miss latency from each memory-hierarchy level.
+
+The reproduction is calibrated to match the paper's numbers exactly in
+the uncontended case; this bench asserts it.
+"""
+
+from conftest import run_once
+from repro.experiments.table2 import (
+    PAPER_TABLE2,
+    print_table2,
+    table2_read_latencies,
+)
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, table2_read_latencies)
+    print()
+    print_table2()
+    measured = dict(rows)
+    assert measured == PAPER_TABLE2

@@ -1,0 +1,28 @@
+"""Table 3 — simulated application characteristics.
+
+Checks that each synthetic generator reproduces its Table 3 row
+(read/write and shared read/write densities) within tolerance.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.table3 import (
+    PAPER_TABLE3,
+    print_table3,
+    table3_characteristics,
+)
+
+
+def test_table3(benchmark):
+    rows = run_once(benchmark, table3_characteristics)
+    print()
+    print_table3()
+    for row in rows:
+        paper = PAPER_TABLE3[row.app]
+        assert row.reads_pct == pytest.approx(paper.reads_pct, rel=0.10)
+        assert row.writes_pct == pytest.approx(paper.writes_pct, rel=0.10)
+        assert row.shared_reads_pct == pytest.approx(paper.shared_reads_pct, rel=0.20)
+        assert row.shared_writes_pct == pytest.approx(
+            paper.shared_writes_pct, rel=0.35
+        )

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Figures 3-7 share one (app x frequency) sweep and Figures 8-11 one
+(app x node-count) sweep; the session-scoped fixtures below make sure
+each simulation runs exactly once per benchmark session.
+
+Profiles: set ``REPRO_PROFILE=full`` for larger workloads and less
+frequency compression (slower, tighter numbers); the default ``quick``
+profile keeps the whole suite laptop-sized.
+"""
+
+import pytest
+
+from repro.experiments import FrequencySweep, ScalingSweep, current_profile
+
+
+def pytest_report_header(config):
+    profile = current_profile()
+    return (
+        f"repro experiment profile: {profile.name} "
+        f"(scale>={profile.base_scale}, compression={profile.frequency_compression}, "
+        f"min_ckpts={profile.min_checkpoints})"
+    )
+
+
+@pytest.fixture(scope="session")
+def freq_sweep() -> FrequencySweep:
+    return FrequencySweep()
+
+
+@pytest.fixture(scope="session")
+def scaling_sweep() -> ScalingSweep:
+    return ScalingSweep()
+
+
+def run_once(benchmark, func):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

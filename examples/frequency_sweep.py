@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""How expensive is fault tolerance? — the Fig. 3 trade-off, live.
+
+Sweeps the recovery-point frequency over the paper's range (400, 100,
+20, 5 points per second) for two contrasting applications — Barnes
+(mostly-read shared data, the friendly case) and Mp3d (migratory,
+write-heavy, the stress case) — and prints the overhead decomposition
+next to the replication statistics.
+
+The knob to play with: more recovery points per second means less work
+lost on a failure but more time spent creating recovery data.
+
+Run:  python examples/frequency_sweep.py
+"""
+
+from repro.experiments import FrequencySweep, QUICK
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    sweep = FrequencySweep(
+        apps=("barnes", "mp3d"),
+        frequencies=(400.0, 100.0, 20.0, 5.0),
+        n_nodes=16,
+        profile=QUICK,
+    )
+    rows = []
+    for app in sweep.apps:
+        for freq in sweep.frequencies:
+            cell = sweep.cell(app, freq)
+            o = cell.overhead
+            rows.append(
+                (
+                    app,
+                    f"{freq:.0f}/s",
+                    f"{o.create:.1%}",
+                    f"{o.commit:.1%}",
+                    f"{o.pollution:.1%}",
+                    f"{o.total_overhead:.1%}",
+                    f"{cell.replication_throughput_mb_s:.1f}",
+                    f"{cell.replicated_fraction_reused:.0%}",
+                )
+            )
+            print(f"  ran {app} @ {freq:.0f} points/s "
+                  f"({o.n_checkpoints} recovery points)")
+    print()
+    print(format_table(
+        ["app", "freq", "create", "commit", "pollution", "total overhead",
+         "MB/s/node", "replicas reused"],
+        rows,
+        title="Recovery-point frequency vs overhead (cf. paper Figs. 3-4)",
+    ))
+    print()
+    print("Reading the table:")
+    print(" - overhead falls steeply as recovery points get rarer;")
+    print(" - mp3d pays the most (largest write working set of the suite);")
+    print(" - barnes covers many recovery copies with replicas that already")
+    print("   exist because its shared data is mostly read (Section 3.3).")
+
+
+if __name__ == "__main__":
+    main()

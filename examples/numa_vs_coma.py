@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Why COMA? — the paper's central architectural argument, measured.
+
+Sections 1 and 3.1 argue that COMA beats CC-NUMA as a substrate for
+backward error recovery on three counts:
+
+1. recovery data needs no dedicated storage — it lives in the
+   attraction memories, and existing replicas can be *promoted* into
+   recovery copies without moving data;
+2. recovery-point establishment is not constrained by fixed physical
+   addresses;
+3. after a permanent failure, lost items are reallocated anywhere;
+   a CC-NUMA must re-home an entire partition under new physical
+   addresses and pay translation on every later access.
+
+This example runs the same Mp3d workload on both machines and prints
+the scorecard.
+
+Run:  python examples/numa_vs_coma.py
+"""
+
+from repro import ArchConfig, FailurePlan, Machine, NumaMachine, make_workload
+from repro.stats.report import format_table
+
+N_NODES = 16
+SCALE = 0.015
+CKPT_PERIOD = 60_000  # cycles (~400 points/s at the scaled run length)
+
+
+def fresh_workload():
+    return make_workload("mp3d", n_procs=N_NODES, scale=SCALE)
+
+
+def main() -> None:
+    cfg = ArchConfig(n_nodes=N_NODES).with_ft(checkpoint_period_override=CKPT_PERIOD)
+
+    print("running the COMA/ECP machine...")
+    coma = Machine(cfg, fresh_workload(), protocol="ecp").run()
+
+    print("running the CC-NUMA machine (mirror-based checkpoints)...")
+    numa = NumaMachine(cfg, fresh_workload()).run()
+
+    print("replaying both with a permanent failure of node 5 (t=150k)...")
+    coma_fail_machine = Machine(
+        ArchConfig(n_nodes=N_NODES).with_ft(
+            checkpoint_period_override=CKPT_PERIOD, detection_latency=500
+        ),
+        fresh_workload(),
+        protocol="ecp",
+        failure_plan=[FailurePlan(time=150_000, node=5, permanent=True)],
+    )
+    coma_fail = coma_fail_machine.run()
+    numa_fail = NumaMachine(
+        cfg, fresh_workload(), fail_node_at=(150_000, 5)
+    ).run()
+
+    item_bytes = 128
+    rows = [
+        ("recovery points", coma.stats.n_checkpoints, numa.n_checkpoints),
+        ("checkpoint data transferred (KB)",
+         round(coma.stats.total("ckpt_items_replicated") * item_bytes / 1024, 1),
+         round(numa.ckpt_bytes_copied / 1024, 1)),
+        ("covered by existing replicas (KB)",
+         round(coma.stats.total("ckpt_items_reused") * item_bytes / 1024, 1),
+         0.0),
+        ("reconfiguration data moved (KB)",
+         round(coma_fail.stats.total("reconfig_items_recreated") * item_bytes / 1024, 1),
+         round(numa_fail.rehoming_blocks * item_bytes / 1024, 1)),
+        ("post-failure translated accesses", 0, numa_fail.translated_accesses),
+    ]
+    print()
+    print(format_table(
+        ["metric", "COMA (ECP)", "CC-NUMA (mirrors)"],
+        rows,
+        title="COMA vs CC-NUMA as a fault-tolerance substrate (Mp3d)",
+    ))
+    print()
+    print("COMA promotes replicas it already has and re-replicates only the")
+    print("singleton recovery pairs after a failure; the CC-NUMA transfers")
+    print("every modified block, re-homes a whole partition, and keeps paying")
+    print("address translation — the paper's Section 3.1 argument. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The ECP beyond hardware COMA: a recoverable DSVM.
+
+The paper's conclusion notes that the extended-coherence approach
+"can be used to implement a recoverable distributed shared virtual
+memory (DSVM) on top of a multicomputer or a network of workstations"
+— which the authors did, on the Intel Paragon and on Chorus [15].
+
+This example runs the same idea at page granularity with software
+costs: an 8-node network of workstations running a write-invalidate
+SVM whose pages carry Read-CK / Inv-CK / Pre-Commit recovery states.
+It establishes periodic recovery points, kills a node mid-run, and
+shows the system roll back, re-replicate singleton pages and finish.
+
+Run:  python examples/recoverable_dsvm.py
+"""
+
+from repro.dsvm import DsvmConfig, DsvmMachine
+from repro.stats.report import format_table
+from repro.workloads.synthetic import UniformShared
+
+N_NODES = 8
+
+
+def run(fail: bool):
+    cfg = DsvmConfig(n_nodes=N_NODES, checkpoint_period_refs=3_000)
+    wl = UniformShared(
+        N_NODES,
+        refs_per_proc=12_000,
+        region_bytes=2 * 1024 * 1024,
+        write_fraction=0.25,
+        window_items=32,
+    )
+    machine = DsvmMachine(
+        cfg,
+        wl,
+        fail_node_at=(400_000, 3) if fail else None,
+    )
+    return machine, machine.run()
+
+
+def main() -> None:
+    print(f"{N_NODES}-workstation recoverable DSVM (4 KB pages)\n")
+
+    _m0, healthy = run(fail=False)
+    m1, faulty = run(fail=True)
+
+    rows = [
+        ("references executed", healthy.refs, faulty.refs),
+        ("recovery points", healthy.n_checkpoints, faulty.n_checkpoints),
+        ("pages replicated at checkpoints",
+         healthy.pages_replicated, faulty.pages_replicated),
+        ("pages covered by existing read copies",
+         healthy.pages_reused, faulty.pages_reused),
+        ("recoveries", healthy.n_recoveries, faulty.n_recoveries),
+        ("read fault rate", f"{healthy.read_fault_rate:.2%}",
+         f"{faulty.read_fault_rate:.2%}"),
+        ("total cycles", healthy.total_cycles, faulty.total_cycles),
+    ]
+    print(format_table(
+        ["metric", "failure-free run", "node 3 dies mid-run"],
+        rows,
+        title="Recoverable DSVM: the ECP at page granularity",
+    ))
+    print()
+    assert faulty.n_recoveries == 1
+    print("The faulty run rolled back to its last recovery point, migrated")
+    print("the dead workstation's process, re-replicated singleton recovery")
+    print("pages and completed — the paper's ECP, without any hardware. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Does the ECP scale? — the paper's 9-to-56-node study (Figs. 8-11).
+
+Grows the machine from 9 to 56 nodes running the fixed-size Cholesky
+workload at 100 recovery points per second, and shows that
+
+- the create-phase overhead stays flat (or falls) because each node has
+  less recovery data to replicate and the aggregate replication
+  throughput grows with the machine;
+- read-triggered injections fall on bigger machines (shared items find
+  unused memory more easily).
+
+Run:  python examples/scalability.py
+"""
+
+from repro.experiments import ScalingSweep, QUICK
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    sweep = ScalingSweep(
+        apps=("cholesky",),
+        node_counts=(9, 16, 30, 56),
+        frequency_hz=100.0,
+        profile=QUICK,
+    )
+    rows = []
+    for n in sweep.node_counts:
+        cell = sweep.cell("cholesky", n)
+        rows.append(
+            (
+                n,
+                f"{cell.create_overhead:.1%}",
+                f"{cell.pollution_overhead:.1%}",
+                f"{cell.recovery_bytes_per_ckpt_per_node / 1024:.1f}",
+                f"{cell.aggregate_throughput_mb_s:.0f}",
+                f"{cell.injections_read_per_10k:.2f}",
+            )
+        )
+        print(f"  ran {n} nodes")
+    print()
+    print(format_table(
+        ["nodes", "create", "pollution", "KB/node/ckpt",
+         "aggregate MB/s", "read inj/10k"],
+        rows,
+        title="Cholesky, 100 recovery points/s (cf. paper Figs. 8-11)",
+    ))
+    print()
+    print("The fault-tolerance machinery does not become the bottleneck as")
+    print("the machine grows: per-node recovery data shrinks and aggregate")
+    print("replication bandwidth rises — the paper's scalability claim.")
+
+
+if __name__ == "__main__":
+    main()

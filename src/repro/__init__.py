@@ -1,0 +1,98 @@
+"""Fault-tolerant COMA — reproduction of Morin et al., ISCA 1996.
+
+Public API
+==========
+
+Build a machine and run it::
+
+    from repro import ArchConfig, Machine, make_workload
+
+    cfg = ArchConfig(n_nodes=16).with_ft(checkpoint_frequency_hz=100)
+    wl = make_workload("mp3d", n_procs=16, scale=0.002)
+    result = Machine(cfg, wl, protocol="ecp").run()
+    print(result.total_cycles, result.stats.n_checkpoints)
+
+Inject failures::
+
+    from repro import FailurePlan
+    plan = [FailurePlan(time=200_000, node=3, permanent=True)]
+    Machine(cfg, wl, protocol="ecp", failure_plan=plan).run()
+
+The experiment harnesses that regenerate every table and figure of the
+paper live in :mod:`repro.experiments`.
+"""
+
+from repro.config import (
+    AMConfig,
+    ArchConfig,
+    CacheConfig,
+    FaultToleranceConfig,
+    LatencyConfig,
+    PAPER_FREQUENCIES_HZ,
+    PAPER_NODE_COUNTS,
+    mesh_dimensions,
+)
+from repro.coherence import (
+    ExtendedProtocol,
+    InjectionCause,
+    NodeUnavailable,
+    ProtocolError,
+    StandardProtocol,
+)
+from repro.checkpoint.recovery import UnrecoverableFailure
+from repro.fault import FailurePlan
+from repro.machine import Machine, RunResult
+from repro.bus import BusConfig, BusMachine
+from repro.dsvm import DsvmConfig, DsvmMachine
+from repro.numa import NumaMachine
+from repro.memory.states import ItemState, LineState
+from repro.workloads import (
+    BarnesHut,
+    Cholesky,
+    Mp3d,
+    Water,
+    Reference,
+    SPLASH_WORKLOADS,
+    TraceWorkload,
+    Workload,
+    make_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMConfig",
+    "ArchConfig",
+    "CacheConfig",
+    "FaultToleranceConfig",
+    "LatencyConfig",
+    "PAPER_FREQUENCIES_HZ",
+    "PAPER_NODE_COUNTS",
+    "mesh_dimensions",
+    "ExtendedProtocol",
+    "InjectionCause",
+    "NodeUnavailable",
+    "ProtocolError",
+    "StandardProtocol",
+    "UnrecoverableFailure",
+    "FailurePlan",
+    "Machine",
+    "RunResult",
+    "BusConfig",
+    "BusMachine",
+    "DsvmConfig",
+    "DsvmMachine",
+    "NumaMachine",
+    "ItemState",
+    "LineState",
+    "BarnesHut",
+    "Cholesky",
+    "Mp3d",
+    "Water",
+    "Reference",
+    "SPLASH_WORKLOADS",
+    "TraceWorkload",
+    "Workload",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""A snooping-bus COMA variant of the ECP.
+
+"Our approach is not limited to non-hierarchical COMAs.  The extended
+coherence protocol can also be implemented with snooping coherence
+protocols [11]." (Section 5 — referring to the authors' own
+Supercomputing'94 design.)
+
+This package demonstrates that claim: a small bus-based COMA whose
+attraction memories snoop a single split-transaction bus.  There are no
+localization pointers and no directory — every AM observes every
+transaction — and injections become a single broadcast: the first AM
+with room claims the line (a distributed arbitration the bus gives for
+free).  The recovery states and the create/commit/recovery algorithms
+are *identical* to the mesh machine's, which is precisely the paper's
+point: the ECP is a property of the state machine, not of the
+interconnect.
+"""
+
+from repro.bus.machine import BusConfig, BusMachine, BusRunResult
+from repro.bus.protocol import SnoopingEcp
+
+__all__ = ["BusConfig", "BusMachine", "BusRunResult", "SnoopingEcp"]

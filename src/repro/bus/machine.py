@@ -1,0 +1,191 @@
+"""The snooping-bus COMA machine.
+
+A small (typically 4-8 node) bus-based COMA: same nodes (sectored
+cache + attraction memory) as the mesh machine, but a single
+split-transaction bus instead of the 2-D mesh.  The bus serializes all
+global transactions — the classic scalability ceiling that motivates
+the paper's non-hierarchical mesh machine, and a useful contrast in
+the A6 bench.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.bus.protocol import SnoopingEcp
+from repro.config import AMConfig, CacheConfig
+from repro.memory.attraction_memory import AttractionMemory
+from repro.memory.cache import SectoredCache
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.resources import ContentionPoint
+from repro.sim.sync import MemberBarrier
+from repro.stats.collectors import NodeStats
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A bus-based COMA node board."""
+
+    n_nodes: int = 4
+    cache: CacheConfig = field(default_factory=lambda: CacheConfig(size_bytes=64 * 1024))
+    am: AMConfig = field(default_factory=lambda: AMConfig(size_bytes=2 * 1024 * 1024))
+    #: Bus arbitration + address/snoop phase.
+    bus_address_cycles: int = 6
+    #: Data phase for one 128 B item.
+    bus_data_cycles: int = 16
+    #: Local AM access on a hit.
+    am_access_cycles: int = 12
+    reuse_shared: bool = True
+    #: Recovery-point period in references per processor.
+    checkpoint_period_refs: int = 10_000
+
+    @property
+    def item_bytes(self) -> int:
+        return self.am.item_bytes
+
+    def item_of(self, addr: int) -> int:
+        return addr // self.am.item_bytes
+
+
+class BusNode:
+    def __init__(self, node_id: int, cfg: BusConfig):
+        self.node_id = node_id
+        self.cache = SectoredCache(cfg.cache)
+        self.am = AttractionMemory(cfg.am, node_id=node_id)
+        self.alive = True
+        self.stats = NodeStats(node_id)
+
+
+@dataclass
+class BusRunResult:
+    config: BusConfig
+    total_cycles: int
+    refs: int
+    n_checkpoints: int
+    create_cycles: int
+    items_replicated: int
+    items_reused: int
+    bus_busy_cycles: int
+
+    def bus_utilisation(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return min(1.0, self.bus_busy_cycles / self.total_cycles)
+
+
+class BusMachine:
+    """Build and run one snooping-bus COMA."""
+
+    def __init__(self, cfg: BusConfig, workload: Workload, checkpointing: bool = True):
+        self.cfg = cfg
+        self.workload = workload
+        self.engine = Engine()
+        self.bus = ContentionPoint(name="bus")
+        self.nodes = [BusNode(i, cfg) for i in range(cfg.n_nodes)]
+        self.protocol = SnoopingEcp(self)
+        self.checkpointing = checkpointing
+
+        self._streams = workload.build_streams()
+        self._active: set[int] = set()
+        self._ckpt_requested = False
+        self._barrier: MemberBarrier | None = None
+        self._leader = -1
+
+        self.n_checkpoints = 0
+        self.create_cycles = 0
+        self.items_replicated = 0
+        self.items_reused = 0
+        self.last_finish = 0
+        self._started = False
+
+    def _processor(self, node_id: int):
+        protocol = self.protocol
+        while True:
+            if (
+                self._ckpt_requested
+                and self._barrier is not None
+                and node_id in self._barrier.expected
+            ):
+                yield from self._participate(node_id)
+                continue
+            stream = (
+                self._streams[node_id] if node_id < len(self._streams) else None
+            )
+            if stream is None or stream.exhausted:
+                self._active.discard(node_id)
+                if self._barrier is not None:
+                    self._barrier.remove_member(node_id)
+                self.last_finish = max(self.last_finish, self.engine.now)
+                return
+            ref = stream.next_ref()
+            issue = self.engine.now + ref.think
+            if ref.is_write:
+                done = protocol.write(node_id, ref.addr, issue)
+            else:
+                done = protocol.read(node_id, ref.addr, issue)
+            if done > self.engine.now:
+                yield done - self.engine.now
+
+    def _participate(self, node_id: int):
+        barrier = self._barrier
+        assert barrier is not None
+        yield barrier.arrive(node_id)
+        t0 = self.engine.now
+        done, replicated, reused = self.protocol.create_phase(
+            node_id, self.engine.now
+        )
+        self.items_replicated += replicated
+        self.items_reused += reused
+        if done > self.engine.now:
+            yield done - self.engine.now
+        yield barrier.arrive(node_id)
+        if node_id == self._leader:
+            for nid in range(self.cfg.n_nodes):
+                self.protocol.commit_phase(nid)
+            self.create_cycles += self.engine.now - t0
+            self.n_checkpoints += 1
+            self._ckpt_requested = False
+
+    def _scheduler(self):
+        refs_at_last = 0
+        while True:
+            yield 2_000
+            if not self._active:
+                return
+            total = sum(n.stats.refs for n in self.nodes)
+            live = max(1, len(self._active))
+            if (total - refs_at_last) / live < self.cfg.checkpoint_period_refs:
+                continue
+            self._ckpt_requested = True
+            self._barrier = MemberBarrier(
+                self.engine, set(self._active), name="bus-ckpt"
+            )
+            self._leader = min(self._active)
+            while self._ckpt_requested:
+                yield 500
+            refs_at_last = sum(n.stats.refs for n in self.nodes)
+
+    def run(self) -> BusRunResult:
+        if self._started:
+            raise RuntimeError("machine already ran")
+        self._started = True
+        for node_id in range(self.cfg.n_nodes):
+            if node_id < len(self._streams):
+                self._active.add(node_id)
+            Process(self.engine, self._processor(node_id), name=f"bus{node_id}")
+        if self.checkpointing:
+            Process(self.engine, self._scheduler(), name="bus-sched")
+        self.engine.run()
+        return BusRunResult(
+            config=self.cfg,
+            total_cycles=self.last_finish,
+            refs=sum(n.stats.refs for n in self.nodes),
+            n_checkpoints=self.n_checkpoints,
+            create_cycles=self.create_cycles,
+            items_replicated=self.items_replicated,
+            items_reused=self.items_reused,
+            bus_busy_cycles=self.bus.busy_cycles,
+        )

@@ -1,0 +1,226 @@
+"""Snooping ECP: the extended coherence protocol on a broadcast bus.
+
+Every AM snoops every transaction, so there are no localization
+pointers and no directory entries: the serving copy answers directly,
+sharers invalidate themselves on a write broadcast, and an injection is
+a single "who can take this line?" broadcast resolved by bus-order
+arbitration (lowest node id with room wins).
+
+The per-item states and the recovery algorithms are exactly those of
+the mesh machine (:mod:`repro.memory.states`), imported unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.memory.attraction_memory import InjectionSlot
+from repro.memory.states import ItemState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bus.machine import BusMachine
+
+S = ItemState
+
+
+class SnoopingEcp:
+    """The ECP over a split-transaction snooping bus."""
+
+    def __init__(self, machine: "BusMachine"):
+        self.machine = machine
+        self.cfg = machine.cfg
+
+    # -- bus helpers ---------------------------------------------------------
+
+    def _bus(self, now: int, with_data: bool) -> int:
+        """One bus transaction: arbitration + address phase, plus a
+        data phase when an item travels."""
+        cfg = self.cfg
+        cycles = cfg.bus_address_cycles + (
+            cfg.bus_data_cycles if with_data else 0
+        )
+        return self.machine.bus.occupy(now, cycles)
+
+    # -- snoop lookups -------------------------------------------------------
+
+    def _holders(self, item: int) -> dict[int, ItemState]:
+        result = {}
+        for node in self.machine.nodes:
+            if not node.alive:
+                continue
+            state = node.am.state(item)
+            if state is not S.INVALID:
+                result[node.node_id] = state
+        return result
+
+    def _server_of(self, item: int) -> int | None:
+        """The copy that answers a snoop (owner or Shared-CK1)."""
+        for node_id, state in self._holders(item).items():
+            if state in (S.EXCLUSIVE, S.MASTER_SHARED, S.SHARED_CK1):
+                return node_id
+        return None
+
+    # -- processor operations ---------------------------------------------------
+
+    def read(self, node_id: int, addr: int, now: int) -> int:
+        machine = self.machine
+        node = machine.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.reads += 1
+        if node.cache.read_probe(addr):
+            return now + 1
+        stats.am_read_accesses += 1
+        item = self.cfg.item_of(addr)
+        state = node.am.state(item)
+        if state.is_readable:
+            node.cache.fill(addr)
+            return now + self.cfg.am_access_cycles
+        if state in (S.INV_CK1, S.INV_CK2):
+            now = self.inject(node_id, item, state, now)
+        stats.am_read_misses += 1
+        t = self._bus(now, with_data=True)
+        server = self._server_of(item)
+        if server is None:
+            # first touch on the bus: the requester materialises it
+            self._install(node_id, item, S.EXCLUSIVE)
+        else:
+            server_node = machine.nodes[server]
+            if server_node.am.state(item) is S.EXCLUSIVE:
+                server_node.am.set_state(item, S.MASTER_SHARED)
+            self._install(node_id, item, S.SHARED)
+        node.cache.fill(addr)
+        return t
+
+    def write(self, node_id: int, addr: int, now: int) -> int:
+        machine = self.machine
+        node = machine.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.writes += 1
+        if node.cache.write_probe(addr):
+            return now + 1
+        stats.am_write_accesses += 1
+        item = self.cfg.item_of(addr)
+        state = node.am.state(item)
+        if state is S.EXCLUSIVE:
+            node.cache.fill(addr, dirty=True)
+            return now + self.cfg.am_access_cycles
+        if state.is_recovery:
+            now = self.inject(node_id, item, state, now)
+        if state is not S.MASTER_SHARED:
+            stats.am_write_misses += 1
+        # one invalidating broadcast: every snooping AM reacts at once
+        t = self._bus(now, with_data=state not in (S.SHARED, S.MASTER_SHARED))
+        for holder, h_state in self._holders(item).items():
+            if holder == node_id:
+                continue
+            h_node = machine.nodes[holder]
+            if h_state in (S.SHARED, S.MASTER_SHARED, S.EXCLUSIVE):
+                h_node.am.set_state(item, S.INVALID)
+            elif h_state is S.SHARED_CK1:
+                h_node.am.set_state(item, S.INV_CK1)
+            elif h_state is S.SHARED_CK2:
+                h_node.am.set_state(item, S.INV_CK2)
+            else:
+                continue
+            h_node.cache.invalidate_range(
+                item * self.cfg.item_bytes, self.cfg.item_bytes
+            )
+        self._install(node_id, item, S.EXCLUSIVE)
+        node.cache.fill(addr, dirty=True)
+        return t
+
+    # -- injections ------------------------------------------------------------------
+
+    def inject(self, src: int, item: int, state: ItemState, now: int,
+               drop_local: bool = True) -> int:
+        """One broadcast; the lowest-id AM with room claims the line."""
+        machine = self.machine
+        for node in machine.nodes:
+            if node.node_id == src or not node.alive:
+                continue
+            if node.am.injection_probe(item) is InjectionSlot.NONE:
+                continue
+            t = self._bus(now, with_data=True)
+            self._install(node.node_id, item, state)
+            if drop_local:
+                machine.nodes[src].am.set_state(item, S.INVALID)
+            machine.nodes[src].stats.injections["bus_injection"] += 1
+            return t
+        raise RuntimeError(f"no AM can accept item {item} on the bus")
+
+    def _install(self, node_id: int, item: int, state: ItemState) -> None:
+        node = self.machine.nodes[node_id]
+        page = node.am.page_of(item)
+        if not node.am.has_page(page):
+            if node.am.free_ways(page) == 0:
+                victim = node.am.evictable_page(page)
+                if victim is None:
+                    raise RuntimeError(
+                        f"bus node {node_id}: set full for page {page}"
+                    )
+                node.am.deallocate_page(victim)
+            node.am.allocate_page(page)
+        node.am.set_state(item, state)
+
+    # -- recovery points (same algorithms as the mesh ECP) ------------------------------
+
+    def create_phase(self, node_id: int, now: int) -> tuple[int, int, int]:
+        machine = self.machine
+        node = machine.nodes[node_id]
+        node.cache.flush_all_dirty()
+        t = now
+        replicated = 0
+        reused = 0
+        for item in sorted(node.am.owned_items()):
+            state = node.am.state(item)
+            sharers = [
+                n
+                for n, s in self._holders(item).items()
+                if s is S.SHARED and n != node_id
+            ]
+            node.am.set_state(item, S.PRE_COMMIT1)
+            if state is S.MASTER_SHARED and sharers and self.cfg.reuse_shared:
+                target = min(sharers)
+                machine.nodes[target].am.set_state(item, S.PRE_COMMIT2)
+                t = self._bus(t, with_data=False)  # promotion broadcast
+                reused += 1
+            else:
+                t = self._bus(t, with_data=True)
+                target = self._claimant(item, exclude={node_id})
+                self._install(target, item, S.PRE_COMMIT2)
+                replicated += 1
+        return t, replicated, reused
+
+    def _claimant(self, item: int, exclude: set[int]) -> int:
+        for node in self.machine.nodes:
+            if node.node_id in exclude or not node.alive:
+                continue
+            if node.am.injection_probe(item) is not InjectionSlot.NONE:
+                return node.node_id
+        raise RuntimeError(f"no AM can claim item {item}")
+
+    def commit_phase(self, node_id: int) -> None:
+        am = self.machine.nodes[node_id].am
+        for item in am.items_in_group("pre_commit"):
+            state = am.state(item)
+            am.set_state(
+                item,
+                S.SHARED_CK1 if state is S.PRE_COMMIT1 else S.SHARED_CK2,
+            )
+        for item in am.items_in_group("inv_ck"):
+            am.set_state(item, S.INVALID)
+
+    def recovery_scan(self, node_id: int) -> None:
+        node = self.machine.nodes[node_id]
+        am = node.am
+        for group in ("shared", "owned", "pre_commit"):
+            for item in am.items_in_group(group):
+                am.set_state(item, S.INVALID)
+        for item in am.items_in_group("inv_ck"):
+            state = am.state(item)
+            am.set_state(
+                item, S.SHARED_CK1 if state is S.INV_CK1 else S.SHARED_CK2
+            )
+        node.cache.invalidate_all()

@@ -1,0 +1,23 @@
+"""Recovery-point establishment and restoration (Sections 3.3 / 3.4)."""
+
+from repro.checkpoint.establish import (
+    node_create_phase,
+    commit_cost_cycles,
+    scan_cost_cycles,
+)
+from repro.checkpoint.recovery import (
+    UnrecoverableFailure,
+    rebuild_metadata,
+    reconfiguration_phase,
+)
+from repro.checkpoint.scheduler import checkpoint_scheduler
+
+__all__ = [
+    "node_create_phase",
+    "commit_cost_cycles",
+    "scan_cost_cycles",
+    "UnrecoverableFailure",
+    "rebuild_metadata",
+    "reconfiguration_phase",
+    "checkpoint_scheduler",
+]

@@ -1,0 +1,133 @@
+"""Recovery-point establishment: the create/commit algorithm of Fig. 2.
+
+The *create* phase runs on every node in parallel (the machine
+coordinator brackets it with barriers).  It is incremental: only items
+modified since the last recovery point — exactly those with an
+``Exclusive`` or ``Master-Shared`` local copy — are replicated.  For a
+replicated ``Master-Shared`` item, an existing ``Shared`` replica is
+promoted to ``Pre-Commit2`` with a control message instead of a data
+transfer (the Section 3.3 optimisation, ablatable via
+``ft.reuse_shared_replicas``).
+
+Identification of the next modified item is assumed to overlap with the
+previous injection (the paper's tree of modified lines, Section 4.1),
+so no scan time is charged between replications — the AM's group
+indexes provide the same capability in software.
+
+The *commit* phase is local: ``Pre-Commit`` copies become
+``Shared-CK``, old ``Inv-CK`` copies are discarded.  Its cost is the
+state-memory scan of the allocated pages (1 cycle per page test plus 1
+cycle per item test, Section 4.2.2) unless the recovery-point-counter
+optimisation is enabled (``ft.commit_counters``), which "would nullify
+T_commit" (Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, TYPE_CHECKING
+
+from repro.coherence.injection import InjectionCause, InjectionFailed
+from repro.memory.states import ItemState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.ecp import ExtendedProtocol
+    from repro.sim.engine import Engine
+
+
+class EstablishmentFailed(RuntimeError):
+    """The create phase could not place a Pre-Commit copy (e.g. fewer
+    than four live memories can hold the four copies a modified item
+    needs during establishment).  The previous recovery point is still
+    intact; the coordinator aborts and reverts the Pre-Commit copies."""
+
+
+def node_create_phase(
+    protocol: "ExtendedProtocol",
+    engine: "Engine",
+    node_id: int,
+    should_abort: Callable[[], bool] | None = None,
+) -> Generator[int, None, None]:
+    """Create-phase work of one node, as a simulation generator.
+
+    Yields delays so that the create phases of all nodes interleave and
+    contend for the network.  ``should_abort`` is polled between items;
+    when it returns True (a failure was detected mid-establishment) the
+    phase stops — the previous recovery point is still intact and the
+    recovery scan will discard the partial ``Pre-Commit`` copies.
+    """
+    node = protocol.nodes[node_id]
+    lat = protocol.cfg.latency
+    item_bytes = protocol.cfg.item_bytes
+    stats = node.stats
+
+    # Flush modified cache lines into the AM.  The data stays cached
+    # (CLEAN) and readable — the reason read miss rates barely move
+    # (Section 4.2.3).
+    flushed = node.cache.flush_all_dirty()
+    if flushed:
+        done = node.mem_ctrl.occupy(
+            engine.now, lat.cache_writeback_line * len(flushed)
+        )
+        yield done - engine.now
+
+    for item in sorted(node.am.owned_items()):
+        if should_abort is not None and should_abort():
+            return
+        state = node.am.state(item)
+        entry = protocol.directory.entry(node_id, item)
+        done = engine.now
+        reused = False
+        if (
+            state is ItemState.MASTER_SHARED
+            and protocol.cfg.ft.reuse_shared_replicas
+        ):
+            live_sharers = [
+                s for s in sorted(entry.sharers) if protocol.nodes[s].alive
+            ]
+            if live_sharers:
+                protocol.mark_precommit_local(node_id, item)
+                done = protocol.mark_precommit_replica(
+                    node_id, item, live_sharers[0], engine.now
+                )
+                stats.ckpt_items_reused += 1
+                reused = True
+        if not reused:
+            protocol.mark_precommit_local(node_id, item)
+            try:
+                result = protocol.injector.inject(
+                    node_id,
+                    item,
+                    ItemState.PRE_COMMIT2,
+                    engine.now,
+                    InjectionCause.CREATE_REPLICATION,
+                    drop_local=False,
+                )
+            except InjectionFailed as exc:
+                raise EstablishmentFailed(str(exc)) from exc
+            entry.partner = result.acceptor
+            # pipelined: the next item is identified and injected while
+            # this one's ack is still in flight (Section 4.1)
+            done = result.data_sent
+            stats.ckpt_items_replicated += 1
+        stats.ckpt_bytes_replicated += item_bytes
+        if done > engine.now:
+            yield done - engine.now
+
+
+def commit_cost_cycles(protocol: "ExtendedProtocol", node_id: int) -> int:
+    """Commit-phase scan time for one node (Section 4.2.2 cost model)."""
+    cfg = protocol.cfg
+    lat = cfg.latency
+    if cfg.ft.commit_counters:
+        # bump the node recovery-point counter; no scan
+        return lat.commit_page_test
+    pages = protocol.nodes[node_id].am.pages_resident
+    return lat.commit_page_test * pages + lat.commit_item_test * pages * cfg.items_per_page
+
+
+def scan_cost_cycles(protocol: "ExtendedProtocol", node_id: int) -> int:
+    """Recovery-scan time (same state-memory walk as the commit scan)."""
+    cfg = protocol.cfg
+    lat = cfg.latency
+    pages = protocol.nodes[node_id].am.pages_resident
+    return lat.commit_page_test * pages + lat.commit_item_test * pages * cfg.items_per_page

@@ -1,0 +1,122 @@
+"""Restoration and reconfiguration (Section 3.4).
+
+After the per-node recovery scans
+(:meth:`~repro.coherence.ecp.ExtendedProtocol.recovery_scan_node`) have
+run on every live node, only ``Shared-CK`` copies remain.  This module
+provides the machine-level steps that follow:
+
+``rebuild_metadata``
+    Reconstructs the localization pointers and directory entries from
+    the surviving recovery copies (the pointer partition and the
+    entries of a failed node are lost with it — a gap the paper leaves
+    open; a scan-based rebuild is the natural completion, see DESIGN.md
+    section 3).  Recovery pairs that lost their primary are re-rooted:
+    a surviving ``Shared-CK2`` copy is promoted to ``Shared-CK1``.
+
+``reconfiguration_phase``
+    For every recovery pair reduced to a single copy by the failure, a
+    fresh ``Shared-CK2`` copy is injected into another AM so the
+    persistence property holds again.  A second failure before this
+    completes would be unrecoverable — exactly the paper's
+    single-permanent-failure assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.coherence.injection import InjectionCause
+from repro.memory.states import ItemState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.ecp import ExtendedProtocol
+    from repro.sim.engine import Engine
+
+
+class UnrecoverableFailure(RuntimeError):
+    """Both copies of a recovery pair were lost (or failures overlapped
+    beyond the fault model)."""
+
+
+def rebuild_metadata(protocol: "ExtendedProtocol") -> list[int]:
+    """Rebuild pointers/entries from surviving Shared-CK copies.
+
+    Returns the items whose pair is down to a single copy (input to
+    :func:`reconfiguration_phase`).
+    """
+    directory = protocol.directory
+    directory.clear_all()
+    primaries: dict[int, int] = {}
+    secondaries: dict[int, int] = {}
+    for node in protocol.nodes:
+        if not node.alive:
+            continue
+        for item in node.am.items_in_group("shared_ck"):
+            state = node.am.state(item)
+            if state is ItemState.SHARED_CK1:
+                if item in primaries:
+                    raise UnrecoverableFailure(
+                        f"item {item} has two Shared-CK1 copies after recovery"
+                    )
+                primaries[item] = node.node_id
+            else:
+                if item in secondaries:
+                    raise UnrecoverableFailure(
+                        f"item {item} has two Shared-CK2 copies after recovery"
+                    )
+                secondaries[item] = node.node_id
+
+    singletons: list[int] = []
+    for item in set(primaries) | set(secondaries):
+        ck1 = primaries.get(item)
+        ck2 = secondaries.get(item)
+        if ck1 is None:
+            # the primary died with its node: promote the survivor
+            ck1 = ck2
+            ck2 = None
+            protocol.nodes[ck1].am.set_state(item, ItemState.SHARED_CK1)
+        directory.set_serving_node(item, ck1)
+        entry = protocol.directory.entry(ck1, item)
+        entry.sharers.clear()
+        entry.partner = ck2
+        if ck2 is None:
+            singletons.append(item)
+    return sorted(singletons)
+
+
+def reconfiguration_phase(
+    protocol: "ExtendedProtocol",
+    engine: "Engine",
+    singletons: list[int],
+) -> Generator[int, None, int]:
+    """Re-replicate every singleton recovery copy; returns the count.
+
+    Runs as a simulation generator so the re-replication traffic is
+    charged against the network like any other injection.
+    """
+    recreated = 0
+    for item in singletons:
+        holder = protocol.directory.serving_node(item)
+        if holder is None:
+            raise UnrecoverableFailure(f"singleton item {item} has no holder")
+        node = protocol.nodes[holder]
+        if node.am.state(item) is not ItemState.SHARED_CK1:
+            raise UnrecoverableFailure(
+                f"singleton item {item} at node {holder} is in state "
+                f"{node.am.state(item).name}"
+            )
+        result = protocol.injector.inject(
+            holder,
+            item,
+            ItemState.SHARED_CK2,
+            engine.now,
+            InjectionCause.RECONFIGURATION,
+            drop_local=False,
+        )
+        entry = protocol.directory.entry(holder, item)
+        entry.partner = result.acceptor
+        node.stats.reconfig_items_recreated += 1
+        recreated += 1
+        if result.complete > engine.now:
+            yield result.complete - engine.now
+    return recreated

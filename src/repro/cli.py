@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artefacts:
+
+============  =====================================================
+``run``        one simulation (app, protocol, frequency) + decomposition
+``tables``     Tables 1-3 (injection causes, read latencies, workloads)
+``sweep``      the Figs. 3-7 frequency sweep
+``scale``      the Figs. 8-11 node-count sweep
+``recover``    a failure-injection demo with recovery statistics
+============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ArchConfig, PAPER_FREQUENCIES_HZ, PAPER_NODE_COUNTS
+from repro.fault.failures import FailurePlan
+from repro.machine import Machine
+from repro.stats.report import format_table
+from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ArchConfig(n_nodes=args.nodes, seed=args.seed)
+    if args.protocol == "ecp":
+        cfg = cfg.with_ft(checkpoint_frequency_hz=args.frequency)
+    wl = make_workload(args.app, n_procs=args.nodes, scale=args.scale, seed=args.seed)
+    print(
+        f"running {args.app} on a {args.nodes}-node COMA "
+        f"({args.protocol}, scale={args.scale})..."
+    )
+    machine = Machine(cfg, wl, protocol=args.protocol)
+    result = machine.run()
+    s = result.stats
+    rows = [
+        ("total cycles", result.total_cycles),
+        ("references", s.refs),
+        ("AM miss rate", f"{s.mean_am_miss_rate():.2%}"),
+        ("recovery points", s.n_checkpoints),
+        ("T_create cycles", s.create_cycles),
+        ("T_commit cycles", s.commit_cycles),
+        ("recovery data", f"{s.ckpt_bytes_replicated() / 1024:.1f} KB"),
+        ("wall time", f"{result.wall_seconds:.1f} s"),
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.protocol == "ecp":
+        machine.check_invariants()
+        print("invariants: OK")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import print_table1
+    from repro.experiments.table2 import print_table2
+    from repro.experiments.table3 import print_table3
+
+    print_table1()
+    print()
+    print_table2()
+    print()
+    print_table3()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import FrequencySweep
+    from repro.stats.charts import grouped_bar_chart
+
+    apps = tuple(args.apps) if args.apps else None
+    sweep = FrequencySweep(apps=apps, frequencies=tuple(args.frequencies))
+    sweep.print_all()
+    groups = []
+    for app in sweep.apps:
+        bars = []
+        for freq in sweep.frequencies:
+            cell = sweep.cell(app, freq)
+            bars.append((f"{freq:g}/s", round(cell.overhead.total_overhead * 100, 1)))
+        groups.append((app, bars))
+    print()
+    print(grouped_bar_chart(groups, title="Total overhead vs frequency (Fig. 3)",
+                            unit="%"))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments import ScalingSweep
+    from repro.stats.charts import grouped_bar_chart
+
+    apps = tuple(args.apps) if args.apps else None
+    sweep = ScalingSweep(
+        apps=apps, node_counts=tuple(args.nodes), frequency_hz=args.frequency
+    )
+    sweep.print_all()
+    groups = []
+    for app in sweep.apps:
+        bars = [
+            (f"{n} nodes", round(sweep.cell(app, n).aggregate_throughput_mb_s, 1))
+            for n in sweep.node_counts
+        ]
+        groups.append((app, bars))
+    print()
+    print(grouped_bar_chart(groups,
+                            title="Aggregate recovery-data throughput (Fig. 9)",
+                            unit=" MB/s"))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    cfg = ArchConfig(n_nodes=args.nodes, seed=args.seed).with_ft(
+        checkpoint_period_override=20_000, detection_latency=500
+    )
+    wl = make_workload(args.app, n_procs=args.nodes, scale=args.scale, seed=args.seed)
+    plan = [
+        FailurePlan(
+            time=args.fail_at,
+            node=args.fail_node,
+            permanent=args.permanent,
+            repair_delay=0 if args.permanent else 5_000,
+        )
+    ]
+    kind = "permanent" if args.permanent else "transient"
+    print(f"injecting a {kind} failure of node {args.fail_node} at t={args.fail_at}...")
+    machine = Machine(cfg, wl, protocol="ecp", failure_plan=plan)
+    result = machine.run()
+    machine.check_invariants()
+    s = result.stats
+    rows = [
+        ("failures", s.n_failures),
+        ("recoveries", s.n_recoveries),
+        ("recovery cycles", s.recovery_cycles),
+        ("singleton copies re-replicated", s.total("reconfig_items_recreated")),
+        ("references executed (incl. re-run)", s.refs),
+        ("completed", all(st.exhausted for st in machine.all_streams())),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant COMA (Morin et al., ISCA 1996) simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one simulation run")
+    run.add_argument("app", choices=sorted(SPLASH_WORKLOADS))
+    run.add_argument("--protocol", choices=("standard", "ecp"), default="ecp")
+    run.add_argument("--nodes", type=int, default=16)
+    run.add_argument("--frequency", type=float, default=100.0,
+                     help="recovery points per second (ECP only)")
+    run.add_argument("--scale", type=float, default=0.01)
+    run.add_argument("--seed", type=int, default=2026)
+    run.set_defaults(func=_cmd_run)
+
+    tables = sub.add_parser("tables", help="reproduce Tables 1-3")
+    tables.set_defaults(func=_cmd_tables)
+
+    sweep = sub.add_parser("sweep", help="Figs. 3-7 frequency sweep")
+    sweep.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
+    sweep.add_argument(
+        "--frequencies", nargs="*", type=float, default=list(PAPER_FREQUENCIES_HZ)
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    scale = sub.add_parser("scale", help="Figs. 8-11 node-count sweep")
+    scale.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
+    scale.add_argument("--nodes", nargs="*", type=int, default=list(PAPER_NODE_COUNTS))
+    scale.add_argument("--frequency", type=float, default=100.0)
+    scale.set_defaults(func=_cmd_scale)
+
+    recover = sub.add_parser("recover", help="failure injection demo")
+    recover.add_argument("app", choices=sorted(SPLASH_WORKLOADS))
+    recover.add_argument("--nodes", type=int, default=16)
+    recover.add_argument("--scale", type=float, default=0.005)
+    recover.add_argument("--fail-at", type=int, default=100_000)
+    recover.add_argument("--fail-node", type=int, default=3)
+    recover.add_argument("--permanent", action="store_true")
+    recover.add_argument("--seed", type=int, default=2026)
+    recover.set_defaults(func=_cmd_recover)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

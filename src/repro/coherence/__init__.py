@@ -1,0 +1,34 @@
+"""Coherence protocols.
+
+``directory``   — localization pointers (statically distributed by page)
+                  and per-item directory entries kept at the serving node.
+``standard``    — the baseline COMA-F-like write-invalidate protocol
+                  (Invalid / Shared / Master-Shared / Exclusive) with
+                  master-copy injection on replacement.
+``injection``   — the two-step ring-walk injection engine shared by both
+                  protocols.
+``ecp``         — the paper's Extended Coherence Protocol: the standard
+                  protocol plus the Shared-CK / Inv-CK / Pre-Commit
+                  states and the recovery-data transitions of Table 1.
+"""
+
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.injection import InjectionEngine, InjectionCause, InjectionFailed
+from repro.coherence.standard import (
+    NodeUnavailable,
+    ProtocolError,
+    StandardProtocol,
+)
+from repro.coherence.ecp import ExtendedProtocol
+
+__all__ = [
+    "Directory",
+    "DirectoryEntry",
+    "InjectionEngine",
+    "InjectionCause",
+    "InjectionFailed",
+    "NodeUnavailable",
+    "ProtocolError",
+    "StandardProtocol",
+    "ExtendedProtocol",
+]

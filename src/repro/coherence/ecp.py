@@ -1,0 +1,260 @@
+"""The Extended Coherence Protocol (Section 3).
+
+Extends the standard protocol with transparent recovery-data
+management:
+
+- ``Shared-CK1`` serves read misses like a Master-Shared copy and is
+  the only CK copy allowed to grant exclusive rights (Section 4.1);
+- a write on an item whose recovery copies are still ``Shared-CK``
+  turns both into ``Inv-CK`` and invalidates the plain Shared copies;
+- any processor access that collides with a *local* recovery copy first
+  injects that copy to another AM and then proceeds as a miss — these
+  are the new injections of Table 1:
+
+  ============  =================  =======================
+  cause         local copy state   action
+  ============  =================  =======================
+  replacement   Shared-CK          injection
+  replacement   Inv-CK             injection
+  read access   Inv-CK             injection + read miss
+  write access  Inv-CK             injection + write miss
+  write access  Shared-CK          injection + write miss
+  ============  =================  =======================
+
+The replacement rows are handled by the shared replacement machinery in
+:mod:`repro.coherence.standard` (via ``_replacement_cause``); this
+module adds the access rows and the Shared-CK1 write-service path.
+Recovery-point establishment and restoration live in
+:mod:`repro.checkpoint` and drive the protocol through
+:meth:`ExtendedProtocol.mark_precommit_local`,
+:meth:`ExtendedProtocol.mark_precommit_replica` and the commit/recovery
+scans.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.injection import InjectionCause
+from repro.coherence.standard import ProtocolError, StandardProtocol
+from repro.memory.states import ItemState
+from repro.network.message import MessageKind
+from repro.network.topology import Subnet
+
+_SERVING_READ_ECP = frozenset(
+    {ItemState.EXCLUSIVE, ItemState.MASTER_SHARED, ItemState.SHARED_CK1}
+)
+_INV_CK = (ItemState.INV_CK1, ItemState.INV_CK2)
+_SHARED_CK = (ItemState.SHARED_CK1, ItemState.SHARED_CK2)
+
+
+class ExtendedProtocol(StandardProtocol):
+    """Standard protocol + recovery-data states (the paper's ECP)."""
+
+    name = "ecp"
+
+    # -- read path ------------------------------------------------------
+
+    def _serving_states_read(self) -> frozenset[ItemState]:
+        return _SERVING_READ_ECP
+
+    def _pre_miss_read(self, node_id: int, item: int, now: int) -> int:
+        """Read access on a local Inv-CK copy: the copy must first be
+        transferred to another node (Table 1, row 3)."""
+        state = self.nodes[node_id].am.state(item)
+        if state in _INV_CK:
+            result = self.injector.inject(
+                node_id, item, state, now, InjectionCause.READ_INV_CK
+            )
+            return result.complete
+        return now
+
+    # -- write path ------------------------------------------------------
+
+    def _pre_miss_write(self, node_id: int, item: int, now: int) -> int:
+        """Write access on a local recovery copy: inject it, then miss
+        (Table 1, rows 4 and 5)."""
+        state = self.nodes[node_id].am.state(item)
+        if state in _INV_CK:
+            result = self.injector.inject(
+                node_id, item, state, now, InjectionCause.WRITE_INV_CK
+            )
+            return result.complete
+        if state in _SHARED_CK:
+            result = self.injector.inject(
+                node_id, item, state, now, InjectionCause.WRITE_SHARED_CK
+            )
+            return result.complete
+        return now
+
+    def _serve_write(
+        self, requester: int, serving: int, item: int, now: int, had_shared_copy: bool
+    ) -> int:
+        """Write service at a Shared-CK1 holder: like Master-Shared
+        service, except the CK pair degrades to Inv-CK (Section 4.1)."""
+        s_node = self.nodes[serving]
+        if s_node.am.state(item) is not ItemState.SHARED_CK1:
+            return super()._serve_write(requester, serving, item, now, had_shared_copy)
+        lat = self.cfg.latency
+        t = s_node.mem_ctrl.occupy(now, lat.remote_am_service)
+        entry = self.directory.entry(serving, item)
+        acks_done = self._invalidate_sharers(
+            serving, item, ack_to=requester, now=t, skip={requester}
+        )
+        partner = entry.partner
+        if partner is None:
+            raise ProtocolError(
+                f"Shared-CK1 copy of item {item} at node {serving} has no partner"
+            )
+        p_node = self.nodes[partner]
+        if p_node.alive:
+            if p_node.am.state(item) is not ItemState.SHARED_CK2:
+                raise ProtocolError(
+                    f"partner of item {item} at node {partner} is "
+                    f"{p_node.am.state(item).name}, expected SHARED_CK2"
+                )
+            t_inv = self.fabric.control(
+                serving, partner, Subnet.REQUEST, t, MessageKind.INVALIDATE, item
+            )
+            t_inv = p_node.mem_ctrl.occupy(t_inv, lat.pointer_lookup)
+            p_node.am.set_state(item, ItemState.INV_CK2)
+            self._invalidate_cached_item(p_node, item)
+            t_ack = self.fabric.control(
+                partner, requester, Subnet.REPLY, t_inv, MessageKind.INVALIDATE_ACK, item
+            )
+            acks_done = max(acks_done, t_ack)
+        s_node.am.set_state(item, ItemState.INV_CK1)
+        self._invalidate_cached_item(s_node, item)
+        if had_shared_copy:
+            data_done = self.fabric.control(
+                serving, requester, Subnet.REPLY, t, MessageKind.OWNERSHIP_REPLY, item
+            )
+        else:
+            data_done = self.fabric.data(
+                serving, requester, self.cfg.item_bytes, t, MessageKind.OWNERSHIP_REPLY, item
+            )
+        moved = self.directory.move_entry(item, serving, requester)
+        moved.sharers.clear()
+        moved.partner = None
+        self._move_pointer(item, serving, requester, t)
+        return max(acks_done, data_done)
+
+    # ==================================================================
+    # recovery-point establishment hooks (driven by repro.checkpoint)
+    # ==================================================================
+
+    def mark_precommit_local(self, node_id: int, item: int) -> None:
+        """Create phase: turn an owned copy into the first Pre-Commit
+        copy (Fig. 2, Exclusive/Master-Shared arms)."""
+        node = self.nodes[node_id]
+        state = node.am.state(item)
+        if state not in (ItemState.EXCLUSIVE, ItemState.MASTER_SHARED):
+            raise ProtocolError(
+                f"create phase visited item {item} on node {node_id} "
+                f"in state {state.name}"
+            )
+        node.am.set_state(item, ItemState.PRE_COMMIT1)
+
+    def mark_precommit_replica(self, node_id: int, item: int, target: int, now: int) -> int:
+        """Create phase, Master-Shared optimisation: promote an existing
+        Shared replica to Pre-Commit2 with a control message instead of
+        transferring the item (Section 3.3).  Returns the ack time."""
+        target_node = self.nodes[target]
+        if target_node.am.state(item) is not ItemState.SHARED:
+            raise ProtocolError(
+                f"replica promotion of item {item}: node {target} holds "
+                f"{target_node.am.state(item).name}, expected SHARED"
+            )
+        lat = self.cfg.latency
+        t = self.fabric.control(
+            node_id, target, Subnet.REQUEST, now, MessageKind.PRECOMMIT_MARK, item
+        )
+        t = target_node.mem_ctrl.occupy(t, lat.pointer_lookup)
+        target_node.am.set_state(item, ItemState.PRE_COMMIT2)
+        entry = self.directory.entry(node_id, item)
+        entry.sharers.discard(target)
+        entry.partner = target
+        return self.fabric.control(
+            target, node_id, Subnet.REPLY, t, MessageKind.PRECOMMIT_ACK, item
+        )
+
+    def commit_node(self, node_id: int) -> tuple[int, int]:
+        """Commit phase, local to ``node_id`` (Fig. 2): Pre-Commit
+        copies become Shared-CK, old Inv-CK copies are discarded.
+
+        Returns ``(promoted, discarded)`` item-copy counts."""
+        node = self.nodes[node_id]
+        promoted = 0
+        for item in node.am.items_in_group("pre_commit"):
+            state = node.am.state(item)
+            node.am.set_state(
+                item,
+                ItemState.SHARED_CK1
+                if state is ItemState.PRE_COMMIT1
+                else ItemState.SHARED_CK2,
+            )
+            promoted += 1
+        discarded = 0
+        for item in node.am.items_in_group("inv_ck"):
+            node.am.set_state(item, ItemState.INVALID)
+            discarded += 1
+        return promoted, discarded
+
+    def abort_establishment_node(self, node_id: int) -> int:
+        """Revert this node's Pre-Commit copies after an aborted create
+        phase (no failure: the copies hold valid current data).
+
+        ``Pre-Commit1`` returns to its owner state; ``Pre-Commit2``
+        becomes a plain ``Shared`` copy registered in the sharing list.
+        Returns the number of copies reverted.
+        """
+        node = self.nodes[node_id]
+        reverted = 0
+        for item in node.am.items_in_group("pre_commit"):
+            state = node.am.state(item)
+            if state is ItemState.PRE_COMMIT1:
+                entry = self.directory.entry(node_id, item)
+                entry.partner = None
+                node.am.set_state(
+                    item,
+                    ItemState.MASTER_SHARED if entry.sharers else ItemState.EXCLUSIVE,
+                )
+            else:
+                serving = self.directory.serving_node(item)
+                if serving is not None:
+                    entry = self.directory.entry(serving, item)
+                    entry.sharers.add(node_id)
+                    if entry.partner == node_id:
+                        entry.partner = None
+                    # an owner that already reverted to Exclusive gains
+                    # a sharer again
+                    s_node = self.nodes[serving]
+                    if s_node.am.state(item) is ItemState.EXCLUSIVE:
+                        s_node.am.set_state(item, ItemState.MASTER_SHARED)
+                node.am.set_state(item, ItemState.SHARED)
+            reverted += 1
+        return reverted
+
+    def recovery_scan_node(self, node_id: int) -> tuple[int, int]:
+        """Restoration scan, local to ``node_id`` (Section 3.4):
+        invalidate all current and Pre-Commit copies, restore Inv-CK
+        copies to Shared-CK.
+
+        Returns ``(invalidated, restored)`` counts."""
+        node = self.nodes[node_id]
+        invalidated = 0
+        for group in ("shared", "owned", "pre_commit"):
+            for item in node.am.items_in_group(group):
+                node.am.set_state(item, ItemState.INVALID)
+                invalidated += 1
+        restored = 0
+        for item in node.am.items_in_group("inv_ck"):
+            state = node.am.state(item)
+            node.am.set_state(
+                item,
+                ItemState.SHARED_CK1
+                if state is ItemState.INV_CK1
+                else ItemState.SHARED_CK2,
+            )
+            restored += 1
+        # caches are volatile and inconsistent with the restored state
+        node.cache.invalidate_all()
+        return invalidated, restored

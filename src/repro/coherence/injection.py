@@ -1,0 +1,196 @@
+"""The two-step ring-walk injection engine.
+
+"Injections are accomplished in two steps.  In a first step, an
+injection message is sent to find a victim line on a remote node.  When
+the victim node replies, the data is sent." (Section 4.1)
+
+The probe walks the logical ring; a node refuses when it can neither
+overwrite an Invalid/Shared slot of the item nor make room by
+allocating or dropping a fully-replaceable page.  Because a
+non-replaceable local copy of the same item also refuses, the two
+copies of a recovery pair can never end up in the same memory.
+
+Causes are those of Table 1 plus the master-replacement injection of
+the standard protocol and the create-phase replication (which reuses
+the injection machinery but does not drop the source copy —
+Section 4.1: "the only difference being that the injected item copy is
+not replaced in the memory of the node performing the injection").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.memory.attraction_memory import InjectionSlot
+from repro.memory.states import ItemState
+from repro.network.message import MessageKind
+from repro.network.topology import Subnet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.standard import StandardProtocol
+
+
+class InjectionFailed(RuntimeError):
+    """No live AM could accept the injected copy — the irreplaceable-
+    frame reservation was violated (should be prevented by
+    :class:`~repro.memory.pages.PageRegistry`)."""
+
+
+class InjectionCause(enum.Enum):
+    """Why an item copy had to be injected."""
+
+    # standard protocol (master copy replaced from a full AM set)
+    REPLACEMENT_MASTER = "replacement_master"
+    # Table 1 (ECP)
+    REPLACEMENT_SHARED_CK = "replacement_shared_ck"
+    REPLACEMENT_INV_CK = "replacement_inv_ck"
+    READ_INV_CK = "read_inv_ck"
+    WRITE_INV_CK = "write_inv_ck"
+    WRITE_SHARED_CK = "write_shared_ck"
+    # recovery-point establishment (Section 3.3) and reconfiguration
+    # (Section 3.4); these reuse the machinery but are accounted apart.
+    CREATE_REPLICATION = "create_replication"
+    RECONFIGURATION = "reconfiguration"
+
+
+#: Causes triggered by processor read accesses (Fig. 6 / Fig. 11 split).
+READ_ACCESS_CAUSES = frozenset({InjectionCause.READ_INV_CK})
+#: Causes triggered by processor write accesses.
+WRITE_ACCESS_CAUSES = frozenset(
+    {InjectionCause.WRITE_INV_CK, InjectionCause.WRITE_SHARED_CK}
+)
+#: Replacement-triggered causes.
+REPLACEMENT_CAUSES = frozenset(
+    {
+        InjectionCause.REPLACEMENT_MASTER,
+        InjectionCause.REPLACEMENT_SHARED_CK,
+        InjectionCause.REPLACEMENT_INV_CK,
+    }
+)
+#: Causes that show up in the pollution metric (everything the ECP adds
+#: during normal computation, i.e. not checkpoint/reconfiguration work).
+POLLUTION_CAUSES = READ_ACCESS_CAUSES | WRITE_ACCESS_CAUSES | frozenset(
+    {InjectionCause.REPLACEMENT_SHARED_CK, InjectionCause.REPLACEMENT_INV_CK}
+)
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Outcome of one injection."""
+
+    acceptor: int
+    #: Arrival of the acknowledgement at the source.
+    complete: int
+    #: Time the item data finished arriving at the acceptor — the
+    #: create phase pipelines on this instead of the ack (Section 4.1:
+    #: "a line is ready to be injected as soon as the previous
+    #: injection is done").
+    data_sent: int
+    probe_hops: int
+
+
+class InjectionEngine:
+    """Executes injections on behalf of a protocol."""
+
+    def __init__(self, protocol: "StandardProtocol"):
+        self.protocol = protocol
+
+    def inject(
+        self,
+        src: int,
+        item: int,
+        install_state: ItemState,
+        now: int,
+        cause: InjectionCause,
+        drop_local: bool = True,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> InjectionResult:
+        """Move (or copy) an item from ``src``'s AM to another AM.
+
+        Returns the acceptor node and the completion time (arrival of
+        the injection acknowledgement at ``src``).
+        """
+        p = self.protocol
+        lat = p.cfg.latency
+        item_bytes = p.cfg.item_bytes
+        acceptor: int | None = None
+        probe_hops = 0
+        t = now
+        cursor = src
+        for candidate in p.ring.walk_from(src):
+            # the probe is forwarded node-to-node along the ring
+            t = p.fabric.control(
+                cursor, candidate, Subnet.REQUEST, t, MessageKind.INJECT_PROBE, item
+            )
+            probe_hops += 1
+            cursor = candidate
+            node = p.nodes[candidate]
+            t = node.mem_ctrl.occupy(t, lat.pointer_lookup)
+            if candidate in exclude:
+                continue
+            slot = node.am.injection_probe(item)
+            if slot is not InjectionSlot.NONE:
+                acceptor = candidate
+                break
+        if acceptor is None:
+            raise InjectionFailed(
+                f"item {item} from node {src}: no AM can accept the injection"
+            )
+
+        # victim node replies, then the data is sent from the source
+        t = p.fabric.control(
+            acceptor, src, Subnet.REPLY, t, MessageKind.INJECT_ACCEPT, item
+        )
+        t = p.nodes[src].mem_ctrl.occupy(t, lat.remote_am_service)
+        t = p.fabric.data(
+            src, acceptor, item_bytes, t, MessageKind.INJECT_DATA, item
+        )
+        data_sent = t
+        self._install(acceptor, item, install_state, t)
+        # the ack leaves 5 cycles after the item is received; copying the
+        # item into memory happens after the ack is sent (Section 4.2.2)
+        t_ack = p.fabric.control(
+            acceptor, src, Subnet.REPLY, t + lat.inject_ack, MessageKind.INJECT_ACK, item
+        )
+        p.nodes[acceptor].mem_ctrl.occupy(t, lat.remote_am_service)
+
+        if drop_local:
+            p.nodes[src].am.set_state(item, ItemState.INVALID)
+        p.nodes[src].stats.record_injection(cause, item_bytes, probe_hops)
+        p.after_injection(item, src, acceptor, install_state, t_ack)
+        return InjectionResult(
+            acceptor=acceptor,
+            complete=t_ack,
+            data_sent=data_sent,
+            probe_hops=probe_hops,
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _install(self, node_id: int, item: int, state: ItemState, now: int) -> None:
+        """Make room (per the probe's promise) and install the copy."""
+        p = self.protocol
+        node = p.nodes[node_id]
+        page = node.am.page_of(item)
+        if not node.am.has_page(page):
+            if node.am.free_ways(page) == 0:
+                victim = node.am.evictable_page(page)
+                if victim is None:
+                    raise InjectionFailed(
+                        f"node {node_id} accepted item {item} but has no room"
+                    )
+                p.drop_page(node_id, victim, now)
+            node.am.allocate_page(page)
+            p.registry.on_page_allocated(page, node_id)
+        else:
+            old = node.am.state(item)
+            if not old.is_replaceable:
+                raise InjectionFailed(
+                    f"node {node_id} holds item {item} in {old.name}; "
+                    "probe should have refused"
+                )
+            if old is ItemState.SHARED:
+                p.on_shared_copy_dropped(node_id, item, now)
+        node.am.set_state(item, state)

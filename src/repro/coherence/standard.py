@@ -1,0 +1,455 @@
+"""The baseline COMA-F-like coherence protocol.
+
+Directory-based write-invalidate with four stable states
+(``Invalid``/``Shared``/``Master-Shared``/``Exclusive``), localization
+pointers at static home nodes, directory entries at the current owner,
+and master-copy injection on replacement so the last copy of an item is
+never lost (Section 2.2).
+
+Transactions are *analytic* (DESIGN.md section 3): each call computes
+its completion time from the calibrated latency components, charging
+per-link and per-memory-controller contention, and applies all state
+changes atomically at call time.  The state machine is exact; timing is
+the approximation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.coherence.directory import Directory
+from repro.coherence.injection import InjectionCause, InjectionEngine
+from repro.config import ArchConfig
+from repro.memory.attraction_memory import CapacityError
+from repro.memory.states import ItemState
+from repro.network.fabric import MeshFabric
+from repro.network.message import MessageKind
+from repro.network.ring import LogicalRing
+from repro.network.topology import Subnet
+from repro.memory.pages import PageRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.node.node import Node
+
+
+class ProtocolError(RuntimeError):
+    """A coherence invariant was violated — always a bug, never a
+    recoverable condition."""
+
+
+class NodeUnavailable(RuntimeError):
+    """A transaction reached a failed node before system-wide failure
+    detection: the request times out, which *is* the detection event.
+    The issuing processor reports the failure and stalls until recovery
+    completes."""
+
+    def __init__(self, node_id: int, item: int):
+        super().__init__(f"node {node_id} is down (item {item})")
+        self.node_id = node_id
+        self.item = item
+
+
+class StandardProtocol:
+    """Baseline protocol; the ECP subclasses and extends it."""
+
+    name = "standard"
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        fabric: MeshFabric,
+        ring: LogicalRing,
+        nodes: list[Node],
+        directory: Directory,
+        registry: PageRegistry,
+        rng: random.Random | None = None,
+    ):
+        self.cfg = cfg
+        self.fabric = fabric
+        self.ring = ring
+        self.nodes = nodes
+        self.directory = directory
+        self.registry = registry
+        self.rng = rng or random.Random(cfg.seed)
+        self.injector = InjectionEngine(self)
+
+    # ==================================================================
+    # public operations
+    # ==================================================================
+
+    def read(self, node_id: int, addr: int, now: int) -> int:
+        """Processor read; returns its completion time."""
+        node = self.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.reads += 1
+        if node.cache.read_probe(addr):
+            return now + self.cfg.latency.cache_hit
+        stats.am_read_accesses += 1
+        item = self.cfg.item_of(addr)
+        state = node.am.state(item)
+        if state.is_readable:
+            if state.is_checkpoint_readable:
+                stats.sharedck_reads += 1
+            t = node.mem_ctrl.occupy(now, self.cfg.latency.local_am_fill)
+            self._cache_fill(node, addr, dirty=False, now=t)
+            return t
+        now = self._pre_miss_read(node_id, item, now)
+        stats.am_read_misses += 1
+        return self._remote_read(node_id, item, addr, now)
+
+    def write(self, node_id: int, addr: int, now: int) -> int:
+        """Processor write; returns its completion time."""
+        node = self.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.writes += 1
+        if node.cache.write_probe(addr):
+            return now + self.cfg.latency.cache_hit
+        item = self.cfg.item_of(addr)
+        stats.am_write_accesses += 1
+        state = node.am.state(item)
+        lat = self.cfg.latency
+        if state is ItemState.EXCLUSIVE:
+            t = node.mem_ctrl.occupy(now, lat.local_am_fill)
+            self._cache_fill(node, addr, dirty=True, now=t)
+            return t
+        if state is ItemState.MASTER_SHARED:
+            t = node.mem_ctrl.occupy(now, lat.local_am_fill)
+            t = self._invalidate_sharers(node_id, item, ack_to=node_id, now=t)
+            node.am.set_state(item, ItemState.EXCLUSIVE)
+            self._cache_fill(node, addr, dirty=True, now=t)
+            return t
+        now = self._pre_miss_write(node_id, item, now)
+        stats.am_write_misses += 1
+        return self._remote_write(node_id, item, addr, now)
+
+    # ==================================================================
+    # hooks the ECP overrides
+    # ==================================================================
+
+    def _pre_miss_read(self, node_id: int, item: int, now: int) -> int:
+        """Deal with a local copy that blocks a read miss (ECP only)."""
+        return now
+
+    def _pre_miss_write(self, node_id: int, item: int, now: int) -> int:
+        """Deal with a local copy that blocks a write miss (ECP only)."""
+        return now
+
+    def _serving_states_read(self) -> frozenset[ItemState]:
+        return frozenset({ItemState.EXCLUSIVE, ItemState.MASTER_SHARED})
+
+    # ==================================================================
+    # misses
+    # ==================================================================
+
+    def _remote_read(self, node_id: int, item: int, addr: int, now: int) -> int:
+        node = self.nodes[node_id]
+        lat = self.cfg.latency
+        t = node.mem_ctrl.occupy(now, lat.local_am_fill)
+        t += lat.req_launch
+        serving = self.directory.serving_node(item)
+        if serving is None:
+            return self._cold_miss(node_id, item, addr, t, write=False)
+        if not self.nodes[serving].alive:
+            raise NodeUnavailable(serving, item)
+        t = self._route_request(node_id, serving, item, t, MessageKind.READ_REQ)
+        t = self._serve_read(node_id, serving, item, t)
+        t = self._install_item(node_id, item, ItemState.SHARED, t)
+        t += lat.fill
+        self._cache_fill(node, addr, dirty=False, now=t)
+        return t
+
+    def _serve_read(self, requester: int, serving: int, item: int, now: int) -> int:
+        """Owner-side handling of a read request; returns arrival of the
+        data at the requester."""
+        s_node = self.nodes[serving]
+        lat = self.cfg.latency
+        t = s_node.mem_ctrl.occupy(now, lat.remote_am_service)
+        state = s_node.am.state(item)
+        if state is ItemState.EXCLUSIVE:
+            s_node.am.set_state(item, ItemState.MASTER_SHARED)
+        elif state in self._serving_states_read():
+            pass
+        else:
+            raise ProtocolError(
+                f"read for item {item} routed to node {serving} "
+                f"in non-serving state {state.name}"
+            )
+        entry = self.directory.entry(serving, item)
+        entry.sharers.add(requester)
+        return self.fabric.data(
+            serving, requester, self.cfg.item_bytes, t, MessageKind.DATA_REPLY, item
+        )
+
+    def _remote_write(self, node_id: int, item: int, addr: int, now: int) -> int:
+        node = self.nodes[node_id]
+        lat = self.cfg.latency
+        t = node.mem_ctrl.occupy(now, lat.local_am_fill)
+        t += lat.req_launch
+        serving = self.directory.serving_node(item)
+        if serving is None:
+            return self._cold_miss(node_id, item, addr, t, write=True)
+        if not self.nodes[serving].alive:
+            raise NodeUnavailable(serving, item)
+        had_shared_copy = node.am.state(item) is ItemState.SHARED
+        t = self._route_request(node_id, serving, item, t, MessageKind.WRITE_REQ)
+        t = self._serve_write(node_id, serving, item, t, had_shared_copy)
+        t = self._install_item(node_id, item, ItemState.EXCLUSIVE, t)
+        t += lat.fill
+        self._cache_fill(node, addr, dirty=True, now=t)
+        return t
+
+    def _serve_write(
+        self, requester: int, serving: int, item: int, now: int, had_shared_copy: bool
+    ) -> int:
+        """Owner-side handling of a write request: invalidate every other
+        copy, transfer data and ownership.  Returns the time the
+        requester holds the data and all invalidation acks."""
+        s_node = self.nodes[serving]
+        lat = self.cfg.latency
+        t = s_node.mem_ctrl.occupy(now, lat.remote_am_service)
+        state = s_node.am.state(item)
+        if state not in (ItemState.EXCLUSIVE, ItemState.MASTER_SHARED):
+            raise ProtocolError(
+                f"write for item {item} routed to node {serving} "
+                f"in non-owner state {state.name}"
+            )
+        acks_done = self._invalidate_sharers(
+            serving, item, ack_to=requester, now=t, skip={requester}
+        )
+        # the master copy moves: the old owner drops its copy
+        s_node.am.set_state(item, ItemState.INVALID)
+        self._invalidate_cached_item(s_node, item)
+        if had_shared_copy:
+            # ownership-only reply; the requester's data is already valid
+            data_done = self.fabric.control(
+                serving, requester, Subnet.REPLY, t, MessageKind.OWNERSHIP_REPLY, item
+            )
+        else:
+            data_done = self.fabric.data(
+                serving, requester, self.cfg.item_bytes, t, MessageKind.OWNERSHIP_REPLY, item
+            )
+        entry = self.directory.move_entry(item, serving, requester)
+        entry.sharers.clear()
+        self._move_pointer(item, serving, requester, t)
+        return max(acks_done, data_done)
+
+    def _cold_miss(self, node_id: int, item: int, addr: int, now: int, write: bool) -> int:
+        """First touch machine-wide: the toucher materialises the item
+        (conceptually zero-filled) and becomes its master."""
+        node = self.nodes[node_id]
+        lat = self.cfg.latency
+        home = self.pointer_host(self.directory.home_of(item))
+        t = self.fabric.control(
+            node_id, home, Subnet.REQUEST, now, MessageKind.POINTER_LOOKUP, item
+        )
+        t = self.nodes[home].mem_ctrl.occupy(t, lat.pointer_lookup)
+        t = self.fabric.control(
+            home, node_id, Subnet.REPLY, t, MessageKind.POINTER_UPDATE, item
+        )
+        self.directory.set_serving_node(item, node_id)
+        t = self._install_item(node_id, item, ItemState.EXCLUSIVE, t)
+        t += lat.fill
+        self._cache_fill(node, addr, dirty=write, now=t)
+        return t
+
+    # ==================================================================
+    # shared machinery
+    # ==================================================================
+
+    def pointer_host(self, home: int) -> int:
+        """Physical host of a pointer partition: the home node, or its
+        ring successor if the home is (permanently) down."""
+        if self.nodes[home].alive:
+            return home
+        return self.ring.successor(home)
+
+    def _route_request(
+        self, requester: int, serving: int, item: int, now: int, kind: MessageKind
+    ) -> int:
+        """Requester -> pointer home -> serving node."""
+        lat = self.cfg.latency
+        home = self.pointer_host(self.directory.home_of(item))
+        if home == serving:
+            # the pointer lookup overlaps the directory access that is
+            # already part of remote_am_service (Table 2 calibration)
+            return self.fabric.control(requester, serving, Subnet.REQUEST, now, kind, item)
+        t = self.fabric.control(requester, home, Subnet.REQUEST, now, kind, item)
+        t = self.nodes[home].mem_ctrl.occupy(t, lat.pointer_lookup)
+        return self.fabric.control(home, serving, Subnet.REQUEST, t, kind, item)
+
+    def _invalidate_sharers(
+        self,
+        serving: int,
+        item: int,
+        ack_to: int,
+        now: int,
+        skip: set[int] | frozenset[int] = frozenset(),
+    ) -> int:
+        """Invalidate every Shared copy; acks converge on ``ack_to``.
+        Returns the arrival time of the last ack (or ``now``)."""
+        entry = self.directory.entry(serving, item)
+        acks_done = now
+        for sharer in sorted(entry.sharers):
+            if sharer in skip:
+                continue
+            sh_node = self.nodes[sharer]
+            if not sh_node.alive:
+                continue
+            t_inv = self.fabric.control(
+                serving, sharer, Subnet.REQUEST, now, MessageKind.INVALIDATE, item
+            )
+            t_inv = sh_node.mem_ctrl.occupy(t_inv, self.cfg.latency.pointer_lookup)
+            sh_node.am.set_state(item, ItemState.INVALID)
+            self._invalidate_cached_item(sh_node, item)
+            t_ack = self.fabric.control(
+                sharer, ack_to, Subnet.REPLY, t_inv, MessageKind.INVALIDATE_ACK, item
+            )
+            acks_done = max(acks_done, t_ack)
+        entry.sharers.clear()
+        return acks_done
+
+    def _move_pointer(self, item: int, old_serving: int, new_serving: int, now: int) -> None:
+        """Update the localization pointer (fire-and-forget message)."""
+        home = self.pointer_host(self.directory.home_of(item))
+        if home != old_serving:
+            self.fabric.control(
+                old_serving, home, Subnet.REQUEST, now, MessageKind.POINTER_UPDATE, item
+            )
+        self.directory.set_serving_node(item, new_serving)
+
+    def _install_item(self, node_id: int, item: int, state: ItemState, now: int) -> int:
+        """Install a copy at the requester, allocating (and if necessary
+        making room for) its page.  Returns the time installation is
+        done."""
+        node = self.nodes[node_id]
+        page = node.am.page_of(item)
+        t = now
+        if not node.am.has_page(page):
+            if node.am.free_ways(page) == 0:
+                t = self._make_room(node_id, page, t)
+            node.am.allocate_page(page)
+            self.registry.on_page_allocated(page, node_id)
+            t = node.mem_ctrl.occupy(t, self.cfg.latency.local_am_fill)
+        else:
+            old = node.am.state(item)
+            if old is ItemState.SHARED and state is not ItemState.SHARED:
+                # upgrade in place; the old serving node already removed
+                # us from its sharing list
+                pass
+        node.am.set_state(item, state)
+        return t
+
+    def _make_room(self, node_id: int, page: int, now: int) -> int:
+        """Free a frame in ``page``'s set, injecting precious items of
+        the victim page if no fully-replaceable page exists."""
+        node = self.nodes[node_id]
+        victim = node.am.evictable_page(page)
+        if victim is not None:
+            self.drop_page(node_id, victim, now)
+            return now
+        victim, precious = self._pick_eviction_victim(node_id, page)
+        t = now
+        for victim_item, state in precious:
+            cause = self._replacement_cause(state)
+            result = self.injector.inject(
+                node_id, victim_item, state, t, cause, drop_local=True
+            )
+            t = result.complete
+        self.drop_page(node_id, victim, t)
+        return t
+
+    def _pick_eviction_victim(
+        self, node_id: int, page: int
+    ) -> tuple[int, list[tuple[int, ItemState]]]:
+        """Victim page of the set with the fewest precious items."""
+        node = self.nodes[node_id]
+        set_idx = node.am.set_of_page(page)
+        best_page: int | None = None
+        best_precious: list[tuple[int, ItemState]] = []
+        for candidate in list(node.am.pages()):
+            if node.am.set_of_page(candidate) != set_idx:
+                continue
+            precious = [
+                (it, st)
+                for it, st in node.am.page_items(candidate)
+                if not st.is_replaceable
+            ]
+            if best_page is None or len(precious) < len(best_precious):
+                best_page, best_precious = candidate, precious
+        if best_page is None:
+            raise CapacityError(f"node {node_id}: no page to evict in set {set_idx}")
+        return best_page, best_precious
+
+    @staticmethod
+    def _replacement_cause(state: ItemState) -> InjectionCause:
+        if state in (ItemState.EXCLUSIVE, ItemState.MASTER_SHARED):
+            return InjectionCause.REPLACEMENT_MASTER
+        if state.is_checkpoint_readable:
+            return InjectionCause.REPLACEMENT_SHARED_CK
+        if state in (ItemState.INV_CK1, ItemState.INV_CK2):
+            return InjectionCause.REPLACEMENT_INV_CK
+        raise ProtocolError(f"cannot replace an item in state {state.name}")
+
+    def drop_page(self, node_id: int, page: int, now: int) -> None:
+        """Drop a fully-replaceable page frame, pruning sharing lists
+        for the Shared copies it held."""
+        node = self.nodes[node_id]
+        for item, state in node.am.deallocate_page(page):
+            if state is ItemState.SHARED:
+                self.on_shared_copy_dropped(node_id, item, now)
+            elif not state.is_replaceable:
+                raise ProtocolError(
+                    f"drop_page lost a precious copy of item {item} ({state.name})"
+                )
+            self._invalidate_cached_item(node, item)
+        self.registry.on_page_dropped(page, node_id)
+
+    def on_shared_copy_dropped(self, node_id: int, item: int, now: int) -> None:
+        """A Shared copy was silently replaced; tell the serving node to
+        prune its sharing list (fire-and-forget)."""
+        serving = self.directory.serving_node(item)
+        if serving is None or not self.nodes[serving].alive:
+            return
+        entry = self.directory.peek_entry(serving, item)
+        if entry is not None:
+            entry.sharers.discard(node_id)
+        self.fabric.control(
+            node_id, serving, Subnet.REQUEST, now, MessageKind.SHARER_DROP, item
+        )
+
+    def after_injection(
+        self, item: int, src: int, acceptor: int, state: ItemState, now: int
+    ) -> None:
+        """Post-injection bookkeeping: keep pointers/entries pointing at
+        owner-capable copies when they move."""
+        if state in (ItemState.EXCLUSIVE, ItemState.MASTER_SHARED, ItemState.SHARED_CK1):
+            if self.directory.serving_node(item) == src:
+                self.directory.move_entry(item, src, acceptor)
+                self._move_pointer(item, src, acceptor, now)
+        elif state in (ItemState.SHARED_CK2, ItemState.PRE_COMMIT2):
+            serving = self.directory.serving_node(item)
+            if serving is not None:
+                entry = self.directory.peek_entry(serving, item)
+                if entry is not None and entry.partner == src:
+                    entry.partner = acceptor
+                    self.fabric.control(
+                        src, serving, Subnet.REQUEST, now, MessageKind.POINTER_UPDATE, item
+                    )
+
+    # ==================================================================
+    # cache coupling
+    # ==================================================================
+
+    def _cache_fill(self, node: Node, addr: int, dirty: bool, now: int) -> None:
+        writebacks = node.cache.fill(addr, dirty=dirty)
+        if writebacks:
+            # dirty victims of a sector eviction go back to the local AM
+            node.mem_ctrl.occupy(
+                now, self.cfg.latency.cache_writeback_line * len(writebacks)
+            )
+
+    def _invalidate_cached_item(self, node: Node, item: int) -> None:
+        node.cache.invalidate_range(item * self.cfg.item_bytes, self.cfg.item_bytes)

@@ -1,0 +1,30 @@
+"""A recoverable distributed shared virtual memory (DSVM).
+
+The paper's conclusion: "Our approach is more generally applicable to
+architectures implementing a shared memory on top of distributed
+physical memories.  In particular, it can be used to implement a
+recoverable distributed shared virtual memory (DSVM) on top of a
+multicomputer or a network of workstations.  We have already
+implemented a recoverable DSVM based on the ECP on the Intel Paragon
+multicomputer and on a network of workstations running Chorus
+micro-kernel [15]."
+
+This package is that transposition: the same extended-coherence idea at
+*page* granularity with *software* costs — a Li/Hudak-style
+fixed-distributed-manager write-invalidate SVM whose protocol grows the
+``Read-CK`` / ``Inv-CK`` / ``Pre-Commit`` recovery states, two-phase
+recovery-point establishment, restoration, and post-failure
+re-replication.  No hardware support is assumed: page faults cost
+microseconds and pages travel as 4 KB messages.
+"""
+
+from repro.dsvm.machine import DsvmConfig, DsvmMachine, DsvmRunResult
+from repro.dsvm.protocol import DsvmProtocol, PageState
+
+__all__ = [
+    "DsvmConfig",
+    "DsvmMachine",
+    "DsvmRunResult",
+    "DsvmProtocol",
+    "PageState",
+]

@@ -1,0 +1,290 @@
+"""The recoverable-DSVM machine.
+
+A multicomputer / network of workstations: no hardware coherence, page
+faults handled in software, pages moved as 4 KB messages.  Reuses the
+simulation kernel and the workload generators (addresses map to 4 KB
+pages); processors run reference streams exactly like the COMA
+machine's, so recovery-point establishment, rollback and
+re-replication can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.dsvm.protocol import DsvmProtocol, PageState
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.sync import MemberBarrier
+from repro.stats.collectors import NodeStats
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class DsvmConfig:
+    """Software SVM cost model (a 1990s multicomputer node)."""
+
+    n_nodes: int = 8
+    page_bytes: int = 4096
+    #: Page-fault trap + handler entry/exit.
+    fault_overhead_cycles: int = 600
+    #: Per-message software overhead (send + receive paths).
+    msg_overhead_cycles: int = 400
+    #: Transferring one 4 KB page over the interconnect.
+    page_transfer_cycles: int = 1200
+    #: A purely local protocol action.
+    local_hop_cycles: int = 40
+    #: Promote existing read copies to Pre-Commit2 instead of sending
+    #: the page (the ECP's Section 3.3 optimisation, at page grain).
+    reuse_read_copies: bool = True
+    #: Recovery-point period, in references per processor.
+    checkpoint_period_refs: int = 20_000
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.page_bytes
+
+
+@dataclass
+class DsvmRunResult:
+    config: DsvmConfig
+    total_cycles: int
+    refs: int
+    n_checkpoints: int
+    n_recoveries: int
+    create_cycles: int
+    pages_replicated: int
+    pages_reused: int
+    node_stats: list[NodeStats] = field(default_factory=list)
+
+    @property
+    def read_fault_rate(self) -> float:
+        reads = sum(ns.reads for ns in self.node_stats)
+        faults = sum(ns.am_read_misses for ns in self.node_stats)
+        return faults / reads if reads else 0.0
+
+
+class DsvmMachine:
+    """Build and run one recoverable-DSVM system."""
+
+    def __init__(
+        self,
+        cfg: DsvmConfig,
+        workload: Workload,
+        checkpointing: bool = True,
+        fail_node_at: tuple[int, int] | None = None,
+    ):
+        self.cfg = cfg
+        self.workload = workload
+        self.engine = Engine()
+        self.protocol = DsvmProtocol(self)
+        self.node_stats = [NodeStats(i) for i in range(cfg.n_nodes)]
+        self._alive = [True] * cfg.n_nodes
+        self.checkpointing = checkpointing
+        self.fail_node_at = fail_node_at
+
+        self._streams = workload.build_streams()
+        # per-node assignment of stream indices (migration moves them)
+        self._assigned: list[list[int]] = [[] for _ in range(cfg.n_nodes)]
+        for idx in range(len(self._streams)):
+            self._assigned[idx % cfg.n_nodes].append(idx)
+        self._active: set[int] = set()
+        self._ckpt_requested = False
+        self._recovery_requested = False
+        self._barrier: MemberBarrier | None = None
+        self._leader = -1
+        self._snapshot: dict[int, int] = {}
+        self._participated: list[int] = [-1] * cfg.n_nodes
+        self._epoch = 0
+
+        self.n_checkpoints = 0
+        self.n_recoveries = 0
+        self.create_cycles = 0
+        self.pages_replicated = 0
+        self.pages_reused = 0
+        self.last_finish = 0
+        self._started = False
+
+    # -- callbacks for the protocol -----------------------------------------------
+
+    def stats_of(self, node: int) -> NodeStats:
+        return self.node_stats[node]
+
+    def alive(self, node: int) -> bool:
+        return self._alive[node]
+
+    # -- processes -------------------------------------------------------------------
+
+    def _stream_for(self, node_id: int):
+        """The next unexhausted stream assigned to this node, or None."""
+        for idx in self._assigned[node_id]:
+            stream = self._streams[idx]
+            if not stream.exhausted:
+                return stream
+        return None
+
+    def _processor(self, node_id: int):
+        protocol = self.protocol
+        cfg = self.cfg
+        while True:
+            if not self._alive[node_id]:
+                self._active.discard(node_id)
+                if self._barrier is not None:
+                    self._barrier.remove_member(node_id)
+                return
+            pending = (
+                (self._ckpt_requested or self._recovery_requested)
+                and self._barrier is not None
+                and node_id in self._barrier.expected
+                and self._participated[node_id] != self._epoch
+            )
+            if pending:
+                self._participated[node_id] = self._epoch
+                yield from self._participate(node_id)
+                continue
+            stream = self._stream_for(node_id)
+            if stream is None or stream.exhausted:
+                self._active.discard(node_id)
+                if self._barrier is not None:
+                    self._barrier.remove_member(node_id)
+                self.last_finish = max(self.last_finish, self.engine.now)
+                return
+            ref = stream.next_ref()
+            page = cfg.page_of(ref.addr)
+            issue = self.engine.now + ref.think
+            if ref.is_write:
+                done = protocol.write(node_id, page, issue)
+            else:
+                done = protocol.read(node_id, page, issue)
+            if done > self.engine.now:
+                yield done - self.engine.now
+
+    def _participate(self, node_id: int):
+        barrier = self._barrier
+        assert barrier is not None
+        recovery = self._recovery_requested
+        yield barrier.arrive(node_id)
+        t0 = self.engine.now
+        if recovery:
+            self.protocol.recovery_scan(node_id)
+            yield 200  # table scan
+        else:
+            done, replicated, reused = self.protocol.create_phase(
+                node_id, self.engine.now
+            )
+            self.pages_replicated += replicated
+            self.pages_reused += reused
+            if done > self.engine.now:
+                yield done - self.engine.now
+        yield barrier.arrive(node_id)
+        if node_id == self._leader:
+            if recovery:
+                # nodes without running work still hold pages: scan them
+                for nid in range(self.cfg.n_nodes):
+                    if self._alive[nid] and nid not in barrier.expected:
+                        self.protocol.recovery_scan(nid)
+                singletons = self.protocol.rebuild_managers()
+                t = self.engine.now
+                for page in singletons:
+                    t = self.protocol.rereplicate(page, t)
+                if t > self.engine.now:
+                    yield t - self.engine.now
+                for stream in self._streams:
+                    stream.rewind_to(self._snapshot.get(stream.proc_id, 0))
+                for nid in range(self.cfg.n_nodes):
+                    if self._alive[nid] and self._stream_for(nid) is not None:
+                        self._active.add(nid)
+                self.n_recoveries += 1
+                self._recovery_requested = False
+            else:
+                for nid in range(self.cfg.n_nodes):
+                    if self._alive[nid]:
+                        self.protocol.commit_phase(nid)
+                self.create_cycles += self.engine.now - t0
+                self.n_checkpoints += 1
+                self._snapshot = {
+                    s.proc_id: s.position for s in self._streams
+                }
+                self._ckpt_requested = False
+
+    def _scheduler(self):
+        refs_at_last = 0
+        while True:
+            yield 2_000
+            if not self._active:
+                return
+            if self._ckpt_requested or self._recovery_requested:
+                continue
+            total = sum(ns.refs for ns in self.node_stats)
+            live = max(1, len(self._active))
+            if (total - refs_at_last) / live < self.cfg.checkpoint_period_refs:
+                continue
+            self._request(recovery=False)
+            while self._ckpt_requested:
+                yield 500
+            refs_at_last = sum(ns.refs for ns in self.node_stats)
+
+    def _request(self, recovery: bool) -> None:
+        self._epoch += 1
+        members = {
+            nid for nid in self._active if self._alive[nid]
+        } or {nid for nid in range(self.cfg.n_nodes) if self._alive[nid]}
+        self._barrier = MemberBarrier(self.engine, members, name="dsvm")
+        self._leader = min(members)
+        if recovery:
+            self._recovery_requested = True
+        else:
+            self._ckpt_requested = True
+
+    def _fault(self):
+        assert self.fail_node_at is not None
+        at, node_id = self.fail_node_at
+        if at > self.engine.now:
+            yield at - self.engine.now
+        if not self._active:
+            return
+        self._alive[node_id] = False
+        self.protocol.page_tables[node_id].clear()
+        self._active.discard(node_id)
+        if self._barrier is not None:
+            self._barrier.remove_member(node_id)
+            if node_id == self._leader and self._barrier.expected:
+                self._leader = min(self._barrier.expected)
+        # the dead node's work migrates to a live node that still runs
+        if self._assigned[node_id] and self._active:
+            buddy = min(self._active)
+            self._assigned[buddy].extend(self._assigned[node_id])
+            self._assigned[node_id] = []
+        yield 500  # detection
+        # let an in-flight recovery point drain before rolling back
+        while self._ckpt_requested:
+            yield 200
+        self._request(recovery=True)
+
+    # -- run ---------------------------------------------------------------------------
+
+    def run(self) -> DsvmRunResult:
+        if self._started:
+            raise RuntimeError("machine already ran")
+        self._started = True
+        self._snapshot = {s.proc_id: s.position for s in self._streams}
+        for node_id in range(self.cfg.n_nodes):
+            if self._stream_for(node_id) is not None:
+                self._active.add(node_id)
+            Process(self.engine, self._processor(node_id), name=f"dsvm{node_id}")
+        if self.checkpointing:
+            Process(self.engine, self._scheduler(), name="dsvm-sched")
+        if self.fail_node_at is not None:
+            Process(self.engine, self._fault(), name="dsvm-fault")
+        self.engine.run()
+        return DsvmRunResult(
+            config=self.cfg,
+            total_cycles=self.last_finish,
+            refs=sum(ns.refs for ns in self.node_stats),
+            n_checkpoints=self.n_checkpoints,
+            n_recoveries=self.n_recoveries,
+            create_cycles=self.create_cycles,
+            pages_replicated=self.pages_replicated,
+            pages_reused=self.pages_reused,
+            node_stats=self.node_stats,
+        )

@@ -1,0 +1,332 @@
+"""Page-grain extended coherence for the recoverable DSVM.
+
+A fixed-distributed-manager, write-invalidate shared virtual memory
+(Li/Hudak) whose per-node page states mirror the ECP's item states:
+
+==============  ====================================================
+``INVALID``      no copy
+``READ``         read-only copy (in the manager's copyset)
+``WRITE``        the single writable copy (the owner)
+``READ_CK1/2``   the two recovery copies of an unmodified page —
+                 readable, CK1 serves faults
+``INV_CK1/2``    the two recovery copies of a modified page —
+                 inaccessible, kept for rollback
+``PRE_COMMIT1/2`` transient recovery copies during establishment
+==============  ====================================================
+
+The manager of a page (``page % n_nodes``) tracks its owner and
+copyset; costs are software costs (page-fault handling in the µs range,
+4 KB page transfers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsvm.machine import DsvmMachine
+
+
+class PageState(enum.Enum):
+    INVALID = "invalid"
+    READ = "read"
+    WRITE = "write"
+    READ_CK1 = "read_ck1"
+    READ_CK2 = "read_ck2"
+    INV_CK1 = "inv_ck1"
+    INV_CK2 = "inv_ck2"
+    PRE_COMMIT1 = "pre_commit1"
+    PRE_COMMIT2 = "pre_commit2"
+
+    @property
+    def is_readable(self) -> bool:
+        return self in (
+            PageState.READ, PageState.WRITE, PageState.READ_CK1, PageState.READ_CK2
+        )
+
+    @property
+    def is_recovery(self) -> bool:
+        return self in (
+            PageState.READ_CK1, PageState.READ_CK2,
+            PageState.INV_CK1, PageState.INV_CK2,
+        )
+
+
+@dataclass
+class ManagerEntry:
+    """Manager-side record for one page."""
+
+    owner: int | None = None        # WRITE holder, or READ_CK1 holder
+    copyset: set[int] = field(default_factory=set)
+    partner: int | None = None      # CK2 / PRE_COMMIT2 holder
+
+
+class DsvmProtocol:
+    """The recoverable SVM protocol."""
+
+    def __init__(self, machine: "DsvmMachine"):
+        self.machine = machine
+        self.cfg = machine.cfg
+        n = self.cfg.n_nodes
+        # per-node page tables: page -> PageState
+        self.page_tables: list[dict[int, PageState]] = [{} for _ in range(n)]
+        self._managers: list[dict[int, ManagerEntry]] = [{} for _ in range(n)]
+        # pages modified since the last recovery point, per owner node
+        self.modified: list[set[int]] = [set() for _ in range(n)]
+
+    # -- helpers ------------------------------------------------------------
+
+    def manager_of(self, page: int) -> int:
+        return page % self.cfg.n_nodes
+
+    def entry(self, page: int) -> ManagerEntry:
+        managers = self._managers[self.manager_of(page)]
+        found = managers.get(page)
+        if found is None:
+            found = ManagerEntry()
+            managers[page] = found
+        return found
+
+    def state(self, node: int, page: int) -> PageState:
+        return self.page_tables[node].get(page, PageState.INVALID)
+
+    def set_state(self, node: int, page: int, state: PageState) -> None:
+        if state is PageState.INVALID:
+            self.page_tables[node].pop(page, None)
+        else:
+            self.page_tables[node][page] = state
+
+    def _msg(self, src: int, dst: int, now: int, payload_pages: int = 0) -> int:
+        """Software message cost: per-message overhead + page payload."""
+        cfg = self.cfg
+        if src == dst:
+            return now + cfg.local_hop_cycles
+        return (
+            now
+            + cfg.msg_overhead_cycles
+            + payload_pages * cfg.page_transfer_cycles
+        )
+
+    # -- faults -------------------------------------------------------------------
+
+    def read(self, node: int, page: int, now: int) -> int:
+        stats = self.machine.stats_of(node)
+        stats.refs += 1
+        stats.reads += 1
+        if self.state(node, page).is_readable:
+            return now + 1
+        stats.am_read_misses += 1
+        return self._read_fault(node, page, now + self.cfg.fault_overhead_cycles)
+
+    def write(self, node: int, page: int, now: int) -> int:
+        stats = self.machine.stats_of(node)
+        stats.refs += 1
+        stats.writes += 1
+        if self.state(node, page) is PageState.WRITE:
+            return now + 1
+        stats.am_write_misses += 1
+        return self._write_fault(node, page, now + self.cfg.fault_overhead_cycles)
+
+    def _read_fault(self, node: int, page: int, now: int) -> int:
+        # a local Inv-CK copy must first be pushed elsewhere (Table 1)
+        local = self.state(node, page)
+        if local in (PageState.INV_CK1, PageState.INV_CK2):
+            now = self._push_recovery_copy(node, page, local, now)
+        manager = self.manager_of(page)
+        entry = self.entry(page)
+        t = self._msg(node, manager, now)
+        if entry.owner is None:
+            # first touch: the faulting node materialises the page
+            entry.owner = node
+            t = self._msg(manager, node, t)
+            self.set_state(node, page, PageState.WRITE)
+            self.modified[node].add(page)
+            return t
+        t = self._msg(manager, entry.owner, t)
+        t = self._msg(entry.owner, node, t, payload_pages=1)
+        owner_state = self.state(entry.owner, page)
+        if owner_state is PageState.WRITE:
+            self.set_state(entry.owner, page, PageState.READ)
+            entry.copyset.add(entry.owner)
+        entry.copyset.add(node)
+        self.set_state(node, page, PageState.READ)
+        return t
+
+    def _write_fault(self, node: int, page: int, now: int) -> int:
+        local = self.state(node, page)
+        if local.is_recovery:
+            now = self._push_recovery_copy(node, page, local, now)
+        manager = self.manager_of(page)
+        entry = self.entry(page)
+        t = self._msg(node, manager, now)
+        if entry.owner is None:
+            entry.owner = node
+            t = self._msg(manager, node, t)
+            self.set_state(node, page, PageState.WRITE)
+            self.modified[node].add(page)
+            return t
+        old_owner = entry.owner
+        owner_state = self.state(old_owner, page)
+        # invalidate the copyset
+        t_acks = t
+        for reader in sorted(entry.copyset):
+            if reader == node:
+                continue
+            ti = self._msg(manager, reader, t)
+            self.set_state(reader, page, PageState.INVALID)
+            t_acks = max(t_acks, self._msg(reader, node, ti))
+        entry.copyset.clear()
+        # fetch the page from the serving copy
+        t = self._msg(manager, old_owner, t)
+        had_copy = self.state(node, page) is PageState.READ
+        t = self._msg(old_owner, node, t, payload_pages=0 if had_copy else 1)
+        if owner_state is PageState.WRITE:
+            self.set_state(old_owner, page, PageState.INVALID)
+        elif owner_state is PageState.READ_CK1:
+            # the recovery pair degrades, exactly as in the ECP
+            self.set_state(old_owner, page, PageState.INV_CK1)
+            if entry.partner is not None:
+                tp = self._msg(manager, entry.partner, t)
+                self.set_state(entry.partner, page, PageState.INV_CK2)
+                t_acks = max(t_acks, self._msg(entry.partner, node, tp))
+        entry.owner = node
+        self.set_state(node, page, PageState.WRITE)
+        self.modified[node].add(page)
+        return max(t, t_acks)
+
+    def _push_recovery_copy(
+        self, node: int, page: int, state: PageState, now: int
+    ) -> int:
+        """Move a local recovery copy to another node before the fault
+        proceeds (the DSVM analogue of a Table 1 injection)."""
+        target = self._find_host(page, exclude={node})
+        t = self._msg(node, target, now, payload_pages=1)
+        self.set_state(target, page, state)
+        self.set_state(node, page, PageState.INVALID)
+        entry = self.entry(page)
+        if entry.partner == node:
+            entry.partner = target
+        if entry.owner == node:
+            entry.owner = target
+        self.machine.stats_of(node).injections["dsvm_push"] += 1
+        return t
+
+    def _find_host(self, page: int, exclude: set[int]) -> int:
+        """A node with no conflicting copy of the page (memory is
+        virtual, so any live node with address space can host)."""
+        for candidate in range(self.cfg.n_nodes):
+            if candidate in exclude:
+                continue
+            if not self.machine.alive(candidate):
+                continue
+            if self.state(candidate, page) in (PageState.INVALID, PageState.READ):
+                return candidate
+        raise RuntimeError(f"no host for page {page}")
+
+    # -- recovery points ----------------------------------------------------------
+
+    def create_phase(self, node: int, now: int) -> tuple[int, int, int]:
+        """Replicate this node's modified pages (two-phase, step 1).
+
+        Returns (completion, replicated, reused)."""
+        t = now
+        replicated = 0
+        reused = 0
+        for page in sorted(self.modified[node]):
+            state = self.state(node, page)
+            entry = self.entry(page)
+            # the node owns the page's current value either exclusively
+            # (WRITE) or as the owner of a read-shared page
+            if entry.owner != node or state not in (PageState.WRITE, PageState.READ):
+                continue
+            self.set_state(node, page, PageState.PRE_COMMIT1)
+            live_readers = [
+                r for r in sorted(entry.copyset) if self.machine.alive(r) and r != node
+            ]
+            if live_readers and self.cfg.reuse_read_copies:
+                target = live_readers[0]
+                t = self._msg(node, target, t)       # promote in place
+                entry.copyset.discard(target)
+                reused += 1
+            else:
+                target = self._find_host(page, exclude={node})
+                t = self._msg(node, target, t, payload_pages=1)
+                replicated += 1
+            self.set_state(target, page, PageState.PRE_COMMIT2)
+            entry.partner = target
+        return t, replicated, reused
+
+    def commit_phase(self, node: int) -> int:
+        """Step 2, local: promote Pre-Commit, discard old Inv-CK."""
+        changed = 0
+        table = self.page_tables[node]
+        for page, state in list(table.items()):
+            if state is PageState.PRE_COMMIT1:
+                table[page] = PageState.READ_CK1
+                self.entry(page).owner = node
+                changed += 1
+            elif state is PageState.PRE_COMMIT2:
+                table[page] = PageState.READ_CK2
+                changed += 1
+            elif state in (PageState.INV_CK1, PageState.INV_CK2):
+                del table[page]
+                changed += 1
+        self.modified[node] = set()
+        return changed
+
+    def recovery_scan(self, node: int) -> None:
+        """Rollback: drop current pages, restore Inv-CK to Read-CK."""
+        table = self.page_tables[node]
+        for page, state in list(table.items()):
+            if state in (PageState.READ, PageState.WRITE,
+                         PageState.PRE_COMMIT1, PageState.PRE_COMMIT2):
+                del table[page]
+            elif state is PageState.INV_CK1:
+                table[page] = PageState.READ_CK1
+            elif state is PageState.INV_CK2:
+                table[page] = PageState.READ_CK2
+        self.modified[node] = set()
+
+    def rebuild_managers(self) -> list[int]:
+        """Reconstruct manager entries from surviving recovery copies;
+        returns pages reduced to a single copy."""
+        for managers in self._managers:
+            managers.clear()
+        primaries: dict[int, int] = {}
+        secondaries: dict[int, int] = {}
+        for node in range(self.cfg.n_nodes):
+            if not self.machine.alive(node):
+                self.page_tables[node].clear()
+                continue
+            for page, state in self.page_tables[node].items():
+                if state is PageState.READ_CK1:
+                    primaries[page] = node
+                elif state is PageState.READ_CK2:
+                    secondaries[page] = node
+        singletons = []
+        for page in set(primaries) | set(secondaries):
+            ck1 = primaries.get(page)
+            ck2 = secondaries.get(page)
+            if ck1 is None:
+                ck1, ck2 = ck2, None
+                self.set_state(ck1, page, PageState.READ_CK1)
+            entry = self.entry(page)
+            entry.owner = ck1
+            entry.copyset = set()
+            entry.partner = ck2
+            if ck2 is None:
+                singletons.append(page)
+        return sorted(singletons)
+
+    def rereplicate(self, page: int, now: int) -> int:
+        """Reconfiguration: restore the pair for a singleton page."""
+        entry = self.entry(page)
+        holder = entry.owner
+        assert holder is not None
+        target = self._find_host(page, exclude={holder})
+        t = self._msg(holder, target, now, payload_pages=1)
+        self.set_state(target, page, PageState.READ_CK2)
+        entry.partner = target
+        return t

@@ -1,0 +1,59 @@
+"""Experiment harnesses.
+
+One module per table/figure of the paper's evaluation (see DESIGN.md
+section 4 for the index), plus the ablations the design section calls
+out.  Each harness returns plain data structures (lists of rows) and
+can print the same rows/series the paper reports through
+:func:`repro.stats.report.format_table`.
+
+The harnesses share sweeps: Figures 3-7 all derive from one
+(application x frequency) sweep and Figures 8-11 from one
+(application x node-count) sweep, cached per parameter set so a
+benchmark session never repeats a simulation.
+"""
+
+from repro.experiments.runner import (
+    ExperimentProfile,
+    OverheadDecomposition,
+    PairRunner,
+    QUICK,
+    FULL,
+    current_profile,
+)
+from repro.experiments.table1 import table1_injection_causes
+from repro.experiments.table2 import table2_read_latencies
+from repro.experiments.table3 import table3_characteristics
+from repro.experiments.frequency_sweep import FrequencySweep
+from repro.experiments.scaling_sweep import ScalingSweep
+from repro.experiments.ablations import (
+    ablation_recovery,
+    ablation_commit_counters,
+    ablation_capacity,
+    ablation_replica_reuse,
+)
+from repro.experiments.sensitivity import (
+    detection_latency_sensitivity,
+    memory_speed_sensitivity,
+    network_speed_sensitivity,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "OverheadDecomposition",
+    "PairRunner",
+    "QUICK",
+    "FULL",
+    "current_profile",
+    "table1_injection_causes",
+    "table2_read_latencies",
+    "table3_characteristics",
+    "FrequencySweep",
+    "ScalingSweep",
+    "ablation_recovery",
+    "ablation_commit_counters",
+    "ablation_capacity",
+    "ablation_replica_reuse",
+    "detection_latency_sensitivity",
+    "memory_speed_sensitivity",
+    "network_speed_sensitivity",
+]

@@ -1,0 +1,178 @@
+"""Ablation experiments (DESIGN.md A1-A4).
+
+A1 — recovery correctness and cost under transient/permanent failures;
+A2 — the recovery-point-counter optimisation that nullifies T_commit
+     (Section 4.2.3);
+A3 — capacity-replacement stress with a small AM (the paper's runs see
+     no capacity replacement; this shows the injection machinery under
+     pressure);
+A4 — the Section 3.3 Master-Shared replica-reuse optimisation on/off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AMConfig, ArchConfig
+from repro.fault.failures import FailurePlan
+from repro.machine import Machine
+from repro.coherence.injection import REPLACEMENT_CAUSES
+from repro.workloads.splash import make_workload
+from repro.workloads.synthetic import UniformShared
+
+
+@dataclass
+class RecoveryAblation:
+    kind: str
+    n_recoveries: int
+    recovery_cycles: int
+    reconfig_items: int
+    refs_reexecuted: int
+    completed: bool
+
+
+def ablation_recovery(
+    permanent: bool = False,
+    n_nodes: int = 16,
+    scale: float = 0.005,
+    seed: int = 2026,
+) -> RecoveryAblation:
+    """A1: run water with a mid-run failure; report recovery costs and
+    verify completion + invariants."""
+    wl = make_workload("water", n_procs=n_nodes, scale=scale, seed=seed)
+    cfg = ArchConfig(n_nodes=n_nodes, seed=seed).with_ft(
+        checkpoint_period_override=20_000, detection_latency=500
+    )
+    baseline_refs = wl.refs_per_proc() * n_nodes
+    plan = [
+        FailurePlan(
+            time=60_000,
+            node=n_nodes // 2,
+            permanent=permanent,
+            repair_delay=0 if permanent else 2_000,
+        )
+    ]
+    machine = Machine(cfg, wl, protocol="ecp", failure_plan=plan)
+    result = machine.run()
+    machine.check_invariants()
+    return RecoveryAblation(
+        kind="permanent" if permanent else "transient",
+        n_recoveries=result.stats.n_recoveries,
+        recovery_cycles=result.stats.recovery_cycles,
+        reconfig_items=result.stats.total("reconfig_items_recreated"),
+        refs_reexecuted=result.stats.refs - baseline_refs,
+        completed=all(s.exhausted for s in machine.all_streams()),
+    )
+
+
+@dataclass
+class CommitAblation:
+    commit_cycles_scan: int
+    commit_cycles_counters: int
+
+    @property
+    def reduction(self) -> float:
+        if self.commit_cycles_scan == 0:
+            return 0.0
+        return 1 - self.commit_cycles_counters / self.commit_cycles_scan
+
+
+def ablation_commit_counters(
+    n_nodes: int = 16, scale: float = 0.005, seed: int = 2026
+) -> CommitAblation:
+    """A2: T_commit with the scan vs with recovery-point counters."""
+    results = {}
+    for counters in (False, True):
+        wl = make_workload("cholesky", n_procs=n_nodes, scale=scale, seed=seed)
+        cfg = ArchConfig(n_nodes=n_nodes, seed=seed).with_ft(
+            checkpoint_period_override=20_000, commit_counters=counters
+        )
+        results[counters] = Machine(cfg, wl, protocol="ecp").run()
+    return CommitAblation(
+        commit_cycles_scan=results[False].stats.commit_cycles,
+        commit_cycles_counters=results[True].stats.commit_cycles,
+    )
+
+
+@dataclass
+class CapacityAblation:
+    am_bytes: int
+    replacement_injections: int
+    page_evictions: int
+    completed: bool
+
+
+def ablation_capacity(
+    am_bytes: int = 512 * 1024, n_nodes: int = 8, seed: int = 2026
+) -> CapacityAblation:
+    """A3: a deliberately small AM forces page replacement, exercising
+    the replacement injections the paper's runs never reach.
+
+    The working set is sized to the largest footprint the
+    irreplaceable-frame reservation admits (total frames / 4, the
+    paper's Section 4.1 rule), which still exceeds any single node's
+    capacity — so nodes evict pages and inject their precious items.
+    """
+    cfg = ArchConfig(
+        n_nodes=n_nodes,
+        am=AMConfig(size_bytes=am_bytes, reserved_frames_per_page=4),
+        seed=seed,
+    ).with_ft(checkpoint_period_override=15_000)
+    frames_per_node = cfg.am.n_frames
+    total_frames = frames_per_node * n_nodes
+    max_pages = total_frames // cfg.am.reserved_frames_per_page - 1
+    # ~25% over one node's capacity: steady eviction pressure while
+    # most pages still have droppable Shared copies somewhere (pushing
+    # much further thrashes past what the reservation can guarantee
+    # under set conflicts)
+    pages = min(max_pages, frames_per_node * 5 // 4)
+    region = pages * cfg.am.page_bytes
+    wl = UniformShared(
+        n_nodes,
+        refs_per_proc=6_000,
+        region_bytes=region,
+        write_fraction=0.15,
+        window_items=192,
+        seed=seed,
+    )
+    machine = Machine(cfg, wl, protocol="ecp")
+    result = machine.run()
+    totals = result.stats.injection_totals()
+    return CapacityAblation(
+        am_bytes=am_bytes,
+        replacement_injections=sum(totals[c] for c in REPLACEMENT_CAUSES),
+        page_evictions=sum(n.am.page_evictions for n in machine.nodes),
+        completed=True,
+    )
+
+
+@dataclass
+class ReuseAblation:
+    items_reused_on: int
+    bytes_transferred_on: int
+    bytes_transferred_off: int
+    create_cycles_on: int
+    create_cycles_off: int
+
+
+def ablation_replica_reuse(
+    n_nodes: int = 16, scale: float = 0.01, seed: int = 2026
+) -> ReuseAblation:
+    """A4: barnes (mostly-read shared data) with and without the
+    replica-reuse optimisation of Section 3.3."""
+    results = {}
+    for reuse in (True, False):
+        wl = make_workload("barnes", n_procs=n_nodes, scale=scale, seed=seed)
+        cfg = ArchConfig(n_nodes=n_nodes, seed=seed).with_ft(
+            checkpoint_period_override=20_000, reuse_shared_replicas=reuse
+        )
+        results[reuse] = Machine(cfg, wl, protocol="ecp").run()
+    on, off = results[True].stats, results[False].stats
+    item_bytes = ArchConfig().item_bytes
+    return ReuseAblation(
+        items_reused_on=on.total("ckpt_items_reused"),
+        bytes_transferred_on=on.total("ckpt_items_replicated") * item_bytes,
+        bytes_transferred_off=off.total("ckpt_items_replicated") * item_bytes,
+        create_cycles_on=on.create_cycles,
+        create_cycles_off=off.create_cycles,
+    )

@@ -1,0 +1,220 @@
+"""The (application x recovery-point frequency) sweep behind Figs. 3-7.
+
+One sweep produces every metric of the frequency study:
+
+- Fig. 3: execution-time overhead split into T_create / T_commit /
+  T_pollution per app and frequency;
+- Fig. 4: per-node replication throughput during establishment;
+- Fig. 5: AM miss rate vs frequency;
+- Fig. 6: injections per node per 10 000 references (read- vs
+  write-triggered) vs frequency;
+- Fig. 7: pages allocated, ECP vs standard (memory overhead).
+
+Cells are computed lazily and cached, so the five benches share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.injection import (
+    READ_ACCESS_CAUSES,
+    WRITE_ACCESS_CAUSES,
+    InjectionCause,
+)
+from repro.config import PAPER_FREQUENCIES_HZ
+from repro.experiments.runner import ExperimentProfile, OverheadDecomposition, PairRunner
+from repro.stats.report import format_table
+from repro.workloads.splash import SPLASH_WORKLOADS
+
+
+@dataclass
+class FrequencyCell:
+    """All metrics of one (app, frequency) sweep cell."""
+
+    app: str
+    frequency_hz: float
+    overhead: OverheadDecomposition
+    # Fig. 4
+    replication_throughput_mb_s: float
+    replicated_fraction_reused: float
+    # Fig. 5
+    am_miss_rate_standard: float
+    am_miss_rate_ecp: float
+    am_read_miss_rate_ecp: float
+    # Fig. 6
+    injections_read_per_10k: float
+    injections_write_per_10k: float
+    write_injections_sharedck_fraction: float
+    # Fig. 7
+    pages_standard: int
+    pages_ecp: int
+
+
+class FrequencySweep:
+    """Lazy (app x frequency) sweep."""
+
+    def __init__(
+        self,
+        apps: tuple[str, ...] | None = None,
+        frequencies: tuple[float, ...] = PAPER_FREQUENCIES_HZ,
+        n_nodes: int = 16,
+        profile: ExperimentProfile | None = None,
+    ):
+        self.apps = tuple(apps) if apps else tuple(sorted(SPLASH_WORKLOADS))
+        self.frequencies = frequencies
+        self.n_nodes = n_nodes
+        self.runner = PairRunner(profile)
+        self._cells: dict[tuple[str, float], FrequencyCell] = {}
+
+    def cell(self, app: str, frequency_hz: float) -> FrequencyCell:
+        key = (app, frequency_hz)
+        if key not in self._cells:
+            self._cells[key] = self._compute(app, frequency_hz)
+        return self._cells[key]
+
+    def _compute(self, app: str, frequency_hz: float) -> FrequencyCell:
+        runner = self.runner
+        scale = runner.profile.scale_for(app, self.n_nodes, frequency_hz)
+        decomposition = runner.decompose(app, self.n_nodes, frequency_hz, scale)
+        base = runner.run_standard(app, self.n_nodes, scale)
+        ft = runner.run_ecp(app, self.n_nodes, frequency_hz, scale)
+        s = ft.stats
+        cycle_s = ft.config.cycle_seconds
+
+        replicated = s.total("ckpt_items_replicated")
+        reused = s.total("ckpt_items_reused")
+        total_recovery_items = replicated + reused
+
+        inj_totals = s.injection_totals()
+        write_inj = sum(inj_totals[c] for c in WRITE_ACCESS_CAUSES)
+        sharedck_inj = inj_totals[InjectionCause.WRITE_SHARED_CK]
+
+        return FrequencyCell(
+            app=app,
+            frequency_hz=frequency_hz,
+            overhead=decomposition,
+            replication_throughput_mb_s=(
+                s.per_node_replication_throughput(cycle_s) / 1e6
+            ),
+            replicated_fraction_reused=(
+                reused / total_recovery_items if total_recovery_items else 0.0
+            ),
+            am_miss_rate_standard=base.stats.mean_am_miss_rate(),
+            am_miss_rate_ecp=s.mean_am_miss_rate(),
+            am_read_miss_rate_ecp=(
+                sum(ns.am_read_miss_rate() for ns in s.node_stats) / len(s.node_stats)
+            ),
+            injections_read_per_10k=s.mean_injections_per_10k(READ_ACCESS_CAUSES),
+            injections_write_per_10k=s.mean_injections_per_10k(WRITE_ACCESS_CAUSES),
+            write_injections_sharedck_fraction=(
+                sharedck_inj / write_inj if write_inj else 0.0
+            ),
+            pages_standard=base.pages_allocated,
+            pages_ecp=ft.pages_allocated,
+        )
+
+    # ------------------------------------------------------------ figures
+
+    def fig3_rows(self) -> list[tuple]:
+        """Fig. 3 — time overhead decomposition (percent of T_standard)."""
+        rows = []
+        for app in self.apps:
+            for freq in self.frequencies:
+                c = self.cell(app, freq)
+                o = c.overhead
+                rows.append(
+                    (
+                        app, freq,
+                        round(o.create * 100, 1),
+                        round(o.commit * 100, 1),
+                        round(o.pollution * 100, 1),
+                        round(o.total_overhead * 100, 1),
+                        o.n_checkpoints,
+                    )
+                )
+        return rows
+
+    def fig4_rows(self) -> list[tuple]:
+        """Fig. 4 — per-node replication throughput (MB/s) and the
+        fraction of recovery items covered by existing replicas."""
+        rows = []
+        for app in self.apps:
+            for freq in self.frequencies:
+                c = self.cell(app, freq)
+                rows.append(
+                    (
+                        app, freq,
+                        round(c.replication_throughput_mb_s, 1),
+                        round(c.replicated_fraction_reused * 100, 1),
+                    )
+                )
+        return rows
+
+    def fig5_rows(self) -> list[tuple]:
+        """Fig. 5 — node miss rate vs recovery-point frequency."""
+        rows = []
+        for app in self.apps:
+            base_rate = None
+            for freq in self.frequencies:
+                c = self.cell(app, freq)
+                if base_rate is None:
+                    base_rate = c.am_miss_rate_standard
+                rows.append(
+                    (
+                        app, freq,
+                        round(c.am_miss_rate_standard * 100, 3),
+                        round(c.am_miss_rate_ecp * 100, 3),
+                        round(c.am_read_miss_rate_ecp * 100, 3),
+                    )
+                )
+        return rows
+
+    def fig6_rows(self) -> list[tuple]:
+        """Fig. 6 — injections per node per 10 000 references."""
+        rows = []
+        for app in self.apps:
+            for freq in self.frequencies:
+                c = self.cell(app, freq)
+                rows.append(
+                    (
+                        app, freq,
+                        round(c.injections_read_per_10k, 2),
+                        round(c.injections_write_per_10k, 2),
+                        round(c.write_injections_sharedck_fraction * 100, 1),
+                    )
+                )
+        return rows
+
+    def fig7_rows(self, frequency_hz: float | None = None) -> list[tuple]:
+        """Fig. 7 — pages allocated: standard vs ECP (memory overhead)."""
+        freq = frequency_hz if frequency_hz is not None else self.frequencies[1]
+        rows = []
+        for app in self.apps:
+            c = self.cell(app, freq)
+            ratio = c.pages_ecp / c.pages_standard if c.pages_standard else 0.0
+            rows.append((app, c.pages_standard, c.pages_ecp, round(ratio, 2)))
+        return rows
+
+    # ------------------------------------------------------------ printing
+
+    def print_all(self) -> None:
+        print(format_table(
+            ["app", "freq/s", "create%", "commit%", "pollution%", "total%", "ckpts"],
+            self.fig3_rows(), title="Fig. 3 - time overhead"))
+        print()
+        print(format_table(
+            ["app", "freq/s", "MB/s/node", "reused%"],
+            self.fig4_rows(), title="Fig. 4 - replication throughput"))
+        print()
+        print(format_table(
+            ["app", "freq/s", "std miss%", "ecp miss%", "ecp read miss%"],
+            self.fig5_rows(), title="Fig. 5 - AM miss rate"))
+        print()
+        print(format_table(
+            ["app", "freq/s", "read inj/10k", "write inj/10k", "Shared-CK1 share%"],
+            self.fig6_rows(), title="Fig. 6 - injections per 10k references"))
+        print()
+        print(format_table(
+            ["app", "pages std", "pages ecp", "ratio"],
+            self.fig7_rows(), title="Fig. 7 - page allocation"))

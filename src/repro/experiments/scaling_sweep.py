@@ -1,0 +1,141 @@
+"""The (application x node count) sweep behind Figs. 8-11.
+
+The paper varies the machine from 9 to 56 nodes at 100 recovery points
+per second (fixed-size applications) and reports:
+
+- Fig. 8:  T_create overhead — constant or decreasing with node count;
+- Fig. 9:  aggregate recovery-data throughput — near-linear growth;
+- Fig. 10: pollution overhead — constant or decreasing;
+- Fig. 11: injections per node per 10 000 references — read-triggered
+  injections fall as shared items find unused memory on more nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.injection import READ_ACCESS_CAUSES, WRITE_ACCESS_CAUSES
+from repro.config import PAPER_NODE_COUNTS
+from repro.experiments.runner import ExperimentProfile, PairRunner
+from repro.stats.report import format_table
+from repro.workloads.splash import SPLASH_WORKLOADS
+
+
+@dataclass
+class ScalingCell:
+    app: str
+    n_nodes: int
+    create_overhead: float
+    pollution_overhead: float
+    recovery_bytes_per_ckpt_per_node: float
+    aggregate_throughput_mb_s: float
+    injections_read_per_10k: float
+    injections_write_per_10k: float
+
+
+class ScalingSweep:
+    """Lazy (app x node-count) sweep at a fixed checkpoint frequency."""
+
+    def __init__(
+        self,
+        apps: tuple[str, ...] | None = None,
+        node_counts: tuple[int, ...] = PAPER_NODE_COUNTS,
+        frequency_hz: float = 100.0,
+        profile: ExperimentProfile | None = None,
+    ):
+        self.apps = tuple(apps) if apps else tuple(sorted(SPLASH_WORKLOADS))
+        self.node_counts = node_counts
+        self.frequency_hz = frequency_hz
+        self.runner = PairRunner(profile)
+        self._cells: dict[tuple[str, int], ScalingCell] = {}
+
+    def cell(self, app: str, n_nodes: int) -> ScalingCell:
+        key = (app, n_nodes)
+        if key not in self._cells:
+            self._cells[key] = self._compute(app, n_nodes)
+        return self._cells[key]
+
+    def _compute(self, app: str, n_nodes: int) -> ScalingCell:
+        runner = self.runner
+        # fixed-size applications: the *total* work is constant across
+        # node counts, i.e. the per-process scale shrinks as the machine
+        # grows (the paper's methodology)
+        scale = runner.profile.scale_for(app, 16, self.frequency_hz)
+        decomposition = runner.decompose(app, n_nodes, self.frequency_hz, scale)
+        ft = runner.run_ecp(app, n_nodes, self.frequency_hz, scale)
+        s = ft.stats
+        cycle_s = ft.config.cycle_seconds
+        n_ckpt = max(1, s.n_checkpoints)
+        return ScalingCell(
+            app=app,
+            n_nodes=n_nodes,
+            create_overhead=decomposition.create,
+            pollution_overhead=decomposition.pollution,
+            recovery_bytes_per_ckpt_per_node=(
+                s.ckpt_bytes_replicated() / n_ckpt / n_nodes
+            ),
+            aggregate_throughput_mb_s=(
+                s.replication_throughput_bytes_per_s(cycle_s) / 1e6
+            ),
+            injections_read_per_10k=s.mean_injections_per_10k(READ_ACCESS_CAUSES),
+            injections_write_per_10k=s.mean_injections_per_10k(WRITE_ACCESS_CAUSES),
+        )
+
+    # ------------------------------------------------------------ figures
+
+    def fig8_rows(self) -> list[tuple]:
+        """Fig. 8 — create-phase cost vs processor count."""
+        return [
+            (
+                app, n,
+                round(self.cell(app, n).create_overhead * 100, 1),
+                round(self.cell(app, n).recovery_bytes_per_ckpt_per_node / 1024, 1),
+            )
+            for app in self.apps
+            for n in self.node_counts
+        ]
+
+    def fig9_rows(self) -> list[tuple]:
+        """Fig. 9 — aggregate recovery-data throughput vs processors."""
+        return [
+            (app, n, round(self.cell(app, n).aggregate_throughput_mb_s, 1))
+            for app in self.apps
+            for n in self.node_counts
+        ]
+
+    def fig10_rows(self) -> list[tuple]:
+        """Fig. 10 — pollution effect vs processors."""
+        return [
+            (app, n, round(self.cell(app, n).pollution_overhead * 100, 1))
+            for app in self.apps
+            for n in self.node_counts
+        ]
+
+    def fig11_rows(self) -> list[tuple]:
+        """Fig. 11 — injections per node per 10 000 references."""
+        return [
+            (
+                app, n,
+                round(self.cell(app, n).injections_read_per_10k, 2),
+                round(self.cell(app, n).injections_write_per_10k, 2),
+            )
+            for app in self.apps
+            for n in self.node_counts
+        ]
+
+    def print_all(self) -> None:
+        print(format_table(
+            ["app", "nodes", "create%", "KB/node/ckpt"],
+            self.fig8_rows(), title="Fig. 8 - create cost vs processors"))
+        print()
+        print(format_table(
+            ["app", "nodes", "aggregate MB/s"],
+            self.fig9_rows(), title="Fig. 9 - recovery data throughput"))
+        print()
+        print(format_table(
+            ["app", "nodes", "pollution%"],
+            self.fig10_rows(), title="Fig. 10 - pollution vs processors"))
+        print()
+        print(format_table(
+            ["app", "nodes", "read inj/10k", "write inj/10k"],
+            self.fig11_rows(), title="Fig. 11 - injections vs processors"))

@@ -1,0 +1,111 @@
+"""Sensitivity analysis: how robust are the paper's conclusions to the
+architectural parameters the evaluation holds fixed?
+
+The paper notes (end of Section 4.2.3, citing [10]) that with a faster
+processor and a FLASH-like network "the performance degradation
+decreases for all applications".  These harnesses vary one parameter
+at a time around the KSR1 baseline and report the total ECP overhead:
+
+- network speed (per-hop cost),
+- AM service time (memory technology),
+- detection latency (failure-handling responsiveness — affects only
+  recovery time, not failure-free overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import ArchConfig
+from repro.fault.failures import FailurePlan
+from repro.machine import Machine
+from repro.workloads.splash import make_workload
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    parameter: str
+    value: float
+    total_overhead: float
+    create_overhead: float
+
+
+def _overhead(cfg: ArchConfig, app: str, scale: float, seed: int) -> tuple[float, float]:
+    wl = make_workload(app, n_procs=cfg.n_nodes, scale=scale, seed=seed)
+    base = Machine(cfg, wl, protocol="standard").run()
+    wl = make_workload(app, n_procs=cfg.n_nodes, scale=scale, seed=seed)
+    ft = Machine(cfg, wl, protocol="ecp").run()
+    t_std = base.total_cycles
+    total = (ft.total_cycles - t_std) / t_std if t_std else 0.0
+    create = ft.stats.create_cycles / t_std if t_std else 0.0
+    return total, create
+
+
+def network_speed_sensitivity(
+    app: str = "mp3d",
+    hop_costs: tuple[int, ...] = (2, 4, 8),
+    n_nodes: int = 16,
+    scale: float = 0.01,
+    seed: int = 2026,
+) -> list[SensitivityPoint]:
+    """Vary the per-hop network cost (4 = KSR1 baseline; 2 ~ a
+    FLASH-class network)."""
+    points = []
+    for hop in hop_costs:
+        cfg = ArchConfig(n_nodes=n_nodes, seed=seed)
+        cfg = cfg.with_(latency=replace(cfg.latency, hop=hop)).with_ft(
+            checkpoint_frequency_hz=400
+        )
+        total, create = _overhead(cfg, app, scale, seed)
+        points.append(SensitivityPoint("hop_cycles", hop, total, create))
+    return points
+
+
+def memory_speed_sensitivity(
+    app: str = "mp3d",
+    services: tuple[int, ...] = (10, 20, 40),
+    n_nodes: int = 16,
+    scale: float = 0.01,
+    seed: int = 2026,
+) -> list[SensitivityPoint]:
+    """Vary the remote AM service time (20 = KSR1 baseline)."""
+    points = []
+    for service in services:
+        cfg = ArchConfig(n_nodes=n_nodes, seed=seed)
+        cfg = cfg.with_(
+            latency=replace(cfg.latency, remote_am_service=service)
+        ).with_ft(checkpoint_frequency_hz=400)
+        total, create = _overhead(cfg, app, scale, seed)
+        points.append(SensitivityPoint("remote_am_service", service, total, create))
+    return points
+
+
+def detection_latency_sensitivity(
+    app: str = "water",
+    latencies: tuple[int, ...] = (200, 2_000, 20_000),
+    n_nodes: int = 16,
+    scale: float = 0.005,
+    seed: int = 2026,
+) -> list[SensitivityPoint]:
+    """Vary the failure-detection latency and measure recovery wall
+    time (failure-free overhead is untouched by this knob)."""
+    points = []
+    for latency in latencies:
+        cfg = ArchConfig(n_nodes=n_nodes, seed=seed).with_ft(
+            checkpoint_period_override=20_000, detection_latency=latency
+        )
+        wl = make_workload(app, n_procs=n_nodes, scale=scale, seed=seed)
+        machine = Machine(
+            cfg, wl, protocol="ecp",
+            failure_plan=[FailurePlan(time=60_000, node=3, repair_delay=500)],
+        )
+        result = machine.run()
+        points.append(
+            SensitivityPoint(
+                "detection_latency",
+                latency,
+                result.stats.recovery_cycles,
+                result.stats.n_recoveries,
+            )
+        )
+    return points

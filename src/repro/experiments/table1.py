@@ -1,0 +1,148 @@
+"""Table 1 — the new injections introduced by the ECP.
+
+The paper's Table 1 enumerates which (access, local copy state)
+combinations force an injection.  This harness *demonstrates* each row
+by driving a machine into the corresponding state with a directed
+access sequence and observing exactly the predicted injection cause.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.injection import InjectionCause
+from repro.config import AMConfig, ArchConfig, CacheConfig
+from repro.machine import Machine
+from repro.memory.states import ItemState
+from repro.stats.report import format_table
+from repro.workloads.traces import TraceWorkload
+from repro.checkpoint.establish import node_create_phase
+
+
+def _machine(n_nodes: int = 4) -> Machine:
+    cfg = ArchConfig(
+        n_nodes=n_nodes,
+        am=AMConfig(size_bytes=512 * 1024),
+        cache=CacheConfig(size_bytes=32 * 1024),
+    )
+    wl = TraceWorkload.from_ops([[("r", 0)]])
+    return Machine(cfg, wl, protocol="ecp", checkpointing=False)
+
+
+def _checkpoint(machine: Machine) -> None:
+    for node_id in range(machine.cfg.n_nodes):
+        gen = node_create_phase(machine.protocol, machine.engine, node_id)
+        for delay in gen:
+            machine.engine.run(until=machine.engine.now + int(delay))
+    for node_id in range(machine.cfg.n_nodes):
+        machine.protocol.commit_node(node_id)
+
+
+def _injection_counts(machine: Machine) -> dict[InjectionCause, int]:
+    totals = machine.stats.injection_totals()
+    return {cause: totals[cause] for cause in InjectionCause if totals[cause]}
+
+
+def _row_write_shared_ck() -> tuple[str, str, InjectionCause, int]:
+    m = _machine()
+    p = m.protocol
+    p.write(0, 0, 0)
+    _checkpoint(m)
+    p.write(0, 0, 100_000)  # write hit on the local Shared-CK1 copy
+    return (
+        "Write access", "Shared-CK",
+        InjectionCause.WRITE_SHARED_CK,
+        _injection_counts(m).get(InjectionCause.WRITE_SHARED_CK, 0),
+    )
+
+
+def _degraded_machine() -> Machine:
+    """Item 0 checkpointed at node 0, then written by node 2: the pair
+    is Inv-CK at nodes {0, partner}."""
+    m = _machine()
+    p = m.protocol
+    p.write(0, 0, 0)
+    _checkpoint(m)
+    p.write(2, 0, 100_000)
+    assert m.nodes[0].am.state(0) is ItemState.INV_CK1
+    return m
+
+
+def _row_read_inv_ck() -> tuple[str, str, InjectionCause, int]:
+    m = _degraded_machine()
+    m.protocol.read(0, 0, 200_000)  # read access on the local Inv-CK copy
+    return (
+        "Read access", "Inv-CK",
+        InjectionCause.READ_INV_CK,
+        _injection_counts(m).get(InjectionCause.READ_INV_CK, 0),
+    )
+
+
+def _row_write_inv_ck() -> tuple[str, str, InjectionCause, int]:
+    m = _degraded_machine()
+    m.protocol.write(0, 0, 200_000)
+    return (
+        "Write access", "Inv-CK",
+        InjectionCause.WRITE_INV_CK,
+        _injection_counts(m).get(InjectionCause.WRITE_INV_CK, 0),
+    )
+
+
+def _fill_set_with(machine: Machine, node_id: int, state_page: int) -> None:
+    """Exhaust the AM set of ``state_page`` on ``node_id`` with pages
+    full of owned items so allocating one more page forces replacement."""
+    am = machine.nodes[node_id].am
+    n_sets = am.config.n_sets
+    page = state_page
+    while am.free_ways(state_page) > 0:
+        page += n_sets  # same set
+        item = page * machine.cfg.items_per_page
+        machine.protocol.write(node_id, item * machine.cfg.item_bytes, 0)
+
+
+def _row_replacement(ck_state: str) -> tuple[str, str, InjectionCause, int]:
+    """Replacement rows: a full AM set forces the eviction of a page
+    holding a recovery copy, which must be injected, not dropped."""
+    m = _machine()
+    p = m.protocol
+    p.write(0, 0, 0)            # item 0, page 0 on node 0
+    _checkpoint(m)              # node 0 holds Shared-CK1 of item 0
+    if ck_state == "Inv-CK":
+        p.write(2, 0, 100_000)  # degrade the pair
+    # fill page 0's set on node 0, then touch one more page of that set
+    _fill_set_with(m, 0, 0)
+    am = m.nodes[0].am
+    extra_page = 0
+    while am.has_page(extra_page):
+        extra_page += am.config.n_sets
+    item = extra_page * m.cfg.items_per_page
+    p.write(0, item * m.cfg.item_bytes, 500_000)
+    cause = (
+        InjectionCause.REPLACEMENT_SHARED_CK
+        if ck_state == "Shared-CK"
+        else InjectionCause.REPLACEMENT_INV_CK
+    )
+    return ("Replacement", ck_state, cause, _injection_counts(m).get(cause, 0))
+
+
+def table1_injection_causes() -> list[tuple[str, str, str, int]]:
+    """Reproduce every row of Table 1; the count column shows the
+    injections of the predicted cause observed (>= 1 demonstrates the
+    row)."""
+    rows = [
+        _row_replacement("Shared-CK"),
+        _row_replacement("Inv-CK"),
+        _row_read_inv_ck(),
+        _row_write_inv_ck(),
+        _row_write_shared_ck(),
+    ]
+    return [(access, state, cause.value, count) for access, state, cause, count in rows]
+
+
+def print_table1() -> str:
+    rows = table1_injection_causes()
+    text = format_table(
+        ["Cause", "Local copy state", "Injection cause observed", "count"],
+        rows,
+        title="Table 1 - new injections introduced by the ECP",
+    )
+    print(text)
+    return text

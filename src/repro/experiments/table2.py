@@ -1,0 +1,87 @@
+"""Table 2 — read-miss latency from each level of the memory hierarchy.
+
+Measured end-to-end through the protocol on an uncontended 4x4 mesh,
+exactly as the paper specifies (no contention, steady-state page
+residency):
+
+======================================  =========
+Fill from cache                         1 cycle
+Fill from local AM                      18 cycles
+Fill from remote AM (1 hop)             116 cycles
+Fill from remote AM (2 hops)            124 cycles
+======================================  =========
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig
+from repro.machine import Machine
+from repro.stats.report import format_table
+from repro.workloads.traces import TraceWorkload
+
+
+def _machine() -> Machine:
+    cfg = ArchConfig(n_nodes=16)
+    wl = TraceWorkload.from_ops([[("r", 0)]])
+    return Machine(cfg, wl, protocol="standard", checkpointing=False)
+
+
+def table2_read_latencies() -> list[tuple[str, int]]:
+    """Measure the four Table 2 rows; returns (level, cycles) pairs."""
+    item_bytes = ArchConfig().item_bytes
+    rows: list[tuple[str, int]] = []
+
+    # fill from cache
+    m = _machine()
+    m.protocol.read(0, 0, 0)
+    t0 = 10_000
+    rows.append(("Fill from cache", m.protocol.read(0, 0, t0) - t0))
+
+    # fill from local AM (cache miss, same item's other line)
+    m = _machine()
+    m.protocol.read(0, 0, 0)
+    t0 = 10_000
+    rows.append(("Fill from local AM", m.protocol.read(0, 64, t0) - t0))
+
+    # fill from remote AM, 1 hop: owner and pointer home are node 1
+    m = _machine()
+    item = 128  # page 1 -> home node 1; nodes 0,1 adjacent in a 4x4 mesh
+    m.protocol.read(1, item * item_bytes, 0)
+    m.protocol.read(0, (item + 1) * item_bytes, 5_000)  # warm page frame
+    t0 = 50_000
+    rows.append(
+        ("Fill from remote AM (1 hop)", m.protocol.read(0, item * item_bytes, t0) - t0)
+    )
+
+    # fill from remote AM, 2 hops: owner and home are node 2
+    m = _machine()
+    item = 128 * 2
+    m.protocol.read(2, item * item_bytes, 0)
+    m.protocol.read(0, (item + 1) * item_bytes, 5_000)
+    t0 = 50_000
+    rows.append(
+        ("Fill from remote AM (2 hops)", m.protocol.read(0, item * item_bytes, t0) - t0)
+    )
+    return rows
+
+
+PAPER_TABLE2 = {
+    "Fill from cache": 1,
+    "Fill from local AM": 18,
+    "Fill from remote AM (1 hop)": 116,
+    "Fill from remote AM (2 hops)": 124,
+}
+
+
+def print_table2() -> str:
+    rows = [
+        (level, cycles, PAPER_TABLE2[level])
+        for level, cycles in table2_read_latencies()
+    ]
+    text = format_table(
+        ["Read miss access", "measured (cycles)", "paper (cycles)"],
+        rows,
+        title="Table 2 - read miss latency times",
+    )
+    print(text)
+    return text

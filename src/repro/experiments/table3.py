@@ -1,0 +1,79 @@
+"""Table 3 — simulated application characteristics.
+
+Characterises the four synthetic SPLASH generators and prints the same
+columns as the paper: instruction count and the read/write and shared
+read/write densities (as percentages of instructions), next to the
+paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.report import format_table
+from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    app: str
+    instructions_millions: float
+    reads_pct: float
+    writes_pct: float
+    shared_reads_pct: float
+    shared_writes_pct: float
+
+
+#: The paper's Table 3 (percentages of instructions).
+PAPER_TABLE3 = {
+    "barnes": Table3Row("barnes", 190.0, 18.4, 10.7, 4.2, 0.1),
+    "cholesky": Table3Row("cholesky", 53.1, 23.3, 6.2, 18.8, 3.3),
+    "mp3d": Table3Row("mp3d", 48.3, 16.3, 9.7, 13.1, 8.3),
+    "water": Table3Row("water", 78.6, 23.7, 6.9, 4.3, 0.5),
+}
+
+
+def table3_characteristics(
+    n_procs: int = 16, sample_refs: int = 4000, seed: int = 2026
+) -> list[Table3Row]:
+    """Measure each generator's composition (sampled streams)."""
+    rows = []
+    for app in sorted(SPLASH_WORKLOADS):
+        wl = make_workload(app, n_procs=n_procs, scale=0.01, seed=seed)
+        profile = wl.characterize(max_refs_per_proc=sample_refs)
+        rows.append(
+            Table3Row(
+                app=app,
+                instructions_millions=wl.instructions_millions,
+                reads_pct=profile.read_fraction * 100,
+                writes_pct=profile.write_fraction * 100,
+                shared_reads_pct=profile.shared_read_fraction * 100,
+                shared_writes_pct=profile.shared_write_fraction * 100,
+            )
+        )
+    return rows
+
+
+def print_table3() -> str:
+    measured = table3_characteristics()
+    rows = []
+    for row in measured:
+        paper = PAPER_TABLE3[row.app]
+        rows.append(
+            (
+                row.app,
+                f"{row.instructions_millions:.0f}M",
+                f"{row.reads_pct:.1f} ({paper.reads_pct})",
+                f"{row.writes_pct:.1f} ({paper.writes_pct})",
+                f"{row.shared_reads_pct:.1f} ({paper.shared_reads_pct})",
+                f"{row.shared_writes_pct:.1f} ({paper.shared_writes_pct})",
+            )
+        )
+    text = format_table(
+        ["App", "Instr", "Reads% (paper)", "Writes% (paper)",
+         "Sh.reads% (paper)", "Sh.writes% (paper)"],
+        rows,
+        title="Table 3 - simulated application characteristics",
+    )
+    print(text)
+    return text

@@ -1,0 +1,6 @@
+"""Failure models and the fault-injection process."""
+
+from repro.fault.failures import FailurePlan
+from repro.fault.injector import fault_injector
+
+__all__ = ["FailurePlan", "fault_injector"]

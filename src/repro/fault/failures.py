@@ -1,0 +1,34 @@
+"""Failure descriptions.
+
+The fault model is the paper's: fail-silent nodes (a failed node simply
+stops — no erroneous messages), a fault-free interconnection network,
+multiple transient failures and at most one permanent failure between
+two completed recoveries.  A *transient* failure loses the node's
+volatile state (cache and AM contents) but the hardware returns after
+``repair_delay`` cycles; a *permanent* failure removes the node for the
+rest of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """One scheduled node failure."""
+
+    time: int
+    node: int
+    permanent: bool = False
+    #: Transient failures only: cycles until the node hardware is back
+    #: and may rejoin (its memory content is still lost).
+    repair_delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.repair_delay < 0:
+            raise ValueError("repair delay must be non-negative")
+        if self.permanent and self.repair_delay:
+            raise ValueError("a permanent failure has no repair delay")

@@ -1,0 +1,27 @@
+"""The fault-injection simulation process."""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.fault.failures import FailurePlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+def fault_injector(
+    machine: "Machine", plan: list[FailurePlan]
+) -> Generator[int, None, None]:
+    """Fire the planned failures at their scheduled times."""
+    for failure in sorted(plan, key=lambda f: f.time):
+        delay = failure.time - machine.engine.now
+        if delay > 0:
+            yield delay
+        if not machine.coordinator.active:
+            return  # the computation already finished
+        machine.fail_node(
+            failure.node,
+            permanent=failure.permanent,
+            repair_delay=failure.repair_delay,
+        )

@@ -1,0 +1,21 @@
+"""A hierarchical (DDM-like) COMA, for the paper's availability argument.
+
+"From a fault tolerance point of view, a non hierarchical organization
+is preferable as the loss of an intermediate node in a hierarchy could
+cause the loss of the whole underlying sub-system, resulting in
+multiple failures." (Section 2.2)
+
+This package makes that argument executable: a two-level DDM-style
+COMA whose leaves hold attraction memories and whose intermediate
+directory nodes route misses.  Killing a leaf loses one AM; killing a
+directory node disconnects its entire subtree.  The A7 ablation
+quantifies the availability difference against the flat machine.
+"""
+
+from repro.hierarchy.machine import (
+    HierarchicalComa,
+    HierarchyConfig,
+    availability_after_failure,
+)
+
+__all__ = ["HierarchicalComa", "HierarchyConfig", "availability_after_failure"]

@@ -1,0 +1,147 @@
+"""A minimal two-level hierarchical COMA (DDM-like).
+
+The machine is a tree: ``n_clusters`` directory nodes, each owning
+``leaves_per_cluster`` leaf nodes with attraction memories.  Misses
+climb the hierarchy: leaf -> cluster directory -> top directory ->
+target cluster directory -> holder leaf.  Directories only route —
+they hold no data — but the paper's point is that they are *failure
+domains*: when a cluster directory dies, every AM beneath it becomes
+unreachable even though its hardware is fine.
+
+The model is deliberately small (item location maps, hop-count costs):
+it exists to quantify the availability argument of Section 2.2, not to
+rebuild the full DDM.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    n_clusters: int = 4
+    leaves_per_cluster: int = 4
+    #: Cycles per hierarchy level crossed by a request (bus/snoop costs
+    #: of the DDM's hierarchical buses).
+    level_hop_cycles: int = 40
+
+    @property
+    def n_leaves(self) -> int:
+        return self.n_clusters * self.leaves_per_cluster
+
+
+class HierarchicalComa:
+    """Item placement and reachability in a two-level COMA."""
+
+    def __init__(self, cfg: HierarchyConfig, seed: int = 2026):
+        self.cfg = cfg
+        self._rng = random.Random(seed)
+        # item -> leaf holding its master copy
+        self._home: dict[int, int] = {}
+        self._dead_leaves: set[int] = set()
+        self._dead_directories: set[int] = set()
+
+    # -- topology ------------------------------------------------------------
+
+    def cluster_of(self, leaf: int) -> int:
+        return leaf // self.cfg.leaves_per_cluster
+
+    def leaves_of(self, cluster: int) -> list[int]:
+        base = cluster * self.cfg.leaves_per_cluster
+        return list(range(base, base + self.cfg.leaves_per_cluster))
+
+    # -- placement --------------------------------------------------------------
+
+    def place(self, item: int, leaf: int | None = None) -> int:
+        if leaf is None:
+            leaf = self._rng.randrange(self.cfg.n_leaves)
+        if not (0 <= leaf < self.cfg.n_leaves):
+            raise ValueError(f"leaf {leaf} out of range")
+        self._home[item] = leaf
+        return leaf
+
+    def place_uniform(self, n_items: int) -> None:
+        for item in range(n_items):
+            self.place(item, item % self.cfg.n_leaves)
+
+    # -- failures -------------------------------------------------------------------
+
+    def fail_leaf(self, leaf: int) -> None:
+        self._dead_leaves.add(leaf)
+
+    def fail_directory(self, cluster: int) -> None:
+        """The Section 2.2 scenario: an intermediate node dies and its
+        whole subtree becomes unreachable."""
+        if not (0 <= cluster < self.cfg.n_clusters):
+            raise ValueError(f"cluster {cluster} out of range")
+        self._dead_directories.add(cluster)
+
+    def leaf_reachable(self, leaf: int) -> bool:
+        return (
+            leaf not in self._dead_leaves
+            and self.cluster_of(leaf) not in self._dead_directories
+        )
+
+    # -- access ----------------------------------------------------------------------
+
+    def access_cycles(self, requester_leaf: int, item: int) -> int | None:
+        """Hierarchy traversal cost, or None when the item is
+        unreachable (its holder is below a dead directory or dead)."""
+        if not self.leaf_reachable(requester_leaf):
+            return None
+        holder = self._home.get(item)
+        if holder is None or not self.leaf_reachable(holder):
+            return None
+        if holder == requester_leaf:
+            return 0
+        hop = self.cfg.level_hop_cycles
+        if self.cluster_of(holder) == self.cluster_of(requester_leaf):
+            # leaf -> cluster dir -> leaf, and back
+            return 4 * hop
+        # leaf -> cluster dir -> top -> cluster dir -> leaf, and back
+        return 8 * hop
+
+    # -- availability ------------------------------------------------------------------
+
+    def reachable_fraction(self) -> float:
+        """Fraction of placed items still reachable."""
+        if not self._home:
+            return 1.0
+        reachable = sum(
+            1 for leaf in self._home.values() if self.leaf_reachable(leaf)
+        )
+        return reachable / len(self._home)
+
+    def lost_memory_fraction(self) -> float:
+        """Fraction of AMs (leaves) out of service."""
+        lost = sum(
+            1
+            for leaf in range(self.cfg.n_leaves)
+            if not self.leaf_reachable(leaf)
+        )
+        return lost / self.cfg.n_leaves
+
+
+def availability_after_failure(
+    cfg: HierarchyConfig | None = None, n_items: int = 1024
+) -> dict[str, float]:
+    """Quantify Section 2.2: items lost by one *leaf* failure vs one
+    *directory* failure, next to the flat machine's single-AM loss."""
+    cfg = cfg or HierarchyConfig()
+
+    leaf_case = HierarchicalComa(cfg)
+    leaf_case.place_uniform(n_items)
+    leaf_case.fail_leaf(0)
+
+    dir_case = HierarchicalComa(cfg)
+    dir_case.place_uniform(n_items)
+    dir_case.fail_directory(0)
+
+    return {
+        "flat_loss": 1.0 / cfg.n_leaves,
+        "leaf_failure_loss": 1.0 - leaf_case.reachable_fraction(),
+        "directory_failure_loss": 1.0 - dir_case.reachable_fraction(),
+        "directory_memory_lost": dir_case.lost_memory_fraction(),
+    }

@@ -1,0 +1,589 @@
+"""The whole-machine façade.
+
+:class:`Machine` assembles the substrates (engine, mesh fabric, ring,
+nodes, directory, page registry), instantiates the chosen protocol
+(standard or ECP), wires one processor per node to the workload's
+reference streams, and runs the simulation to completion, returning a
+:class:`RunResult`.
+
+:class:`Coordinator` implements the global synchronisation of
+Sections 3.3/3.4: the coordinated recovery-point establishment
+(sync barrier -> parallel create -> barrier -> local commits ->
+barrier) and the coordinated restoration (barrier -> parallel scans ->
+metadata rebuild + reconfiguration -> resume), including the
+failure-during-establishment rules (abort during create: the old
+recovery point stays; complete during commit: the new one is already
+persistent).
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.checkpoint.establish import (
+    EstablishmentFailed,
+    commit_cost_cycles,
+    node_create_phase,
+    scan_cost_cycles,
+)
+from repro.checkpoint.recovery import (
+    UnrecoverableFailure,
+    rebuild_metadata,
+    reconfiguration_phase,
+)
+from repro.checkpoint.scheduler import checkpoint_scheduler
+from repro.coherence.directory import Directory
+from repro.coherence.ecp import ExtendedProtocol
+from repro.coherence.standard import StandardProtocol
+from repro.config import ArchConfig, mesh_dimensions
+from repro.fault.failures import FailurePlan
+from repro.fault.injector import fault_injector
+from repro.memory.pages import PageRegistry
+from repro.memory.states import ItemState
+from repro.network.fabric import MeshFabric
+from repro.network.ring import LogicalRing
+from repro.network.topology import Mesh
+from repro.node.node import Node
+from repro.node.processor import Processor
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.sync import EventFlag, MemberBarrier
+from repro.stats.collectors import MachineStats
+from repro.workloads.base import Workload
+
+PROTOCOLS = {"standard": StandardProtocol, "ecp": ExtendedProtocol}
+
+#: A modified item needs up to four copies in *distinct* memories while
+#: a recovery point is established (Exclusive owner + the two Inv-CK
+#: copies of the old point + the new Pre-Commit2 copy — Section 4.1,
+#: which is also why four irreplaceable pages are reserved).  Below
+#: four live nodes the ECP can no longer place recovery copies.
+MIN_LIVE_NODES_ECP = 4
+
+
+@dataclass
+class RunResult:
+    """Everything a harness needs from one simulation run."""
+
+    config: ArchConfig
+    protocol: str
+    workload: str
+    stats: MachineStats
+    pages_allocated: int
+    pages_allocated_peak: int
+    distinct_pages: int
+    wall_seconds: float
+    item_census: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+
+class Coordinator:
+    """Global checkpoint/recovery synchronisation."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.engine = machine.engine
+        #: Nodes whose processors currently have work to execute.
+        self.active: set[int] = set()
+        #: Live nodes participating in global coordination — every live
+        #: node takes part in checkpoints and recoveries even when its
+        #: processor has no work, because its AM may hold recovery
+        #: copies injected by others.
+        self.participants: set[int] = set()
+        self.last_retire_time = 0
+
+        # checkpoint state
+        self.ckpt_requested = False
+        self.ckpt_epoch = 0
+        self.ckpt_phase = "idle"  # idle | sync | create | commit
+        self.ckpt_abort = False
+        self.ckpt_done: EventFlag | None = None
+        self.ckpt_barrier: MemberBarrier | None = None
+
+        # recovery state
+        self.recovery_requested = False
+        self.recovery_epoch = 0
+        self.recovery_done: EventFlag | None = None
+        self.rec_barrier: MemberBarrier | None = None
+
+        self._work_flags: dict[int, EventFlag] = {}
+        self._revival_flags: dict[int, EventFlag] = {}
+        #: Leaders pinned per episode (avoids same-cycle races when the
+        #: minimum participant changes mid-episode).
+        self.ckpt_leader: int = -1
+        self.rec_leader: int = -1
+
+    # -- processor lifecycle ------------------------------------------------
+
+    def retire(self, node_id: int) -> None:
+        self.active.discard(node_id)
+        self.last_retire_time = max(self.last_retire_time, self.engine.now)
+        self._resize_barriers()
+
+    def unretire(self, node_id: int) -> None:
+        if node_id in self.active:
+            return
+        self.active.add(node_id)
+        flag = self._work_flags.pop(node_id, None)
+        if flag is not None:
+            flag.fire()
+
+    def work_flag(self, node_id: int) -> EventFlag:
+        flag = EventFlag(self.engine, name=f"work{node_id}")
+        self._work_flags[node_id] = flag
+        return flag
+
+    def revival_flag(self, node_id: int) -> EventFlag:
+        flag = EventFlag(self.engine, name=f"revive{node_id}")
+        self._revival_flags[node_id] = flag
+        return flag
+
+    def fire_revival(self, node_id: int) -> None:
+        flag = self._revival_flags.pop(node_id, None)
+        if flag is not None:
+            flag.fire()
+
+    def on_node_failed(self, node_id: int) -> None:
+        self.active.discard(node_id)
+        self.participants.discard(node_id)
+        if node_id == self.ckpt_leader and self.participants:
+            self.ckpt_leader = min(self.participants)
+        if node_id == self.rec_leader and self.participants:
+            self.rec_leader = min(self.participants)
+        self._resize_barriers()
+
+    def on_node_revived(self, node_id: int) -> None:
+        self.participants.add(node_id)
+        processor = self.machine.processors[node_id]
+        if processor.has_work():
+            self.active.add(node_id)
+        self.fire_revival(node_id)
+
+    def _resize_barriers(self) -> None:
+        """A node left the participant set: stop expecting it at the
+        in-flight barriers (its stale arrivals are discarded too)."""
+        for barrier in (self.ckpt_barrier, self.rec_barrier):
+            if barrier is None:
+                continue
+            for member in list(barrier.expected - self.participants):
+                barrier.remove_member(member)
+
+    def _wake_parked(self) -> None:
+        """Coordination involves parked processors too."""
+        flags, self._work_flags = self._work_flags, {}
+        for flag in flags.values():
+            flag.fire()
+
+    # -- checkpoints ----------------------------------------------------------
+
+    def request_checkpoint(self) -> EventFlag | None:
+        """Ask for a coordinated recovery point; returns a completion
+        flag, or None when nothing can be checkpointed."""
+        if self.ckpt_requested:
+            return self.ckpt_done
+        if self.recovery_requested or not self.participants:
+            return None
+        self.ckpt_requested = True
+        self.ckpt_abort = False
+        self.ckpt_epoch += 1
+        self.ckpt_phase = "sync"
+        self.ckpt_done = EventFlag(self.engine, name="ckpt_done")
+        self.ckpt_barrier = MemberBarrier(
+            self.engine, self.participants, name="ckpt"
+        )
+        self.ckpt_leader = min(self.participants)
+        self._wake_parked()
+        return self.ckpt_done
+
+    def participate_checkpoint(self, node_id: int) -> Generator[object, object, None]:
+        machine = self.machine
+        protocol = machine.protocol
+        node = machine.nodes[node_id]
+        barrier = self.ckpt_barrier
+        done_flag = self.ckpt_done
+        assert barrier is not None and done_flag is not None
+
+        t_entry = self.engine.now
+        yield barrier.arrive(node_id)
+        if not node.alive:
+            return
+        t_start = self.engine.now
+        node.stats.ckpt_sync_cycles += t_start - t_entry
+        self.ckpt_phase = "create"
+
+        if node.alive and not self.ckpt_abort:
+            try:
+                yield from node_create_phase(
+                    protocol,
+                    self.engine,
+                    node_id,
+                    should_abort=lambda: self.ckpt_abort or not node.alive,
+                )
+            except EstablishmentFailed:
+                # cannot place a Pre-Commit copy (e.g. too few live
+                # memories): abort — the old recovery point is intact
+                self.ckpt_abort = True
+        if not node.alive:
+            return
+        yield barrier.arrive(node_id)
+        if not node.alive:
+            return
+        t_mid = self.engine.now
+        self.ckpt_phase = "commit"
+
+        aborted = self.ckpt_abort
+        if node.alive and not aborted:
+            protocol.commit_node(node_id)
+            cost = commit_cost_cycles(protocol, node_id)
+            node.stats.ckpt_commit_cycles += cost
+            if cost:
+                yield cost
+        elif node.alive and aborted and not self.recovery_requested:
+            # failure-free abort: revert the Pre-Commit copies to
+            # current states (a failure-triggered abort leaves them for
+            # the recovery scan instead)
+            protocol.abort_establishment_node(node_id)
+        if not node.alive:
+            return
+        yield barrier.arrive(node_id)
+        if not node.alive:
+            return
+        t_end = self.engine.now
+        node.stats.ckpt_create_cycles += t_mid - t_start
+
+        if node_id == self.ckpt_leader:
+            ms = machine.stats
+            ms.create_cycles += t_mid - t_start
+            ms.commit_cycles += t_end - t_mid
+            if not aborted:
+                ms.n_checkpoints += 1
+                machine.snapshot_streams()
+            self.ckpt_phase = "idle"
+            self.ckpt_requested = False
+            done_flag.fire()
+
+    # -- recovery -----------------------------------------------------------------
+
+    def request_recovery(self) -> EventFlag | None:
+        if self.recovery_requested:
+            return self.recovery_done
+        if not self.participants:
+            return None
+        self.recovery_requested = True
+        self.recovery_epoch += 1
+        self.recovery_done = EventFlag(self.engine, name="recovery_done")
+        self.rec_barrier = MemberBarrier(
+            self.engine, self.participants, name="rec"
+        )
+        self.rec_leader = min(self.participants)
+        self._wake_parked()
+        if self.ckpt_requested and self.ckpt_phase in ("sync", "create"):
+            # failure during the create phase: abort — the previous
+            # recovery point is still intact (Section 3.3)
+            self.ckpt_abort = True
+        return self.recovery_done
+
+    def participate_recovery(self, node_id: int) -> Generator[object, object, None]:
+        machine = self.machine
+        protocol = machine.protocol
+        node = machine.nodes[node_id]
+        barrier = self.rec_barrier
+        done_flag = self.recovery_done
+        assert barrier is not None and done_flag is not None
+
+        yield barrier.arrive(node_id)
+        if not node.alive:
+            return
+        t0 = self.engine.now
+        protocol.recovery_scan_node(node_id)
+        cost = scan_cost_cycles(protocol, node_id)
+        node.stats.recovery_scan_cycles += cost
+        if cost:
+            yield cost
+        if not node.alive:
+            return
+        yield barrier.arrive(node_id)
+        if not node.alive:
+            return
+
+        if node_id == self.rec_leader:
+            singletons = rebuild_metadata(protocol)
+            yield from reconfiguration_phase(protocol, self.engine, singletons)
+            machine.rewind_streams()
+            machine.stats.n_recoveries += 1
+            machine.stats.recovery_cycles += self.engine.now - t0
+            self.recovery_requested = False
+            machine.after_recovery()
+            done_flag.fire()
+        else:
+            yield done_flag
+
+
+class Machine:
+    """Build and run one simulated machine."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        workload: Workload,
+        protocol: str = "ecp",
+        failure_plan: list[FailurePlan] | None = None,
+        checkpointing: bool | None = None,
+        record_network_trace: bool = False,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}; pick {sorted(PROTOCOLS)}")
+        self.cfg = config
+        self.workload = workload
+        self.protocol_name = protocol
+        self.engine = Engine()
+        width, height = mesh_dimensions(config.n_nodes)
+        self.mesh = Mesh(width, height)
+        self.fabric = MeshFabric(self.mesh, config.latency, record_trace=record_network_trace)
+        self.ring = LogicalRing(self.mesh)
+        self.nodes = [Node(i, config) for i in range(config.n_nodes)]
+        reserved = (
+            config.am.reserved_frames_per_page if protocol == "ecp" else 1
+        )
+        self.registry = PageRegistry(
+            config.n_nodes, config.am.n_frames, reserved_frames_per_page=reserved
+        )
+        self.directory = Directory(config.n_nodes, config.items_per_page)
+        self.rng = random.Random(config.seed)
+        self.protocol = PROTOCOLS[protocol](
+            config,
+            self.fabric,
+            self.ring,
+            self.nodes,
+            self.directory,
+            self.registry,
+            rng=self.rng,
+        )
+        self.stats = MachineStats(node_stats=[n.stats for n in self.nodes])
+        self.coordinator = Coordinator(self)
+
+        # wire workload streams to processors (stream p -> node p % N)
+        self.processors = [Processor(self, i) for i in range(config.n_nodes)]
+        for stream in workload.build_streams():
+            self.processors[stream.proc_id % config.n_nodes].assign(stream)
+        self._stream_snapshot: dict[int, int] = {}
+        self.snapshot_streams()  # position 0 is the initial recovery point
+
+        self._permanently_dead: set[int] = set()
+        self._pending_revival: dict[int, int] = {}  # node -> ready time
+        self._detected: set[int] = set()
+
+        # fault-tolerance machinery only exists on the ECP machine
+        if checkpointing is None:
+            checkpointing = protocol == "ecp"
+        if checkpointing and protocol != "ecp":
+            raise ValueError("checkpointing requires the ECP")
+        self.checkpointing = checkpointing
+        #: Extra (name, generator) simulation processes started with the
+        #: machine — e.g. the heartbeat monitor of repro.fault.detection.
+        self.extra_processes: list[tuple[str, object]] = []
+        self.failure_plan = list(failure_plan or [])
+        if self.failure_plan and protocol != "ecp":
+            raise ValueError("the standard protocol cannot survive failures")
+
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        # every node's processor runs: even work-less nodes participate
+        # in checkpoints, since their AMs receive injected copies
+        for processor in self.processors:
+            self.coordinator.participants.add(processor.node_id)
+            if processor.has_work():
+                self.coordinator.active.add(processor.node_id)
+        for processor in self.processors:
+            Process(self.engine, processor.run(), name=f"cpu{processor.node_id}")
+        if self.checkpointing:
+            Process(self.engine, checkpoint_scheduler(self), name="ckpt-sched")
+        if self.failure_plan:
+            Process(self.engine, fault_injector(self, self.failure_plan), name="faults")
+        for name, gen in self.extra_processes:
+            Process(self.engine, gen, name=name)
+        self._started = True
+
+    def run(self, max_cycles: int | None = None, max_events: int | None = None) -> RunResult:
+        """Run the simulation to completion and collect results."""
+        if self._started:
+            raise RuntimeError("machine already ran")
+        wall0 = _time.perf_counter()
+        self._start_processes()
+        self.engine.run(until=max_cycles, max_events=max_events)
+        self.stats.total_cycles = self.coordinator.last_retire_time
+        return RunResult(
+            config=self.cfg,
+            protocol=self.protocol_name,
+            workload=self.workload.name,
+            stats=self.stats,
+            pages_allocated=self.registry.pages_allocated_machine_wide(),
+            pages_allocated_peak=self.registry.frames_in_use_peak,
+            distinct_pages=len(self.registry.distinct_pages),
+            wall_seconds=_time.perf_counter() - wall0,
+            item_census=self.item_census(),
+        )
+
+    # -- stream snapshot / rewind (the OS side of BER) ----------------------------
+
+    def all_streams(self):
+        for processor in self.processors:
+            yield from processor.streams
+
+    def snapshot_streams(self) -> None:
+        self._stream_snapshot = {s.proc_id: s.position for s in self.all_streams()}
+
+    def rewind_streams(self) -> None:
+        for stream in self.all_streams():
+            stream.rewind_to(self._stream_snapshot.get(stream.proc_id, 0))
+        # a rewind may hand work back to processors that had finished
+        for processor in self.processors:
+            if processor.has_work() and self.nodes[processor.node_id].alive:
+                self.coordinator.unretire(processor.node_id)
+
+    # -- failures ---------------------------------------------------------------------
+
+    def fail_node(self, node_id: int, permanent: bool = False, repair_delay: int = 0) -> None:
+        """Fail-silent node failure at the current simulation time."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise ValueError(f"node {node_id} is already down")
+        if self.protocol_name != "ecp":
+            raise RuntimeError("the standard protocol cannot survive failures")
+        if self.coordinator.recovery_requested:
+            raise UnrecoverableFailure(
+                "a second node failed while a recovery was in progress"
+            )
+        live_after = sum(1 for n in self.nodes if n.alive) - 1
+        if live_after < MIN_LIVE_NODES_ECP:
+            raise UnrecoverableFailure(
+                f"only {live_after} live nodes would remain; the ECP needs "
+                f"at least {MIN_LIVE_NODES_ECP} to host the copies of a "
+                "modified item"
+            )
+        node.fail()
+        self.stats.n_failures += 1
+        self.registry.on_node_failed(node_id)
+        self.directory.wipe_node(node_id)
+        self.ring.mark_dead(node_id)
+        self.coordinator.on_node_failed(node_id)
+        if permanent:
+            self._permanently_dead.add(node_id)
+            self._migrate_streams(node_id)
+        else:
+            self._pending_revival[node_id] = self.engine.now + repair_delay
+        self.engine.schedule(
+            self.cfg.ft.detection_latency, lambda: self.detect_failure(node_id)
+        )
+
+    def detect_failure(self, node_id: int) -> None:
+        """Idempotent failure detection; triggers the global recovery."""
+        if node_id in self._detected:
+            return
+        if self.nodes[node_id].alive:
+            return  # already revived (stale detection event)
+        self._detected.add(node_id)
+        self.coordinator.request_recovery()
+
+    def _migrate_streams(self, dead_node: int) -> None:
+        """Permanent failure: the dead node's processes restart on the
+        least-loaded live node after the rollback."""
+        streams = self.processors[dead_node].take_streams()
+        if not streams:
+            return
+        live = [p for p in self.processors if self.nodes[p.node_id].alive]
+        if not live:
+            raise UnrecoverableFailure("no live node left to adopt the work")
+        target = min(live, key=lambda p: len(p.streams))
+        for stream in streams:
+            target.assign(stream)
+
+    def after_recovery(self) -> None:
+        """Called by the recovery leader once restoration completed."""
+        self._detected.clear()
+        for node_id, ready_at in sorted(self._pending_revival.items()):
+            delay = max(0, ready_at - self.engine.now)
+            self.engine.schedule(delay, lambda n=node_id: self._revive_node(n))
+        self._pending_revival.clear()
+        # processors with restored work resume
+        for processor in self.processors:
+            if processor.has_work() and self.nodes[processor.node_id].alive:
+                self.coordinator.unretire(processor.node_id)
+
+    def _revive_node(self, node_id: int) -> None:
+        if self.coordinator.ckpt_requested or self.coordinator.recovery_requested:
+            # rejoin only between coordination episodes
+            self.engine.schedule(1000, lambda: self._revive_node(node_id))
+            return
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node.revive()
+        self.ring.revive(node_id)
+        self.coordinator.on_node_revived(node_id)
+
+    # -- auditing (tests and invariants) ----------------------------------------------
+
+    def item_census(self) -> dict[str, int]:
+        """Count item copies by state name across live nodes."""
+        census: dict[str, int] = {}
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            for _item, state in node.am.non_invalid_items():
+                census[state.name] = census.get(state.name, 0) + 1
+        return census
+
+    def items_by_state(self) -> dict[int, dict[ItemState, list[int]]]:
+        """item -> {state: [holder nodes]} over live nodes."""
+        result: dict[int, dict[ItemState, list[int]]] = {}
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            for item, state in node.am.non_invalid_items():
+                result.setdefault(item, {}).setdefault(state, []).append(node.node_id)
+        return result
+
+    def check_invariants(self) -> None:
+        """Assert the DESIGN.md I1-I4 invariants on the current state."""
+        serving_capable = (
+            ItemState.EXCLUSIVE,
+            ItemState.MASTER_SHARED,
+            ItemState.SHARED_CK1,
+            ItemState.PRE_COMMIT1,
+        )
+        for item, by_state in self.items_by_state().items():
+            # I3: at most one copy may grant exclusive rights.  An
+            # Inv-CK1 copy is *not* serving-capable — it legally
+            # coexists with the current owner until the next commit.
+            primaries = [
+                n
+                for state in serving_capable
+                for n in by_state.get(state, ())
+            ]
+            if len(primaries) > 1:
+                raise AssertionError(
+                    f"item {item}: multiple owner-capable copies at {primaries}"
+                )
+            for pair in (
+                (ItemState.SHARED_CK1, ItemState.SHARED_CK2),
+                (ItemState.INV_CK1, ItemState.INV_CK2),
+                (ItemState.PRE_COMMIT1, ItemState.PRE_COMMIT2),
+            ):
+                holders1 = by_state.get(pair[0], [])
+                holders2 = by_state.get(pair[1], [])
+                if len(holders1) > 1 or len(holders2) > 1:
+                    raise AssertionError(f"item {item}: duplicated {pair} copies")
+                if holders1 and holders2 and holders1[0] == holders2[0]:
+                    raise AssertionError(
+                        f"item {item}: recovery pair co-located on node {holders1[0]}"
+                    )

@@ -1,0 +1,16 @@
+"""Memory hierarchy substrate: coherence states, the sectored processor
+cache and the attraction memory (AM) with page-grain allocation."""
+
+from repro.memory.states import ItemState, LineState
+from repro.memory.cache import SectoredCache
+from repro.memory.attraction_memory import AttractionMemory, CapacityError
+from repro.memory.pages import PageRegistry
+
+__all__ = [
+    "ItemState",
+    "LineState",
+    "SectoredCache",
+    "AttractionMemory",
+    "CapacityError",
+    "PageRegistry",
+]

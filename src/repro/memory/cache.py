@@ -1,0 +1,211 @@
+"""Sectored, set-associative processor data cache (KSR1-like).
+
+Tags are kept per *sector* (2 KB); validity and dirtiness per *line*
+(64 B).  Allocation happens at sector granularity; lines fill on
+demand.  The cache is write-back and is kept coherent with the local AM
+by the protocol layer, which invalidates cached lines whenever the
+underlying AM item loses read or write permission.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.memory.states import LineState
+
+
+class _Sector:
+    __slots__ = ("sector_id", "lines")
+
+    def __init__(self, sector_id: int, n_lines: int):
+        self.sector_id = sector_id
+        self.lines = [LineState.INVALID] * n_lines
+
+
+class SectoredCache:
+    """One node's data cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._n_sets = config.n_sets
+        self._assoc = config.associativity
+        self._lines_per_sector = config.lines_per_sector
+        # Per set: list of sectors in LRU order (front = LRU, back = MRU).
+        self._sets: list[list[_Sector]] = [[] for _ in range(self._n_sets)]
+        self._index: dict[int, _Sector] = {}
+        # statistics
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.sector_evictions = 0
+
+    # -- geometry helpers -------------------------------------------------
+
+    def sector_of(self, addr: int) -> int:
+        return addr // self.config.sector_bytes
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.config.line_bytes
+
+    def _line_index(self, addr: int) -> int:
+        return (addr % self.config.sector_bytes) // self.config.line_bytes
+
+    def _set_index(self, sector_id: int) -> int:
+        return sector_id % self._n_sets
+
+    def line_base_addr(self, sector_id: int, line_idx: int) -> int:
+        return sector_id * self.config.sector_bytes + line_idx * self.config.line_bytes
+
+    # -- lookups ------------------------------------------------------------
+
+    def line_state(self, addr: int) -> LineState:
+        sector = self._index.get(self.sector_of(addr))
+        if sector is None:
+            return LineState.INVALID
+        return sector.lines[self._line_index(addr)]
+
+    def read_probe(self, addr: int) -> bool:
+        """Processor read: hit iff the line is CLEAN or DIRTY."""
+        state = self.line_state(addr)
+        if state is LineState.INVALID:
+            self.read_misses += 1
+            return False
+        self.read_hits += 1
+        self._touch(addr)
+        return True
+
+    def write_probe(self, addr: int) -> bool:
+        """Processor write: hit iff the line is already DIRTY.
+
+        A CLEAN line still needs write permission from the AM item
+        (checked by the protocol layer), so it is reported as a miss
+        here; the protocol upgrades it with :meth:`mark_dirty` once the
+        AM grants exclusivity.
+        """
+        state = self.line_state(addr)
+        if state is LineState.DIRTY:
+            self.write_hits += 1
+            self._touch(addr)
+            return True
+        self.write_misses += 1
+        return False
+
+    def has_clean_copy(self, addr: int) -> bool:
+        return self.line_state(addr) is LineState.CLEAN
+
+    # -- fills and upgrades ---------------------------------------------------
+
+    def fill(self, addr: int, dirty: bool = False) -> list[int]:
+        """Install the line holding ``addr``.
+
+        Returns the base addresses of dirty lines written back because
+        of a sector eviction (the protocol flushes them to the AM).
+        """
+        sector_id = self.sector_of(addr)
+        sector = self._index.get(sector_id)
+        writebacks: list[int] = []
+        if sector is None:
+            sector, writebacks = self._allocate_sector(sector_id)
+        idx = self._line_index(addr)
+        if dirty or sector.lines[idx] is not LineState.DIRTY:
+            # a clean refill never downgrades a dirty line (its data is
+            # newer than the AM's until written back)
+            sector.lines[idx] = LineState.DIRTY if dirty else LineState.CLEAN
+        self._touch(addr)
+        return writebacks
+
+    def mark_dirty(self, addr: int) -> None:
+        """Upgrade a present line to DIRTY (AM granted exclusivity)."""
+        sector = self._index.get(self.sector_of(addr))
+        if sector is None:
+            raise KeyError(f"line for addr {addr:#x} not present")
+        idx = self._line_index(addr)
+        if sector.lines[idx] is LineState.INVALID:
+            raise KeyError(f"line for addr {addr:#x} is invalid")
+        sector.lines[idx] = LineState.DIRTY
+
+    def _allocate_sector(self, sector_id: int) -> tuple[_Sector, list[int]]:
+        set_idx = self._set_index(sector_id)
+        ways = self._sets[set_idx]
+        writebacks: list[int] = []
+        if len(ways) >= self._assoc:
+            victim = ways.pop(0)  # LRU
+            del self._index[victim.sector_id]
+            self.sector_evictions += 1
+            for idx, state in enumerate(victim.lines):
+                if state is LineState.DIRTY:
+                    writebacks.append(self.line_base_addr(victim.sector_id, idx))
+        sector = _Sector(sector_id, self._lines_per_sector)
+        ways.append(sector)
+        self._index[sector_id] = sector
+        return sector, writebacks
+
+    def _touch(self, addr: int) -> None:
+        sector_id = self.sector_of(addr)
+        sector = self._index.get(sector_id)
+        if sector is None:
+            return
+        ways = self._sets[self._set_index(sector_id)]
+        if ways and ways[-1] is sector:
+            return
+        ways.remove(sector)
+        ways.append(sector)
+
+    # -- coherence actions ------------------------------------------------------
+
+    def invalidate_range(self, base_addr: int, n_bytes: int) -> None:
+        """Invalidate every cached line overlapping [base, base+n)."""
+        line_bytes = self.config.line_bytes
+        addr = base_addr
+        end = base_addr + n_bytes
+        while addr < end:
+            sector = self._index.get(self.sector_of(addr))
+            if sector is not None:
+                sector.lines[self._line_index(addr)] = LineState.INVALID
+            addr += line_bytes
+
+    def clean_range(self, base_addr: int, n_bytes: int) -> list[int]:
+        """Downgrade DIRTY lines in the range to CLEAN (checkpoint
+        flush); returns the base addresses of the lines flushed."""
+        line_bytes = self.config.line_bytes
+        flushed: list[int] = []
+        addr = base_addr
+        end = base_addr + n_bytes
+        while addr < end:
+            sector = self._index.get(self.sector_of(addr))
+            if sector is not None:
+                idx = self._line_index(addr)
+                if sector.lines[idx] is LineState.DIRTY:
+                    sector.lines[idx] = LineState.CLEAN
+                    flushed.append(addr - addr % line_bytes)
+            addr += line_bytes
+        return flushed
+
+    def flush_all_dirty(self) -> list[int]:
+        """Downgrade every DIRTY line to CLEAN; return their addresses."""
+        flushed: list[int] = []
+        for sector in self._index.values():
+            for idx, state in enumerate(sector.lines):
+                if state is LineState.DIRTY:
+                    sector.lines[idx] = LineState.CLEAN
+                    flushed.append(self.line_base_addr(sector.sector_id, idx))
+        return flushed
+
+    def invalidate_all(self) -> None:
+        """Drop everything (volatile cache lost on failure/recovery)."""
+        self._sets = [[] for _ in range(self._n_sets)]
+        self._index.clear()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def resident_sectors(self) -> int:
+        return len(self._index)
+
+    def dirty_lines(self) -> list[int]:
+        result = []
+        for sector in self._index.values():
+            for idx, state in enumerate(sector.lines):
+                if state is LineState.DIRTY:
+                    result.append(self.line_base_addr(sector.sector_id, idx))
+        return result

@@ -1,0 +1,96 @@
+"""Machine-wide page accounting.
+
+Tracks which nodes hold a frame for each address-space page.  This
+backs three things:
+
+- the Fig. 7 memory-overhead measurement (frames allocated machine-wide
+  under the ECP vs the standard protocol);
+- the irreplaceable-frame reservation: the KSR1 reserves one frame per
+  allocated page so an injected master copy always finds room; the ECP
+  reserves *four* (Section 4.1) because up to four copies of a modified
+  item coexist during the create phase;
+- sharing-list sanity checks in tests (holders of a page / item).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class ReservationError(RuntimeError):
+    """The machine can no longer honour the irreplaceable-frame
+    reservation — the working set does not fit."""
+
+
+class PageRegistry:
+    """Global registry of page residency across all AMs."""
+
+    def __init__(self, n_nodes: int, frames_per_node: int, reserved_frames_per_page: int):
+        self.n_nodes = n_nodes
+        self.frames_per_node = frames_per_node
+        self.reserved_frames_per_page = reserved_frames_per_page
+        self._holders: dict[int, set[int]] = defaultdict(set)
+        #: Every distinct page ever allocated anywhere (the data set).
+        self.distinct_pages: set[int] = set()
+        self.frames_in_use = 0
+        self.frames_in_use_peak = 0
+
+    # -- events ------------------------------------------------------------
+
+    def on_page_allocated(self, page: int, node: int) -> None:
+        holders = self._holders[page]
+        if node in holders:
+            raise ValueError(f"page {page} already resident on node {node}")
+        first_touch = page not in self.distinct_pages
+        if first_touch:
+            self.distinct_pages.add(page)
+            if not self.reservation_satisfiable():
+                self.distinct_pages.discard(page)
+                raise ReservationError(
+                    f"admitting page {page} would need "
+                    f"{self.reserved_frames_per_page * (len(self.distinct_pages) + 1)} "
+                    f"reserved frames but the machine has {self.total_frames}"
+                )
+        holders.add(node)
+        self.frames_in_use += 1
+        if self.frames_in_use > self.frames_in_use_peak:
+            self.frames_in_use_peak = self.frames_in_use
+
+    def on_page_dropped(self, page: int, node: int) -> None:
+        holders = self._holders.get(page)
+        if not holders or node not in holders:
+            raise ValueError(f"page {page} not resident on node {node}")
+        holders.discard(node)
+        self.frames_in_use -= 1
+
+    def on_node_failed(self, node: int) -> None:
+        """Remove the failed node from every holder set."""
+        for holders in self._holders.values():
+            if node in holders:
+                holders.discard(node)
+                self.frames_in_use -= 1
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def total_frames(self) -> int:
+        return self.n_nodes * self.frames_per_node
+
+    def holders(self, page: int) -> set[int]:
+        return set(self._holders.get(page, ()))
+
+    def copies_of(self, page: int) -> int:
+        return len(self._holders.get(page, ()))
+
+    def reservation_satisfiable(self) -> bool:
+        """Would the irreplaceable-frame reservation still hold with the
+        current distinct-page count?"""
+        needed = self.reserved_frames_per_page * (len(self.distinct_pages) + 1)
+        return needed <= self.total_frames
+
+    def reserved_frames(self) -> int:
+        return self.reserved_frames_per_page * len(self.distinct_pages)
+
+    def pages_allocated_machine_wide(self) -> int:
+        """Current frame count across all AMs (the Fig. 7 metric)."""
+        return self.frames_in_use

@@ -1,0 +1,125 @@
+"""Coherence states of the standard protocol and of the ECP.
+
+The standard COMA-F-like protocol uses four stable states per AM item:
+``Invalid``, ``Shared``, ``Master-Shared`` and ``Exclusive``.  The ECP
+adds six (Section 4.1): the Shared-CK, Inv-CK and Pre-Commit states are
+each split in two so that exactly one copy of each pair (the ``*1``
+copy) is owner-capable — this is what prevents multiple-owner
+violations after a recovery.  Encoding the six new stable states costs
+three extra bits per item in hardware; here they are enum members.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ItemState(enum.IntEnum):
+    """Per-item AM state (IntEnum for compact storage in state arrays)."""
+
+    INVALID = 0
+    SHARED = 1
+    MASTER_SHARED = 2
+    EXCLUSIVE = 3
+    SHARED_CK1 = 4
+    SHARED_CK2 = 5
+    INV_CK1 = 6
+    INV_CK2 = 7
+    PRE_COMMIT1 = 8
+    PRE_COMMIT2 = 9
+
+    # -- predicates -----------------------------------------------------
+
+    @property
+    def is_recovery(self) -> bool:
+        """Part of a committed recovery point (Shared-CK or Inv-CK)."""
+        return self in _RECOVERY
+
+    @property
+    def is_checkpoint_readable(self) -> bool:
+        """Recovery copy that may still serve processor reads."""
+        return self in _SHARED_CK
+
+    @property
+    def is_owner(self) -> bool:
+        """Owner-capable current copy (answers requests, must not be lost)."""
+        return self in _OWNER
+
+    @property
+    def is_current(self) -> bool:
+        """Copy belonging to the current computation state."""
+        return self in _CURRENT
+
+    @property
+    def is_readable(self) -> bool:
+        """Copy that can satisfy a local processor read."""
+        return self in _READABLE
+
+    @property
+    def is_replaceable(self) -> bool:
+        """Copy an AM may silently drop to accept an injection."""
+        return self in _REPLACEABLE
+
+    @property
+    def is_precommit(self) -> bool:
+        return self in _PRE_COMMIT
+
+    @property
+    def is_primary(self) -> bool:
+        """The ``*1`` member of a recovery/pre-commit pair, or a current
+        owner — the single copy allowed to grant exclusive rights."""
+        return self in _PRIMARY
+
+    def partner(self) -> "ItemState":
+        """The other member of a CK/Pre-Commit pair."""
+        try:
+            return _PARTNER[self]
+        except KeyError:
+            raise ValueError(f"{self.name} has no paired state") from None
+
+
+_SHARED_CK = frozenset({ItemState.SHARED_CK1, ItemState.SHARED_CK2})
+_INV_CK = frozenset({ItemState.INV_CK1, ItemState.INV_CK2})
+_PRE_COMMIT = frozenset({ItemState.PRE_COMMIT1, ItemState.PRE_COMMIT2})
+_RECOVERY = _SHARED_CK | _INV_CK
+_OWNER = frozenset({ItemState.EXCLUSIVE, ItemState.MASTER_SHARED})
+_CURRENT = frozenset(
+    {ItemState.SHARED, ItemState.MASTER_SHARED, ItemState.EXCLUSIVE}
+)
+_READABLE = _CURRENT | _SHARED_CK
+_REPLACEABLE = frozenset({ItemState.INVALID, ItemState.SHARED})
+_PRIMARY = frozenset(
+    {
+        ItemState.EXCLUSIVE,
+        ItemState.MASTER_SHARED,
+        ItemState.SHARED_CK1,
+        ItemState.INV_CK1,
+        ItemState.PRE_COMMIT1,
+    }
+)
+_PARTNER = {
+    ItemState.SHARED_CK1: ItemState.SHARED_CK2,
+    ItemState.SHARED_CK2: ItemState.SHARED_CK1,
+    ItemState.INV_CK1: ItemState.INV_CK2,
+    ItemState.INV_CK2: ItemState.INV_CK1,
+    ItemState.PRE_COMMIT1: ItemState.PRE_COMMIT2,
+    ItemState.PRE_COMMIT2: ItemState.PRE_COMMIT1,
+}
+
+#: States the recovery phase invalidates (Section 3.4): all current
+#: copies plus Pre-Commit copies of an unfinished establishment.
+RECOVERY_INVALIDATED = _CURRENT | _PRE_COMMIT
+
+
+class LineState(enum.IntEnum):
+    """Processor cache line state.
+
+    The cache is write-back: DIRTY lines hold data newer than the AM.
+    At a recovery point, dirty lines are flushed to the AM but stay in
+    the cache (CLEAN) and remain readable — this is why the paper
+    observes almost no read-miss increase (Section 4.2.3).
+    """
+
+    INVALID = 0
+    CLEAN = 1
+    DIRTY = 2

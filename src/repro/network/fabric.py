@@ -1,0 +1,148 @@
+"""Wormhole-approximated mesh fabric with per-link contention.
+
+Each directed mesh link of each subnetwork is a
+:class:`~repro.sim.resources.ContentionPoint`.  A packet of ``f`` flits
+traversing ``h`` links is charged ``hop * h + f`` cycles uncontended
+(header routing pipelined with body serialization); under contention the
+header additionally queues at every link behind packets that occupy it.
+This reproduces the paper's Table 2 latencies exactly in the
+uncontended case and preserves the qualitative behaviour of hot links
+without flit-level simulation (DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from repro.config import LatencyConfig
+from repro.network.topology import Mesh, Subnet
+from repro.network.message import Message, MessageKind
+from repro.sim.resources import ContentionPoint
+
+
+class MeshFabric:
+    """The physical interconnect: two subnets of contended links."""
+
+    def __init__(self, mesh: Mesh, latency: LatencyConfig, record_trace: bool = False):
+        self.mesh = mesh
+        self.latency = latency
+        self._links: dict[Subnet, dict[tuple[int, int], ContentionPoint]] = {
+            subnet: {
+                link: ContentionPoint(name=f"{subnet.name}:{link[0]}->{link[1]}")
+                for link in mesh.all_links()
+            }
+            for subnet in Subnet
+        }
+        self.record_trace = record_trace
+        self.trace: list[Message] = []
+        # aggregate statistics
+        self.messages_sent = 0
+        self.flits_carried = 0
+        self.data_bytes_carried = 0
+
+    # -- core transfer --------------------------------------------------
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+        data_bytes: int = 0,
+    ) -> int:
+        """Move a packet from ``src`` to ``dst``; return arrival time.
+
+        A transfer between a node and itself costs nothing (the request
+        never enters the network).
+        """
+        if src == dst:
+            return depart
+        links = self._links[subnet]
+        cursor = depart
+        for link in self.mesh.xy_route(src, dst):
+            point = links[link]
+            start = point.wait_until_free(cursor)
+            point.occupy(start, flits)
+            cursor = start + self.latency.hop
+        arrival = cursor + flits
+        self.messages_sent += 1
+        self.flits_carried += flits * self.mesh.hops(src, dst)
+        self.data_bytes_carried += data_bytes
+        if self.record_trace and kind is not None:
+            self.trace.append(
+                Message(kind=kind, src=src, dst=dst, item=item, depart=depart, arrive=arrival)
+            )
+        return arrival
+
+    # -- convenience wrappers --------------------------------------------
+
+    def control(
+        self,
+        src: int,
+        dst: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+    ) -> int:
+        """Send a control packet (request/ack/invalidation)."""
+        return self.transfer(
+            src, dst, self.latency.control_flits, subnet, depart, kind=kind, item=item
+        )
+
+    def data(
+        self,
+        src: int,
+        dst: int,
+        item_bytes: int,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+    ) -> int:
+        """Send a packet carrying a full memory item on the reply subnet."""
+        flits = self.latency.control_flits + self.latency.item_flits(item_bytes)
+        return self.transfer(
+            src,
+            dst,
+            flits,
+            Subnet.REPLY,
+            depart,
+            kind=kind,
+            item=item,
+            data_bytes=item_bytes,
+        )
+
+    def broadcast(
+        self,
+        src: int,
+        targets: list[int],
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+    ) -> dict[int, int]:
+        """Send one control packet to each target; return arrival times."""
+        return {
+            dst: self.control(src, dst, subnet, depart, kind=kind) for dst in targets
+        }
+
+    # -- introspection --------------------------------------------------
+
+    def link_utilisation(self, elapsed: int) -> dict[Subnet, float]:
+        """Mean link utilisation per subnet over ``elapsed`` cycles."""
+        result = {}
+        for subnet, links in self._links.items():
+            if not links:
+                result[subnet] = 0.0
+                continue
+            result[subnet] = sum(p.utilisation(elapsed) for p in links.values()) / len(links)
+        return result
+
+    def reset_stats(self) -> None:
+        self.messages_sent = 0
+        self.flits_carried = 0
+        self.data_bytes_carried = 0
+        self.trace.clear()
+        for links in self._links.values():
+            for point in links.values():
+                point.reset()

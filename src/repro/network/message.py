@@ -1,0 +1,69 @@
+"""Protocol message taxonomy.
+
+Transactions are computed analytically (DESIGN.md section 3), so
+messages are not individually queued through the simulator; this module
+gives them names, sizes and an optional trace record used by tests and
+by the statistics layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MessageKind(enum.Enum):
+    # standard protocol
+    READ_REQ = "read_req"
+    WRITE_REQ = "write_req"
+    DATA_REPLY = "data_reply"
+    OWNERSHIP_REPLY = "ownership_reply"
+    INVALIDATE = "invalidate"
+    INVALIDATE_ACK = "invalidate_ack"
+    POINTER_LOOKUP = "pointer_lookup"
+    POINTER_UPDATE = "pointer_update"
+    SHARER_DROP = "sharer_drop"
+    # injections
+    INJECT_PROBE = "inject_probe"
+    INJECT_ACCEPT = "inject_accept"
+    INJECT_DATA = "inject_data"
+    INJECT_ACK = "inject_ack"
+    # ECP / checkpointing
+    PRECOMMIT_MARK = "precommit_mark"
+    PRECOMMIT_ACK = "precommit_ack"
+    CHECKPOINT_START = "checkpoint_start"
+    RECOVERY_BROADCAST = "recovery_broadcast"
+    RECONFIG_PROBE = "reconfig_probe"
+
+
+#: Message kinds that carry a full memory item as payload.
+DATA_KINDS = frozenset(
+    {
+        MessageKind.DATA_REPLY,
+        MessageKind.OWNERSHIP_REPLY,
+        MessageKind.INJECT_DATA,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A record of one protocol message (used for traces and tests)."""
+
+    kind: MessageKind
+    src: int
+    dst: int
+    item: int | None = None
+    #: Simulation time the message entered the network.
+    depart: int = 0
+    #: Simulation time the last flit arrived.
+    arrive: int = 0
+
+    @property
+    def carries_data(self) -> bool:
+        return self.kind in DATA_KINDS
+
+    def flits(self, control_flits: int, item_flits: int) -> int:
+        if self.carries_data:
+            return control_flits + item_flits
+        return control_flits

@@ -1,0 +1,79 @@
+"""The ECP's logical injection ring.
+
+"In order to easily find a place for an injected line, a logical ring
+is mapped onto the physical interconnection network.  This logical ring
+must be reconfigured in the event of a failure." (Section 4.1)
+
+The ring follows the mesh's snake order so successive ring nodes are
+physical neighbours; a failed node is simply skipped, which is exactly
+the reconfiguration the paper calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.network.topology import Mesh
+
+
+class LogicalRing:
+    """Snake-ordered ring over the mesh nodes, with failure skip."""
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+        self._order = mesh.snake_order()
+        self._position = {node: idx for idx, node in enumerate(self._order)}
+        self._dead: set[int] = set()
+
+    # -- failure management ---------------------------------------------
+
+    def mark_dead(self, node: int) -> None:
+        """Reconfigure the ring to skip ``node``."""
+        self._check(node)
+        self._dead.add(node)
+        if len(self._dead) >= len(self._order):
+            raise RuntimeError("all ring nodes are dead")
+
+    def revive(self, node: int) -> None:
+        """Re-insert a repaired node (transient-failure rejoin)."""
+        self._check(node)
+        self._dead.discard(node)
+
+    def is_alive(self, node: int) -> bool:
+        return node not in self._dead
+
+    @property
+    def live_nodes(self) -> list[int]:
+        return [n for n in self._order if n not in self._dead]
+
+    # -- traversal --------------------------------------------------------
+
+    def successor(self, node: int) -> int:
+        """Next live node on the ring after ``node``."""
+        self._check(node)
+        idx = self._position[node]
+        n = len(self._order)
+        for step in range(1, n + 1):
+            candidate = self._order[(idx + step) % n]
+            if candidate not in self._dead:
+                return candidate
+        raise RuntimeError("no live successor on the ring")
+
+    def walk_from(self, node: int, include_start: bool = False) -> Iterator[int]:
+        """Yield live nodes in ring order starting after ``node``.
+
+        The walk visits every live node exactly once.  ``include_start``
+        begins with ``node`` itself (used by recovery scans).
+        """
+        self._check(node)
+        idx = self._position[node]
+        n = len(self._order)
+        start = 0 if include_start else 1
+        for step in range(start, n):
+            candidate = self._order[(idx + step) % n]
+            if candidate not in self._dead:
+                yield candidate
+
+    def _check(self, node: int) -> None:
+        if node not in self._position:
+            raise ValueError(f"node {node} is not on the ring")

@@ -1,0 +1,101 @@
+"""Mesh geometry and XY routing."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Subnet(enum.Enum):
+    """The mesh is split into a request and a reply subnetwork so that
+    protocol replies can never be blocked behind requests (deadlock
+    avoidance, Section 4.2.2)."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+class Mesh:
+    """A ``width`` x ``height`` rectangular mesh of nodes.
+
+    Nodes are numbered row-major: node ``n`` sits at
+    ``(n % width, n // width)``.  Links are directed; a link is
+    identified by the tuple ``(src_node, dst_node)`` of the two adjacent
+    nodes it connects.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> tuple[int, int]:
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def xy_route(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Directed links traversed by dimension-ordered (XY) routing."""
+        self._check(src)
+        self._check(dst)
+        links: list[tuple[int, int]] = []
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            links.append((self.node_at(x, y), self.node_at(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            links.append((self.node_at(x, y), self.node_at(x, ny)))
+            y = ny
+        return links
+
+    def all_links(self) -> list[tuple[int, int]]:
+        """Every directed link in the mesh."""
+        links = []
+        for node in range(self.n_nodes):
+            x, y = self.coords(node)
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if 0 <= nx < self.width and 0 <= ny < self.height:
+                    links.append((node, self.node_at(nx, ny)))
+        return links
+
+    def neighbours(self, node: int) -> list[int]:
+        x, y = self.coords(node)
+        result = []
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                result.append(self.node_at(nx, ny))
+        return result
+
+    def snake_order(self) -> list[int]:
+        """Boustrophedon node ordering — adjacent entries are mesh
+        neighbours, which makes it a natural embedding for the ECP's
+        logical injection ring."""
+        order: list[int] = []
+        for y in range(self.height):
+            row = range(self.width) if y % 2 == 0 else range(self.width - 1, -1, -1)
+            order.extend(self.node_at(x, y) for x in row)
+        return order
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside mesh of {self.n_nodes} nodes")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Mesh {self.width}x{self.height}>"

@@ -1,0 +1,6 @@
+"""Computation nodes: processor, cache, attraction memory, NI."""
+
+from repro.node.node import Node
+from repro.node.processor import Processor
+
+__all__ = ["Node", "Processor"]

@@ -1,0 +1,44 @@
+"""One computation node: cache + attraction memory + memory controller.
+
+The processor driving the node lives in :mod:`repro.node.processor`;
+protocols operate directly on the structures here.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig
+from repro.memory.attraction_memory import AttractionMemory
+from repro.memory.cache import SectoredCache
+from repro.sim.resources import ContentionPoint
+from repro.stats.collectors import NodeStats
+
+
+class Node:
+    """Hardware state of one node (everything that a failure wipes,
+    plus the statistics that survive for reporting)."""
+
+    def __init__(self, node_id: int, config: ArchConfig):
+        self.node_id = node_id
+        self.config = config
+        self.cache = SectoredCache(config.cache)
+        self.am = AttractionMemory(config.am, node_id=node_id)
+        #: The AM/directory controllers: remote requests, local fills
+        #: and injections contend here.  "As in the KSR1, four
+        #: independent controllers implement the AMs" (Section 4.2.2).
+        self.mem_ctrl = ContentionPoint(name=f"node{node_id}.mem", servers=4)
+        self.alive = True
+        self.stats = NodeStats(node_id)
+
+    def fail(self) -> None:
+        """Fail-silent failure: volatile cache and AM contents are lost."""
+        self.alive = False
+        self.cache.invalidate_all()
+        self.am.clear()
+
+    def revive(self) -> None:
+        """Transient-failure rejoin: the node returns with empty memory."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id} {status}>"

@@ -1,0 +1,26 @@
+"""A CC-NUMA comparison machine.
+
+The paper's central architectural argument (Sections 1 and 3.1) is
+that COMA beats CC-NUMA as a substrate for backward error recovery:
+
+- in a CC-NUMA, memory blocks have *fixed physical homes*, so recovery
+  data needs dedicated storage (a mirror on another node) and every
+  modified block must be transferred at each recovery point — there is
+  no pre-existing replication to reuse;
+- after a permanent failure, the blocks homed on the dead node must be
+  *re-homed with different physical addresses*, a much more complex
+  reconfiguration than COMA's "reallocate anywhere".
+
+This package implements that comparison point: a home-based
+write-invalidate CC-NUMA built on the same kernel, mesh and cache
+substrate, plus a mirror-based BER scheme (checkpoint = flush modified
+blocks to a buddy node's mirror region; recovery = restore from
+mirrors; permanent failure = re-home the dead node's partition with a
+per-access translation penalty).  The A5 ablation bench quantifies the
+paper's claim.
+"""
+
+from repro.numa.machine import NumaMachine, NumaRunResult
+from repro.numa.protocol import NumaProtocol
+
+__all__ = ["NumaMachine", "NumaRunResult", "NumaProtocol"]

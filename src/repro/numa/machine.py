@@ -1,0 +1,251 @@
+"""The CC-NUMA comparison machine.
+
+Reuses the simulation kernel, mesh fabric, sectored caches, workloads
+and statistics of the COMA machine, but with fixed-home memory and the
+mirror-based BER scheme of :mod:`repro.numa.protocol`.  Deliberately
+simpler than :class:`repro.machine.Machine` (no failure *survival* —
+the point of the A5 ablation is to measure the *cost* of checkpointing
+and of post-failure re-homing on a CC-NUMA, not to rebuild the paper's
+whole fault tolerance on the weaker substrate).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.config import ArchConfig, mesh_dimensions
+from repro.memory.cache import SectoredCache
+from repro.network.fabric import MeshFabric
+from repro.network.topology import Mesh
+from repro.numa.protocol import NumaProtocol
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.resources import ContentionPoint
+from repro.sim.sync import MemberBarrier
+from repro.stats.collectors import NodeStats
+from repro.workloads.base import Workload
+
+
+class NumaNode:
+    """One CC-NUMA node: processor cache + its share of main memory."""
+
+    def __init__(self, node_id: int, cfg: ArchConfig):
+        self.node_id = node_id
+        self.cache = SectoredCache(cfg.cache)
+        self.mem_ctrl = ContentionPoint(name=f"numa{node_id}.mem", servers=4)
+        self.alive = True
+        self.stats = NodeStats(node_id)
+
+
+@dataclass
+class NumaRunResult:
+    config: ArchConfig
+    total_cycles: int
+    refs: int
+    n_checkpoints: int
+    create_cycles: int
+    ckpt_blocks_copied: int
+    ckpt_bytes_copied: int
+    rehoming_blocks: int
+    rehoming_cycles: int
+    translated_accesses: int
+    wall_seconds: float
+
+
+class NumaMachine:
+    """Build and run one CC-NUMA machine."""
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        workload: Workload,
+        checkpointing: bool = True,
+        fail_node_at: tuple[int, int] | None = None,
+    ):
+        self.cfg = cfg
+        self.workload = workload
+        self.engine = Engine()
+        width, height = mesh_dimensions(cfg.n_nodes)
+        self.mesh = Mesh(width, height)
+        self.fabric = MeshFabric(self.mesh, cfg.latency)
+        self.nodes = [NumaNode(i, cfg) for i in range(cfg.n_nodes)]
+        self.protocol = NumaProtocol(self)
+        self.checkpointing = checkpointing
+        #: Optional (time, node) single permanent failure to measure
+        #: the re-homing cost.
+        self.fail_node_at = fail_node_at
+
+        self._streams = workload.build_streams()
+        # per-node assignment of stream indices (migration moves them)
+        self._assigned: list[list[int]] = [[] for _ in range(cfg.n_nodes)]
+        for idx in range(len(self._streams)):
+            self._assigned[idx % cfg.n_nodes].append(idx)
+        self._active: set[int] = set()
+        self._ckpt_requested = False
+        self._barrier: MemberBarrier | None = None
+        self._leader = -1
+
+        # results
+        self.n_checkpoints = 0
+        self.create_cycles = 0
+        self.ckpt_blocks_copied = 0
+        self.rehoming_blocks = 0
+        self.rehoming_cycles = 0
+        self.last_finish = 0
+        self._started = False
+
+    # -- processes ------------------------------------------------------------
+
+    def _processor(self, node_id: int):
+        protocol = self.protocol
+        node = self.nodes[node_id]
+        while True:
+            if self._ckpt_requested and self._barrier is not None \
+                    and node_id in self._barrier.expected:
+                yield from self._participate(node_id)
+                continue
+            stream = self._stream_for(node_id)
+            if stream is None or not node.alive:
+                self._active.discard(node_id)
+                if self._barrier is not None:
+                    # a finished processor stops participating in any
+                    # in-flight checkpoint barrier
+                    self._barrier.remove_member(node_id)
+                self.last_finish = max(self.last_finish, self.engine.now)
+                return
+            t_local = self.engine.now
+            deadline = t_local + 256
+            while t_local < deadline and not self._ckpt_requested:
+                ref = stream.next_ref()
+                if ref is None:
+                    break
+                issue = t_local + ref.think
+                if ref.is_write:
+                    t_local = protocol.write(node_id, ref.addr, issue)
+                else:
+                    t_local = protocol.read(node_id, ref.addr, issue)
+            if t_local > self.engine.now:
+                yield t_local - self.engine.now
+
+    def _stream_for(self, node_id: int):
+        for idx in self._assigned[node_id]:
+            stream = self._streams[idx]
+            if not stream.exhausted:
+                return stream
+        return None
+
+    def _participate(self, node_id: int):
+        barrier = self._barrier
+        assert barrier is not None
+        yield barrier.arrive(node_id)
+        t0 = self.engine.now
+        # every home flushes its modified blocks to its mirror; the
+        # checkpoint completes when the slowest home is done
+        done, copied = self.protocol.checkpoint_home(node_id, self.engine.now)
+        self.ckpt_blocks_copied += copied
+        if done > self.engine.now:
+            yield done - self.engine.now
+        yield barrier.arrive(node_id)
+        if node_id == self._leader:
+            # homes whose processors already finished still need a flush
+            t = self.engine.now
+            for home in range(self.cfg.n_nodes):
+                if home in barrier.expected:
+                    continue
+                done, copied = self.protocol.checkpoint_home(home, t)
+                self.ckpt_blocks_copied += copied
+                t = max(t, done)
+            if t > self.engine.now:
+                yield t - self.engine.now
+            self.create_cycles += self.engine.now - t0
+            self.n_checkpoints += 1
+            self._snapshot = {s.proc_id: s.position for s in self._streams}
+            self._ckpt_requested = False
+
+    def _scheduler(self):
+        override = self.cfg.ft.checkpoint_period_override
+        period_refs = self.cfg.checkpoint_period_references(
+            self.workload.reference_density
+        )
+        refs_at_last = 0
+        next_at = self.engine.now + (override or 0)
+        while True:
+            yield 2_000
+            if not self._active:
+                return
+            if override is not None:
+                if self.engine.now < next_at:
+                    continue
+            else:
+                total = sum(ns.stats.refs for ns in self.nodes)
+                if (total - refs_at_last) / max(1, len(self._active)) < period_refs:
+                    continue
+            self._ckpt_requested = True
+            self._barrier = MemberBarrier(
+                self.engine, set(self._active), name="numa-ckpt"
+            )
+            self._leader = min(self._active)
+            while self._ckpt_requested:
+                yield 500
+            refs_at_last = sum(ns.stats.refs for ns in self.nodes)
+            next_at = self.engine.now + (override or 0)
+
+    def _fault(self):
+        assert self.fail_node_at is not None
+        at, node_id = self.fail_node_at
+        delay = at - self.engine.now
+        if delay > 0:
+            yield delay
+        if not self._active:
+            return
+        node = self.nodes[node_id]
+        node.alive = False
+        node.cache.invalidate_all()
+        # global rollback to the mirrors, then re-home the partition
+        for n in self.nodes:
+            n.cache.invalidate_all()
+        self.protocol.recovery_reset()
+        for stream in self._streams:
+            stream.rewind_to(self._snapshot.get(stream.proc_id, 0))
+        t, moved = self.protocol.rehome_partition(node_id, self.engine.now)
+        self.rehoming_blocks += moved
+        self.rehoming_cycles += t - self.engine.now
+        # the dead node's work restarts on its buddy
+        if self._assigned[node_id]:
+            buddy = self.protocol.mirror_of(node_id)
+            self._assigned[buddy].extend(self._assigned[node_id])
+            self._assigned[node_id] = []
+        if t > self.engine.now:
+            yield t - self.engine.now
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self) -> NumaRunResult:
+        if self._started:
+            raise RuntimeError("machine already ran")
+        self._started = True
+        wall0 = _time.perf_counter()
+        self._snapshot = {s.proc_id: s.position for s in self._streams}
+        for node_id in range(self.cfg.n_nodes):
+            if node_id < len(self._streams):
+                self._active.add(node_id)
+            Process(self.engine, self._processor(node_id), name=f"numa-cpu{node_id}")
+        if self.checkpointing:
+            Process(self.engine, self._scheduler(), name="numa-sched")
+        if self.fail_node_at is not None:
+            Process(self.engine, self._fault(), name="numa-fault")
+        self.engine.run()
+        return NumaRunResult(
+            config=self.cfg,
+            total_cycles=self.last_finish,
+            refs=sum(n.stats.refs for n in self.nodes),
+            n_checkpoints=self.n_checkpoints,
+            create_cycles=self.create_cycles,
+            ckpt_blocks_copied=self.ckpt_blocks_copied,
+            ckpt_bytes_copied=self.ckpt_blocks_copied * self.cfg.item_bytes,
+            rehoming_blocks=self.rehoming_blocks,
+            rehoming_cycles=self.rehoming_cycles,
+            translated_accesses=self.protocol.translated_accesses,
+            wall_seconds=_time.perf_counter() - wall0,
+        )

@@ -1,0 +1,292 @@
+"""Home-based write-invalidate coherence for the CC-NUMA machine.
+
+Blocks (128 B, same granularity as the COMA items) have fixed homes:
+``home(block) = page(block) % n_nodes``.  The home's memory always
+backs the block; the directory at the home tracks cached copies:
+
+===========  =====================================================
+``UNCACHED``  no cached copies; memory is current
+``SHARED``    read-only copies in one or more caches; memory current
+``MODIFIED``  exactly one cache holds a dirty copy; memory is stale
+===========  =====================================================
+
+The BER extension (mirror-based, Section 3.1's CC-NUMA strawman):
+each home partition is mirrored on a buddy node.  A recovery point
+*recalls* every dirty cached block, then copies every block modified
+since the last recovery point to the mirror.  After a permanent
+failure the mirror becomes the new home — but unlike COMA, the blocks
+change physical address, so every later access to a re-homed block
+pays a translation penalty, and the partition must be re-mirrored
+wholesale to restore failure independence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.network.fabric import MeshFabric
+from repro.network.message import MessageKind
+from repro.network.topology import Subnet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.numa.machine import NumaMachine, NumaNode
+
+
+class BlockState(enum.Enum):
+    UNCACHED = "uncached"
+    SHARED = "shared"
+    MODIFIED = "modified"
+
+
+@dataclass
+class BlockEntry:
+    """Directory entry at the block's home."""
+
+    state: BlockState = BlockState.UNCACHED
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None  # cache holding the MODIFIED copy
+
+
+#: Extra cycles per access to a re-homed block (software address
+#: translation after a permanent failure re-homed the partition).
+TRANSLATION_PENALTY = 6
+
+
+class NumaProtocol:
+    """The CC-NUMA coherence protocol plus its BER bookkeeping."""
+
+    name = "cc-numa"
+
+    def __init__(self, machine: "NumaMachine"):
+        self.machine = machine
+        self.cfg: ArchConfig = machine.cfg
+        self.fabric: MeshFabric = machine.fabric
+        # directory[home][block] -> BlockEntry
+        self._directory: list[dict[int, BlockEntry]] = [
+            {} for _ in range(self.cfg.n_nodes)
+        ]
+        # blocks modified since the last recovery point, per home
+        self.dirty_since_ckpt: list[set[int]] = [
+            set() for _ in range(self.cfg.n_nodes)
+        ]
+        # partition re-homing after permanent failures: original home
+        # node -> node now serving it (identity when no failure)
+        self.home_map: list[int] = list(range(self.cfg.n_nodes))
+        #: Blocks homed on a re-homed partition pay TRANSLATION_PENALTY.
+        self.translated_accesses = 0
+
+    # -- homes ------------------------------------------------------------
+
+    def original_home(self, block: int) -> int:
+        return (block // self.cfg.items_per_page) % self.cfg.n_nodes
+
+    def home_of(self, block: int) -> int:
+        return self.home_map[self.original_home(block)]
+
+    def mirror_of(self, home: int) -> int:
+        """The buddy holding this partition's recovery mirror."""
+        nodes = self.machine.nodes
+        buddy = (home + 1) % self.cfg.n_nodes
+        while not nodes[buddy].alive or buddy == home:
+            buddy = (buddy + 1) % self.cfg.n_nodes
+        return buddy
+
+    def entry(self, block: int) -> BlockEntry:
+        directory = self._directory[self.original_home(block)]
+        found = directory.get(block)
+        if found is None:
+            found = BlockEntry()
+            directory[block] = found
+        return found
+
+    # -- processor operations ------------------------------------------------
+
+    def read(self, node_id: int, addr: int, now: int) -> int:
+        node = self.machine.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.reads += 1
+        if node.cache.read_probe(addr):
+            return now + self.cfg.latency.cache_hit
+        stats.am_read_accesses += 1
+        stats.am_read_misses += 1
+        block = self.cfg.item_of(addr)
+        t = self._fetch(node_id, block, addr, now, exclusive=False)
+        node.cache.fill(addr, dirty=False)
+        return t
+
+    def write(self, node_id: int, addr: int, now: int) -> int:
+        node = self.machine.nodes[node_id]
+        stats = node.stats
+        stats.refs += 1
+        stats.writes += 1
+        if node.cache.write_probe(addr):
+            return now + self.cfg.latency.cache_hit
+        stats.am_write_accesses += 1
+        stats.am_write_misses += 1
+        block = self.cfg.item_of(addr)
+        t = self._fetch(node_id, block, addr, now, exclusive=True)
+        node.cache.fill(addr, dirty=True)
+        entry = self.entry(block)
+        entry.state = BlockState.MODIFIED
+        entry.owner = node_id
+        entry.sharers = set()
+        self.dirty_since_ckpt[self.original_home(block)].add(block)
+        return t
+
+    def _fetch(
+        self, node_id: int, block: int, addr: int, now: int, exclusive: bool
+    ) -> int:
+        lat = self.cfg.latency
+        machine = self.machine
+        home = self.home_of(block)
+        t = machine.nodes[node_id].mem_ctrl.occupy(now, lat.local_am_fill)
+        if self.home_map[self.original_home(block)] != self.original_home(block):
+            # re-homed partition: software translation on every access
+            t += TRANSLATION_PENALTY
+            self.translated_accesses += 1
+        entry = self.entry(block)
+        if home != node_id:
+            t += lat.req_launch
+            t = self.fabric.control(
+                node_id, home, Subnet.REQUEST, t, MessageKind.READ_REQ, block
+            )
+        t = machine.nodes[home].mem_ctrl.occupy(t, lat.remote_am_service)
+
+        # recall / invalidate cached copies as needed
+        if entry.state is BlockState.MODIFIED and entry.owner != node_id:
+            owner = entry.owner
+            assert owner is not None
+            t = self.fabric.control(
+                home, owner, Subnet.REQUEST, t, MessageKind.INVALIDATE, block
+            )
+            owner_node = machine.nodes[owner]
+            owner_node.cache.invalidate_range(
+                block * self.cfg.item_bytes, self.cfg.item_bytes
+            )
+            t = self.fabric.data(
+                owner, home, self.cfg.item_bytes, t, MessageKind.DATA_REPLY, block
+            )
+            entry.state = BlockState.SHARED
+            entry.owner = None
+        if exclusive:
+            for sharer in sorted(entry.sharers):
+                if sharer == node_id:
+                    continue
+                sh = machine.nodes[sharer]
+                if not sh.alive:
+                    continue
+                ti = self.fabric.control(
+                    home, sharer, Subnet.REQUEST, t, MessageKind.INVALIDATE, block
+                )
+                sh.cache.invalidate_range(
+                    block * self.cfg.item_bytes, self.cfg.item_bytes
+                )
+                t = max(
+                    t,
+                    self.fabric.control(
+                        sharer, node_id, Subnet.REPLY, ti,
+                        MessageKind.INVALIDATE_ACK, block,
+                    ),
+                )
+            entry.sharers = set()
+
+        # data reply from the home's memory
+        if home != node_id:
+            t = self.fabric.data(
+                home, node_id, self.cfg.item_bytes, t, MessageKind.DATA_REPLY, block
+            )
+            t += lat.fill
+        if not exclusive:
+            entry.sharers.add(node_id)
+            if entry.state is BlockState.UNCACHED:
+                entry.state = BlockState.SHARED
+        return t
+
+    # -- BER: recovery points ----------------------------------------------------
+
+    def checkpoint_home(self, home: int, now: int) -> tuple[int, int]:
+        """Copy this home's modified blocks to its mirror.
+
+        Returns (completion_time, blocks_copied).  Unlike the COMA's
+        ECP, *every* modified block must be transferred — there is no
+        pre-existing replication to promote.
+        """
+        machine = self.machine
+        lat = self.cfg.latency
+        mirror = self.mirror_of(home)
+        t = now
+        copied = 0
+        for block in sorted(self.dirty_since_ckpt[home]):
+            entry = self.entry(block)
+            if entry.state is BlockState.MODIFIED and entry.owner is not None:
+                # recall the dirty cached copy first
+                owner = entry.owner
+                t = self.fabric.control(
+                    home, owner, Subnet.REQUEST, t, MessageKind.INVALIDATE, block
+                )
+                t = self.fabric.data(
+                    owner, home, self.cfg.item_bytes, t, MessageKind.DATA_REPLY, block
+                )
+                machine.nodes[owner].cache.clean_range(
+                    block * self.cfg.item_bytes, self.cfg.item_bytes
+                )
+                entry.state = BlockState.SHARED
+                entry.sharers.add(owner)
+                entry.owner = None
+            t = machine.nodes[home].mem_ctrl.occupy(t, lat.remote_am_service)
+            t = self.fabric.data(
+                home, mirror, self.cfg.item_bytes, t, MessageKind.INJECT_DATA, block
+            )
+            copied += 1
+        self.dirty_since_ckpt[home] = set()
+        return t, copied
+
+    # -- BER: failure handling -----------------------------------------------------
+
+    def rehome_partition(self, dead: int, now: int) -> tuple[int, int]:
+        """A permanent failure: the mirror becomes the new home, the
+        partition is re-mirrored wholesale, and every later access pays
+        the translation penalty.
+
+        Returns (completion_time, blocks_transferred)."""
+        machine = self.machine
+        lat = self.cfg.latency
+        for original, current in enumerate(self.home_map):
+            if current != dead:
+                continue
+            new_home = self.mirror_of(dead)
+            self.home_map[original] = new_home
+            # re-mirror every block of the partition (failure
+            # independence must be restored)
+            new_mirror = self.mirror_of(new_home)
+            t = now
+            moved = 0
+            for block in sorted(self._directory[original]):
+                t = machine.nodes[new_home].mem_ctrl.occupy(t, lat.remote_am_service)
+                t = self.fabric.data(
+                    new_home, new_mirror, self.cfg.item_bytes, t,
+                    MessageKind.INJECT_DATA, block,
+                )
+                moved += 1
+                # all cached copies died with the caches (global rollback)
+                entry = self._directory[original][block]
+                entry.state = BlockState.UNCACHED
+                entry.sharers = set()
+                entry.owner = None
+            return t, moved
+        return now, 0
+
+    def recovery_reset(self) -> None:
+        """Global rollback: caches are gone; memory is restored from
+        the mirrors (state-wise: everything uncached, nothing dirty)."""
+        for directory in self._directory:
+            for entry in directory.values():
+                entry.state = BlockState.UNCACHED
+                entry.sharers = set()
+                entry.owner = None
+        for dirty in self.dirty_since_ckpt:
+            dirty.clear()

@@ -1,0 +1,93 @@
+"""Event heap and simulation clock.
+
+Time is measured in integer processor cycles (50 ns at the paper's
+20 MHz clock).  The engine is deliberately minimal: a stable priority
+queue of ``(time, sequence, callback)`` entries and a run loop.  All
+higher-level behaviour (processes, barriers, resources) is layered on
+top in the sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """A discrete-event simulation engine with integer-cycle time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._running = False
+        #: Number of events dispatched so far (useful for tests and as a
+        #: watchdog against runaway simulations).
+        self.events_dispatched: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute ``time``."""
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + int(delay), callback)
+
+    def peek_time(self) -> int | None:
+        """Time of the next pending event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Dispatch events in time order.
+
+        Runs until the heap is empty, until simulated time would exceed
+        ``until``, or until ``max_events`` events have been dispatched.
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run call)")
+        self._running = True
+        dispatched_this_run = 0
+        try:
+            while self._heap:
+                time, _seq, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                self.events_dispatched += 1
+                dispatched_this_run += 1
+                if max_events is not None and dispatched_this_run >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def idle(self) -> bool:
+        """True when no events are pending."""
+        return not self._heap
+
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,94 @@
+"""Generator-based lightweight processes.
+
+A :class:`Process` wraps a Python generator.  The generator *yields*
+what it wants to wait on:
+
+- an ``int``/``float`` — sleep for that many cycles;
+- an :class:`~repro.sim.sync.EventFlag` — resume when the flag fires
+  (the fired value is sent back into the generator);
+- an object exposing ``_subscribe(process)`` — any custom waitable.
+
+When the generator returns, the process completes and its ``done`` flag
+is raised; other processes may wait on :attr:`completion`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+from repro.sim.engine import SimulationError
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    WAITING = "waiting"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Process:
+    """A lightweight simulated process driven by the engine."""
+
+    def __init__(self, engine: "Engine", body: Generator[Any, Any, Any], name: str = "proc"):
+        from repro.sim.sync import EventFlag  # local import to avoid a cycle
+
+        self.engine = engine
+        self.name = name
+        self._body = body
+        self.state = ProcessState.READY
+        self.result: Any = None
+        self.error: BaseException | None = None
+        #: Fires (with the generator's return value) when the process ends.
+        self.completion = EventFlag(engine, name=f"{name}.done")
+        engine.schedule(0, lambda: self._step(None))
+
+    # -- internals ----------------------------------------------------
+
+    def _step(self, value: Any) -> None:
+        if self.state in (ProcessState.DONE, ProcessState.FAILED):
+            return
+        self.state = ProcessState.READY
+        try:
+            wanted = self._body.send(value)
+        except StopIteration as stop:
+            self.state = ProcessState.DONE
+            self.result = stop.value
+            self.completion.fire(stop.value)
+            return
+        except BaseException as exc:  # propagate to the driver via .error
+            self.state = ProcessState.FAILED
+            self.error = exc
+            self.completion.fire(None)
+            raise
+        self.state = ProcessState.WAITING
+        if isinstance(wanted, (int, float)):
+            if wanted < 0:
+                raise SimulationError(f"process {self.name} yielded negative delay {wanted}")
+            self.engine.schedule(int(wanted), lambda: self._step(None))
+        elif hasattr(wanted, "_subscribe"):
+            wanted._subscribe(self)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported value {wanted!r}"
+            )
+
+    def _resume(self, value: Any) -> None:
+        """Called by waitables when the awaited condition is satisfied."""
+        self.engine.schedule(0, lambda: self._step(value))
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state is ProcessState.DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.state is ProcessState.FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} {self.state.value}>"

@@ -1,0 +1,112 @@
+"""Contention modelling.
+
+Two flavours are provided:
+
+:class:`Resource`
+    A classic blocking queueing resource (capacity ``servers``); used by
+    full process-level models and by the kernel's own tests.
+
+:class:`ContentionPoint`
+    The fast "next-free-time" bookkeeping used by analytic-latency
+    transactions (DESIGN.md section 3).  A transaction that needs the
+    point at time ``t`` for ``service`` cycles calls
+    :meth:`ContentionPoint.occupy`; the returned value is the time the
+    service *completes*, after queueing behind earlier users.  This is a
+    single-server FIFO approximation that preserves the shape of
+    contention effects without simulating every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+from repro.sim.sync import EventFlag, Semaphore
+
+
+class Resource:
+    """Blocking multi-server resource for process-level models."""
+
+    def __init__(self, engine: "Engine", servers: int = 1, name: str = "res"):
+        self.engine = engine
+        self.name = name
+        self._sem = Semaphore(engine, tokens=servers, name=name)
+        self.total_acquisitions = 0
+
+    def acquire(self) -> EventFlag:
+        self.total_acquisitions += 1
+        return self._sem.acquire()
+
+    def release(self) -> None:
+        self._sem.release()
+
+    @property
+    def available(self) -> int:
+        return self._sem.available
+
+
+class ContentionPoint:
+    """FIFO contention bookkeeping (analytic transactions).
+
+    ``servers`` models replicated units (e.g. the KSR1's four
+    independent AM controllers): an occupation takes the
+    earliest-free server.  This also absorbs the timeline artifact of
+    analytic models where a reservation made at a future timestamp
+    would otherwise delay an earlier request.
+    """
+
+    __slots__ = ("name", "_free", "busy_cycles", "uses", "waited_cycles")
+
+    def __init__(self, name: str = "cp", servers: int = 1):
+        if servers < 1:
+            raise ValueError("need at least one server")
+        self.name = name
+        self._free = [0] * servers
+        #: Total cycles the point has been busy (utilisation numerator).
+        self.busy_cycles: int = 0
+        self.uses: int = 0
+        #: Total cycles callers spent queueing behind earlier users.
+        self.waited_cycles: int = 0
+
+    @property
+    def next_free(self) -> int:
+        """Earliest time any server is free."""
+        return min(self._free)
+
+    def occupy(self, at: int, service: int) -> int:
+        """Occupy the earliest-free server from ``at`` for ``service``
+        cycles; returns the completion time."""
+        free = self._free
+        if len(free) == 1:
+            idx = 0
+        else:
+            idx = min(range(len(free)), key=free.__getitem__)
+        start = at if at > free[idx] else free[idx]
+        self.waited_cycles += start - at
+        end = start + service
+        free[idx] = end
+        self.busy_cycles += service
+        self.uses += 1
+        return end
+
+    def wait_until_free(self, at: int) -> int:
+        """Earliest time a server is free at or after ``at``."""
+        nf = self.next_free
+        return at if at > nf else nf
+
+    def reset(self) -> None:
+        self._free = [0] * len(self._free)
+        self.busy_cycles = 0
+        self.uses = 0
+        self.waited_cycles = 0
+
+    def utilisation(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the point was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ContentionPoint {self.name} next_free={self.next_free}>"

@@ -1,0 +1,6 @@
+"""Statistics collection and reporting."""
+
+from repro.stats.collectors import NodeStats, MachineStats
+from repro.stats.report import format_table
+
+__all__ = ["NodeStats", "MachineStats", "format_table"]

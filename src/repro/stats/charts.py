@@ -1,0 +1,71 @@
+"""ASCII charts for experiment output.
+
+The paper's figures are bar and line charts; the CLI renders their
+equivalents as monospace bar charts so a terminal session can *see*
+the trends, not just the rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, maximum: float, width: int = 40) -> str:
+    """A horizontal bar of ``width`` character cells."""
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    if remainder > 0 and full < width:
+        bar += _BLOCKS[int(remainder * (len(_BLOCKS) - 1))]
+    return bar
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal bar chart."""
+    if not rows:
+        return title or ""
+    maximum = max(value for _label, value in rows)
+    label_width = max(len(label) for label, _v in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        bar = hbar(value, maximum, width)
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[tuple[str, Sequence[tuple[str, float]]]],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bars grouped under sub-headings (e.g. one group per app)."""
+    flat = [v for _g, rows in groups for _l, v in rows]
+    if not flat:
+        return title or ""
+    maximum = max(flat)
+    label_width = max(
+        (len(label) for _g, rows in groups for label, _v in rows), default=1
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for group, rows in groups:
+        lines.append(f"{group}:")
+        for label, value in rows:
+            bar = hbar(value, maximum, width)
+            lines.append(f"  {label.rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Export experiment rows as CSV or JSON.
+
+The benchmark harnesses return plain row lists; these helpers persist
+them so figures can be re-plotted outside the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def rows_to_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], path: str | Path
+) -> None:
+    """Write header + rows as CSV."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("row width does not match header width")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def rows_to_json(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], path: str | Path
+) -> None:
+    """Write rows as a list of header-keyed objects."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("row width does not match header width")
+    records = [dict(zip(headers, row)) for row in rows]
+    Path(path).write_text(json.dumps(records, indent=2))
+
+
+def load_rows_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
+    """Read back a CSV written by :func:`rows_to_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        headers = next(reader)
+        return headers, [row for row in reader]

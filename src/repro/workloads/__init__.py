@@ -1,0 +1,50 @@
+"""Workloads: SPLASH-calibrated synthetic reference-stream generators.
+
+The paper drives its simulator with SPLASH applications instrumented via
+Abstract Execution.  Real instrumented binaries are out of reach for a
+pure-Python reproduction (DESIGN.md section 3), so each application is
+modelled as a deterministic, index-addressable stochastic reference
+stream calibrated to its Table 3 row — instruction count, read/write
+densities, shared read/write densities — and to its qualitative sharing
+pattern (mostly-read octree for Barnes-Hut, migratory cells for Mp3d,
+producer-consumer panels for Cholesky, mostly-private molecules for
+Water).
+
+Index-addressability (``ref_at(proc, i)`` is a pure function) is what
+makes backward error recovery testable end to end: rolling a process
+back to a recovery point is just resetting its stream position.
+"""
+
+from repro.workloads.base import Reference, ReferenceStream, Workload, WorkloadProfile
+from repro.workloads.splash import (
+    BarnesHut,
+    Cholesky,
+    Mp3d,
+    Water,
+    SPLASH_WORKLOADS,
+    make_workload,
+)
+from repro.workloads.synthetic import (
+    UniformShared,
+    MigratoryShared,
+    PrivateOnly,
+)
+from repro.workloads.traces import TraceWorkload, record_trace
+
+__all__ = [
+    "Reference",
+    "ReferenceStream",
+    "Workload",
+    "WorkloadProfile",
+    "BarnesHut",
+    "Cholesky",
+    "Mp3d",
+    "Water",
+    "SPLASH_WORKLOADS",
+    "make_workload",
+    "UniformShared",
+    "MigratoryShared",
+    "PrivateOnly",
+    "TraceWorkload",
+    "record_trace",
+]

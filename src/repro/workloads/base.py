@@ -1,0 +1,261 @@
+"""Workload abstractions.
+
+A :class:`Workload` describes the memory behaviour of one parallel
+application: a per-process *reference stream* of (think-time, op,
+address) triples.  Streams are **index-addressable**: reference ``i``
+of process ``p`` is a pure function of ``(seed, p, i)``.  This gives
+
+- determinism: identical runs for identical seeds, on both the
+  standard and the fault-tolerant architecture (paired comparisons);
+- O(1) rollback: restarting a process from a recovery point is just
+  resetting its stream position — the simulation analogue of the
+  process-state restoration the paper delegates to the OS.
+
+Addresses below ``shared_base`` are private to one process; addresses
+at or above it are shared.  Workload subclasses lay out their regions
+through :meth:`Workload._alloc_private` / :meth:`Workload._alloc_shared`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer — the cheap stateless PRNG behind
+    index-addressable streams."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One memory reference of one process."""
+
+    think: int       # non-memory instruction cycles preceding the access
+    is_write: bool
+    addr: int
+
+
+@dataclass
+class WorkloadProfile:
+    """Measured characteristics of a stream (the Table 3 columns)."""
+
+    refs: int = 0
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    shared_reads: int = 0
+    shared_writes: int = 0
+
+    def frac(self, value: int) -> float:
+        return value / self.instructions if self.instructions else 0.0
+
+    @property
+    def read_fraction(self) -> float:
+        return self.frac(self.reads)
+
+    @property
+    def write_fraction(self) -> float:
+        return self.frac(self.writes)
+
+    @property
+    def shared_read_fraction(self) -> float:
+        return self.frac(self.shared_reads)
+
+    @property
+    def shared_write_fraction(self) -> float:
+        return self.frac(self.shared_writes)
+
+
+class ReferenceStream:
+    """The reference stream of one process, with checkpointable position."""
+
+    def __init__(self, workload: "Workload", proc_id: int, n_refs: int):
+        self.workload = workload
+        self.proc_id = proc_id
+        self.n_refs = n_refs
+        self.position = 0
+
+    def next_ref(self) -> Reference | None:
+        if self.position >= self.n_refs:
+            return None
+        ref = self.workload.ref_at(self.proc_id, self.position)
+        self.position += 1
+        return ref
+
+    def rewind_to(self, position: int) -> None:
+        if not (0 <= position <= self.n_refs):
+            raise ValueError(f"position {position} outside stream")
+        self.position = position
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= self.n_refs
+
+    @property
+    def remaining(self) -> int:
+        return self.n_refs - self.position
+
+
+class Workload(abc.ABC):
+    """Base class for applications.
+
+    Subclasses call the ``_alloc_*`` helpers in their ``__init__`` to
+    lay out memory, then implement :meth:`ref_at`.
+    """
+
+    #: Human-readable application name.
+    name: str = "workload"
+    #: Full-scale instruction count in millions (Table 3), for reporting.
+    instructions_millions: float = 0.0
+
+    def __init__(
+        self,
+        n_procs: int,
+        scale: float = 1.0,
+        seed: int = 2026,
+        item_bytes: int = 128,
+        page_bytes: int = 16 * 1024,
+    ):
+        if n_procs <= 0:
+            raise ValueError("need at least one process")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.n_procs = n_procs
+        self.scale = scale
+        self.seed = seed
+        self.item_bytes = item_bytes
+        self.page_bytes = page_bytes
+        self._cursor = 0            # allocation cursor (bytes)
+        self.shared_base: int | None = None
+
+    # -- layout helpers ---------------------------------------------------
+
+    def _scaled_bytes(self, full_scale: int, minimum: int | None = None) -> int:
+        """Scale a full-scale region size, page-align, keep >= one page."""
+        floor = minimum if minimum is not None else self.page_bytes
+        size = max(int(full_scale * self.scale), floor)
+        pages = (size + self.page_bytes - 1) // self.page_bytes
+        return pages * self.page_bytes
+
+    def _alloc(self, size_bytes: int) -> int:
+        base = self._cursor
+        self._cursor += size_bytes
+        return base
+
+    def _alloc_private(self, size_bytes_each: int) -> list[int]:
+        """One region per process; must precede any shared allocation."""
+        if self.shared_base is not None:
+            raise RuntimeError("private regions must be allocated before shared ones")
+        return [self._alloc(size_bytes_each) for _ in range(self.n_procs)]
+
+    def _alloc_shared(self, size_bytes: int) -> int:
+        base = self._alloc(size_bytes)
+        if self.shared_base is None:
+            self.shared_base = base
+        return base
+
+    def is_shared_addr(self, addr: int) -> bool:
+        return self.shared_base is not None and addr >= self.shared_base
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self._cursor
+
+    # -- randomness helpers --------------------------------------------------
+
+    def _hash(self, proc: int, index: int, salt: int) -> int:
+        return mix64(
+            mix64(self.seed * 0x1F1F1F1F + salt) ^ (proc << 40) ^ index
+        )
+
+    def _pick_addr(
+        self,
+        base: int,
+        size_bytes: int,
+        proc: int,
+        index: int,
+        salt: int,
+        block_len: int = 2048,
+        window_items: int = 32,
+    ) -> int:
+        """Item-grain address with temporal locality.
+
+        References are grouped in *blocks* of ``block_len`` stream
+        indices; within a block, draws come from a window of
+        ``window_items`` distinct items chosen pseudo-randomly for that
+        block.  Small windows give cache-resident behaviour; large
+        windows stream through the region.
+        """
+        n_items = max(1, size_bytes // self.item_bytes)
+        block = index // block_len
+        h = self._hash(proc, index, salt)
+        slot = h % min(window_items, n_items)
+        item = mix64(self._hash(proc, block, salt ^ 0x5A5A) + slot) % n_items
+        offset = (h >> 32) % self.item_bytes
+        return base + item * self.item_bytes + (offset & ~0x3)
+
+    # -- the stream -----------------------------------------------------------
+
+    @property
+    def reference_density(self) -> float:
+        """Memory references per instruction (used to convert paper
+        recovery-point frequencies into reference-indexed periods).
+        Subclasses with calibrated densities override this; the default
+        derives it from the first few references' think times."""
+        sample = [self.ref_at(0, i).think for i in range(64)]
+        mean_think = sum(sample) / len(sample)
+        return 1.0 / (1.0 + mean_think)
+
+    @abc.abstractmethod
+    def ref_at(self, proc: int, index: int) -> Reference:
+        """Reference ``index`` of process ``proc`` (pure function)."""
+
+    @abc.abstractmethod
+    def refs_per_proc(self) -> int:
+        """Scaled stream length of each process."""
+
+    def build_streams(self) -> list[ReferenceStream]:
+        n = self.refs_per_proc()
+        return [ReferenceStream(self, p, n) for p in range(self.n_procs)]
+
+    # -- think-time helper -------------------------------------------------------
+
+    def _think(self, proc: int, index: int, mean_instructions: float) -> int:
+        """Integer think time whose long-run mean is
+        ``mean_instructions`` (dithered by a per-reference hash)."""
+        base = int(mean_instructions)
+        frac = mean_instructions - base
+        h = self._hash(proc, index, 0xD17E)
+        extra = 1 if (h & 0xFFFF) / 65536.0 < frac else 0
+        return base + extra
+
+    # -- characterisation (Table 3) ---------------------------------------------
+
+    def characterize(self, max_refs_per_proc: int | None = None) -> WorkloadProfile:
+        """Replay the streams and tally the Table 3 columns."""
+        profile = WorkloadProfile()
+        n = self.refs_per_proc()
+        if max_refs_per_proc is not None:
+            n = min(n, max_refs_per_proc)
+        for proc in range(self.n_procs):
+            for i in range(n):
+                ref = self.ref_at(proc, i)
+                profile.refs += 1
+                profile.instructions += 1 + ref.think
+                shared = self.is_shared_addr(ref.addr)
+                if ref.is_write:
+                    profile.writes += 1
+                    if shared:
+                        profile.shared_writes += 1
+                else:
+                    profile.reads += 1
+                    if shared:
+                        profile.shared_reads += 1
+        return profile

@@ -1,0 +1,122 @@
+"""Generic synthetic workloads.
+
+Small, fully parameterised generators used by unit tests, the Table 1
+and Table 2 micro-benchmarks and the capacity-stress ablation — places
+where a directed pattern matters more than SPLASH realism.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Reference, Workload, mix64
+
+
+class PrivateOnly(Workload):
+    """Each process walks only its own private region."""
+
+    name = "private-only"
+
+    def __init__(
+        self,
+        n_procs: int,
+        refs_per_proc: int = 10_000,
+        region_bytes: int = 64 * 1024,
+        write_fraction: float = 0.3,
+        think: int = 2,
+        **kw,
+    ):
+        super().__init__(n_procs, **kw)
+        self._n_refs = refs_per_proc
+        self._region_bytes = region_bytes
+        self._write_fraction = write_fraction
+        self._think_cycles = think
+        self._private = self._alloc_private(region_bytes)
+
+    def refs_per_proc(self) -> int:
+        return self._n_refs
+
+    def ref_at(self, proc: int, index: int) -> Reference:
+        h = self._hash(proc, index, 0x01)
+        is_write = (h & 0xFFFF) / 65536.0 < self._write_fraction
+        addr = self._pick_addr(
+            self._private[proc], self._region_bytes, proc, index, salt=0x02
+        )
+        return Reference(think=self._think_cycles, is_write=is_write, addr=addr)
+
+
+class UniformShared(Workload):
+    """All processes read/write a single shared region uniformly.
+
+    ``window_items`` tunes locality; a window of 1..8 concentrates
+    traffic on a few items (hot-spot), a large window streams.
+    """
+
+    name = "uniform-shared"
+
+    def __init__(
+        self,
+        n_procs: int,
+        refs_per_proc: int = 10_000,
+        region_bytes: int = 256 * 1024,
+        write_fraction: float = 0.3,
+        window_items: int = 64,
+        think: int = 2,
+        **kw,
+    ):
+        super().__init__(n_procs, **kw)
+        self._n_refs = refs_per_proc
+        self._region_bytes = region_bytes
+        self._write_fraction = write_fraction
+        self._window = window_items
+        self._think_cycles = think
+        self._region = self._alloc_shared(region_bytes)
+
+    def refs_per_proc(self) -> int:
+        return self._n_refs
+
+    def ref_at(self, proc: int, index: int) -> Reference:
+        h = self._hash(proc, index, 0x11)
+        is_write = (h & 0xFFFF) / 65536.0 < self._write_fraction
+        addr = self._pick_addr(
+            self._region,
+            self._region_bytes,
+            proc,
+            index,
+            salt=0x12,
+            window_items=self._window,
+        )
+        return Reference(think=self._think_cycles, is_write=is_write, addr=addr)
+
+
+class MigratoryShared(Workload):
+    """Migratory objects: each object is read-modified-written by one
+    process at a time, with ownership hopping between processes —
+    the pattern that maximises ECP write-injections."""
+
+    name = "migratory-shared"
+
+    def __init__(
+        self,
+        n_procs: int,
+        refs_per_proc: int = 10_000,
+        n_objects: int = 256,
+        epoch_len: int = 64,
+        think: int = 2,
+        **kw,
+    ):
+        super().__init__(n_procs, **kw)
+        self._n_refs = refs_per_proc
+        self._n_objects = n_objects
+        self._epoch_len = epoch_len
+        self._think_cycles = think
+        self._region = self._alloc_shared(n_objects * self.item_bytes)
+
+    def refs_per_proc(self) -> int:
+        return self._n_refs
+
+    def ref_at(self, proc: int, index: int) -> Reference:
+        epoch = index // self._epoch_len
+        # object assignment rotates every epoch: read-modify-write pairs
+        obj = mix64(self._hash(proc, epoch, 0x21)) % self._n_objects
+        is_write = index % 2 == 1
+        addr = self._region + obj * self.item_bytes
+        return Reference(think=self._think_cycles, is_write=is_write, addr=addr)

@@ -1,0 +1,64 @@
+"""Trace persistence: save and load reference traces as JSON.
+
+Complements :mod:`repro.workloads.traces`: a recorded workload can be
+stored, inspected or edited offline, and replayed later — the
+file-based analogue of the paper's Abstract Execution trace files.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "shared_base": 163840,
+      "traces": [[[think, is_write, addr], ...], ...]   # one list per process
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workloads.base import Reference, Workload
+from repro.workloads.traces import TraceWorkload, record_trace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    traces: list[list[Reference]],
+    path: str | Path,
+    shared_base: int | None = None,
+) -> None:
+    """Write per-process traces to a JSON file."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "shared_base": shared_base,
+        "traces": [
+            [[r.think, r.is_write, r.addr] for r in trace] for trace in traces
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: str | Path) -> TraceWorkload:
+    """Load a JSON trace file into a replayable workload."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    traces = [
+        [
+            Reference(think=int(t), is_write=bool(w), addr=int(a))
+            for t, w, a in trace
+        ]
+        for trace in payload["traces"]
+    ]
+    return TraceWorkload(traces, shared_base=payload.get("shared_base"))
+
+
+def export_workload(
+    workload: Workload, path: str | Path, max_refs_per_proc: int | None = None
+) -> None:
+    """Record a workload's streams and save them in one step."""
+    traces = record_trace(workload, max_refs_per_proc=max_refs_per_proc)
+    save_trace(traces, path, shared_base=workload.shared_base)

@@ -1,0 +1,150 @@
+"""Unit tests for the create/commit algorithm (Fig. 2)."""
+
+import pytest
+
+from tests.helpers import bare_machine, do_checkpoint, drain
+from repro.checkpoint.establish import (
+    commit_cost_cycles,
+    node_create_phase,
+    scan_cost_cycles,
+)
+from repro.memory.states import ItemState
+
+S = ItemState
+ITEM = 128
+
+
+def addr(item):
+    return item * ITEM
+
+
+def test_create_replicates_exclusive_items():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    drain(m, node_create_phase(p, m.engine, 0))
+    assert m.nodes[0].am.state(5) is S.PRE_COMMIT1
+    census = m.item_census()
+    assert census.get("PRE_COMMIT2") == 1
+
+
+def test_create_skips_untouched_nodes():
+    m = bare_machine(protocol="ecp")
+    drain(m, node_create_phase(m.protocol, m.engine, 2))
+    assert m.item_census() == {}
+
+
+def test_create_is_incremental():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    do_checkpoint(m)
+    # no modification since: nothing to do in the next create
+    drain(m, node_create_phase(p, m.engine, 0))
+    assert m.nodes[0].am.state(5) is S.SHARED_CK1  # untouched
+
+
+def test_create_counts_bytes():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    for item in range(4):
+        p.write(0, addr(item), 0)
+    drain(m, node_create_phase(p, m.engine, 0))
+    assert m.nodes[0].stats.ckpt_bytes_replicated == 4 * 128
+
+
+def test_create_abort_stops_early():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    for item in range(8):
+        p.write(0, addr(item), 0)
+    calls = []
+
+    def abort_after_two():
+        calls.append(None)
+        return len(calls) > 2
+
+    drain(m, node_create_phase(p, m.engine, 0, should_abort=abort_after_two))
+    precommit = m.nodes[0].am.count_in_group("pre_commit")
+    assert 0 < precommit < 8  # stopped part-way
+
+
+def test_commit_cost_scales_with_pages():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    baseline = commit_cost_cycles(p, 0)
+    p.write(0, addr(5), 0)                       # 1 page
+    one_page = commit_cost_cycles(p, 0)
+    p.write(0, addr(5 + m.cfg.items_per_page), 0)  # 2 pages
+    two_pages = commit_cost_cycles(p, 0)
+    assert baseline == 0
+    lat = m.cfg.latency
+    per_page = lat.commit_page_test + lat.commit_item_test * m.cfg.items_per_page
+    assert one_page == per_page
+    assert two_pages == 2 * per_page
+
+
+def test_commit_counters_nullify_commit_cost():
+    # the Section 4.2.3 optimisation "would nullify T_commit"
+    m = bare_machine(protocol="ecp")
+    m.cfg = m.cfg.with_ft(commit_counters=True)
+    m.protocol.cfg = m.cfg
+    m.protocol.write(0, addr(5), 0)
+    assert commit_cost_cycles(m.protocol, 0) == m.cfg.latency.commit_page_test
+
+
+def test_scan_cost_matches_commit_formula():
+    m = bare_machine(protocol="ecp")
+    m.protocol.write(0, addr(5), 0)
+    assert scan_cost_cycles(m.protocol, 0) == commit_cost_cycles(m.protocol, 0)
+
+
+def test_full_checkpoint_state_machine():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(1), 0)
+    p.write(1, addr(2), 0)
+    do_checkpoint(m)
+    census = m.item_census()
+    assert census == {"SHARED_CK1": 2, "SHARED_CK2": 2}
+    m.check_invariants()
+
+
+def test_checkpoint_after_rewrites_keeps_two_copies_per_item():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    t = 0
+    for round_ in range(3):
+        for item in range(6):
+            t = p.write((item + round_) % 4, addr(item), t)
+        do_checkpoint(m)
+        census = m.item_census()
+        assert census["SHARED_CK1"] == 6
+        assert census["SHARED_CK2"] == 6
+        assert "INV_CK1" not in census
+        m.check_invariants()
+
+
+def test_create_phase_with_dead_sharer_falls_back_to_injection():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.read(1, addr(5), 1_000)  # node 1 shares: reuse candidate
+    m.nodes[1].alive = False
+    m.ring.mark_dead(1)
+    drain(m, node_create_phase(p, m.engine, 0))
+    assert m.stats.total("ckpt_items_reused") == 0
+    assert m.stats.total("ckpt_items_replicated") == 1
+
+
+def test_reused_replica_removed_from_sharers():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.read(1, addr(5), 1_000)
+    p.read(2, addr(5), 2_000)
+    do_checkpoint(m)
+    entry = p.directory.entry(0, 5)
+    assert entry.partner == 1        # lowest sharer picked
+    assert entry.sharers == {2}      # other Shared copies survive
+    assert m.nodes[2].am.state(5) is S.SHARED

@@ -1,0 +1,72 @@
+"""Tests for the recovery-point scheduler (cycle- and reference-indexed)."""
+
+import pytest
+
+from tests.helpers import small_config
+from repro.machine import Machine
+from repro.workloads.synthetic import PrivateOnly
+
+
+def run(wl, **ft):
+    cfg = small_config(4).with_ft(**ft)
+    m = Machine(cfg, wl, protocol="ecp")
+    return m, m.run()
+
+
+def test_cycle_indexed_period():
+    wl = PrivateOnly(4, refs_per_proc=4000)
+    m, r = run(wl, checkpoint_period_override=5_000)
+    assert r.stats.n_checkpoints >= 2
+    # checkpoints are spread through the run, not bunched at the end
+    assert r.stats.create_cycles > 0
+
+
+def test_reference_indexed_period():
+    # density of PrivateOnly with think=2 is 1/3; at 20 MHz, 400/s with
+    # compression c gives clock/(400 c) instructions per period
+    wl = PrivateOnly(4, refs_per_proc=6000)
+    m, r = run(
+        wl,
+        checkpoint_frequency_hz=400,
+        frequency_compression=10.0,
+        period_in_references=True,
+    )
+    # period_refs = 20e6/4000 * (1/3) ~ 1667 refs/proc -> ~3-4 ckpts
+    assert 2 <= r.stats.n_checkpoints <= 6
+
+
+def test_override_beats_reference_mode():
+    wl = PrivateOnly(4, refs_per_proc=3000)
+    m, r = run(
+        wl,
+        checkpoint_period_override=4_000,
+        period_in_references=True,  # ignored: override is in cycles
+    )
+    assert r.stats.n_checkpoints >= 2
+
+
+def test_no_checkpoint_when_run_shorter_than_period():
+    wl = PrivateOnly(4, refs_per_proc=500)
+    m, r = run(wl, checkpoint_frequency_hz=5, period_in_references=True)
+    assert r.stats.n_checkpoints == 0
+
+
+def test_scheduler_stops_after_work_ends():
+    wl = PrivateOnly(4, refs_per_proc=1000)
+    m, r = run(wl, checkpoint_period_override=2_000)
+    # the run terminates (the scheduler exits once no work remains)
+    assert m.engine.idle()
+
+
+def test_more_frequent_reference_periods_mean_more_checkpoints():
+    def count(compression):
+        wl = PrivateOnly(4, refs_per_proc=8000)
+        _m, r = run(
+            wl,
+            checkpoint_frequency_hz=400,
+            frequency_compression=compression,
+            period_in_references=True,
+        )
+        return r.stats.n_checkpoints
+
+    assert count(16.0) > count(4.0)

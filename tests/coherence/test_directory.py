@@ -1,0 +1,113 @@
+"""Unit tests for localization pointers and directory entries."""
+
+from repro.coherence.directory import Directory, DirectoryEntry
+
+
+def make_directory(n_nodes=4, items_per_page=128):
+    return Directory(n_nodes, items_per_page)
+
+
+def test_home_distribution_by_page():
+    d = make_directory()
+    assert d.home_of(0) == 0
+    assert d.home_of(127) == 0     # same page
+    assert d.home_of(128) == 1     # next page
+    assert d.home_of(128 * 4) == 0  # wraps
+
+
+def test_pointer_roundtrip():
+    d = make_directory()
+    assert d.serving_node(5) is None
+    d.set_serving_node(5, 2)
+    assert d.serving_node(5) == 2
+    d.drop_pointer(5)
+    assert d.serving_node(5) is None
+
+
+def test_entry_created_on_demand():
+    d = make_directory()
+    entry = d.entry(1, 7)
+    assert entry.sharers == set()
+    assert entry.partner is None
+    entry.sharers.add(3)
+    assert d.entry(1, 7).sharers == {3}
+
+
+def test_peek_does_not_create():
+    d = make_directory()
+    assert d.peek_entry(0, 9) is None
+    d.entry(0, 9)
+    assert d.peek_entry(0, 9) is not None
+
+
+def test_move_entry_preserves_contents():
+    d = make_directory()
+    entry = d.entry(0, 7)
+    entry.sharers.add(2)
+    entry.partner = 3
+    moved = d.move_entry(7, 0, 1)
+    assert moved.sharers == {2}
+    assert moved.partner == 3
+    assert d.peek_entry(0, 7) is None
+    assert d.peek_entry(1, 7) is moved
+
+
+def test_move_missing_entry_creates_fresh():
+    d = make_directory()
+    moved = d.move_entry(7, 0, 1)
+    assert moved.sharers == set()
+
+
+def test_wipe_node_loses_colocated_state():
+    d = make_directory()
+    # pointer for an item homed on node 1 (page 1)
+    item_homed_1 = 128
+    d.set_serving_node(item_homed_1, 3)
+    d.entry(1, 999).sharers.add(0)
+    lost_pointers, lost_entries = d.wipe_node(1)
+    assert item_homed_1 in lost_pointers
+    assert 999 in lost_entries
+    assert d.serving_node(item_homed_1) is None
+    assert d.peek_entry(1, 999) is None
+
+
+def test_wipe_node_spares_other_partitions():
+    d = make_directory()
+    d.set_serving_node(0, 2)  # homed on node 0
+    d.wipe_node(1)
+    assert d.serving_node(0) == 2
+
+
+def test_clear_all():
+    d = make_directory()
+    d.set_serving_node(0, 1)
+    d.entry(2, 5)
+    d.clear_all()
+    assert d.pointer_count() == 0
+    assert d.entry_count() == 0
+
+
+def test_counts():
+    d = make_directory()
+    d.set_serving_node(0, 1)
+    d.set_serving_node(128, 1)
+    d.entry(1, 0)
+    assert d.pointer_count() == 2
+    assert d.entry_count() == 1
+
+
+def test_entry_copy_is_independent():
+    entry = DirectoryEntry(sharers={1, 2}, partner=3)
+    dup = entry.copy()
+    dup.sharers.add(9)
+    dup.partner = None
+    assert entry.sharers == {1, 2}
+    assert entry.partner == 3
+
+
+def test_drop_entry():
+    d = make_directory()
+    d.entry(0, 5)
+    d.drop_entry(0, 5)
+    assert d.peek_entry(0, 5) is None
+    d.drop_entry(0, 5)  # idempotent

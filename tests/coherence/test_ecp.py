@@ -1,0 +1,309 @@
+"""Protocol micro-tests for the Extended Coherence Protocol.
+
+Each test drives the ECP through a checkpoint and then exercises one of
+the new transitions: the Table 1 injections, Shared-CK1 request
+service, the Inv-CK degradation on writes, and the commit/recovery
+scans.
+"""
+
+import pytest
+
+from tests.helpers import bare_machine, do_checkpoint
+from repro.coherence.injection import InjectionCause
+from repro.coherence.standard import ProtocolError
+from repro.memory.states import ItemState
+
+S = ItemState
+ITEM = 128
+
+
+def addr(item):
+    return item * ITEM
+
+
+def ck_holders(machine, item):
+    """(ck1_node, ck2_node) or None for each."""
+    ck1 = ck2 = None
+    for node in machine.nodes:
+        state = node.am.state(item)
+        if state is S.SHARED_CK1:
+            ck1 = node.node_id
+        elif state is S.SHARED_CK2:
+            ck2 = node.node_id
+    return ck1, ck2
+
+
+def checkpointed_machine(writer=0, item=5):
+    """A machine where ``writer`` wrote ``item`` and a recovery point
+    was then established: exactly two Shared-CK copies exist."""
+    m = bare_machine(protocol="ecp")
+    m.protocol.write(writer, addr(item), 0)
+    do_checkpoint(m)
+    return m
+
+
+# ------------------------------------------------------------ establishment
+
+def test_checkpoint_creates_exactly_two_shared_ck_copies():
+    m = checkpointed_machine()
+    ck1, ck2 = ck_holders(m, 5)
+    assert ck1 == 0          # the owner's copy became Shared-CK1
+    assert ck2 is not None
+    assert ck2 != ck1        # pair on distinct nodes
+    census = m.item_census()
+    assert census.get("SHARED_CK1") == 1
+    assert census.get("SHARED_CK2") == 1
+
+
+def test_checkpoint_registers_partner_in_directory():
+    m = checkpointed_machine()
+    ck1, ck2 = ck_holders(m, 5)
+    entry = m.protocol.directory.entry(ck1, 5)
+    assert entry.partner == ck2
+
+
+def test_unmodified_items_not_rereplicated():
+    m = checkpointed_machine()
+    replicated_before = m.stats.total("ckpt_items_replicated")
+    do_checkpoint(m)  # nothing modified since: incremental scheme
+    assert m.stats.total("ckpt_items_replicated") == replicated_before
+
+
+def test_shared_ck_copies_serve_local_reads():
+    m = checkpointed_machine()
+    p = m.protocol
+    m.nodes[0].cache.invalidate_all()
+    t0 = 100_000
+    t = p.read(0, addr(5), t0)
+    assert t == t0 + m.cfg.latency.local_am_fill
+    assert m.nodes[0].stats.sharedck_reads == 1
+
+
+def test_shared_ck1_serves_remote_read_misses():
+    m = checkpointed_machine()
+    p = m.protocol
+    other = 3 if ck_holders(m, 5)[1] != 3 else 2
+    p.read(other, addr(5), 100_000)
+    assert m.nodes[other].am.state(5) is S.SHARED
+    # the CK pair is untouched by reads
+    assert ck_holders(m, 5)[0] is not None
+    assert ck_holders(m, 5)[1] is not None
+
+
+# ------------------------------------------------------------ writes on CK items
+
+def test_remote_write_degrades_pair_to_inv_ck():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)
+    assert m.nodes[writer].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[ck1].am.state(5) is S.INV_CK1
+    assert m.nodes[ck2].am.state(5) is S.INV_CK2
+    assert p.directory.serving_node(5) == writer
+
+
+def test_write_invalidates_plain_shared_copies_too():
+    m = checkpointed_machine()
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    reader = next(n for n in range(4) if n not in (ck1, ck2))
+    p.read(reader, addr(5), 100_000)
+    writer = next(n for n in range(4) if n not in (ck1, ck2, reader))
+    p.write(writer, addr(5), 200_000)
+    assert m.nodes[reader].am.state(5) is S.INVALID
+    assert m.nodes[writer].am.state(5) is S.EXCLUSIVE
+
+
+def test_local_write_on_shared_ck1_injects_first():
+    # Table 1: write access on a Shared-CK copy -> injection + write miss
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    p.write(0, addr(5), 100_000)  # node 0 holds Shared-CK1
+    assert m.nodes[0].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[0].stats.injections[InjectionCause.WRITE_SHARED_CK] == 1
+    # the pair survived, degraded to Inv-CK, on two other nodes
+    census = m.item_census()
+    assert census.get("INV_CK1") == 1
+    assert census.get("INV_CK2") == 1
+
+
+def test_local_write_on_shared_ck2_injects_first():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    _ck1, ck2 = ck_holders(m, 5)
+    p.write(ck2, addr(5), 100_000)
+    assert m.nodes[ck2].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[ck2].stats.injections[InjectionCause.WRITE_SHARED_CK] == 1
+    census = m.item_census()
+    assert census.get("INV_CK1") == 1
+    assert census.get("INV_CK2") == 1
+
+
+def test_read_on_local_inv_ck_injects_and_misses():
+    # Table 1: read access on an Inv-CK copy -> injection + read miss
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)          # pair -> Inv-CK
+    assert m.nodes[ck1].am.state(5) is S.INV_CK1
+    p.read(ck1, addr(5), 200_000)              # local copy is Inv-CK1
+    assert m.nodes[ck1].stats.injections[InjectionCause.READ_INV_CK] == 1
+    assert m.nodes[ck1].am.state(5) is S.SHARED  # served by the owner
+    # the Inv-CK1 copy moved to another node, it was not destroyed
+    assert m.item_census().get("INV_CK1") == 1
+
+
+def test_write_on_local_inv_ck_injects_and_misses():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)
+    p.write(ck2, addr(5), 200_000)             # local copy is Inv-CK2
+    assert m.nodes[ck2].stats.injections[InjectionCause.WRITE_INV_CK] == 1
+    assert m.nodes[ck2].am.state(5) is S.EXCLUSIVE
+    assert m.item_census().get("INV_CK2") == 1
+
+
+def test_inv_ck_pair_never_colocated_after_injection():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)
+    p.read(ck1, addr(5), 200_000)   # relocates Inv-CK1
+    holders = {
+        n.node_id: n.am.state(5)
+        for n in m.nodes
+        if n.am.state(5) in (S.INV_CK1, S.INV_CK2)
+    }
+    assert len(holders) == 2
+
+
+# ------------------------------------------------------------ commit details
+
+def test_second_checkpoint_discards_old_inv_ck():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)
+    do_checkpoint(m)
+    census = m.item_census()
+    assert census.get("INV_CK1") is None
+    assert census.get("INV_CK2") is None
+    new_ck1, new_ck2 = ck_holders(m, 5)
+    assert new_ck1 == writer
+
+
+def test_master_shared_reuses_replica_without_transfer():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.read(1, addr(5), 1_000)   # node 0: Master-Shared, node 1: Shared
+    do_checkpoint(m)
+    assert m.stats.total("ckpt_items_reused") == 1
+    assert m.stats.total("ckpt_items_replicated") == 0
+    ck1, ck2 = ck_holders(m, 5)
+    assert (ck1, ck2) == (0, 1)
+
+
+def test_reuse_can_be_disabled():
+    m = bare_machine(protocol="ecp")
+    m.cfg = m.cfg.with_ft(reuse_shared_replicas=False)
+    m.protocol.cfg = m.cfg
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.read(1, addr(5), 1_000)
+    do_checkpoint(m)
+    assert m.stats.total("ckpt_items_reused") == 0
+    assert m.stats.total("ckpt_items_replicated") == 1
+
+
+def test_commit_node_returns_counts():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    from repro.checkpoint.establish import node_create_phase
+    from tests.helpers import drain
+    for nid in range(4):
+        drain(m, node_create_phase(p, m.engine, nid))
+    promoted, discarded = p.commit_node(0)
+    assert promoted >= 1
+    assert discarded == 0
+
+
+def test_create_phase_flushes_dirty_cache_lines():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    assert m.nodes[0].cache.dirty_lines()
+    do_checkpoint(m)
+    assert not m.nodes[0].cache.dirty_lines()
+    # flushed lines remain readable from the cache (Section 4.2.3)
+    assert m.nodes[0].cache.read_probe(addr(5))
+
+
+# ------------------------------------------------------------ recovery scan
+
+def test_recovery_scan_restores_inv_ck_pairs():
+    m = checkpointed_machine(writer=0, item=5)
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    writer = next(n for n in range(4) if n not in (ck1, ck2))
+    p.write(writer, addr(5), 100_000)
+    for nid in range(4):
+        p.recovery_scan_node(nid)
+    assert m.nodes[ck1].am.state(5) is S.SHARED_CK1
+    assert m.nodes[ck2].am.state(5) is S.SHARED_CK2
+    assert m.nodes[writer].am.state(5) is S.INVALID
+
+
+def test_recovery_scan_invalidates_shared_and_precommit():
+    m = checkpointed_machine()
+    p = m.protocol
+    ck1, ck2 = ck_holders(m, 5)
+    reader = next(n for n in range(4) if n not in (ck1, ck2))
+    p.read(reader, addr(5), 100_000)
+    # simulate a failure mid-establishment: mark Pre-Commit by hand
+    m.nodes[reader].am.set_state(5, S.PRE_COMMIT2)
+    inval, restored = p.recovery_scan_node(reader)
+    assert m.nodes[reader].am.state(5) is S.INVALID
+    assert inval == 1
+    assert restored == 0
+
+
+def test_recovery_scan_clears_cache():
+    m = checkpointed_machine()
+    p = m.protocol
+    p.read(0, addr(5), 100_000)
+    assert m.nodes[0].cache.resident_sectors > 0
+    p.recovery_scan_node(0)
+    assert m.nodes[0].cache.resident_sectors == 0
+
+
+def test_serve_write_requires_partner():
+    m = checkpointed_machine()
+    ck1, _ck2 = ck_holders(m, 5)
+    m.protocol.directory.entry(ck1, 5).partner = None
+    writer = 3
+    with pytest.raises(ProtocolError):
+        m.protocol.write(writer, addr(5), 100_000)
+
+
+def test_invariants_hold_after_mixed_activity():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    t = 0
+    for item in range(10):
+        t = p.write(item % 4, addr(item), t)
+    do_checkpoint(m)
+    for item in range(10):
+        t = p.write((item + 1) % 4, addr(item), t)
+    do_checkpoint(m)
+    for item in range(10):
+        t = p.read((item + 2) % 4, addr(item), t)
+    m.check_invariants()

@@ -1,0 +1,234 @@
+"""Protocol micro-tests for the standard COMA-F-like protocol.
+
+The protocol is driven directly (no processor processes): each test
+builds a bare machine and issues reads/writes with explicit timestamps,
+then inspects AM states, directory contents and returned latencies.
+"""
+
+import pytest
+
+from tests.helpers import bare_machine
+from repro.coherence.standard import NodeUnavailable, ProtocolError
+from repro.memory.states import ItemState
+
+S = ItemState
+ITEM = 128  # bytes
+
+
+def addr(item):
+    return item * ITEM
+
+
+def test_cold_read_makes_first_toucher_exclusive():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    assert m.nodes[0].am.state(5) is S.EXCLUSIVE
+    assert p.directory.serving_node(5) == 0
+
+
+def test_cold_write_makes_first_toucher_exclusive_dirty():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.write(2, addr(5), 0)
+    assert m.nodes[2].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[2].cache.write_probe(addr(5))  # dirty line
+
+
+def test_read_sharing_creates_master_shared():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    t = p.read(1, addr(5), 1000)
+    assert m.nodes[0].am.state(5) is S.MASTER_SHARED
+    assert m.nodes[1].am.state(5) is S.SHARED
+    assert p.directory.entry(0, 5).sharers == {1}
+    assert t > 1000
+
+
+def test_many_readers_all_shared():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    for reader in (1, 2, 3):
+        p.read(reader, addr(5), 1000 * reader)
+    assert p.directory.entry(0, 5).sharers == {1, 2, 3}
+    for reader in (1, 2, 3):
+        assert m.nodes[reader].am.state(5) is S.SHARED
+
+
+def test_remote_write_transfers_ownership_and_invalidates():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.read(1, addr(5), 100)
+    p.write(2, addr(5), 10_000)
+    assert m.nodes[2].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[0].am.state(5) is S.INVALID
+    assert m.nodes[1].am.state(5) is S.INVALID
+    assert p.directory.serving_node(5) == 2
+    assert p.directory.entry(2, 5).sharers == set()
+
+
+def test_write_hit_on_master_shared_invalidates_sharers():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.read(1, addr(5), 100)
+    p.write(0, addr(5), 10_000)  # owner upgrades in place
+    assert m.nodes[0].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[1].am.state(5) is S.INVALID
+    assert p.directory.serving_node(5) == 0
+
+
+def test_sharer_upgrade_write():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.read(1, addr(5), 100)
+    p.write(1, addr(5), 10_000)  # sharer upgrades: ownership moves
+    assert m.nodes[1].am.state(5) is S.EXCLUSIVE
+    assert m.nodes[0].am.state(5) is S.INVALID
+    assert p.directory.serving_node(5) == 1
+
+
+def test_invalidation_also_clears_caches():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.read(1, addr(5), 100)
+    assert m.nodes[1].cache.read_probe(addr(5))
+    p.write(0, addr(5), 10_000)
+    assert not m.nodes[1].cache.read_probe(addr(5))
+
+
+def test_cache_hit_costs_one_cycle():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    t0 = 1_000
+    assert p.read(0, addr(5), t0) == t0 + 1
+
+
+def test_local_am_fill_cost():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    # second line of the same item: cache miss, local AM hit
+    t0 = 1_000
+    t = p.read(0, addr(5) + 64, t0)
+    assert t == t0 + m.cfg.latency.local_am_fill
+
+
+def test_table2_remote_fill_latency_one_hop():
+    # requester node 0, owner node 1 (adjacent); pointer home of the
+    # item must also be node 1 so there is no forwarding leg
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    item = 128  # page 1 -> home node 1
+    assert p.directory.home_of(item) == 1
+    p.read(1, addr(item), 0)  # node 1 owns it
+    p.read(0, addr(item) + ITEM, 5_000)  # warm the page frame at node 0
+    t0 = 10_000
+    t = p.read(0, addr(item), t0)
+    assert t - t0 == 116  # Table 2: fill from remote AM, 1 hop
+
+
+def test_table2_remote_fill_latency_two_hops():
+    m = bare_machine(n_nodes=4, protocol="standard")
+    # mesh is 2x2: node 3 is 2 hops from node 0
+    m2 = bare_machine(n_nodes=16, protocol="standard")
+    p = m2.protocol
+    item = 128 * 2  # page 2 -> home node 2; node 2 is 2 hops from 0 in 4x4
+    assert p.directory.home_of(item) == 2
+    assert m2.mesh.hops(0, 2) == 2
+    p.read(2, addr(item), 0)
+    p.read(0, addr(item) + ITEM, 5_000)  # warm the page frame at node 0
+    t0 = 10_000
+    t = p.read(0, addr(item), t0)
+    assert t - t0 == 124  # Table 2: fill from remote AM, 2 hops
+
+
+def test_write_after_read_keeps_data_coherent_state_machine():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.write(1, addr(5), 1000)
+    p.read(0, addr(5), 2000)
+    assert m.nodes[1].am.state(5) is S.MASTER_SHARED
+    assert m.nodes[0].am.state(5) is S.SHARED
+
+
+def test_pointer_indirection_through_home():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    item = 128 * 2  # home node 2
+    p.read(0, addr(item), 0)      # owner becomes node 0
+    t_direct = p.read(1, addr(item), 10_000) - 10_000
+    # the request routes 1 -> home 2 -> owner 0: dearer than 1 hop
+    assert t_direct > 116
+
+
+def test_read_returns_monotonic_time():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    t = 0
+    for i in range(10):
+        t2 = p.read(0, addr(i), t)
+        assert t2 >= t
+        t = t2
+
+
+def test_reads_of_distinct_items_in_one_page_allocate_once():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(1), 0)
+    p.read(0, addr(2), 1000)
+    assert m.nodes[0].am.pages_resident == 1
+    assert m.registry.pages_allocated_machine_wide() == 1
+
+
+def test_stats_counters():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.read(0, addr(5), 0)       # cold: read miss
+    p.read(0, addr(5), 1000)    # cache hit
+    p.write(0, addr(5), 2000)   # cache write miss, AM exclusive
+    st = m.nodes[0].stats
+    assert st.refs == 3
+    assert st.reads == 2
+    assert st.writes == 1
+    assert st.am_read_misses == 1
+    assert st.am_write_misses == 0
+
+
+def test_dead_serving_node_raises_node_unavailable():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.read(1, addr(5), 0)
+    m.nodes[1].alive = False
+    with pytest.raises(NodeUnavailable):
+        p.read(0, addr(5), 1000)
+    with pytest.raises(NodeUnavailable):
+        p.write(0, addr(5), 1000)
+
+
+def test_dead_sharers_skipped_in_invalidation():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.read(0, addr(5), 0)
+    p.read(1, addr(5), 100)
+    m.nodes[1].alive = False
+    p.write(0, addr(5), 10_000)  # must not touch the dead node
+    assert m.nodes[0].am.state(5) is S.EXCLUSIVE
+
+
+def test_concurrent_items_do_not_interfere():
+    m = bare_machine(protocol="standard")
+    p = m.protocol
+    p.write(0, addr(1), 0)
+    p.write(1, addr(2), 0)
+    p.write(2, addr(3), 0)
+    assert m.nodes[0].am.state(1) is S.EXCLUSIVE
+    assert m.nodes[1].am.state(2) is S.EXCLUSIVE
+    assert m.nodes[2].am.state(3) is S.EXCLUSIVE

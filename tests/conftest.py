@@ -1,0 +1,10 @@
+"""Pytest fixtures (helpers live in tests.helpers)."""
+
+import pytest
+
+from tests.helpers import small_config
+
+
+@pytest.fixture
+def cfg4():
+    return small_config(4)

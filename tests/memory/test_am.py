@@ -1,0 +1,220 @@
+"""Unit tests for the attraction memory."""
+
+import pytest
+
+from repro.config import AMConfig
+from repro.memory.attraction_memory import (
+    AttractionMemory,
+    CapacityError,
+    InjectionSlot,
+)
+from repro.memory.states import ItemState
+
+S = ItemState
+
+
+def small_am(size=128 * 1024, assoc=2, page=16 * 1024):
+    # 8 frames, 2-way, 4 sets
+    return AttractionMemory(AMConfig(size_bytes=size, associativity=assoc, page_bytes=page))
+
+
+def test_geometry():
+    am = small_am()
+    assert am.config.n_frames == 8
+    assert am.config.n_sets == 4
+    assert am.config.items_per_page == 128
+
+
+def test_unallocated_items_are_invalid():
+    am = small_am()
+    assert am.state(0) is S.INVALID
+    assert not am.has_page(0)
+
+
+def test_allocate_and_set_state():
+    am = small_am()
+    assert am.allocate_page(0) is True
+    assert am.allocate_page(0) is False  # already resident
+    am.set_state(5, S.EXCLUSIVE)
+    assert am.state(5) is S.EXCLUSIVE
+
+
+def test_set_state_requires_page():
+    am = small_am()
+    with pytest.raises(KeyError):
+        am.set_state(5, S.EXCLUSIVE)
+    am.set_state(5, S.INVALID)  # no-op is allowed
+
+
+def test_set_assoc_capacity():
+    am = small_am()  # 2-way: pages 0, 4, 8 share set 0
+    am.allocate_page(0)
+    am.allocate_page(4)
+    with pytest.raises(CapacityError):
+        am.allocate_page(8)
+
+
+def test_free_ways():
+    am = small_am()
+    page = 0
+    assert am.free_ways(page) == 2
+    am.allocate_page(0)
+    assert am.free_ways(page) == 1
+    am.allocate_page(4)
+    assert am.free_ways(8) == 0
+
+
+def test_group_index_tracks_transitions():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.EXCLUSIVE)
+    am.set_state(2, S.SHARED)
+    assert am.owned_items() == {1}
+    assert am.items_in_group("shared") == {2}
+    am.set_state(1, S.PRE_COMMIT1)
+    assert am.owned_items() == set()
+    assert am.items_in_group("pre_commit") == {1}
+    am.set_state(1, S.SHARED_CK1)
+    assert am.items_in_group("shared_ck") == {1}
+    am.set_state(1, S.INV_CK1)
+    assert am.items_in_group("inv_ck") == {1}
+    am.set_state(1, S.INVALID)
+    assert am.items_in_group("inv_ck") == set()
+
+
+def test_owned_items_is_snapshot():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.EXCLUSIVE)
+    snap = am.owned_items()
+    am.set_state(1, S.INVALID)
+    assert snap == {1}  # snapshot unaffected
+
+
+def test_same_state_set_is_noop():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.SHARED)
+    am.set_state(1, S.SHARED)
+    assert am.items_in_group("shared") == {1}
+
+
+def test_deallocate_returns_non_invalid_items():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.SHARED)
+    am.set_state(3, S.EXCLUSIVE)
+    dropped = am.deallocate_page(0)
+    assert sorted(dropped) == [(1, S.SHARED), (3, S.EXCLUSIVE)]
+    assert not am.has_page(0)
+    assert am.owned_items() == set()
+
+
+def test_deallocate_unknown_page():
+    am = small_am()
+    with pytest.raises(KeyError):
+        am.deallocate_page(7)
+
+
+def test_evictable_page_requires_all_replaceable():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(0, S.SHARED)
+    assert am.evictable_page(4) == 0
+    am.set_state(1, S.EXCLUSIVE)
+    assert am.evictable_page(4) is None
+
+
+def test_evictable_page_respects_protect():
+    am = small_am()
+    am.allocate_page(0)
+    assert am.evictable_page(4, protect=[0]) is None
+
+
+def test_injection_probe_in_page():
+    am = small_am()
+    am.allocate_page(0)
+    assert am.injection_probe(5) is InjectionSlot.IN_PAGE
+    am.set_state(5, S.SHARED)
+    assert am.injection_probe(5) is InjectionSlot.IN_PAGE  # Shared is a victim
+
+
+def test_injection_probe_refuses_precious_same_item():
+    # the two copies of a recovery pair must be in distinct memories
+    am = small_am()
+    am.allocate_page(0)
+    for state in (S.EXCLUSIVE, S.SHARED_CK1, S.SHARED_CK2, S.INV_CK1, S.PRE_COMMIT2):
+        am.set_state(5, state)
+        assert am.injection_probe(5) is InjectionSlot.NONE
+    am.set_state(5, S.INVALID)
+    assert am.injection_probe(5) is InjectionSlot.IN_PAGE
+
+
+def test_injection_probe_free_frame():
+    am = small_am()
+    assert am.injection_probe(0) is InjectionSlot.FREE_FRAME
+
+
+def test_injection_probe_evict_page():
+    am = small_am()
+    am.allocate_page(0)
+    am.allocate_page(4)
+    # set 0 full; page 8's items can come in by dropping page 0 or 4
+    assert am.injection_probe(8 * 128) is InjectionSlot.EVICT_PAGE
+    am.set_state(0, S.EXCLUSIVE)
+    am.set_state(4 * 128, S.SHARED_CK1)
+    assert am.injection_probe(8 * 128) is InjectionSlot.NONE
+
+
+def test_clear_wipes_everything():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.EXCLUSIVE)
+    am.clear()
+    assert am.pages_resident == 0
+    assert am.owned_items() == set()
+    assert am.state(1) is S.INVALID
+
+
+def test_page_statistics():
+    am = small_am()
+    am.allocate_page(0)
+    am.allocate_page(1)
+    am.deallocate_page(0)
+    assert am.pages_resident == 1
+    assert am.pages_allocated_peak == 2
+    assert am.pages_allocated_cumulative == 2
+    assert am.page_evictions == 1
+
+
+def test_non_invalid_items_iteration():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(1, S.SHARED)
+    am.set_state(2, S.INV_CK2)
+    found = dict(am.non_invalid_items())
+    assert found == {1: S.SHARED, 2: S.INV_CK2}
+
+
+def test_page_items_iteration():
+    am = small_am()
+    am.allocate_page(1)
+    am.set_state(128 + 3, S.EXCLUSIVE)
+    items = list(am.page_items(1))
+    assert len(items) == 128
+    assert (128 + 3, S.EXCLUSIVE) in items
+
+
+def test_count_in_group():
+    am = small_am()
+    am.allocate_page(0)
+    am.set_state(0, S.SHARED)
+    am.set_state(1, S.SHARED)
+    assert am.count_in_group("shared") == 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AMConfig(size_bytes=1000).validate()
+    with pytest.raises(ValueError):
+        AMConfig(page_bytes=1000, item_bytes=128).validate()

@@ -1,0 +1,93 @@
+"""Unit tests for machine-wide page accounting."""
+
+import pytest
+
+from repro.memory.pages import PageRegistry, ReservationError
+
+
+def registry(n_nodes=4, frames=8, reserved=4):
+    return PageRegistry(n_nodes, frames, reserved_frames_per_page=reserved)
+
+
+def test_allocation_tracking():
+    reg = registry()
+    reg.on_page_allocated(0, 1)
+    reg.on_page_allocated(0, 2)
+    assert reg.copies_of(0) == 2
+    assert reg.holders(0) == {1, 2}
+    assert reg.pages_allocated_machine_wide() == 2
+    assert len(reg.distinct_pages) == 1
+
+
+def test_double_allocation_rejected():
+    reg = registry()
+    reg.on_page_allocated(0, 1)
+    with pytest.raises(ValueError):
+        reg.on_page_allocated(0, 1)
+
+
+def test_drop_tracking():
+    reg = registry()
+    reg.on_page_allocated(0, 1)
+    reg.on_page_dropped(0, 1)
+    assert reg.copies_of(0) == 0
+    assert reg.pages_allocated_machine_wide() == 0
+    # distinct pages record the data set, not residency
+    assert len(reg.distinct_pages) == 1
+
+
+def test_drop_unknown_rejected():
+    reg = registry()
+    with pytest.raises(ValueError):
+        reg.on_page_dropped(0, 1)
+
+
+def test_peak_tracking():
+    reg = registry()
+    reg.on_page_allocated(0, 0)
+    reg.on_page_allocated(0, 1)
+    reg.on_page_dropped(0, 0)
+    assert reg.frames_in_use_peak == 2
+    assert reg.frames_in_use == 1
+
+
+def test_reservation_limit():
+    # 4 nodes x 8 frames = 32 frames; 4 reserved per page -> 7 pages max
+    # (admitting the 8th would need headroom for a 9th)
+    reg = registry()
+    for page in range(7):
+        reg.on_page_allocated(page, 0)
+    with pytest.raises(ReservationError):
+        reg.on_page_allocated(7, 0)
+
+
+def test_reservation_error_leaves_state_clean():
+    reg = registry()
+    for page in range(7):
+        reg.on_page_allocated(page, 0)
+    before = reg.pages_allocated_machine_wide()
+    with pytest.raises(ReservationError):
+        reg.on_page_allocated(99, 1)
+    assert reg.pages_allocated_machine_wide() == before
+    assert 99 not in reg.distinct_pages
+
+
+def test_standard_protocol_reserves_one():
+    reg = registry(reserved=1)
+    for page in range(31):
+        reg.on_page_allocated(page, page % 4)
+    assert reg.reserved_frames() == 31
+
+
+def test_node_failure_releases_frames():
+    reg = registry()
+    reg.on_page_allocated(0, 1)
+    reg.on_page_allocated(1, 1)
+    reg.on_page_allocated(0, 2)
+    reg.on_node_failed(1)
+    assert reg.holders(0) == {2}
+    assert reg.pages_allocated_machine_wide() == 1
+
+
+def test_total_frames():
+    assert registry().total_frames == 32

@@ -1,0 +1,101 @@
+"""Unit tests for coherence-state predicates."""
+
+import pytest
+
+from repro.memory.states import RECOVERY_INVALIDATED, ItemState, LineState
+
+S = ItemState
+
+
+def test_recovery_states():
+    assert S.SHARED_CK1.is_recovery
+    assert S.SHARED_CK2.is_recovery
+    assert S.INV_CK1.is_recovery
+    assert S.INV_CK2.is_recovery
+    assert not S.PRE_COMMIT1.is_recovery  # transient, not yet committed
+    assert not S.EXCLUSIVE.is_recovery
+
+
+def test_checkpoint_readable_only_shared_ck():
+    readable = [s for s in S if s.is_checkpoint_readable]
+    assert sorted(readable) == [S.SHARED_CK1, S.SHARED_CK2]
+
+
+def test_owner_states():
+    assert S.EXCLUSIVE.is_owner
+    assert S.MASTER_SHARED.is_owner
+    assert not S.SHARED.is_owner
+    assert not S.SHARED_CK1.is_owner
+
+
+def test_current_states():
+    current = [s for s in S if s.is_current]
+    assert sorted(current) == [S.SHARED, S.MASTER_SHARED, S.EXCLUSIVE]
+
+
+def test_readable_states():
+    # current copies plus the Shared-CK recovery copies (Section 3.2)
+    readable = {s for s in S if s.is_readable}
+    assert readable == {
+        S.SHARED, S.MASTER_SHARED, S.EXCLUSIVE, S.SHARED_CK1, S.SHARED_CK2,
+    }
+
+
+def test_inv_ck_is_not_readable():
+    assert not S.INV_CK1.is_readable
+    assert not S.INV_CK2.is_readable
+
+
+def test_replaceable_states():
+    # "To accept an injection, an AM can only replace one of its
+    # Invalid or Shared lines" (Section 4.1)
+    replaceable = {s for s in S if s.is_replaceable}
+    assert replaceable == {S.INVALID, S.SHARED}
+
+
+def test_primary_states_unique_per_pair():
+    assert S.SHARED_CK1.is_primary and not S.SHARED_CK2.is_primary
+    assert S.INV_CK1.is_primary and not S.INV_CK2.is_primary
+    assert S.PRE_COMMIT1.is_primary and not S.PRE_COMMIT2.is_primary
+    assert S.EXCLUSIVE.is_primary and S.MASTER_SHARED.is_primary
+    assert not S.SHARED.is_primary
+
+
+def test_partner_mapping_is_involutive():
+    for a, b in (
+        (S.SHARED_CK1, S.SHARED_CK2),
+        (S.INV_CK1, S.INV_CK2),
+        (S.PRE_COMMIT1, S.PRE_COMMIT2),
+    ):
+        assert a.partner() is b
+        assert b.partner() is a
+
+
+def test_partner_undefined_for_unpaired():
+    with pytest.raises(ValueError):
+        S.EXCLUSIVE.partner()
+    with pytest.raises(ValueError):
+        S.INVALID.partner()
+
+
+def test_recovery_invalidated_set():
+    # Section 3.4: invalidate current copies and Pre-Commit copies
+    assert RECOVERY_INVALIDATED == {
+        S.SHARED, S.MASTER_SHARED, S.EXCLUSIVE, S.PRE_COMMIT1, S.PRE_COMMIT2,
+    }
+
+
+def test_precommit_predicate():
+    assert S.PRE_COMMIT1.is_precommit and S.PRE_COMMIT2.is_precommit
+    assert not S.SHARED_CK1.is_precommit
+
+
+def test_states_are_compact_ints():
+    # three extra bits per item suffice for the six new states
+    assert all(0 <= int(s) <= 9 for s in S)
+    assert len(set(int(s) for s in S)) == 10
+
+
+def test_line_states():
+    assert LineState.INVALID == 0
+    assert LineState.CLEAN != LineState.DIRTY

@@ -1,0 +1,122 @@
+"""Unit tests for the contended mesh fabric."""
+
+import pytest
+
+from repro.config import ArchConfig, LatencyConfig
+from repro.network.fabric import MeshFabric
+from repro.network.message import MessageKind
+from repro.network.topology import Mesh, Subnet
+
+
+def make_fabric(width=4, height=4, **kw):
+    return MeshFabric(Mesh(width, height), LatencyConfig(), **kw)
+
+
+def test_local_transfer_is_free():
+    fabric = make_fabric()
+    assert fabric.transfer(3, 3, 32, Subnet.REQUEST, depart=100) == 100
+
+
+def test_uncontended_latency_formula():
+    # hop * h + flits (pipelined wormhole)
+    fabric = make_fabric()
+    lat = fabric.latency
+    arrival = fabric.transfer(0, 1, 32, Subnet.REQUEST, depart=0)
+    assert arrival == lat.hop * 1 + 32
+    arrival = fabric.transfer(0, 15, 8, Subnet.REPLY, depart=0)
+    assert arrival == lat.hop * 6 + 8
+
+
+def test_contention_on_shared_link():
+    fabric = make_fabric()
+    a = fabric.transfer(0, 1, 32, Subnet.REQUEST, depart=0)
+    b = fabric.transfer(0, 1, 32, Subnet.REQUEST, depart=0)
+    assert a == 36
+    assert b > a  # second packet queued on the 0->1 link
+
+
+def test_subnets_do_not_interfere():
+    fabric = make_fabric()
+    fabric.transfer(0, 1, 32, Subnet.REQUEST, depart=0)
+    b = fabric.transfer(0, 1, 32, Subnet.REPLY, depart=0)
+    assert b == 36  # reply subnet link was idle
+
+
+def test_disjoint_links_do_not_interfere():
+    fabric = make_fabric()
+    fabric.transfer(0, 1, 32, Subnet.REQUEST, depart=0)
+    b = fabric.transfer(4, 5, 32, Subnet.REQUEST, depart=0)
+    assert b == 36
+
+
+def test_control_and_data_sizes():
+    fabric = make_fabric()
+    lat = fabric.latency
+    t_ctl = fabric.control(0, 1, Subnet.REQUEST, 0)
+    assert t_ctl == lat.hop + lat.control_flits
+    t_data = fabric.data(0, 1, item_bytes=128, depart=0)
+    assert t_data == lat.hop + lat.control_flits + lat.item_flits(128)
+
+
+def test_broadcast_returns_per_target_arrivals():
+    fabric = make_fabric()
+    arrivals = fabric.broadcast(0, [1, 2, 3], Subnet.REQUEST, depart=0)
+    assert set(arrivals) == {1, 2, 3}
+    assert arrivals[1] < arrivals[2] < arrivals[3]
+
+
+def test_message_statistics():
+    fabric = make_fabric()
+    fabric.control(0, 1, Subnet.REQUEST, 0)
+    fabric.data(0, 2, item_bytes=128, depart=0)
+    assert fabric.messages_sent == 2
+    assert fabric.data_bytes_carried == 128
+    assert fabric.flits_carried > 0
+
+
+def test_trace_recording():
+    fabric = make_fabric(record_trace=True)
+    fabric.control(0, 1, Subnet.REQUEST, 0, kind=MessageKind.READ_REQ, item=7)
+    assert len(fabric.trace) == 1
+    msg = fabric.trace[0]
+    assert msg.kind is MessageKind.READ_REQ
+    assert (msg.src, msg.dst, msg.item) == (0, 1, 7)
+    assert msg.arrive > msg.depart
+
+
+def test_no_trace_by_default():
+    fabric = make_fabric()
+    fabric.control(0, 1, Subnet.REQUEST, 0, kind=MessageKind.READ_REQ)
+    assert fabric.trace == []
+
+
+def test_link_utilisation():
+    fabric = make_fabric()
+    fabric.transfer(0, 1, 100, Subnet.REQUEST, depart=0)
+    util = fabric.link_utilisation(elapsed=1000)
+    assert util[Subnet.REQUEST] > 0
+    assert util[Subnet.REPLY] == 0
+
+
+def test_reset_stats():
+    fabric = make_fabric(record_trace=True)
+    fabric.data(0, 1, item_bytes=128, depart=0, kind=MessageKind.DATA_REPLY)
+    fabric.reset_stats()
+    assert fabric.messages_sent == 0
+    assert fabric.trace == []
+    assert fabric.link_utilisation(100)[Subnet.REPLY] == 0
+
+
+def test_table2_remote_fill_composition():
+    """The full Table 2 latency decomposition through the fabric."""
+    cfg = ArchConfig(n_nodes=16)
+    lat = cfg.latency
+    for src, dst, hops in ((0, 1, 1), (0, 2, 2)):
+        fabric = MeshFabric(Mesh(4, 4), cfg.latency)  # uncontended
+        t = lat.local_am_fill + lat.req_launch
+        t = fabric.control(src, dst, Subnet.REQUEST, t)
+        t += lat.remote_am_service
+        t = fabric.data(dst, src, cfg.item_bytes, t)
+        t += lat.fill
+        assert t == cfg.remote_fill_cycles(hops)
+        assert t == {1: 116, 2: 124}[hops]

@@ -1,0 +1,31 @@
+"""Unit tests for the message taxonomy."""
+
+from repro.network.message import DATA_KINDS, Message, MessageKind
+
+
+def test_data_kinds_carry_data():
+    for kind in DATA_KINDS:
+        msg = Message(kind=kind, src=0, dst=1)
+        assert msg.carries_data
+
+
+def test_control_kinds_do_not_carry_data():
+    msg = Message(kind=MessageKind.INVALIDATE, src=0, dst=1)
+    assert not msg.carries_data
+
+
+def test_flit_sizing():
+    data = Message(kind=MessageKind.DATA_REPLY, src=0, dst=1)
+    ctl = Message(kind=MessageKind.INVALIDATE_ACK, src=0, dst=1)
+    assert data.flits(control_flits=4, item_flits=32) == 36
+    assert ctl.flits(control_flits=4, item_flits=32) == 4
+
+
+def test_message_is_frozen():
+    msg = Message(kind=MessageKind.READ_REQ, src=0, dst=1)
+    try:
+        msg.src = 5
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

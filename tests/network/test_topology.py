@@ -1,0 +1,133 @@
+"""Unit tests for mesh geometry and XY routing."""
+
+import pytest
+
+from repro.network.topology import Mesh
+
+
+def test_dimensions():
+    mesh = Mesh(4, 4)
+    assert mesh.n_nodes == 16
+
+
+def test_invalid_dimensions():
+    with pytest.raises(ValueError):
+        Mesh(0, 4)
+    with pytest.raises(ValueError):
+        Mesh(4, -1)
+
+
+def test_coords_row_major():
+    mesh = Mesh(4, 3)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(3) == (3, 0)
+    assert mesh.coords(4) == (0, 1)
+    assert mesh.coords(11) == (3, 2)
+
+
+def test_node_at_inverts_coords():
+    mesh = Mesh(5, 4)
+    for node in range(mesh.n_nodes):
+        assert mesh.node_at(*mesh.coords(node)) == node
+
+
+def test_node_at_out_of_range():
+    mesh = Mesh(3, 3)
+    with pytest.raises(ValueError):
+        mesh.node_at(3, 0)
+    with pytest.raises(ValueError):
+        mesh.node_at(0, -1)
+
+
+def test_coords_out_of_range():
+    mesh = Mesh(3, 3)
+    with pytest.raises(ValueError):
+        mesh.coords(9)
+    with pytest.raises(ValueError):
+        mesh.coords(-1)
+
+
+def test_hops_manhattan():
+    mesh = Mesh(4, 4)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 1) == 1
+    assert mesh.hops(0, 5) == 2
+    assert mesh.hops(0, 15) == 6
+
+
+def test_hops_symmetric():
+    mesh = Mesh(4, 4)
+    for a in range(16):
+        for b in range(16):
+            assert mesh.hops(a, b) == mesh.hops(b, a)
+
+
+def test_xy_route_length_equals_hops():
+    mesh = Mesh(4, 4)
+    for src in range(16):
+        for dst in range(16):
+            assert len(mesh.xy_route(src, dst)) == mesh.hops(src, dst)
+
+
+def test_xy_route_is_connected():
+    mesh = Mesh(4, 4)
+    route = mesh.xy_route(0, 15)
+    assert route[0][0] == 0
+    assert route[-1][1] == 15
+    for (a, b), (c, _d) in zip(route, route[1:]):
+        assert b == c
+
+
+def test_xy_route_x_first():
+    mesh = Mesh(4, 4)
+    route = mesh.xy_route(0, 5)  # (0,0) -> (1,1)
+    assert route == [(0, 1), (1, 5)]
+
+
+def test_xy_route_same_node_empty():
+    mesh = Mesh(4, 4)
+    assert mesh.xy_route(7, 7) == []
+
+
+def test_route_links_are_adjacent():
+    mesh = Mesh(4, 4)
+    for src in (0, 5, 15):
+        for dst in range(16):
+            for a, b in mesh.xy_route(src, dst):
+                assert mesh.hops(a, b) == 1
+
+
+def test_all_links_count():
+    # a WxH mesh has 2*(W-1)*H + 2*W*(H-1) directed links
+    mesh = Mesh(4, 4)
+    assert len(mesh.all_links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+
+def test_all_links_unique():
+    mesh = Mesh(3, 3)
+    links = mesh.all_links()
+    assert len(links) == len(set(links))
+
+
+def test_neighbours_of_corner_and_center():
+    mesh = Mesh(3, 3)
+    assert sorted(mesh.neighbours(0)) == [1, 3]
+    assert sorted(mesh.neighbours(4)) == [1, 3, 5, 7]
+
+
+def test_snake_order_visits_every_node_once():
+    mesh = Mesh(4, 4)
+    order = mesh.snake_order()
+    assert sorted(order) == list(range(16))
+
+
+def test_snake_order_adjacent_entries_are_neighbours():
+    mesh = Mesh(5, 4)
+    order = mesh.snake_order()
+    for a, b in zip(order, order[1:]):
+        assert mesh.hops(a, b) == 1
+
+
+def test_snake_order_small_meshes():
+    assert Mesh(1, 1).snake_order() == [0]
+    assert Mesh(2, 2).snake_order() == [0, 1, 3, 2]

@@ -1,0 +1,164 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_initial_time_is_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_in_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append("b"))
+    engine.schedule(5, lambda: seen.append("a"))
+    engine.schedule(20, lambda: seen.append("c"))
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_time_advances_to_event_times():
+    engine = Engine()
+    times = []
+    engine.schedule(7, lambda: times.append(engine.now))
+    engine.schedule(13, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [7, 13]
+
+
+def test_same_time_events_fifo_order():
+    engine = Engine()
+    seen = []
+    for tag in range(5):
+        engine.schedule(3, lambda t=tag: seen.append(t))
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute():
+    engine = Engine()
+    hit = []
+    engine.schedule_at(42, lambda: hit.append(engine.now))
+    engine.run()
+    assert hit == [42]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda: seen.append(5))
+    engine.schedule(50, lambda: seen.append(50))
+    final = engine.run(until=20)
+    assert seen == [5]
+    assert final == 20
+    assert engine.pending_events() == 1
+
+
+def test_run_until_then_resume():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda: seen.append(5))
+    engine.schedule(50, lambda: seen.append(50))
+    engine.run(until=20)
+    engine.run()
+    assert seen == [5, 50]
+
+
+def test_run_until_advances_time_when_idle():
+    engine = Engine()
+    engine.run(until=100)
+    assert engine.now == 100
+
+
+def test_events_scheduled_during_dispatch():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append("first")
+        engine.schedule(5, lambda: seen.append("second"))
+
+    engine.schedule(1, first)
+    engine.run()
+    assert seen == ["first", "second"]
+    assert engine.now == 6
+
+
+def test_max_events_limit():
+    engine = Engine()
+    seen = []
+    for i in range(10):
+        engine.schedule(i, lambda i=i: seen.append(i))
+    engine.run(max_events=3)
+    assert len(seen) == 3
+
+
+def test_events_dispatched_counter():
+    engine = Engine()
+    for i in range(4):
+        engine.schedule(i, lambda: None)
+    engine.run()
+    assert engine.events_dispatched == 4
+
+
+def test_idle_reporting():
+    engine = Engine()
+    assert engine.idle()
+    engine.schedule(1, lambda: None)
+    assert not engine.idle()
+    engine.run()
+    assert engine.idle()
+
+
+def test_peek_time():
+    engine = Engine()
+    assert engine.peek_time() is None
+    engine.schedule(9, lambda: None)
+    assert engine.peek_time() == 9
+
+
+def test_reentrant_run_rejected():
+    engine = Engine()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1, nested)
+    engine.run()
+
+
+def test_zero_delay_runs_at_current_time():
+    engine = Engine()
+    times = []
+
+    def outer():
+        engine.schedule(0, lambda: times.append(engine.now))
+
+    engine.schedule(5, outer)
+    engine.run()
+    assert times == [5]
+
+
+def test_float_delay_truncated_to_int():
+    engine = Engine()
+    times = []
+    engine.schedule(2.9, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [2]

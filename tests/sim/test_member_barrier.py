@@ -1,0 +1,98 @@
+"""Unit tests for the member-tracking barrier (failure-safe
+coordination)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.sync import MemberBarrier
+
+
+def test_releases_when_all_members_arrive():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1, 2})
+    log = []
+
+    def party(member, delay):
+        yield delay
+        gen = yield barrier.arrive(member)
+        log.append((member, gen, engine.now))
+
+    for member, delay in ((0, 5), (1, 10), (2, 15)):
+        Process(engine, party(member, delay))
+    engine.run()
+    assert sorted(log) == [(0, 0, 15), (1, 0, 15), (2, 0, 15)]
+
+
+def test_double_arrival_is_idempotent():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1})
+    barrier.arrive(0)
+    barrier.arrive(0)  # same generation: no effect
+    assert barrier.waiting == 1
+    barrier.arrive(1)
+    assert barrier.generation == 1
+
+
+def test_non_member_arrival_ignored():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1})
+    barrier.arrive(7)  # not expected: does not count
+    assert barrier.waiting == 0
+
+
+def test_remove_member_releases_waiters():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1, 2})
+    log = []
+
+    def party(member):
+        yield barrier.arrive(member)
+        log.append(member)
+
+    Process(engine, party(0))
+    Process(engine, party(1))
+    engine.schedule(10, lambda: barrier.remove_member(2))
+    engine.run()
+    assert sorted(log) == [0, 1]
+
+
+def test_remove_discards_stale_arrival():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1, 2})
+    barrier.arrive(2)       # member 2 arrives...
+    barrier.remove_member(2)  # ...then fails: its arrival must not count
+    barrier.arrive(0)
+    assert barrier.generation == 0  # still waiting for 1
+    barrier.arrive(1)
+    assert barrier.generation == 1
+
+
+def test_reusable_across_generations():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0, 1})
+    log = []
+
+    def party(member):
+        for _ in range(3):
+            yield 1
+            gen = yield barrier.arrive(member)
+            log.append(gen)
+
+    Process(engine, party(0))
+    Process(engine, party(1))
+    engine.run()
+    assert sorted(set(log)) == [0, 1, 2]
+
+
+def test_empty_member_set_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        MemberBarrier(engine, set())
+
+
+def test_removing_all_members_does_not_release():
+    engine = Engine()
+    barrier = MemberBarrier(engine, {0})
+    barrier.remove_member(0)
+    assert barrier.generation == 0  # nothing fires on an empty barrier

@@ -1,0 +1,119 @@
+"""Unit tests for contention modelling."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.resources import ContentionPoint, Resource
+
+
+# ------------------------------------------------------------ ContentionPoint
+
+def test_uncontended_occupy():
+    cp = ContentionPoint()
+    assert cp.occupy(at=100, service=20) == 120
+
+
+def test_back_to_back_occupations_queue():
+    cp = ContentionPoint()
+    assert cp.occupy(0, 10) == 10
+    assert cp.occupy(0, 10) == 20
+    assert cp.occupy(0, 10) == 30
+    assert cp.waited_cycles == 10 + 20
+
+
+def test_late_arrival_does_not_wait():
+    cp = ContentionPoint()
+    cp.occupy(0, 10)
+    assert cp.occupy(50, 10) == 60
+    assert cp.waited_cycles == 0
+
+
+def test_busy_cycles_accumulate():
+    cp = ContentionPoint()
+    cp.occupy(0, 7)
+    cp.occupy(0, 3)
+    assert cp.busy_cycles == 10
+    assert cp.uses == 2
+
+
+def test_wait_until_free():
+    cp = ContentionPoint()
+    cp.occupy(0, 25)
+    assert cp.wait_until_free(10) == 25
+    assert cp.wait_until_free(40) == 40
+
+
+def test_utilisation():
+    cp = ContentionPoint()
+    cp.occupy(0, 50)
+    assert cp.utilisation(100) == pytest.approx(0.5)
+    assert cp.utilisation(0) == 0.0
+    assert cp.utilisation(10) == 1.0  # clamped
+
+
+def test_reset():
+    cp = ContentionPoint()
+    cp.occupy(0, 10)
+    cp.reset()
+    assert cp.next_free == 0
+    assert cp.busy_cycles == 0
+    assert cp.uses == 0
+
+
+def test_multi_server_parallelism():
+    cp = ContentionPoint(servers=2)
+    assert cp.occupy(0, 10) == 10
+    assert cp.occupy(0, 10) == 10  # second server
+    assert cp.occupy(0, 10) == 20  # queues behind the earlier finisher
+
+
+def test_multi_server_four_controllers():
+    cp = ContentionPoint(servers=4)
+    ends = [cp.occupy(0, 20) for _ in range(4)]
+    assert ends == [20, 20, 20, 20]
+    assert cp.occupy(0, 20) == 40
+
+
+def test_multi_server_next_free_is_earliest():
+    cp = ContentionPoint(servers=2)
+    cp.occupy(0, 100)
+    assert cp.next_free == 0  # the other server is idle
+    cp.occupy(0, 30)
+    assert cp.next_free == 30
+
+
+def test_invalid_server_count():
+    with pytest.raises(ValueError):
+        ContentionPoint(servers=0)
+
+
+# ------------------------------------------------------------ Resource
+
+def test_resource_blocks_beyond_capacity():
+    engine = Engine()
+    res = Resource(engine, servers=1)
+    log = []
+
+    def worker(tag):
+        yield res.acquire()
+        log.append(("in", tag, engine.now))
+        yield 10
+        res.release()
+
+    Process(engine, worker("a"))
+    Process(engine, worker("b"))
+    engine.run()
+    times = [t for (_e, _tag, t) in log]
+    assert times == [0, 10]
+
+
+def test_resource_counts_acquisitions():
+    engine = Engine()
+    res = Resource(engine, servers=2)
+    res.acquire()
+    res.acquire()
+    assert res.total_acquisitions == 2
+    assert res.available == 0
+    res.release()
+    assert res.available == 1

@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.stats.charts import bar_chart, grouped_bar_chart, hbar
+
+
+def test_hbar_full_and_empty():
+    assert hbar(10, 10, width=10) == "█" * 10
+    assert hbar(0, 10, width=10) == ""
+
+
+def test_hbar_half():
+    bar = hbar(5, 10, width=10)
+    assert bar.startswith("█" * 5)
+    assert len(bar) <= 6
+
+
+def test_hbar_clamps_overflow():
+    assert hbar(20, 10, width=10) == "█" * 10
+    assert hbar(-5, 10, width=10) == ""
+
+
+def test_hbar_zero_max():
+    assert hbar(5, 0) == ""
+
+
+def test_bar_chart_layout():
+    text = bar_chart([("a", 1.0), ("bb", 2.0)], title="t", unit="%")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert len(lines) == 3
+    assert "2%" in lines[2]
+    # labels right-aligned to the same width
+    assert lines[1].index("|") == lines[2].index("|")
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], title="nothing") == "nothing"
+
+
+def test_grouped_chart():
+    text = grouped_bar_chart(
+        [("g1", [("x", 1.0)]), ("g2", [("y", 4.0)])], title="grouped"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "grouped"
+    assert "g1:" in lines
+    assert "g2:" in lines
+    # the largest value gets the longest bar
+    bar_x = lines[2]
+    bar_y = lines[4]
+    assert bar_y.count("█") > bar_x.count("█")
+
+
+def test_grouped_chart_empty():
+    assert grouped_bar_chart([], title="t") == "t"

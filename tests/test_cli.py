@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "water", "--nodes", "9", "--scale", "0.001"])
+    assert args.app == "water"
+    assert args.nodes == 9
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom"])
+
+
+def test_run_command_standard(capsys):
+    rc = main(["run", "water", "--protocol", "standard",
+               "--nodes", "4", "--scale", "0.0005"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total cycles" in out
+    assert "references" in out
+
+
+def test_run_command_ecp(capsys):
+    rc = main(["run", "water", "--protocol", "ecp",
+               "--nodes", "4", "--scale", "0.0005", "--frequency", "400"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "invariants: OK" in out
+
+
+def test_recover_command(capsys):
+    rc = main([
+        "recover", "water", "--nodes", "6", "--scale", "0.002",
+        "--fail-at", "30000", "--fail-node", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "recoveries" in out
+    assert "True" in out  # completed
+
+
+def test_sweep_parser_defaults():
+    args = build_parser().parse_args(["sweep"])
+    assert args.frequencies == [400.0, 100.0, 20.0, 5.0]
+
+
+def test_scale_parser_defaults():
+    args = build_parser().parse_args(["scale"])
+    assert args.nodes == [9, 16, 30, 42, 56]
+    assert args.frequency == 100.0

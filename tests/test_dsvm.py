@@ -1,0 +1,172 @@
+"""Tests for the recoverable distributed shared virtual memory."""
+
+import pytest
+
+from repro.dsvm import DsvmConfig, DsvmMachine
+from repro.dsvm.protocol import DsvmProtocol, PageState
+from repro.workloads.synthetic import PrivateOnly, UniformShared
+from repro.workloads.traces import TraceWorkload
+
+
+def bare_dsvm(n_nodes=4):
+    wl = TraceWorkload.from_ops([[("r", 0)]])
+    return DsvmMachine(DsvmConfig(n_nodes=n_nodes), wl, checkpointing=False)
+
+
+def ckpt_all(machine):
+    p = machine.protocol
+    t = 0
+    for node in range(machine.cfg.n_nodes):
+        t, _r, _u = p.create_phase(node, t)
+    for node in range(machine.cfg.n_nodes):
+        p.commit_phase(node)
+
+
+# ------------------------------------------------------------ base SVM
+
+def test_first_touch_becomes_owner():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    assert p.state(0, 5) is PageState.WRITE
+    assert p.entry(5).owner == 0
+
+
+def test_read_fault_copies_page():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    p.read(1, 5, 1000)
+    assert p.state(1, 5) is PageState.READ
+    assert p.state(0, 5) is PageState.READ  # owner downgraded
+    assert 1 in p.entry(5).copyset
+
+
+def test_write_fault_invalidates_copyset():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    p.read(1, 5, 1000)
+    p.read(2, 5, 2000)
+    p.write(3, 5, 10_000)
+    assert p.state(3, 5) is PageState.WRITE
+    assert p.state(1, 5) is PageState.INVALID
+    assert p.entry(5).owner == 3
+    assert p.entry(5).copyset == set()
+
+
+def test_write_hit_is_cheap():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    assert p.write(0, 5, 1000) == 1001
+
+
+# ------------------------------------------------------------ recovery points
+
+def test_checkpoint_creates_page_pair():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    ckpt_all(m)
+    states = {p.state(n, 5) for n in range(4)} - {PageState.INVALID}
+    assert states == {PageState.READ_CK1, PageState.READ_CK2}
+    assert p.entry(5).partner is not None
+
+
+def test_read_copies_reused_at_checkpoint():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    p.read(1, 5, 1000)
+    t, replicated, reused = p.create_phase(0, 10_000)
+    assert reused == 1
+    assert replicated == 0
+    assert p.state(1, 5) is PageState.PRE_COMMIT2
+
+
+def test_write_on_checkpointed_page_degrades_pair():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    ckpt_all(m)
+    p.write(2, 5, 100_000)
+    states = {n: p.state(n, 5) for n in range(4)}
+    assert states[2] is PageState.WRITE
+    assert PageState.INV_CK1 in states.values()
+    assert PageState.INV_CK2 in states.values()
+
+
+def test_recovery_restores_pairs():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    ckpt_all(m)
+    p.write(2, 5, 100_000)
+    for n in range(4):
+        p.recovery_scan(n)
+    singles = p.rebuild_managers()
+    assert singles == []
+    states = {p.state(n, 5) for n in range(4)} - {PageState.INVALID}
+    assert states == {PageState.READ_CK1, PageState.READ_CK2}
+
+
+def test_singleton_rereplicated():
+    m = bare_dsvm()
+    p = m.protocol
+    p.write(0, 5, 0)
+    ckpt_all(m)
+    partner = p.entry(5).partner
+    m._alive[partner] = False
+    p.page_tables[partner].clear()
+    for n in range(4):
+        if m._alive[n]:
+            p.recovery_scan(n)
+    singles = p.rebuild_managers()
+    assert singles == [5]
+    p.rereplicate(5, 0)
+    holders = [n for n in range(4) if p.state(n, 5).is_recovery]
+    assert len(holders) == 2
+
+
+# ------------------------------------------------------------ full runs
+
+def test_full_run_with_checkpoints():
+    wl = PrivateOnly(4, refs_per_proc=5000, region_bytes=64 * 1024)
+    cfg = DsvmConfig(n_nodes=4, checkpoint_period_refs=1500)
+    m = DsvmMachine(cfg, wl)
+    r = m.run()
+    assert r.refs >= 4 * 5000
+    assert r.n_checkpoints >= 2
+    assert r.pages_replicated + r.pages_reused > 0
+
+
+def test_full_run_survives_failure():
+    # >= 4 live memories must remain (same copy-count argument as the
+    # COMA's ECP), so the failure test runs on 6 nodes
+    wl = UniformShared(6, refs_per_proc=6000, region_bytes=256 * 1024,
+                       write_fraction=0.3)
+    cfg = DsvmConfig(n_nodes=6, checkpoint_period_refs=2000)
+    m = DsvmMachine(cfg, wl, fail_node_at=(500_000, 2))
+    r = m.run()
+    assert r.n_recoveries == 1
+    # work completed despite the failure (possibly migrated)
+    assert all(s.exhausted for s in m._streams)
+
+
+def test_page_faults_counted():
+    wl = UniformShared(2, refs_per_proc=500, region_bytes=64 * 1024)
+    m = DsvmMachine(DsvmConfig(n_nodes=2), wl, checkpointing=False)
+    r = m.run()
+    assert r.read_fault_rate > 0
+
+
+def test_deterministic():
+    def run():
+        wl = PrivateOnly(4, refs_per_proc=2000)
+        cfg = DsvmConfig(n_nodes=4, checkpoint_period_refs=800)
+        return DsvmMachine(cfg, wl).run()
+
+    a, b = run(), run()
+    assert a.total_cycles == b.total_cycles
+    assert a.n_checkpoints == b.n_checkpoints

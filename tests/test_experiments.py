@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment harnesses (small parameters; the
+full-size sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    FULL,
+    QUICK,
+    FrequencySweep,
+    PairRunner,
+    ScalingSweep,
+    ablation_commit_counters,
+    ablation_replica_reuse,
+    current_profile,
+    table1_injection_causes,
+    table2_read_latencies,
+    table3_characteristics,
+)
+from repro.experiments.table2 import PAPER_TABLE2
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+def test_profiles():
+    assert QUICK.period_cap_refs < FULL.period_cap_refs
+    assert QUICK.base_scale <= FULL.base_scale
+    assert current_profile().name in ("quick", "full")
+
+
+def test_period_cap():
+    # 400 points/s is faithful (below the cap); 5 points/s is capped
+    assert QUICK.compression_for("water", 400.0) == 1.0
+    assert QUICK.compression_for("water", 5.0) > 1.0
+    assert QUICK.period_refs("water", 5.0) == QUICK.period_cap_refs
+
+
+def test_profile_scale_grows_for_rare_checkpoints():
+    s_frequent = QUICK.scale_for("water", 16, 400.0)
+    s_rare = QUICK.scale_for("water", 16, 5.0)
+    assert s_rare >= s_frequent
+
+
+def test_table1_all_rows_demonstrated():
+    rows = table1_injection_causes()
+    assert len(rows) == 5
+    assert all(count >= 1 for *_rest, count in rows)
+
+
+def test_table2_matches_paper_exactly():
+    assert dict(table2_read_latencies()) == PAPER_TABLE2
+
+
+def test_table3_within_tolerance():
+    for row in table3_characteristics(n_procs=8, sample_refs=2000):
+        paper = PAPER_TABLE3[row.app]
+        assert row.reads_pct == pytest.approx(paper.reads_pct, rel=0.15)
+        assert row.writes_pct == pytest.approx(paper.writes_pct, rel=0.15)
+
+
+def test_pair_runner_caches_runs():
+    runner = PairRunner(QUICK)
+    r1 = runner.run_standard("water", 4, 0.0005)
+    r2 = runner.run_standard("water", 4, 0.0005)
+    assert r1 is r2
+
+
+def test_decomposition_sums():
+    runner = PairRunner(QUICK)
+    d = runner.decompose("water", 4, 400.0, scale=0.002)
+    total = d.create + d.commit + d.pollution
+    assert d.total_overhead == pytest.approx(total, abs=1e-6)
+    assert d.n_checkpoints >= 1
+
+
+def test_frequency_sweep_cell_is_cached():
+    sweep = FrequencySweep(apps=("water",), frequencies=(400.0,), n_nodes=4)
+    sweep.runner.profile = QUICK
+    c1 = sweep.cell("water", 400.0)
+    c2 = sweep.cell("water", 400.0)
+    assert c1 is c2
+    assert c1.overhead.n_checkpoints >= 1
+
+
+def test_frequency_sweep_rows_shape():
+    sweep = FrequencySweep(apps=("water",), frequencies=(400.0,), n_nodes=4)
+    assert len(sweep.fig3_rows()) == 1
+    assert len(sweep.fig4_rows()) == 1
+    assert len(sweep.fig5_rows()) == 1
+    assert len(sweep.fig6_rows()) == 1
+    assert len(sweep.fig7_rows(400.0)) == 1
+
+
+def test_scaling_sweep_rows_shape():
+    sweep = ScalingSweep(apps=("water",), node_counts=(4,), frequency_hz=400.0)
+    assert len(sweep.fig8_rows()) == 1
+    assert len(sweep.fig9_rows()) == 1
+    assert len(sweep.fig10_rows()) == 1
+    assert len(sweep.fig11_rows()) == 1
+
+
+def test_ablation_commit_counters_small():
+    result = ablation_commit_counters(n_nodes=4, scale=0.001)
+    assert result.commit_cycles_scan > result.commit_cycles_counters
+
+
+def test_ablation_replica_reuse_small():
+    result = ablation_replica_reuse(n_nodes=4, scale=0.002)
+    assert result.items_reused_on >= 0
+    assert result.bytes_transferred_on <= result.bytes_transferred_off

@@ -1,0 +1,95 @@
+"""Tests for the hierarchical-COMA availability model (Section 2.2)."""
+
+import pytest
+
+from repro.hierarchy import (
+    HierarchicalComa,
+    HierarchyConfig,
+    availability_after_failure,
+)
+
+
+def make(n_clusters=4, leaves=4):
+    return HierarchicalComa(HierarchyConfig(n_clusters, leaves))
+
+
+def test_topology():
+    h = make()
+    assert h.cfg.n_leaves == 16
+    assert h.cluster_of(0) == 0
+    assert h.cluster_of(5) == 1
+    assert h.leaves_of(1) == [4, 5, 6, 7]
+
+
+def test_placement_and_local_access():
+    h = make()
+    h.place(7, leaf=3)
+    assert h.access_cycles(3, 7) == 0
+
+
+def test_intra_cluster_access_cost():
+    h = make()
+    h.place(7, leaf=1)
+    assert h.access_cycles(0, 7) == 4 * h.cfg.level_hop_cycles
+
+
+def test_inter_cluster_access_cost():
+    h = make()
+    h.place(7, leaf=5)
+    assert h.access_cycles(0, 7) == 8 * h.cfg.level_hop_cycles
+
+
+def test_unknown_item_unreachable():
+    h = make()
+    assert h.access_cycles(0, 99) is None
+
+
+def test_leaf_failure_loses_one_am():
+    h = make()
+    h.place_uniform(160)
+    h.fail_leaf(0)
+    assert h.reachable_fraction() == pytest.approx(15 / 16)
+    assert h.lost_memory_fraction() == pytest.approx(1 / 16)
+
+
+def test_directory_failure_loses_whole_subtree():
+    """The Section 2.2 claim, executable."""
+    h = make()
+    h.place_uniform(160)
+    h.fail_directory(0)
+    # one intermediate node down, but a quarter of the machine is gone
+    assert h.lost_memory_fraction() == pytest.approx(4 / 16)
+    assert h.reachable_fraction() == pytest.approx(12 / 16)
+    for leaf in h.leaves_of(0):
+        assert not h.leaf_reachable(leaf)
+        assert h.access_cycles(leaf, 0) is None
+
+
+def test_requester_below_dead_directory_cannot_access_anything():
+    h = make()
+    h.place(7, leaf=12)
+    h.fail_directory(0)
+    assert h.access_cycles(0, 7) is None      # requester cut off
+    assert h.access_cycles(8, 7) is not None  # others still fine
+
+
+def test_availability_summary():
+    summary = availability_after_failure()
+    assert summary["leaf_failure_loss"] == pytest.approx(summary["flat_loss"])
+    # a directory failure is leaves_per_cluster times worse
+    assert summary["directory_failure_loss"] == pytest.approx(
+        summary["flat_loss"] * 4
+    )
+    assert summary["directory_memory_lost"] == pytest.approx(0.25)
+
+
+def test_invalid_inputs():
+    h = make()
+    with pytest.raises(ValueError):
+        h.place(0, leaf=99)
+    with pytest.raises(ValueError):
+        h.fail_directory(9)
+
+
+def test_empty_machine_fully_available():
+    assert make().reachable_fraction() == 1.0

@@ -1,0 +1,97 @@
+"""Integration tests: the four SPLASH workloads on the full machine,
+both protocols, with checkpoints — small scales so the whole file runs
+in tens of seconds."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.machine import Machine
+from repro.fault.failures import FailurePlan
+from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+
+SCALE = 0.002
+N_NODES = 9  # 3x3 mesh
+
+
+def run(app, protocol, **ft):
+    cfg = ArchConfig(n_nodes=N_NODES, seed=11)
+    if ft:
+        cfg = cfg.with_ft(**ft)
+    wl = make_workload(app, n_procs=N_NODES, scale=SCALE, seed=11)
+    machine = Machine(cfg, wl, protocol=protocol)
+    return machine, machine.run()
+
+
+@pytest.mark.parametrize("app", sorted(SPLASH_WORKLOADS))
+def test_standard_protocol_runs_every_app(app):
+    machine, result = run(app, "standard")
+    assert result.stats.refs > 0
+    assert result.stats.mean_am_miss_rate() < 0.5
+    # the standard protocol never creates recovery states
+    assert all("CK" not in k for k in result.item_census)
+
+
+@pytest.mark.parametrize("app", sorted(SPLASH_WORKLOADS))
+def test_ecp_runs_every_app_with_checkpoints(app):
+    machine, result = run(app, "ecp", checkpoint_period_override=30_000)
+    assert result.stats.n_checkpoints >= 1
+    machine.check_invariants()
+    census = result.item_census
+    assert census.get("SHARED_CK1", 0) == census.get("SHARED_CK2", 0)
+    assert census.get("SHARED_CK1", 0) > 0
+
+
+@pytest.mark.parametrize("app", ("water", "mp3d"))
+def test_ecp_with_failure_completes_every_app(app):
+    cfg = ArchConfig(n_nodes=N_NODES, seed=11).with_ft(
+        checkpoint_period_override=30_000, detection_latency=300
+    )
+    wl = make_workload(app, n_procs=N_NODES, scale=SCALE, seed=11)
+    plan = [FailurePlan(time=50_000, node=4, repair_delay=1_000)]
+    machine = Machine(cfg, wl, protocol="ecp", failure_plan=plan)
+    result = machine.run()
+    assert result.stats.n_recoveries == 1
+    assert all(s.exhausted for s in machine.all_streams())
+    machine.check_invariants()
+
+
+def test_ecp_overhead_is_positive_but_bounded():
+    _m, base = run("water", "standard")
+    _m2, ft = run("water", "ecp", checkpoint_period_override=30_000)
+    overhead = (ft.total_cycles - base.total_cycles) / base.total_cycles
+    assert 0 < overhead < 3.0
+
+
+def test_identical_reference_streams_across_protocols():
+    """Both protocols execute exactly the same references (paired
+    comparison is sound)."""
+    _m1, base = run("cholesky", "standard")
+    _m2, ft = run("cholesky", "ecp", checkpoint_period_override=50_000)
+    assert base.stats.refs == ft.stats.refs
+    assert base.stats.reads == ft.stats.reads
+    assert base.stats.writes == ft.stats.writes
+
+
+def test_registry_consistent_with_am_contents():
+    machine, _result = run("barnes", "ecp", checkpoint_period_override=30_000)
+    for node in machine.nodes:
+        for page in node.am.pages():
+            assert node.node_id in machine.registry.holders(page)
+    assert machine.registry.frames_in_use == sum(
+        node.am.pages_resident for node in machine.nodes
+    )
+
+
+def test_directory_pointers_point_at_serving_copies():
+    machine, _result = run("mp3d", "ecp", checkpoint_period_override=30_000)
+    p = machine.protocol
+    from repro.memory.states import ItemState
+
+    for item, states in machine.items_by_state().items():
+        serving = p.directory.serving_node(item)
+        serving_states = (
+            ItemState.EXCLUSIVE, ItemState.MASTER_SHARED, ItemState.SHARED_CK1
+        )
+        holders = [n for s in serving_states for n in states.get(s, [])]
+        if holders:
+            assert serving == holders[0]

@@ -1,0 +1,90 @@
+"""Unit tests for node assembly and the processor driver."""
+
+import pytest
+
+from tests.helpers import small_config
+from repro.config import ArchConfig
+from repro.machine import Machine
+from repro.node.node import Node
+from repro.workloads.synthetic import PrivateOnly
+from repro.workloads.traces import TraceWorkload
+from repro.workloads.base import Reference
+
+
+def test_node_failure_wipes_volatile_state():
+    node = Node(3, ArchConfig(n_nodes=16))
+    node.am.allocate_page(0)
+    node.cache.fill(0)
+    node.fail()
+    assert not node.alive
+    assert node.am.pages_resident == 0
+    assert node.cache.resident_sectors == 0
+
+
+def test_node_revive():
+    node = Node(3, ArchConfig(n_nodes=16))
+    node.fail()
+    node.revive()
+    assert node.alive
+    assert node.am.pages_resident == 0  # memory content stays lost
+
+
+def test_node_has_four_memory_controllers():
+    node = Node(0, ArchConfig(n_nodes=16))
+    ends = [node.mem_ctrl.occupy(0, 20) for _ in range(4)]
+    assert ends == [20, 20, 20, 20]
+
+
+def test_processor_round_robin_across_streams():
+    """After migration a processor interleaves multiple streams."""
+    wl = TraceWorkload.from_ops(
+        [[("r", 0)], [("r", 10_000)], [("r", 20_000)], [("r", 30_000)]]
+    )
+    m = Machine(small_config(4), wl, protocol="ecp", checkpointing=False)
+    donor = m.processors[3]
+    receiver = m.processors[0]
+    for stream in donor.take_streams():
+        receiver.assign(stream)
+    assert len(receiver.streams) == 2
+    assert donor.streams == []
+    r = m.run()
+    assert all(s.exhausted for s in m.all_streams())
+
+
+def test_processor_batches_references():
+    """A long run of cache hits is executed with far fewer engine
+    events than references."""
+    wl = PrivateOnly(1, refs_per_proc=5000, region_bytes=4096, think=0)
+    m = Machine(small_config(4), wl, protocol="standard")
+    r = m.run()
+    assert r.stats.refs == 5000
+    assert m.engine.events_dispatched < 5000
+
+
+def test_ecp_without_checkpoints_equals_standard_misses():
+    """With checkpointing off, the ECP never enters recovery states and
+    its miss behaviour matches the standard protocol's exactly."""
+    results = {}
+    for protocol in ("standard", "ecp"):
+        wl = PrivateOnly(4, refs_per_proc=2000)
+        m = Machine(small_config(4), wl, protocol=protocol, checkpointing=False)
+        r = m.run()
+        results[protocol] = (
+            r.total_cycles,
+            r.stats.total("am_read_misses"),
+            r.stats.total("am_write_misses"),
+            r.item_census,
+        )
+    assert results["standard"] == results["ecp"]
+
+
+def test_run_stops_at_max_cycles():
+    wl = PrivateOnly(4, refs_per_proc=100_000)
+    m = Machine(small_config(4), wl, protocol="standard")
+    m.run(max_cycles=10_000)
+    assert m.engine.now <= 10_000
+
+
+def test_processor_reference_density_derivation():
+    wl = PrivateOnly(2, refs_per_proc=100, think=3)
+    assert wl.reference_density == pytest.approx(0.25)

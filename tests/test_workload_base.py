@@ -1,0 +1,120 @@
+"""Tests for the workload base-class machinery."""
+
+import pytest
+
+from repro.workloads.base import Reference, Workload, WorkloadProfile
+
+
+class _Toy(Workload):
+    name = "toy"
+
+    def __init__(self, n_procs=2, **kw):
+        super().__init__(n_procs, **kw)
+        self._private = self._alloc_private(16 * 1024)
+        self._shared = self._alloc_shared(32 * 1024)
+
+    def refs_per_proc(self):
+        return 100
+
+    def ref_at(self, proc, index):
+        shared = index % 4 == 0
+        base = self._shared if shared else self._private[proc]
+        return Reference(think=2, is_write=index % 5 == 0, addr=base + (index % 64) * 128)
+
+
+def test_layout_private_then_shared():
+    wl = _Toy()
+    assert wl._private == [0, 16 * 1024]
+    assert wl.shared_base == 32 * 1024
+    assert wl.footprint_bytes == 64 * 1024
+
+
+def test_shared_classification():
+    wl = _Toy()
+    assert not wl.is_shared_addr(0)
+    assert wl.is_shared_addr(wl.shared_base)
+    assert wl.is_shared_addr(wl.footprint_bytes - 1)
+
+
+def test_private_after_shared_rejected():
+    class Bad(Workload):
+        name = "bad"
+
+        def __init__(self):
+            super().__init__(2)
+            self._alloc_shared(1024)
+            self._alloc_private(1024)
+
+        def refs_per_proc(self):
+            return 0
+
+        def ref_at(self, proc, index):  # pragma: no cover
+            raise NotImplementedError
+
+    with pytest.raises(RuntimeError):
+        Bad()
+
+
+def test_scaled_bytes_page_aligned_with_floor():
+    wl = _Toy(scale=0.001)
+    assert wl._scaled_bytes(1_000_000) % wl.page_bytes == 0
+    assert wl._scaled_bytes(10) == wl.page_bytes           # floor
+    assert wl._scaled_bytes(10, minimum=2 * wl.page_bytes) == 2 * wl.page_bytes
+
+
+def test_characterize_counts():
+    wl = _Toy()
+    profile = wl.characterize()
+    assert profile.refs == 200
+    assert profile.instructions == 200 * 3  # think=2 per ref
+    assert profile.reads + profile.writes == profile.refs
+    assert profile.shared_reads + profile.shared_writes <= profile.refs
+    assert 0 < profile.read_fraction < 1
+
+
+def test_characterize_respects_cap():
+    wl = _Toy()
+    profile = wl.characterize(max_refs_per_proc=10)
+    assert profile.refs == 20
+
+
+def test_profile_zero_safe():
+    profile = WorkloadProfile()
+    assert profile.read_fraction == 0.0
+    assert profile.shared_write_fraction == 0.0
+
+
+def test_think_time_dithering_hits_fractional_mean():
+    wl = _Toy()
+    thinks = [wl._think(0, i, 2.25) for i in range(8000)]
+    assert sum(thinks) / len(thinks) == pytest.approx(2.25, abs=0.05)
+    assert set(thinks) == {2, 3}
+
+
+def test_pick_addr_within_region():
+    wl = _Toy()
+    for i in range(500):
+        addr = wl._pick_addr(wl._shared, 32 * 1024, proc=0, index=i, salt=9)
+        assert wl._shared <= addr < wl._shared + 32 * 1024
+
+
+def test_pick_addr_locality_window():
+    wl = _Toy()
+    items = {
+        wl._pick_addr(0, 1 << 20, proc=0, index=i, salt=1,
+                      block_len=10_000, window_items=8) // 128
+        for i in range(2000)
+    }
+    assert len(items) <= 8  # one block: draws stay inside the window
+
+
+def test_reference_density_default_derivation():
+    wl = _Toy()
+    assert wl.reference_density == pytest.approx(1 / 3)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        _Toy(n_procs=0)
+    with pytest.raises(ValueError):
+        _Toy(scale=-1)
