@@ -81,6 +81,11 @@ def rebuild_metadata(protocol: "ExtendedProtocol") -> list[int]:
         entry.partner = ck2
         if ck2 is None:
             singletons.append(item)
+    # the pointer partitions of dead nodes are now rehosted: a None
+    # lookup is authoritative again (see StandardProtocol._check_home_reachable)
+    for node in protocol.nodes:
+        if not node.alive:
+            node.pointers_rehosted = True
     return sorted(singletons)
 
 

@@ -139,6 +139,78 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        MUTATIONS,
+        InvariantViolationError,
+        ModelConfig,
+        check,
+        fuzz_batch,
+        fuzz_run,
+    )
+
+    mutate = None
+    if args.mutate:
+        if args.mutate not in MUTATIONS:
+            print(f"unknown mutation {args.mutate!r}; pick one of "
+                  f"{', '.join(sorted(MUTATIONS))}", file=sys.stderr)
+            return 2
+        mutation = MUTATIONS[args.mutate]
+        mutate = mutation.apply
+        print(f"seeding bug {mutation.name!r}: {mutation.description}")
+
+    failed = False
+
+    mcfg = ModelConfig(
+        protocol=args.protocol,
+        acting_nodes=args.acting_nodes,
+        n_items=args.items,
+        max_depth=args.depth,
+        checkpoints=args.protocol == "ecp",
+        failures=args.failures and args.protocol == "ecp",
+    )
+    print(f"model checking {mcfg.acting_nodes} acting nodes x "
+          f"{mcfg.n_items} item(s), protocol={mcfg.protocol}, "
+          f"depth={'closure' if mcfg.max_depth is None else mcfg.max_depth}, "
+          f"failures={'on' if mcfg.failures else 'off'}...")
+    result = check(mcfg, mutate=mutate, progress=lambda msg: print(f"  {msg}"))
+    print(result.summary())
+    if result.counterexample is not None:
+        print(result.counterexample.format())
+        failed = True
+
+    if not failed and args.protocol == "ecp":
+        print(f"\nschedule fuzzing: {args.fuzz_seeds} seeded episodes x "
+              f"{args.fuzz_steps} events...")
+        reports = fuzz_batch(range(args.fuzz_seeds), steps=args.fuzz_steps)
+        for report in reports:
+            if not report.ok:
+                print(report.summary())
+                print(report.counterexample.format())
+                failed = True
+                break
+        else:
+            total = sum(r.steps for r in reports)
+            print(f"fuzz: OK — {total} events checked across "
+                  f"{len(reports)} seeds")
+
+    if not failed and args.full_run and args.protocol == "ecp":
+        print("\nfull-run fuzz: engine-driven simulation with runtime "
+              "observer + value oracle...")
+        try:
+            report = fuzz_run(seed=args.seed, refs_per_proc=args.refs)
+            print(report.summary())
+        except InvariantViolationError as exc:
+            print(f"invariant violation during full run:\n{exc}")
+            failed = True
+
+    if failed:
+        print("\nverify: FAILED", file=sys.stderr)
+        return 1
+    print("\nverify: OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--permanent", action="store_true")
     recover.add_argument("--seed", type=int, default=2026)
     recover.set_defaults(func=_cmd_recover)
+
+    verify = sub.add_parser(
+        "verify",
+        help="model-check + fuzz the protocol invariants",
+        description="Exhaustive small-scope model checking, seeded "
+        "schedule fuzzing and (optionally) a fully invariant-checked "
+        "engine run; exits nonzero on any violation, printing the "
+        "counterexample trace and the global state.",
+    )
+    verify.add_argument("--protocol", choices=("standard", "ecp"), default="ecp")
+    verify.add_argument("--acting-nodes", type=int, default=2,
+                        help="nodes issuing reads/writes in the model (2-3)")
+    verify.add_argument("--items", type=int, default=1, help="items in the model (1-2)")
+    verify.add_argument("--depth", type=int, default=None,
+                        help="BFS depth bound (default: explore to closure)")
+    verify.add_argument("--failures", action="store_true",
+                        help="enumerate single permanent node failures")
+    verify.add_argument("--fuzz-seeds", type=int, default=10)
+    verify.add_argument("--fuzz-steps", type=int, default=150)
+    verify.add_argument("--full-run", action="store_true",
+                        help="also run one invariant-checked engine simulation")
+    verify.add_argument("--refs", type=int, default=800,
+                        help="references per processor for --full-run")
+    verify.add_argument("--mutate", metavar="NAME", default=None,
+                        help="seed a named protocol bug (expect a counterexample)")
+    verify.add_argument("--seed", type=int, default=2026)
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

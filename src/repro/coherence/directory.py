@@ -117,6 +117,28 @@ class Directory:
 
     # -- invariants (used by tests and runtime checking) ---------------------------
 
+    def snapshot(self) -> tuple:
+        """Canonical, hashable image of all pointers and entries (used
+        by the model checker to deduplicate global states).  Empty
+        entries are omitted: they are indistinguishable from absent
+        ones, which are created lazily."""
+        pointers = tuple(
+            sorted(
+                (item, serving)
+                for partition in self._pointers
+                for item, serving in partition.items()
+            )
+        )
+        entries = tuple(
+            sorted(
+                (node, item, tuple(sorted(entry.sharers)), entry.partner)
+                for node, partition in enumerate(self._entries)
+                for item, entry in partition.items()
+                if entry.sharers or entry.partner is not None
+            )
+        )
+        return pointers, entries
+
     def pointer_count(self) -> int:
         return sum(len(p) for p in self._pointers)
 

@@ -140,6 +140,18 @@ class StandardProtocol:
     def _serving_states_read(self) -> frozenset[ItemState]:
         return frozenset({ItemState.EXCLUSIVE, ItemState.MASTER_SHARED})
 
+    def _check_home_reachable(self, item: int) -> None:
+        """A ``None`` localization pointer is only trustworthy if the
+        item's home node can actually answer.  While the home is down
+        and its pointer partition has not been rehosted by a recovery,
+        the lookup times out — treating the miss as a cold miss here
+        would mint a second owner for an item whose pointer was merely
+        lost with the failed node."""
+        home = self.directory.home_of(item)
+        home_node = self.nodes[home]
+        if not home_node.alive and not home_node.pointers_rehosted:
+            raise NodeUnavailable(home, item)
+
     # ==================================================================
     # misses
     # ==================================================================
@@ -151,6 +163,7 @@ class StandardProtocol:
         t += lat.req_launch
         serving = self.directory.serving_node(item)
         if serving is None:
+            self._check_home_reachable(item)
             return self._cold_miss(node_id, item, addr, t, write=False)
         if not self.nodes[serving].alive:
             raise NodeUnavailable(serving, item)
@@ -190,6 +203,7 @@ class StandardProtocol:
         t += lat.req_launch
         serving = self.directory.serving_node(item)
         if serving is None:
+            self._check_home_reachable(item)
             return self._cold_miss(node_id, item, addr, t, write=True)
         if not self.nodes[serving].alive:
             raise NodeUnavailable(serving, item)

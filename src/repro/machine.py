@@ -152,6 +152,14 @@ class Coordinator:
     def on_node_failed(self, node_id: int) -> None:
         self.active.discard(node_id)
         self.participants.discard(node_id)
+        if self.ckpt_requested and self.ckpt_phase in ("sync", "create"):
+            # a participant died before voting ready: committing now
+            # would discard the old Inv-CK pairs of items whose only
+            # current copy just vanished with the dead node.  Detection
+            # also aborts (request_recovery), but it lags the failure by
+            # the detection latency — long enough for the remaining
+            # creates to finish and the commit barrier to pass.
+            self.ckpt_abort = True
         if node_id == self.ckpt_leader and self.participants:
             self.ckpt_leader = min(self.participants)
         if node_id == self.rec_leader and self.participants:
@@ -264,6 +272,12 @@ class Coordinator:
             if not aborted:
                 ms.n_checkpoints += 1
                 machine.snapshot_streams()
+                machine.notify_verifiers("on_establishment_complete")
+            elif not self.recovery_requested:
+                # failure-free abort: the Pre-Commit copies were
+                # reverted; a failure-triggered abort instead leaves
+                # them for the recovery scan, which notifies on its own
+                machine.notify_verifiers("on_establishment_aborted")
             self.ckpt_phase = "idle"
             self.ckpt_requested = False
             done_flag.fire()
@@ -320,6 +334,7 @@ class Coordinator:
             machine.stats.recovery_cycles += self.engine.now - t0
             self.recovery_requested = False
             machine.after_recovery()
+            machine.notify_verifiers("on_recovery_complete")
             done_flag.fire()
         else:
             yield done_flag
@@ -379,6 +394,11 @@ class Machine:
         self._pending_revival: dict[int, int] = {}  # node -> ready time
         self._detected: set[int] = set()
 
+        #: Attached verification observers (repro.verify).  Each hook may
+        #: implement on_establishment_complete / on_establishment_aborted /
+        #: on_failure / on_recovery_complete; missing methods are skipped.
+        self.verify_hooks: list = []
+
         # fault-tolerance machinery only exists on the ECP machine
         if checkpointing is None:
             checkpointing = protocol == "ecp"
@@ -393,6 +413,32 @@ class Machine:
             raise ValueError("the standard protocol cannot survive failures")
 
         self._started = False
+
+    # -- verification hooks (repro.verify) -------------------------------------
+
+    def notify_verifiers(self, event: str, *args) -> None:
+        for hook in self.verify_hooks:
+            handler = getattr(hook, event, None)
+            if handler is not None:
+                handler(*args)
+
+    def attach_verifier(self, raise_on_violation: bool = True):
+        """Attach a runtime invariant observer (see repro.verify)."""
+        from repro.verify.observer import InvariantObserver
+
+        observer = InvariantObserver(self, raise_on_violation=raise_on_violation)
+        observer.attach()
+        self.verify_hooks.append(observer)
+        return observer
+
+    def attach_oracle(self):
+        """Attach a shadow data-value oracle (see repro.verify.values)."""
+        from repro.verify.values import VersionOracle
+
+        oracle = VersionOracle(self)
+        oracle.attach()
+        self.verify_hooks.append(oracle)
+        return oracle
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -553,37 +599,25 @@ class Machine:
                 result.setdefault(item, {}).setdefault(state, []).append(node.node_id)
         return result
 
-    def check_invariants(self) -> None:
-        """Assert the DESIGN.md I1-I4 invariants on the current state."""
-        serving_capable = (
-            ItemState.EXCLUSIVE,
-            ItemState.MASTER_SHARED,
-            ItemState.SHARED_CK1,
-            ItemState.PRE_COMMIT1,
+    def check_invariants(self, ctx=None) -> None:
+        """Assert the global protocol invariants on the current state
+        (the DESIGN.md I1-I4 set, extended by repro.verify.invariants).
+
+        ``ctx`` is an optional :class:`repro.verify.invariants.CheckContext`
+        relaxing phase-dependent invariants; the default is the strict
+        steady-state set.
+        """
+        from repro.verify.invariants import (
+            STRICT,
+            check_machine,
+            dump_state,
+            format_violations,
         )
-        for item, by_state in self.items_by_state().items():
-            # I3: at most one copy may grant exclusive rights.  An
-            # Inv-CK1 copy is *not* serving-capable — it legally
-            # coexists with the current owner until the next commit.
-            primaries = [
-                n
-                for state in serving_capable
-                for n in by_state.get(state, ())
-            ]
-            if len(primaries) > 1:
-                raise AssertionError(
-                    f"item {item}: multiple owner-capable copies at {primaries}"
-                )
-            for pair in (
-                (ItemState.SHARED_CK1, ItemState.SHARED_CK2),
-                (ItemState.INV_CK1, ItemState.INV_CK2),
-                (ItemState.PRE_COMMIT1, ItemState.PRE_COMMIT2),
-            ):
-                holders1 = by_state.get(pair[0], [])
-                holders2 = by_state.get(pair[1], [])
-                if len(holders1) > 1 or len(holders2) > 1:
-                    raise AssertionError(f"item {item}: duplicated {pair} copies")
-                if holders1 and holders2 and holders1[0] == holders2[0]:
-                    raise AssertionError(
-                        f"item {item}: recovery pair co-located on node {holders1[0]}"
-                    )
+
+        violations = check_machine(self, STRICT if ctx is None else ctx)
+        if violations:
+            raise AssertionError(
+                "invariant violations:\n"
+                f"{format_violations(violations)}\n"
+                f"global state:\n{dump_state(self)}"
+            )

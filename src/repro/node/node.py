@@ -27,17 +27,24 @@ class Node:
         #: independent controllers implement the AMs" (Section 4.2.2).
         self.mem_ctrl = ContentionPoint(name=f"node{node_id}.mem", servers=4)
         self.alive = True
+        #: While this node is down, has the recovery rebuilt (rehosted)
+        #: its localization-pointer partition?  Until then a pointer
+        #: lookup homed here times out like any other request to the
+        #: dead node.
+        self.pointers_rehosted = False
         self.stats = NodeStats(node_id)
 
     def fail(self) -> None:
         """Fail-silent failure: volatile cache and AM contents are lost."""
         self.alive = False
+        self.pointers_rehosted = False
         self.cache.invalidate_all()
         self.am.clear()
 
     def revive(self) -> None:
         """Transient-failure rejoin: the node returns with empty memory."""
         self.alive = True
+        self.pointers_rehosted = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         status = "up" if self.alive else "DOWN"

@@ -110,6 +110,11 @@ class MachineStats:
     n_recoveries: int = 0
     n_failures: int = 0
 
+    # runtime verification (repro.verify): invariant evaluations and
+    # the violations they surfaced
+    invariant_checks: int = 0
+    invariant_violations: int = 0
+
     node_stats: list[NodeStats] = field(default_factory=list)
 
     # -- aggregation ---------------------------------------------------

@@ -1,0 +1,65 @@
+"""Protocol verification: runtime invariants, model checking, fuzzing.
+
+The paper's fault-tolerance claim is a statement about the ECP state
+machine; this package turns it into executable checks shared by three
+harnesses of increasing reach:
+
+- :mod:`repro.verify.invariants` — the global invariants as pure
+  predicates over a machine (one definition of "correct" for everyone);
+- :mod:`repro.verify.observer` — a runtime observer re-checking them
+  after every protocol transition (``Machine.attach_verifier``);
+- :mod:`repro.verify.model` — exhaustive small-scope model checking
+  over the real protocol implementations;
+- :mod:`repro.verify.fuzz` — seeded, replayable schedule fuzzing;
+- :mod:`repro.verify.values` — a shadow data-value oracle for
+  differential and rollback testing;
+- :mod:`repro.verify.mutations` — seeded bugs that prove the checkers
+  actually catch what they claim to.
+
+CLI entry point: ``repro verify`` (see README).
+"""
+
+from repro.verify.invariants import (
+    CheckContext,
+    STRICT,
+    Violation,
+    check_machine,
+    dump_state,
+    format_violations,
+)
+from repro.verify.observer import InvariantObserver, InvariantViolationError
+from repro.verify.model import (
+    Counterexample,
+    ModelConfig,
+    ModelResult,
+    check,
+    format_event,
+    replay,
+)
+from repro.verify.fuzz import FuzzReport, fuzz_batch, fuzz_events, fuzz_run
+from repro.verify.mutations import MUTATIONS, Mutation
+from repro.verify.values import VersionOracle
+
+__all__ = [
+    "CheckContext",
+    "STRICT",
+    "Violation",
+    "check_machine",
+    "dump_state",
+    "format_violations",
+    "InvariantObserver",
+    "InvariantViolationError",
+    "Counterexample",
+    "ModelConfig",
+    "ModelResult",
+    "check",
+    "format_event",
+    "replay",
+    "FuzzReport",
+    "fuzz_batch",
+    "fuzz_events",
+    "fuzz_run",
+    "MUTATIONS",
+    "Mutation",
+    "VersionOracle",
+]

@@ -1,0 +1,138 @@
+"""Seeded protocol bugs for validating the verification layer itself.
+
+A checker that has never caught a bug is untrusted.  Each mutation here
+monkeypatches one protocol method on a machine instance with a
+plausibly-wrong variant — the kind of defect a refactor could really
+introduce — and names the invariant code the model checker / fuzzer
+must report when it finds the resulting violation.  ``repro verify
+--mutate NAME`` and tests/verify/test_model_checker.py drive these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.memory.states import ItemState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine import Machine
+
+S = ItemState
+
+
+@dataclass(frozen=True)
+class Mutation:
+    name: str
+    description: str
+    #: Invariant codes acceptable as the first detection (a seeded bug
+    #: often trips a sibling invariant before the headline one).
+    expected_codes: tuple[str, ...]
+    apply: Callable[["Machine"], None]
+
+
+def _mut_commit_keeps_inv_ck(machine: "Machine") -> None:
+    """Commit promotes the Pre-Commit pair but forgets to discard the
+    old recovery point: two recovery points coexist (CK-VS-INV)."""
+    protocol = machine.protocol
+
+    def commit_node(node_id):
+        node = protocol.nodes[node_id]
+        promoted = 0
+        for item in node.am.items_in_group("pre_commit"):
+            state = node.am.state(item)
+            node.am.set_state(
+                item,
+                S.SHARED_CK1 if state is S.PRE_COMMIT1 else S.SHARED_CK2,
+            )
+            promoted += 1
+        return promoted, 0  # bug: Inv-CK copies never discarded
+
+    protocol.commit_node = commit_node
+
+
+def _mut_commit_promotes_both_primary(machine: "Machine") -> None:
+    """Commit turns *both* pair members into Shared-CK1: duplicate
+    primaries / two owner-capable copies (DUP, OWNER)."""
+    protocol = machine.protocol
+
+    def commit_node(node_id):
+        node = protocol.nodes[node_id]
+        promoted = 0
+        for item in node.am.items_in_group("pre_commit"):
+            node.am.set_state(item, S.SHARED_CK1)  # bug: CK2 becomes CK1
+            promoted += 1
+        discarded = 0
+        for item in node.am.items_in_group("inv_ck"):
+            node.am.set_state(item, S.INVALID)
+            discarded += 1
+        return promoted, discarded
+
+    protocol.commit_node = commit_node
+
+
+def _mut_sharer_drop_lost(machine: "Machine") -> None:
+    """The sharing-list prune message of a silent replacement is lost:
+    the directory keeps naming a node that dropped its copy
+    (DIR-SHARERS)."""
+    machine.protocol.on_shared_copy_dropped = lambda node_id, item, now: None
+
+
+def _mut_write_skips_inv_ck_degrade(machine: "Machine") -> None:
+    """A write miss on a node holding a Shared-CK copy takes ownership
+    without degrading the recovery pair to Inv-CK first: a current
+    owner coexists with Shared-CK copies (CK-VS-OWNER)."""
+    protocol = machine.protocol
+    inner = protocol._pre_miss_write
+
+    def _pre_miss_write(node_id, item, now):
+        state = protocol.nodes[node_id].am.state(item)
+        if state in (S.SHARED_CK1, S.SHARED_CK2):
+            return now  # bug: pair left in Shared-CK
+        return inner(node_id, item, now)
+
+    protocol._pre_miss_write = _pre_miss_write
+
+
+def _mut_home_timeout_ignored(machine: "Machine") -> None:
+    """Regression guard for a real bug: a cold miss on an item whose
+    home node died (pointer partition wiped, not yet rehosted) used to
+    mint a second Exclusive owner instead of timing out (OWNER)."""
+    machine.protocol._check_home_reachable = lambda item: None
+
+
+MUTATIONS: dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            "commit-keeps-inv-ck",
+            "commit forgets to discard the old recovery point",
+            ("CK-VS-INV",),
+            _mut_commit_keeps_inv_ck,
+        ),
+        Mutation(
+            "commit-promotes-both-primary",
+            "commit promotes Pre-Commit2 to Shared-CK1",
+            ("DUP", "OWNER"),
+            _mut_commit_promotes_both_primary,
+        ),
+        Mutation(
+            "sharer-drop-lost",
+            "replacement never prunes the sharing list",
+            ("DIR-SHARERS",),
+            _mut_sharer_drop_lost,
+        ),
+        Mutation(
+            "write-skips-inv-ck-degrade",
+            "write takes ownership without degrading Shared-CK to Inv-CK",
+            ("CK-VS-OWNER", "INV-PAIR"),
+            _mut_write_skips_inv_ck_degrade,
+        ),
+        Mutation(
+            "home-timeout-ignored",
+            "cold miss trusts a wiped pointer partition (dead home node)",
+            ("OWNER", "DUP", "CK-VS-OWNER"),
+            _mut_home_timeout_ignored,
+        ),
+    )
+}

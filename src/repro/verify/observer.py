@@ -1,0 +1,201 @@
+"""Runtime invariant checking: a pluggable observer over a machine.
+
+:class:`InvariantObserver` wraps the mutating entry points of the
+protocol — processor reads/writes, the create/commit/abort/recovery
+scans — and re-evaluates the global invariants of
+:mod:`repro.verify.invariants` after every transition.  A violation
+raises :class:`InvariantViolationError` carrying the transition that
+broke the machine and a dump of the global state, so the failure is
+debuggable without re-running.
+
+The observer keeps a small *phase machine* mirroring the coordination
+protocol (Fig. 2 / Section 3.4), because several invariants are
+phase-dependent: Pre-Commit copies are legal only during an
+establishment, incomplete recovery pairs only during commits and
+failure windows, and directory agreement is suspended while the
+metadata rebuild runs.
+
+Attach it with :meth:`Machine.attach_verifier` (or construct directly
+for a hand-driven machine).  Checks happen at *transition* granularity:
+the protocol's analytic transactions apply their state changes
+atomically, so every wrapped call observes a quiescent global state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.verify.invariants import (
+    CheckContext,
+    Violation,
+    check_machine,
+    dump_state,
+    format_violations,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine import Machine
+
+
+class InvariantViolationError(AssertionError):
+    """A protocol transition left the machine in an illegal state."""
+
+    def __init__(self, transition: str, violations: list[Violation], state: str):
+        self.transition = transition
+        self.violations = violations
+        self.state = state
+        super().__init__(
+            f"invariant violation after {transition}:\n"
+            f"{format_violations(violations)}\n"
+            f"global state:\n{state}"
+        )
+
+
+#: Phase -> invariant relaxations (see invariants.CheckContext).
+_PHASE_CONTEXT = {
+    "normal": CheckContext(),
+    "create": CheckContext(allow_pre_commit=True, allow_incomplete_pairs=True),
+    "commit": CheckContext(allow_pre_commit=True, allow_incomplete_pairs=True),
+    # scans run node by node: until the last one, restored Shared-CK
+    # copies coexist with current copies on not-yet-scanned nodes, so
+    # no cross-node invariant holds mid-scan — only each AM's own
+    # consistency.  on_recovery_complete re-checks everything strictly.
+    "recovery": CheckContext(
+        allow_pre_commit=True,
+        allow_incomplete_pairs=True,
+        allow_singleton_ck=True,
+        check_directory=False,
+        cross_node=False,
+    ),
+}
+
+
+class InvariantObserver:
+    """Checks every protocol transition of one machine."""
+
+    def __init__(self, machine: "Machine", raise_on_violation: bool = True):
+        self.machine = machine
+        self.raise_on_violation = raise_on_violation
+        self.phase = "normal"
+        #: A node failed and recovery has not completed: pairs may be
+        #: singletons, metadata may reference the dead node.
+        self.failed_window = False
+        self.checks = 0
+        #: Violations collected in ``raise_on_violation=False`` mode.
+        self.violations: list[tuple[str, Violation]] = []
+        self._wrapped = False
+
+    # -- context -------------------------------------------------------
+
+    def context(self) -> CheckContext:
+        ctx = _PHASE_CONTEXT[self.phase]
+        if self.failed_window and self.phase != "recovery":
+            ctx = CheckContext(
+                allow_pre_commit=ctx.allow_pre_commit,
+                allow_incomplete_pairs=ctx.allow_incomplete_pairs,
+                allow_singleton_ck=True,
+                check_directory=ctx.check_directory,
+            )
+        return ctx
+
+    # -- the check -----------------------------------------------------
+
+    def check_now(self, transition: str) -> list[Violation]:
+        """Evaluate all invariants; raise or record on breakage."""
+        self.checks += 1
+        violations = check_machine(self.machine, self.context())
+        stats = self.machine.stats
+        stats.invariant_checks += 1
+        if violations:
+            stats.invariant_violations += len(violations)
+            if self.raise_on_violation:
+                raise InvariantViolationError(
+                    transition, violations, dump_state(self.machine)
+                )
+            self.violations.extend((transition, v) for v in violations)
+        return violations
+
+    # -- phase notifications -------------------------------------------
+
+    def on_establishment_complete(self) -> None:
+        """All live nodes committed the new recovery point."""
+        self.phase = "normal"
+        self.check_now("establishment complete")
+
+    def on_establishment_aborted(self) -> None:
+        """A failure-free abort fully reverted the Pre-Commit copies."""
+        self.phase = "normal"
+        self.check_now("establishment aborted")
+
+    def on_failure(self, node_id: int) -> None:
+        self.failed_window = True
+        self.check_now(f"fail(node={node_id})")
+
+    def on_recovery_complete(self) -> None:
+        """Scans + metadata rebuild + reconfiguration all done."""
+        self.phase = "normal"
+        self.failed_window = False
+        self.check_now("recovery complete")
+
+    # -- wrapping ------------------------------------------------------
+
+    def attach(self) -> "InvariantObserver":
+        """Wrap the machine's protocol entry points in-place."""
+        if self._wrapped:
+            return self
+        self._wrapped = True
+        protocol = self.machine.protocol
+
+        self._wrap(protocol, "read", self._after_op)
+        self._wrap(protocol, "write", self._after_op)
+        if hasattr(protocol, "mark_precommit_local"):
+            self._wrap(protocol, "mark_precommit_local", self._after_create_step)
+            self._wrap(protocol, "mark_precommit_replica", self._after_create_step)
+            self._wrap(protocol, "commit_node", self._after_commit)
+            self._wrap(protocol, "abort_establishment_node", self._after_commit)
+            self._wrap(protocol, "recovery_scan_node", self._after_scan)
+        self._wrap(self.machine, "fail_node", self._after_fail)
+        return self
+
+    def _wrap(self, obj, name: str, after: Callable[[str], None]) -> None:
+        inner = getattr(obj, name)
+
+        def wrapper(*args, **kwargs):
+            result = inner(*args, **kwargs)
+            after(f"{name}{args!r}")
+            return result
+
+        wrapper.__name__ = f"checked_{name}"
+        setattr(obj, name, wrapper)
+
+    # -- per-transition hooks -------------------------------------------
+
+    def _after_op(self, transition: str) -> None:
+        # reads and writes only run outside establishment episodes (the
+        # coordinator parks every processor at the barriers), so their
+        # occurrence ends any commit still tracked by inference
+        if self.phase in ("create", "commit") and not self._pre_commit_left():
+            self.phase = "normal"
+        self.check_now(transition)
+
+    def _after_create_step(self, transition: str) -> None:
+        self.phase = "create"
+        self.check_now(transition)
+
+    def _after_commit(self, transition: str) -> None:
+        self.phase = "commit"
+        self.check_now(transition)
+
+    def _after_scan(self, transition: str) -> None:
+        self.phase = "recovery"
+        self.check_now(transition)
+
+    def _after_fail(self, transition: str) -> None:
+        self.failed_window = True
+        self.check_now(transition)
+
+    def _pre_commit_left(self) -> bool:
+        return any(
+            node.alive and node.am.count_in_group("pre_commit")
+            for node in self.machine.nodes
+        )

@@ -148,3 +148,32 @@ def test_reused_replica_removed_from_sharers():
     assert entry.partner == 1        # lowest sharer picked
     assert entry.sharers == {2}      # other Shared copies survive
     assert m.nodes[2].am.state(5) is S.SHARED
+
+
+def test_participant_failure_during_create_aborts_establishment():
+    """Regression: ``on_node_failed`` during the sync/create phase must
+    abort the in-flight establishment immediately.  Failure *detection*
+    lags by the detection latency, so without the immediate abort the
+    commit barrier could win the race and discard the old Inv-CK pairs
+    of items whose only current copy died with the node."""
+    m = bare_machine(protocol="ecp")
+    coord = m.coordinator
+    coord.ckpt_requested = True
+    for phase in ("sync", "create"):
+        coord.ckpt_phase = phase
+        coord.ckpt_abort = False
+        coord.on_node_failed(3)
+        assert coord.ckpt_abort, f"no abort on failure during {phase}"
+
+
+def test_participant_failure_during_commit_drains():
+    """Once every node voted ready the episode commits: the new point
+    is complete on the survivors, so failure during commit must *not*
+    abort (the remaining nodes finish before the recovery barrier)."""
+    m = bare_machine(protocol="ecp")
+    coord = m.coordinator
+    coord.ckpt_requested = True
+    coord.ckpt_phase = "commit"
+    coord.ckpt_abort = False
+    coord.on_node_failed(3)
+    assert not coord.ckpt_abort

@@ -211,3 +211,51 @@ def test_reconfiguration_count_matches_singletons():
             assert stop.value == len(singletons)
             break
     assert m.stats.total("reconfig_items_recreated") == len(singletons)
+
+
+def test_rebuild_rehosts_dead_pointer_partitions():
+    """After the metadata rebuild every dead node's pointer partition
+    counts as rehosted: a None pointer is trustworthy again (cold
+    misses on items homed there are allowed; see test_ecp.py for the
+    timeout it replaces)."""
+    m = bare_machine(n_nodes=6, protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    do_checkpoint(m)
+    assert not any(n.pointers_rehosted for n in m.nodes)
+    fail_node(m, 4)
+    scan_all(m)
+    rebuild_metadata(p)
+    assert m.nodes[4].pointers_rehosted
+    assert all(n.pointers_rehosted for n in m.nodes if not n.alive)
+
+
+def test_restore_then_rerun_reaches_failure_free_result():
+    """BER equivalence (Section 3): roll back to the last recovery
+    point, rewind the instruction streams, re-execute — the run must
+    end with exactly the write versions of the failure-free run."""
+    from repro.config import ArchConfig
+    from repro.fault.failures import FailurePlan
+    from repro.machine import Machine
+    from repro.workloads.synthetic import UniformShared
+
+    def final_versions(plan):
+        cfg = ArchConfig(n_nodes=6, seed=11).with_ft(
+            checkpoint_period_override=1_000, detection_latency=100
+        )
+        wl = UniformShared(n_procs=6, refs_per_proc=1_000,
+                           write_fraction=0.3, window_items=12, seed=11)
+        machine = Machine(cfg, wl, protocol="ecp", failure_plan=plan)
+        machine.attach_verifier()  # every transition checked, incl. scans
+        oracle = machine.attach_oracle()
+        machine.run()
+        machine.check_invariants()
+        assert all(stream.exhausted for stream in machine.all_streams())
+        return machine, dict(oracle.versions)
+
+    _, clean = final_versions([])
+    machine, failed = final_versions([
+        FailurePlan(time=3_000, node=2, permanent=False, repair_delay=1_000)
+    ])
+    assert machine.stats.n_recoveries >= 1  # the failure actually hit
+    assert failed == clean

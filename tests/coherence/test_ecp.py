@@ -307,3 +307,57 @@ def test_invariants_hold_after_mixed_activity():
     for item in range(10):
         t = p.read((item + 2) % 4, addr(item), t)
     m.check_invariants()
+
+
+# ------------------------------------------------- dead home node (regression)
+
+def _kill(machine, node_id):
+    machine.nodes[node_id].fail()
+    machine.registry.on_node_failed(node_id)
+    machine.protocol.directory.wipe_node(node_id)
+    machine.ring.mark_dead(node_id)
+
+
+def test_cold_miss_times_out_while_home_partition_lost():
+    """Regression: a cold miss whose home node died (pointer partition
+    wiped, not yet rehosted) must time out, not mint a second owner —
+    the None pointer may just be the wiped pointer of a live item."""
+    from repro.coherence.standard import NodeUnavailable
+
+    m = bare_machine(n_nodes=6, protocol="ecp")
+    p = m.protocol
+    item = p.directory.items_per_page * 1  # home_of(item) == 1
+    assert p.directory.home_of(item) == 1
+    _kill(m, 1)
+    with pytest.raises(NodeUnavailable):
+        p.read(0, addr(item), 0)
+    with pytest.raises(NodeUnavailable):
+        p.write(0, addr(item), 0)
+    # items homed on live nodes are unaffected
+    other = p.directory.items_per_page * 2
+    p.write(0, addr(other), 0)
+
+
+def test_cold_miss_allowed_after_rebuild_rehosts_pointers():
+    """After recovery's metadata rebuild the dead node's partition is
+    rehosted: a still-None pointer now really means a cold item."""
+    from repro.checkpoint.recovery import rebuild_metadata
+
+    m = bare_machine(n_nodes=6, protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    do_checkpoint(m)
+    victim = next(
+        n for n in range(6)
+        if m.nodes[n].am.state(5) is S.INVALID and n != 0
+    )
+    _kill(m, victim)
+    for node in m.nodes:
+        if node.alive:
+            p.recovery_scan_node(node.node_id)
+    rebuild_metadata(p)
+    assert m.nodes[victim].pointers_rehosted
+    cold = p.directory.items_per_page * victim  # homed on the dead node
+    assert p.directory.home_of(cold) == victim
+    p.write(2, addr(cold), 200_000)  # now a genuine cold miss
+    assert m.nodes[2].am.state(cold) is S.EXCLUSIVE

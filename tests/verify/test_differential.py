@@ -1,0 +1,90 @@
+"""Differential tests: the ECP must be observably equivalent to the
+standard COMA protocol on failure-free executions.
+
+The paper's Section 3 design goal is that fault tolerance is
+*transparent*: recovery-point establishment and the extra states
+(Shared-CK, Inv-CK, Pre-Commit) change timing, never values.  The
+version oracle makes that checkable — identical operation sequences
+must produce identical (op, node, item, version) logs under both
+protocols, with or without interspersed establishments.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchConfig
+from repro.machine import Machine
+from repro.verify.model import ModelConfig, apply_event, build_machine
+from repro.workloads.synthetic import UniformShared
+
+pytestmark = pytest.mark.verify
+
+STD = ModelConfig(protocol="standard", acting_nodes=3, n_items=3,
+                  checkpoints=False, failures=False)
+ECP = ModelConfig(protocol="ecp", acting_nodes=3, n_items=3)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["r", "w"]),
+        st.integers(min_value=0, max_value=2),  # node
+        st.integers(min_value=0, max_value=2),  # item
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_ops(mcfg, ops, ckpt_every=None):
+    machine = build_machine(mcfg)
+    oracle = machine.attach_oracle()
+    for n, (op, node, item) in enumerate(ops, 1):
+        apply_event(machine, (op, node, item))
+        if ckpt_every and n % ckpt_every == 0:
+            apply_event(machine, ("ckpt",))
+    return machine, oracle
+
+
+def rw_log(oracle):
+    return [e for e in oracle.log if e[0] in ("r", "w")]
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_same_ops_same_values_standard_vs_ecp(ops):
+    _, std = run_ops(STD, ops)
+    _, ecp = run_ops(ECP, ops)
+    assert rw_log(std) == rw_log(ecp)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy, ckpt_every=st.integers(min_value=1, max_value=7))
+def test_establishments_are_value_transparent(ops, ckpt_every):
+    """Interleaving recovery-point establishments anywhere in the
+    sequence must not change a single observed version."""
+    _, std = run_ops(STD, ops)
+    machine, ecp = run_ops(ECP, ops, ckpt_every=ckpt_every)
+    assert rw_log(std) == rw_log(ecp)
+    assert machine.stats.n_checkpoints == len(ops) // ckpt_every
+
+
+def test_full_run_final_versions_agree():
+    """Engine-driven failure-free runs: both protocols retire the same
+    workload, so the final write-version of every item must agree even
+    though timing (and hence the read interleaving) differs."""
+    finals = {}
+    for protocol in ("standard", "ecp"):
+        cfg = ArchConfig(n_nodes=6, seed=7)
+        if protocol == "ecp":
+            cfg = cfg.with_ft(checkpoint_period_override=10_000)
+        wl = UniformShared(n_procs=6, refs_per_proc=400,
+                           write_fraction=0.3, window_items=16, seed=7)
+        machine = Machine(cfg, wl, protocol=protocol)
+        oracle = machine.attach_oracle()
+        machine.run()
+        assert all(st.exhausted for st in machine.all_streams())
+        finals[protocol] = dict(oracle.versions)
+    assert finals["standard"] == finals["ecp"]
+    assert finals["ecp"]  # the workload actually wrote something

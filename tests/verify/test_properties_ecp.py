@@ -1,0 +1,129 @@
+"""Property-based verification of the ECP (hypothesis).
+
+Two families:
+
+- *safety*: any hypothesis-chosen walk over the full model event
+  alphabet — reads, writes, evictions, establishments (complete, aborted
+  or failure-interrupted), failures, recoveries — keeps the invariants
+  appropriate to the machine's phase;
+- *rollback*: whatever happened since the last committed recovery
+  point, a failure + recovery restores exactly that point's version
+  vector (the paper's backward-error-recovery contract), and the
+  machine is immediately usable again.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.verify.invariants import check_machine
+from repro.verify.model import (
+    ModelConfig,
+    _context,
+    apply_event,
+    build_machine,
+    enabled_events,
+)
+
+pytestmark = pytest.mark.verify
+
+MCFG = ModelConfig(acting_nodes=3, n_items=2, failures=True)
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def walk(data, mcfg, steps, machine=None):
+    """Drive a machine through hypothesis-chosen enabled events."""
+    machine = machine or build_machine(mcfg)
+    trace = []
+    for _ in range(steps):
+        events = enabled_events(machine, mcfg)
+        if not events:
+            break
+        event = data.draw(st.sampled_from(events))
+        trace.append(event)
+        apply_event(machine, event)
+    return machine, trace
+
+
+@SETTINGS
+@given(data=st.data())
+def test_random_walks_keep_phase_invariants(data):
+    machine, trace = walk(data, MCFG, steps=25)
+    violations = check_machine(machine, _context(machine))
+    assert not violations, f"{trace} -> {violations}"
+
+
+@SETTINGS
+@given(data=st.data())
+def test_random_walks_end_recoverable(data):
+    """Whatever state a walk reaches, one recovery pass must land the
+    machine back in a strict-invariant state (force the pending
+    recovery if the walk left a failure window open)."""
+    machine, trace = walk(data, MCFG, steps=20)
+    if any(not n.alive and not n.pointers_rehosted for n in machine.nodes):
+        apply_event(machine, ("recover",))
+    violations = check_machine(machine, _context(machine))
+    assert not violations, f"{trace} -> {violations}"
+
+
+@SETTINGS
+@given(data=st.data())
+def test_failure_always_rolls_back_to_last_committed_point(data):
+    """Versions after recovery == versions at the last committed
+    establishment, regardless of the suffix executed in between."""
+    machine = build_machine(MCFG)
+    oracle = machine.attach_oracle()
+
+    # reach an arbitrary consistent state, then commit a recovery point
+    machine, _ = walk(data, ModelConfig(acting_nodes=3, n_items=2),
+                      steps=8, machine=machine)
+    apply_event(machine, ("ckpt",))
+    committed = dict(oracle.committed)
+
+    # arbitrary establishment-free suffix that must be undone (a later
+    # establishment would legitimately move the rollback point)
+    machine, suffix = walk(
+        data,
+        ModelConfig(acting_nodes=3, n_items=2, checkpoints=False),
+        steps=8, machine=machine,
+    )
+    victim = data.draw(st.sampled_from(
+        [n.node_id for n in machine.nodes if n.alive]))
+    apply_event(machine, ("fail", victim))
+    apply_event(machine, ("recover",))
+
+    assert oracle.versions == committed, (
+        f"suffix {suffix}, fail {victim}: rollback missed the last "
+        f"recovery point"
+    )
+    assert oracle.log[-1][0] == "rollback"
+    assert not check_machine(machine, _context(machine))
+
+    # the machine is live again: a surviving node can write and the
+    # oracle sees the version advance past the restored point
+    writer = next(n.node_id for n in machine.nodes
+                  if n.alive and n.node_id < 3)
+    apply_event(machine, ("w", writer, 0))
+    assert oracle.versions[0] == committed.get(0, 0) + 1
+
+
+@SETTINGS
+@given(data=st.data())
+def test_uncommitted_establishment_does_not_move_rollback_point(data):
+    """An aborted establishment must not advance the committed version
+    vector — only a full create+commit does."""
+    machine = build_machine(MCFG)
+    oracle = machine.attach_oracle()
+    machine, _ = walk(data, ModelConfig(acting_nodes=3, n_items=2),
+                      steps=6, machine=machine)
+    apply_event(machine, ("ckpt",))
+    committed = dict(oracle.committed)
+
+    apply_event(machine, ("w", 0, 0))
+    k = data.draw(st.integers(min_value=0, max_value=3))
+    apply_event(machine, ("ckpt_abort", k))
+    assert oracle.committed == committed
