@@ -2,24 +2,33 @@
 
 Figures 3-7 share one (app x frequency) sweep and Figures 8-11 one
 (app x node-count) sweep; the session-scoped fixtures below make sure
-each simulation runs exactly once per benchmark session.
+each simulation runs exactly once per benchmark session, and the
+orchestrator's content-addressed result store (``.repro-cache/`` by
+default, see ``repro cache stats``) shares completed cells across
+*separate* benchmark processes as well: a re-run, or a single
+``pytest benchmarks/bench_fig5_miss_rate.py`` invocation, reuses the
+cells an earlier session already simulated.
 
 Profiles: set ``REPRO_PROFILE=full`` for larger workloads and less
 frequency compression (slower, tighter numbers); the default ``quick``
-profile keeps the whole suite laptop-sized.
+profile keeps the whole suite laptop-sized.  Set ``REPRO_CACHE=off``
+to force every session to recompute from scratch.
 """
 
 import pytest
 
 from repro.experiments import FrequencySweep, ScalingSweep, current_profile
+from repro.orch.store import default_store
 
 
 def pytest_report_header(config):
     profile = current_profile()
+    store = default_store()
+    cache = f"cache={store.root}" if store is not None else "cache=off"
     return (
         f"repro experiment profile: {profile.name} "
-        f"(scale>={profile.base_scale}, compression={profile.frequency_compression}, "
-        f"min_ckpts={profile.min_checkpoints})"
+        f"(scale>={profile.base_scale}, period_cap={profile.period_cap_refs} refs, "
+        f"min_ckpts={profile.min_checkpoints}); {cache}"
     )
 
 

@@ -5,10 +5,24 @@ Commands map one-to-one onto the paper's artefacts:
 ============  =====================================================
 ``run``        one simulation (app, protocol, frequency) + decomposition
 ``tables``     Tables 1-3 (injection causes, read latencies, workloads)
-``sweep``      the Figs. 3-7 frequency sweep
-``scale``      the Figs. 8-11 node-count sweep
+``sweep``      the Figs. 3-7 frequency sweep (parallel, resumable)
+``scale``      the Figs. 8-11 node-count sweep (parallel, resumable)
 ``recover``    a failure-injection demo with recovery statistics
+``verify``     model-check + fuzz the protocol invariants
+``cache``      inspect or clear the on-disk result cache
 ============  =====================================================
+
+Exit codes (distinct per failure class, see ``repro --help``):
+
+====  ==========================================================
+0     success
+2     usage error (bad arguments, unknown mutation/profile name)
+3     invalid configuration or workload parameters
+4     simulation failure (unrecoverable machine state)
+5     verification failure (invariant violation / counterexample)
+6     result-cache failure (unusable cache directory)
+7     sweep failure (one or more cells failed after retries)
+====  ==========================================================
 """
 
 from __future__ import annotations
@@ -16,11 +30,81 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.config import ArchConfig, PAPER_FREQUENCIES_HZ, PAPER_NODE_COUNTS
 from repro.fault.failures import FailurePlan
 from repro.machine import Machine
 from repro.stats.report import format_table
 from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+
+# Distinct nonzero exit codes, one per failure class (documented in
+# the module docstring and in ``repro --help``).
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_CONFIG = 3
+EXIT_SIMULATION = 4
+EXIT_VERIFY = 5
+EXIT_CACHE = 6
+EXIT_SWEEP = 7
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0  success
+  2  usage error (bad arguments, unknown names)
+  3  invalid configuration or workload parameters
+  4  simulation failure (unrecoverable machine state)
+  5  verification failure (invariant violation or counterexample)
+  6  result-cache failure (unusable cache directory)
+  7  sweep failure (one or more cells failed after retries)
+"""
+
+
+def _make_store(args: argparse.Namespace):
+    """The result store selected by --cache-dir / REPRO_CACHE*."""
+    from repro.orch.store import ResultStore, default_store
+
+    if getattr(args, "cache_dir", None):
+        return ResultStore(args.cache_dir)
+    return default_store()
+
+
+def _add_sweep_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="shard pending cells over N worker processes (default 1)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells journaled as completed by an earlier "
+             "(possibly interrupted) sweep")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell (fresh results are still persisted)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry a cell running longer than this "
+             "(parallel mode only)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines")
+
+
+def _run_sweep_harness(sweep, args: argparse.Namespace):
+    """Prefetch a sweep's grid under the CLI's orchestration flags."""
+    progress = None if args.quiet else (lambda event: print(event.format()))
+    report = sweep.prefetch(
+        parallel=args.parallel,
+        resume=args.resume,
+        read_cache=not args.no_cache,
+        progress=progress,
+        task_timeout=args.task_timeout,
+    )
+    print()
+    print(report.format())
+    print()
+    return report
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -66,11 +150,19 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments import FrequencySweep
+    from repro.experiments import FrequencySweep, PairRunner
     from repro.stats.charts import grouped_bar_chart
 
     apps = tuple(args.apps) if args.apps else None
-    sweep = FrequencySweep(apps=apps, frequencies=tuple(args.frequencies))
+    runner = PairRunner(store=_make_store(args))
+    sweep = FrequencySweep(
+        apps=apps, frequencies=tuple(args.frequencies), n_nodes=args.nodes,
+        runner=runner,
+    )
+    report = _run_sweep_harness(sweep, args)
+    if not report.ok:
+        print("sweep: FAILED (incomplete grid)", file=sys.stderr)
+        return EXIT_SWEEP
     sweep.print_all()
     groups = []
     for app in sweep.apps:
@@ -86,13 +178,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_scale(args: argparse.Namespace) -> int:
-    from repro.experiments import ScalingSweep
+    from repro.experiments import PairRunner, ScalingSweep
     from repro.stats.charts import grouped_bar_chart
 
     apps = tuple(args.apps) if args.apps else None
+    runner = PairRunner(store=_make_store(args))
     sweep = ScalingSweep(
-        apps=apps, node_counts=tuple(args.nodes), frequency_hz=args.frequency
+        apps=apps, node_counts=tuple(args.nodes), frequency_hz=args.frequency,
+        runner=runner,
     )
+    report = _run_sweep_harness(sweep, args)
+    if not report.ok:
+        print("scale: FAILED (incomplete grid)", file=sys.stderr)
+        return EXIT_SWEEP
     sweep.print_all()
     groups = []
     for app in sweep.apps:
@@ -154,7 +252,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if args.mutate not in MUTATIONS:
             print(f"unknown mutation {args.mutate!r}; pick one of "
                   f"{', '.join(sorted(MUTATIONS))}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         mutation = MUTATIONS[args.mutate]
         mutate = mutation.apply
         print(f"seeding bug {mutation.name!r}: {mutation.description}")
@@ -206,15 +304,53 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     if failed:
         print("\nverify: FAILED", file=sys.stderr)
-        return 1
+        return EXIT_VERIFY
     print("\nverify: OK")
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.orch.store import DEFAULT_CACHE_DIR, ResultStore
+
+    import json as _json
+    import os as _os
+
+    root = args.cache_dir or _os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    store = ResultStore(root)
+    if args.cache_command == "stats":
+        summary = store.summary()
+        if args.json:
+            print(_json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        else:
+            rows = [
+                ("directory", summary.root),
+                ("schema version", summary.schema),
+                ("records", summary.records),
+                ("size", f"{summary.total_bytes / 1024:.1f} KB"),
+            ]
+            for version, count in sorted(summary.repro_versions.items()):
+                rows.append((f"records @ repro {version}", count))
+            rows.append(("journal", "present" if store.journal_path.exists()
+                         else "absent"))
+            print(format_table(["cache", "value"], rows))
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) and the journal from "
+              f"{store.root}")
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fault-tolerant COMA (Morin et al., ISCA 1996) simulator",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -231,17 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
     tables = sub.add_parser("tables", help="reproduce Tables 1-3")
     tables.set_defaults(func=_cmd_tables)
 
-    sweep = sub.add_parser("sweep", help="Figs. 3-7 frequency sweep")
+    sweep = sub.add_parser(
+        "sweep",
+        help="Figs. 3-7 frequency sweep",
+        description="Run the (app x recovery-point frequency) grid "
+        "behind Figures 3-7.  Completed cells are persisted in the "
+        "content-addressed result cache and journaled, so the sweep "
+        "can run in parallel, survive being killed, and resume.",
+    )
     sweep.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
     sweep.add_argument(
         "--frequencies", nargs="*", type=float, default=list(PAPER_FREQUENCIES_HZ)
     )
+    sweep.add_argument("--nodes", type=int, default=16,
+                       help="machine size for every cell (default 16)")
+    _add_sweep_orchestration_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
-    scale = sub.add_parser("scale", help="Figs. 8-11 node-count sweep")
+    scale = sub.add_parser(
+        "scale",
+        help="Figs. 8-11 node-count sweep",
+        description="Run the (app x node-count) grid behind Figures "
+        "8-11, with the same cache/journal/parallel machinery as "
+        "`repro sweep`.",
+    )
     scale.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
     scale.add_argument("--nodes", nargs="*", type=int, default=list(PAPER_NODE_COUNTS))
     scale.add_argument("--frequency", type=float, default=100.0)
+    _add_sweep_orchestration_args(scale)
     scale.set_defaults(func=_cmd_scale)
 
     recover = sub.add_parser("recover", help="failure injection demo")
@@ -281,13 +434,52 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=2026)
     verify.set_defaults(func=_cmd_verify)
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk result cache",
+        description="The sweep harness persists every completed "
+        "simulation cell under a content-addressed cache directory "
+        "(default .repro-cache/, override with --cache-dir or "
+        "$REPRO_CACHE_DIR).",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="record count, size, versions")
+    cache_stats.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every record and the journal"
+    )
+    cache_clear.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache.set_defaults(func=_cmd_cache)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.checkpoint.recovery import UnrecoverableFailure
+    from repro.orch.store import CacheError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # e.g. `repro sweep | head` — the reader went away mid-report;
+        # detach stdout so interpreter shutdown doesn't re-raise
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+    except CacheError as exc:
+        print(f"cache error: {exc}", file=sys.stderr)
+        return EXIT_CACHE
+    except UnrecoverableFailure as exc:
+        print(f"simulation failed: {exc}", file=sys.stderr)
+        return EXIT_SIMULATION
+    except ValueError as exc:
+        print(f"invalid parameters: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,8 +16,10 @@ from repro.experiments.runner import (
     ExperimentProfile,
     OverheadDecomposition,
     PairRunner,
+    PROFILES,
     QUICK,
     FULL,
+    SweepHarness,
     current_profile,
 )
 from repro.experiments.table1 import table1_injection_causes
@@ -41,8 +43,10 @@ __all__ = [
     "ExperimentProfile",
     "OverheadDecomposition",
     "PairRunner",
+    "PROFILES",
     "QUICK",
     "FULL",
+    "SweepHarness",
     "current_profile",
     "table1_injection_causes",
     "table2_read_latencies",

@@ -23,7 +23,12 @@ from repro.coherence.injection import (
     InjectionCause,
 )
 from repro.config import PAPER_FREQUENCIES_HZ
-from repro.experiments.runner import ExperimentProfile, OverheadDecomposition, PairRunner
+from repro.experiments.runner import (
+    ExperimentProfile,
+    OverheadDecomposition,
+    PairRunner,
+    SweepHarness,
+)
 from repro.stats.report import format_table
 from repro.workloads.splash import SPLASH_WORKLOADS
 
@@ -51,7 +56,7 @@ class FrequencyCell:
     pages_ecp: int
 
 
-class FrequencySweep:
+class FrequencySweep(SweepHarness):
     """Lazy (app x frequency) sweep."""
 
     def __init__(
@@ -60,12 +65,30 @@ class FrequencySweep:
         frequencies: tuple[float, ...] = PAPER_FREQUENCIES_HZ,
         n_nodes: int = 16,
         profile: ExperimentProfile | None = None,
+        runner: PairRunner | None = None,
     ):
         self.apps = tuple(apps) if apps else tuple(sorted(SPLASH_WORKLOADS))
         self.frequencies = frequencies
         self.n_nodes = n_nodes
-        self.runner = PairRunner(profile)
+        self.runner = runner if runner is not None else PairRunner(profile)
         self._cells: dict[tuple[str, float], FrequencyCell] = {}
+
+    def specs(self) -> list:
+        """The full cell grid: one standard + one ECP run per
+        (app, frequency), deduplicated (standard runs at equal scale
+        are shared across frequencies)."""
+        specs, seen = [], set()
+        for app in self.apps:
+            for freq in self.frequencies:
+                scale = self.runner.profile.scale_for(app, self.n_nodes, freq)
+                for spec in (
+                    self.runner.spec_standard(app, self.n_nodes, scale),
+                    self.runner.spec_ecp(app, self.n_nodes, freq, scale),
+                ):
+                    if spec.key not in seen:
+                        seen.add(spec.key)
+                        specs.append(spec)
+        return specs
 
     def cell(self, app: str, frequency_hz: float) -> FrequencyCell:
         key = (app, frequency_hz)
@@ -187,8 +210,18 @@ class FrequencySweep:
         return rows
 
     def fig7_rows(self, frequency_hz: float | None = None) -> list[tuple]:
-        """Fig. 7 — pages allocated: standard vs ECP (memory overhead)."""
-        freq = frequency_hz if frequency_hz is not None else self.frequencies[1]
+        """Fig. 7 — pages allocated: standard vs ECP (memory overhead).
+
+        Defaults to the paper's 100/s operating point (the second swept
+        frequency) when the sweep has one; a narrower sweep reports its
+        only frequency instead of crashing.
+        """
+        if frequency_hz is not None:
+            freq = frequency_hz
+        elif len(self.frequencies) > 1:
+            freq = self.frequencies[1]
+        else:
+            freq = self.frequencies[0]
         rows = []
         for app in self.apps:
             c = self.cell(app, freq)

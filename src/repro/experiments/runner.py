@@ -9,8 +9,12 @@ numbers.  Select via the ``REPRO_PROFILE`` environment variable
 (``quick``/``full``) or pass a profile explicitly.
 
 :class:`PairRunner` runs (workload, parameters) pairs on the standard
-and the fault-tolerant machine, caching results so the Figure 3-7
-benches share one sweep.
+and the fault-tolerant machine.  Results are memoized in-process *and*
+persisted through the orchestrator's content-addressed store
+(:mod:`repro.orch.store`), so every bench file — and every later
+process — shares one cross-process cache keyed by the cell's content
+hash.  Set ``REPRO_CACHE=off`` to disable the disk layer, or pass
+``store=None``/``store=ResultStore(...)`` explicitly.
 """
 
 from __future__ import annotations
@@ -18,9 +22,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.config import ArchConfig
-from repro.machine import Machine, RunResult
-from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+from repro.machine import RunResult
+from repro.orch.store import ResultStore, default_store
+from repro.orch.task import TaskSpec
+from repro.workloads.splash import SPLASH_WORKLOADS
 
 
 CLOCK_HZ = 20_000_000
@@ -98,14 +103,27 @@ FULL = ExperimentProfile(
 )
 
 
+#: Registry of selectable profiles (``REPRO_PROFILE`` values).
+PROFILES: dict[str, ExperimentProfile] = {
+    QUICK.name: QUICK,
+    FULL.name: FULL,
+}
+
+
 def current_profile() -> ExperimentProfile:
-    """Profile selected by the ``REPRO_PROFILE`` env var (default quick)."""
-    name = os.environ.get("REPRO_PROFILE", "quick").lower()
-    if name == "full":
-        return FULL
-    if name == "quick":
-        return QUICK
-    raise ValueError(f"unknown REPRO_PROFILE {name!r}; use 'quick' or 'full'")
+    """Profile selected by the ``REPRO_PROFILE`` env var (default quick).
+
+    Unknown values never fall through to a default silently — they
+    raise, naming every valid profile.
+    """
+    name = os.environ.get("REPRO_PROFILE", "quick").strip().lower()
+    try:
+        return PROFILES[name]
+    except KeyError:
+        valid = ", ".join(repr(p) for p in sorted(PROFILES))
+        raise ValueError(
+            f"unknown REPRO_PROFILE {name!r}; valid profiles: {valid}"
+        ) from None
 
 
 @dataclass
@@ -129,37 +147,76 @@ class OverheadDecomposition:
         return (self.t_ft - self.t_standard) / self.t_standard
 
 
-class PairRunner:
-    """Runs and caches (standard, ECP) machine pairs."""
+#: Sentinel distinguishing "use the default store" from "no store".
+_DEFAULT = object()
 
-    def __init__(self, profile: ExperimentProfile | None = None, seed: int = 2026):
+
+class PairRunner:
+    """Runs and caches (standard, ECP) machine pairs.
+
+    Two cache layers: an in-process memo (so repeated ``run_*`` calls
+    return the *same* object) over the orchestrator's disk store (so
+    separate bench processes share completed cells).
+    """
+
+    def __init__(
+        self,
+        profile: ExperimentProfile | None = None,
+        seed: int = 2026,
+        store: ResultStore | None | object = _DEFAULT,
+    ):
         self.profile = profile or current_profile()
         self.seed = seed
-        self._cache: dict[tuple, RunResult] = {}
+        self.store: ResultStore | None = (
+            default_store() if store is _DEFAULT else store
+        )
+        self._memo: dict[str, RunResult] = {}
 
-    def _key(self, protocol: str, app: str, n_nodes: int, frequency: float | None, scale: float):
-        return (protocol, app, n_nodes, frequency, round(scale, 6))
+    # -- cell specs -----------------------------------------------------
+
+    def spec_standard(self, app: str, n_nodes: int, scale: float) -> TaskSpec:
+        return TaskSpec(
+            protocol="standard", app=app, n_nodes=n_nodes, scale=scale,
+            seed=self.seed,
+        )
+
+    def spec_ecp(
+        self, app: str, n_nodes: int, frequency_hz: float, scale: float
+    ) -> TaskSpec:
+        return TaskSpec(
+            protocol="ecp", app=app, n_nodes=n_nodes, scale=scale,
+            seed=self.seed, frequency_hz=frequency_hz,
+            frequency_compression=self.profile.compression_for(app, frequency_hz),
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def run_spec(self, spec: TaskSpec) -> RunResult:
+        """Memo -> disk store -> simulate (and persist)."""
+        key = spec.key
+        result = self._memo.get(key)
+        if result is not None:
+            return result
+        if self.store is not None:
+            result = self.store.load(key)
+        if result is None:
+            result = spec.execute()
+            if self.store is not None:
+                self.store.save(spec, result)
+        self._memo[key] = result
+        return result
+
+    def seed_result(self, spec: TaskSpec, result: RunResult) -> None:
+        """Adopt a result computed elsewhere (the sweep orchestrator)."""
+        self._memo[spec.key] = result
 
     def run_standard(self, app: str, n_nodes: int, scale: float) -> RunResult:
-        key = self._key("standard", app, n_nodes, None, scale)
-        if key not in self._cache:
-            cfg = ArchConfig(n_nodes=n_nodes, seed=self.seed, scale=scale)
-            wl = make_workload(app, n_procs=n_nodes, scale=scale, seed=self.seed)
-            self._cache[key] = Machine(cfg, wl, protocol="standard").run()
-        return self._cache[key]
+        return self.run_spec(self.spec_standard(app, n_nodes, scale))
 
     def run_ecp(
         self, app: str, n_nodes: int, frequency_hz: float, scale: float
     ) -> RunResult:
-        key = self._key("ecp", app, n_nodes, frequency_hz, scale)
-        if key not in self._cache:
-            cfg = ArchConfig(n_nodes=n_nodes, seed=self.seed, scale=scale).with_ft(
-                checkpoint_frequency_hz=frequency_hz,
-                frequency_compression=self.profile.compression_for(app, frequency_hz),
-            )
-            wl = make_workload(app, n_procs=n_nodes, scale=scale, seed=self.seed)
-            self._cache[key] = Machine(cfg, wl, protocol="ecp").run()
-        return self._cache[key]
+        return self.run_spec(self.spec_ecp(app, n_nodes, frequency_hz, scale))
 
     def decompose(
         self, app: str, n_nodes: int, frequency_hz: float, scale: float | None = None
@@ -182,3 +239,52 @@ class PairRunner:
             pollution=(s.compute_cycles - t_std) / t_std if t_std else 0.0,
             n_checkpoints=s.n_checkpoints,
         )
+
+
+class SweepHarness:
+    """Shared orchestration surface of the lazy sweep harnesses.
+
+    Subclasses define :meth:`specs` — the full cell grid.  Cells are
+    still computed lazily on first access, but :meth:`prefetch` runs
+    the whole grid through :class:`repro.orch.Orchestrator` first:
+    in parallel, journaled (so an interrupted sweep resumes), and fed
+    from / persisted to the runner's result store.
+    """
+
+    runner: PairRunner
+
+    def specs(self) -> list:
+        """Every simulation cell of the sweep, deduplicated by key."""
+        raise NotImplementedError
+
+    def prefetch(
+        self,
+        parallel: int = 1,
+        resume: bool = False,
+        read_cache: bool = True,
+        progress=None,
+        task_timeout: float | None = None,
+        max_retries: int = 1,
+    ):
+        """Complete every cell of the grid; returns the
+        :class:`repro.orch.SweepReport` describing exactly what was
+        resumed, served from cache, recomputed or failed."""
+        from repro.orch.orchestrator import Orchestrator
+
+        specs = self.specs()
+        orchestrator = Orchestrator(
+            store=self.runner.store,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+        )
+        results, report = orchestrator.run(
+            specs,
+            parallel=parallel,
+            resume=resume,
+            read_cache=read_cache,
+            progress=progress,
+        )
+        by_key = {spec.key: spec for spec in specs}
+        for key, result in results.items():
+            self.runner.seed_result(by_key[key], result)
+        return report

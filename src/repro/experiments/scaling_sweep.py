@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.coherence.injection import READ_ACCESS_CAUSES, WRITE_ACCESS_CAUSES
 from repro.config import PAPER_NODE_COUNTS
-from repro.experiments.runner import ExperimentProfile, PairRunner
+from repro.experiments.runner import ExperimentProfile, PairRunner, SweepHarness
 from repro.stats.report import format_table
 from repro.workloads.splash import SPLASH_WORKLOADS
 
@@ -33,7 +33,7 @@ class ScalingCell:
     injections_write_per_10k: float
 
 
-class ScalingSweep:
+class ScalingSweep(SweepHarness):
     """Lazy (app x node-count) sweep at a fixed checkpoint frequency."""
 
     def __init__(
@@ -42,12 +42,29 @@ class ScalingSweep:
         node_counts: tuple[int, ...] = PAPER_NODE_COUNTS,
         frequency_hz: float = 100.0,
         profile: ExperimentProfile | None = None,
+        runner: PairRunner | None = None,
     ):
         self.apps = tuple(apps) if apps else tuple(sorted(SPLASH_WORKLOADS))
         self.node_counts = node_counts
         self.frequency_hz = frequency_hz
-        self.runner = PairRunner(profile)
+        self.runner = runner if runner is not None else PairRunner(profile)
         self._cells: dict[tuple[str, int], ScalingCell] = {}
+
+    def specs(self) -> list:
+        """One standard + one ECP run per (app, node count); the scale
+        is fixed at the 16-node operating point (fixed-size apps)."""
+        specs, seen = [], set()
+        for app in self.apps:
+            scale = self.runner.profile.scale_for(app, 16, self.frequency_hz)
+            for n in self.node_counts:
+                for spec in (
+                    self.runner.spec_standard(app, n, scale),
+                    self.runner.spec_ecp(app, n, self.frequency_hz, scale),
+                ):
+                    if spec.key not in seen:
+                        seen.add(spec.key)
+                        specs.append(spec)
+        return specs
 
     def cell(self, app: str, n_nodes: int) -> ScalingCell:
         key = (app, n_nodes)

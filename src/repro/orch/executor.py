@@ -1,0 +1,223 @@
+"""Parallel task execution with bounded retry and serial fallback.
+
+A thin, generic layer under the orchestrator: run ``worker(payload)``
+for every payload over a ``ProcessPoolExecutor``, yielding outcomes in
+*completion* order.  The failure policy mirrors what the paper's
+machine does for its own computation — backward error recovery at the
+granularity of one task:
+
+- a task that raises is retried (fresh worker, exponential backoff) up
+  to ``max_retries`` extra attempts before being reported failed;
+- a task that exceeds ``task_timeout`` seconds is abandoned (the
+  result of a late worker is discarded) and retried the same way;
+- a dead worker process (``BrokenProcessPool``) or an unavailable pool
+  degrades the whole run to in-process serial execution — slower, but
+  the sweep still completes.
+
+Workers must be module-level callables and payloads picklable; the
+orchestrator ships plain spec dicts and receives plain result dicts so
+nothing simulation-specific crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one payload."""
+
+    index: int
+    payload: Any
+    value: Any = None
+    error: str | None = None
+    timed_out: bool = False
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    #: "parallel" or "serial" — how the final attempt ran.
+    mode: str = "parallel"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+
+@dataclass
+class _Attempt:
+    index: int
+    payload: Any
+    attempt: int
+    submitted_at: float
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _run_serial(
+    pending: list[tuple[int, Any, int]],
+    worker: Callable[[Any], Any],
+    max_retries: int,
+    retry_backoff: float,
+    on_start: Callable[[int, Any], None] | None,
+) -> Iterator[TaskOutcome]:
+    """In-process execution (the degraded mode; also ``parallel=1`` with
+    no pool).  Timeouts cannot preempt a running task here."""
+    for index, payload, first_attempt in pending:
+        attempt = first_attempt
+        t0 = time.perf_counter()
+        if on_start is not None:
+            on_start(index, payload)
+        while True:
+            try:
+                value = worker(payload)
+            except Exception as exc:  # noqa: BLE001 — report, don't crash the sweep
+                if attempt <= max_retries:
+                    _backoff_sleep(retry_backoff, attempt)
+                    attempt += 1
+                    continue
+                yield TaskOutcome(
+                    index=index, payload=payload, error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt, wall_seconds=time.perf_counter() - t0,
+                    mode="serial",
+                )
+                break
+            yield TaskOutcome(
+                index=index, payload=payload, value=value, attempts=attempt,
+                wall_seconds=time.perf_counter() - t0, mode="serial",
+            )
+            break
+
+
+def run_tasks(
+    payloads: list[Any],
+    worker: Callable[[Any], Any],
+    parallel: int = 1,
+    task_timeout: float | None = None,
+    max_retries: int = 1,
+    retry_backoff: float = 0.25,
+    on_start: Callable[[int, Any], None] | None = None,
+    poll_interval: float = 0.02,
+) -> Iterator[TaskOutcome]:
+    """Yield a :class:`TaskOutcome` per payload, in completion order."""
+    if parallel <= 1:
+        yield from _run_serial(
+            [(i, p, 1) for i, p in enumerate(payloads)],
+            worker, max_retries, retry_backoff, on_start,
+        )
+        return
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=parallel)
+    except (OSError, ValueError, PermissionError):
+        yield from _run_serial(
+            [(i, p, 1) for i, p in enumerate(payloads)],
+            worker, max_retries, retry_backoff, on_start,
+        )
+        return
+
+    queue: list[tuple[int, Any, int]] = [(i, p, 1) for i, p in enumerate(payloads)]
+    inflight: dict[Future, _Attempt] = {}
+    abandoned = False  # a timed-out worker may still be running in the pool
+    broken: list[tuple[int, Any, int]] = []  # resubmit serially on pool death
+
+    def submit_next() -> bool:
+        if not queue:
+            return False
+        index, payload, attempt = queue.pop(0)
+        if attempt == 1 and on_start is not None:
+            on_start(index, payload)
+        try:
+            future = pool.submit(worker, payload)
+        except (BrokenProcessPool, RuntimeError):
+            # the pool died between completions; finish this serially
+            broken.append((index, payload, attempt))
+            return False
+        inflight[future] = _Attempt(index, payload, attempt, time.perf_counter())
+        return True
+
+    try:
+        while queue or inflight:
+            while len(inflight) < parallel and submit_next():
+                pass
+            if broken and not inflight:
+                broken.extend(queue)
+                queue.clear()
+                break
+            done, _ = wait(
+                list(inflight), timeout=poll_interval, return_when=FIRST_COMPLETED
+            )
+            pool_broken = False
+            for future in done:
+                task = inflight.pop(future)
+                wall = time.perf_counter() - task.submitted_at
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    broken.append((task.index, task.payload, task.attempt))
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    if task.attempt <= max_retries:
+                        _backoff_sleep(retry_backoff, task.attempt)
+                        queue.append((task.index, task.payload, task.attempt + 1))
+                    else:
+                        yield TaskOutcome(
+                            index=task.index, payload=task.payload,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=task.attempt, wall_seconds=wall,
+                        )
+                    continue
+                yield TaskOutcome(
+                    index=task.index, payload=task.payload, value=value,
+                    attempts=task.attempt, wall_seconds=wall,
+                )
+            if pool_broken:
+                # the pool is unusable: everything not yet terminal
+                # (in flight or queued) finishes serially in-process
+                broken.extend(
+                    (t.index, t.payload, t.attempt) for t in inflight.values()
+                )
+                broken.extend(queue)
+                inflight.clear()
+                queue.clear()
+                break
+            if task_timeout is not None:
+                now = time.perf_counter()
+                for future, task in list(inflight.items()):
+                    if now - task.submitted_at < task_timeout:
+                        continue
+                    # cannot preempt a running worker; abandon the future
+                    # (a late result is discarded) and retry or fail
+                    del inflight[future]
+                    future.cancel()
+                    abandoned = True
+                    if task.attempt <= max_retries:
+                        queue.append((task.index, task.payload, task.attempt + 1))
+                    else:
+                        yield TaskOutcome(
+                            index=task.index, payload=task.payload,
+                            timed_out=True, attempts=task.attempt,
+                            wall_seconds=now - task.submitted_at,
+                        )
+    finally:
+        # best effort: reap workers still grinding on abandoned tasks
+        # (the process table is cleared by shutdown, so snapshot first)
+        workers = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        if abandoned:
+            for process in workers:
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover
+                    pass
+
+    if broken:
+        broken.sort()
+        yield from _run_serial(broken, worker, max_retries, retry_backoff, None)

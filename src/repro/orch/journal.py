@@ -1,0 +1,97 @@
+"""Append-only sweep journal (JSONL).
+
+The journal is the orchestrator's redo log: every state transition of a
+sweep — run started, cell started, cell completed (with its content
+key and wall time), cell failed, run completed — is appended as one
+JSON line and flushed before the orchestrator moves on.  After a crash
+(including SIGKILL) the last line may be torn; the reader tolerates
+that by ignoring any line that does not parse, which is exactly the
+write-ahead discipline's guarantee: a cell is *journaled* iff its
+``task_completed`` line was durably appended, and ``--resume`` replays
+the journal to skip exactly those cells.
+
+A journaled cell is only skipped when its result record is also
+present in the store (the orchestrator writes the store record *before*
+journaling completion, so journal ⊆ store holds on every prefix of the
+log); a journal entry whose record has since been invalidated or
+cleared is recomputed, never trusted blindly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+
+class Journal:
+    """One append-only JSONL run log."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, event: str, **fields) -> None:
+        record = {"event": event, "at": time.time(), **fields}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # a SIGKILLed writer can leave a torn line with no newline; start
+        # on a fresh line so the next record is not glued onto the tear
+        prefix = ""
+        try:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    prefix = "\n"
+        except (FileNotFoundError, OSError):
+            pass
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(prefix + line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def run_started(self, n_cells: int, parallel: int, resume: bool) -> None:
+        self.append("run_started", pid=os.getpid(), n_cells=n_cells,
+                    parallel=parallel, resume=resume)
+
+    def task_started(self, key: str, label: str) -> None:
+        self.append("task_started", key=key, label=label)
+
+    def task_completed(self, key: str, label: str, wall_seconds: float,
+                       source: str) -> None:
+        self.append("task_completed", key=key, label=label,
+                    wall_seconds=wall_seconds, source=source)
+
+    def task_failed(self, key: str, label: str, error: str, attempts: int) -> None:
+        self.append("task_failed", key=key, label=label, error=error,
+                    attempts=attempts)
+
+    def run_completed(self, summary: dict) -> None:
+        self.append("run_completed", **summary)
+
+    # -- reading --------------------------------------------------------
+
+    def events(self) -> Iterator[dict]:
+        """All parsable events, oldest first (torn tail lines skipped)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from a killed process
+                    if isinstance(record, dict) and "event" in record:
+                        yield record
+        except FileNotFoundError:
+            return
+
+    def completed_keys(self) -> set[str]:
+        """Content keys with a durable ``task_completed`` record."""
+        return {
+            event["key"]
+            for event in self.events()
+            if event["event"] == "task_completed" and "key" in event
+        }

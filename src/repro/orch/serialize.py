@@ -1,0 +1,127 @@
+"""JSON round-tripping for :class:`repro.machine.RunResult`.
+
+The result store persists complete run results, so everything a
+harness reads off a :class:`RunResult` — the config (for
+``cycle_seconds``), the per-node counters (for every derived Fig. 3-11
+metric), the page-allocation numbers — must survive a JSON round trip
+*exactly*.  Python's JSON encoder emits ``repr``-exact floats and the
+counters are integers, so a cache hit is bit-identical to the run that
+produced it (apart from ``wall_seconds``, which honestly reports the
+original run's wall time, not the load time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import asdict
+
+from repro.coherence.injection import InjectionCause
+from repro.config import (
+    AMConfig,
+    ArchConfig,
+    CacheConfig,
+    FaultToleranceConfig,
+    LatencyConfig,
+)
+from repro.machine import RunResult
+from repro.stats.collectors import MachineStats, NodeStats
+
+
+# -- config ------------------------------------------------------------
+
+
+def config_to_dict(cfg: ArchConfig) -> dict:
+    return asdict(cfg)
+
+
+def config_from_dict(data: dict) -> ArchConfig:
+    return ArchConfig(
+        n_nodes=data["n_nodes"],
+        clock_hz=data["clock_hz"],
+        cache=CacheConfig(**data["cache"]),
+        am=AMConfig(**data["am"]),
+        latency=LatencyConfig(**data["latency"]),
+        ft=FaultToleranceConfig(**data["ft"]),
+        scale=data["scale"],
+        seed=data["seed"],
+    )
+
+
+# -- stats -------------------------------------------------------------
+
+
+def _node_stats_to_dict(ns: NodeStats) -> dict:
+    data = asdict(ns)
+    # Counter keyed by InjectionCause -> plain {cause value: count}
+    data["injections"] = {cause.value: n for cause, n in ns.injections.items()}
+    return data
+
+
+def _node_stats_from_dict(data: dict) -> NodeStats:
+    data = dict(data)
+    injections = Counter(
+        {InjectionCause(value): n for value, n in data.pop("injections").items()}
+    )
+    ns = NodeStats(**data)
+    ns.injections = injections
+    return ns
+
+
+def _machine_stats_to_dict(stats: MachineStats) -> dict:
+    return {
+        "total_cycles": stats.total_cycles,
+        "create_cycles": stats.create_cycles,
+        "commit_cycles": stats.commit_cycles,
+        "recovery_cycles": stats.recovery_cycles,
+        "n_checkpoints": stats.n_checkpoints,
+        "n_recoveries": stats.n_recoveries,
+        "n_failures": stats.n_failures,
+        "invariant_checks": stats.invariant_checks,
+        "invariant_violations": stats.invariant_violations,
+        "node_stats": [_node_stats_to_dict(ns) for ns in stats.node_stats],
+    }
+
+
+def _machine_stats_from_dict(data: dict) -> MachineStats:
+    data = dict(data)
+    node_stats = [_node_stats_from_dict(ns) for ns in data.pop("node_stats")]
+    return MachineStats(node_stats=node_stats, **data)
+
+
+# -- results -----------------------------------------------------------
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    return {
+        "config": config_to_dict(result.config),
+        "protocol": result.protocol,
+        "workload": result.workload,
+        "stats": _machine_stats_to_dict(result.stats),
+        "pages_allocated": result.pages_allocated,
+        "pages_allocated_peak": result.pages_allocated_peak,
+        "distinct_pages": result.distinct_pages,
+        "wall_seconds": result.wall_seconds,
+        "item_census": dict(result.item_census),
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    return RunResult(
+        config=config_from_dict(data["config"]),
+        protocol=data["protocol"],
+        workload=data["workload"],
+        stats=_machine_stats_from_dict(data["stats"]),
+        pages_allocated=data["pages_allocated"],
+        pages_allocated_peak=data["pages_allocated_peak"],
+        distinct_pages=data["distinct_pages"],
+        wall_seconds=data["wall_seconds"],
+        item_census=dict(data["item_census"]),
+    )
+
+
+def comparable_result_dict(result: RunResult) -> dict:
+    """The result as a dict with run-environment noise (wall time)
+    removed — what "bit-identical results" means for parity checks."""
+    data = run_result_to_dict(result)
+    data.pop("wall_seconds")
+    return data

@@ -1,0 +1,257 @@
+"""Disk-backed, content-addressed result store.
+
+Layout (everything lives under one cache root, default
+``.repro-cache/``, overridable via ``REPRO_CACHE_DIR``)::
+
+    .repro-cache/
+      objects/<k1k2>/<key>.json   one schema-versioned record per cell
+      journal.jsonl               append-only sweep journal (repro.orch.journal)
+
+A record is the complete JSON envelope of one simulation cell::
+
+    {"schema": 1, "repro_version": "1.0.0",
+     "key": "<sha256 of the canonical spec>",
+     "spec": {...}, "result": {...},
+     "wall_seconds": 1.23, "created_at": 1754480000.0}
+
+Consistency discipline
+======================
+Writes are atomic: the record is serialized to a temporary file in the
+same directory and ``os.replace``d into place, so a reader (or a
+concurrent sweep process) only ever sees complete records and a crash
+mid-write leaves no partial object behind.
+
+Records are invalidated — counted and deleted — when they cannot be
+trusted: unparsable JSON (torn by an older writer or by disk
+corruption), a store schema mismatch, or a record produced by a
+different ``repro`` version (the simulator's physics may have changed
+under the same spec hash).  Spec-parameter changes need no
+invalidation at all: they change the content key, so they simply miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro import __version__ as _repro_version
+from repro.orch.serialize import run_result_from_dict, run_result_to_dict
+from repro.orch.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import RunResult
+
+#: Bump when the record envelope layout changes; older records are
+#: invalidated on first read.
+STORE_SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class CacheError(RuntimeError):
+    """The cache directory cannot be used (unwritable, not a directory)."""
+
+
+@dataclass
+class CacheStats:
+    """Per-store-instance access counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class StoreSummary:
+    """What ``repro cache stats`` reports about the on-disk state."""
+
+    root: str
+    schema: int
+    records: int
+    total_bytes: int
+    repro_versions: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "schema": self.schema,
+            "records": self.records,
+            "total_bytes": self.total_bytes,
+            "repro_versions": self.repro_versions,
+        }
+
+
+class ResultStore:
+    """Content-addressed store of completed simulation cells."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def _path_for(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def _ensure_root(self) -> None:
+        try:
+            self.objects_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot create cache directory {self.root}: {exc}") from exc
+
+    # -- record I/O -----------------------------------------------------
+
+    def save(self, spec: TaskSpec, result: "RunResult",
+             wall_seconds: float | None = None) -> Path:
+        """Persist one completed cell atomically; returns the record path."""
+        self._ensure_root()
+        path = self._path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": STORE_SCHEMA_VERSION,
+            "repro_version": _repro_version,
+            "key": spec.key,
+            "spec": spec.to_dict(),
+            "result": run_result_to_dict(result),
+            "wall_seconds": wall_seconds if wall_seconds is not None
+            else result.wall_seconds,
+            "created_at": time.time(),
+        }
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{spec.short_key}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def load_record(self, key: str) -> dict | None:
+        """The full record envelope for ``key``, or None on miss.
+
+        Untrustworthy records (corrupt, wrong schema, different repro
+        version) are deleted and counted as invalidations + misses.
+        """
+        path = self._path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(raw)
+            valid = (
+                record.get("schema") == STORE_SCHEMA_VERSION
+                and record.get("repro_version") == _repro_version
+                and record.get("key") == key
+                and "result" in record
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            valid = False
+        if not valid:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def load(self, key: str) -> "RunResult | None":
+        record = self.load_record(key)
+        if record is None:
+            return None
+        return run_result_from_dict(record["result"])
+
+    def contains(self, key: str) -> bool:
+        """Existence check that does not touch the hit/miss counters."""
+        return self._path_for(key).exists()
+
+    # -- maintenance ----------------------------------------------------
+
+    def _record_paths(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return
+        yield from sorted(self.objects_dir.glob("*/*.json"))
+
+    def summary(self) -> StoreSummary:
+        records = 0
+        total_bytes = 0
+        versions: dict[str, int] = {}
+        for path in self._record_paths():
+            records += 1
+            total_bytes += path.stat().st_size
+            try:
+                version = json.loads(path.read_bytes()).get("repro_version", "?")
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                version = "corrupt"
+            versions[version] = versions.get(version, 0) + 1
+        return StoreSummary(
+            root=str(self.root),
+            schema=STORE_SCHEMA_VERSION,
+            records=records,
+            total_bytes=total_bytes,
+            repro_versions=versions,
+        )
+
+    def clear(self) -> int:
+        """Delete every record (and the journal); returns records removed."""
+        removed = 0
+        for path in self._record_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            self.journal_path.unlink()
+        except OSError:
+            pass
+        return removed
+
+
+def cache_enabled() -> bool:
+    """The on-disk cache is on unless ``REPRO_CACHE`` says off."""
+    return os.environ.get("REPRO_CACHE", "on").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def default_store() -> ResultStore | None:
+    """The process-default store: ``REPRO_CACHE_DIR`` (or
+    ``.repro-cache/``), or ``None`` when caching is disabled."""
+    if not cache_enabled():
+        return None
+    return ResultStore(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))

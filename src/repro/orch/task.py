@@ -1,0 +1,131 @@
+"""The sweep task model.
+
+A :class:`TaskSpec` canonicalizes one simulation cell — the parameter
+surface the experiment harnesses actually vary: workload, machine size,
+protocol, recovery-point frequency/compression, workload scale and
+seed.  Two specs that would produce the same simulation hash to the
+same content key, which is what the result store, the journal and the
+resume logic all address cells by.
+
+The spec is deliberately *plain data*: it can be serialized to JSON,
+shipped to a worker process, hashed reproducibly (sha-256 over the
+canonical JSON form, no ``PYTHONHASHSEED`` dependence), and replayed
+into a :class:`repro.machine.Machine` run anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import RunResult
+
+#: Bump when the meaning of a spec field (or the simulation parameter
+#: surface it feeds) changes incompatibly; old cache entries then hash
+#: differently and are recomputed instead of being wrongly reused.
+SPEC_VERSION = 1
+
+#: Floats in a spec are rounded to this many decimals before hashing so
+#: the key does not depend on noise beyond the harness's own precision.
+_FLOAT_DECIMALS = 9
+
+
+def _canon_float(value: float | None) -> float | None:
+    if value is None:
+        return None
+    return round(float(value), _FLOAT_DECIMALS)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One simulation cell, in canonical form."""
+
+    protocol: str  # "standard" | "ecp"
+    app: str
+    n_nodes: int
+    scale: float
+    seed: int
+    #: Recovery points per second; ``None`` for the standard protocol.
+    frequency_hz: float | None = None
+    #: Period compression applied by the experiment profile (ECP only).
+    frequency_compression: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("standard", "ecp"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.protocol == "ecp" and self.frequency_hz is None:
+            raise ValueError("an ECP cell needs a checkpoint frequency")
+        if self.protocol == "standard" and self.frequency_hz is not None:
+            raise ValueError("a standard cell has no checkpoint frequency")
+
+    # -- canonical form -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_version": SPEC_VERSION,
+            "protocol": self.protocol,
+            "app": self.app,
+            "n_nodes": self.n_nodes,
+            "scale": _canon_float(self.scale),
+            "seed": self.seed,
+            "frequency_hz": _canon_float(self.frequency_hz),
+            "frequency_compression": _canon_float(self.frequency_compression),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskSpec":
+        return cls(
+            protocol=data["protocol"],
+            app=data["app"],
+            n_nodes=data["n_nodes"],
+            scale=data["scale"],
+            seed=data["seed"],
+            frequency_hz=data.get("frequency_hz"),
+            frequency_compression=data.get("frequency_compression", 1.0),
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of the cell (sha-256, hex)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def short_key(self) -> str:
+        return self.key[:12]
+
+    def label(self) -> str:
+        """Human-readable cell label for progress lines and journals."""
+        if self.protocol == "ecp":
+            return (
+                f"ecp {self.app} n={self.n_nodes} f={self.frequency_hz:g}/s "
+                f"scale={self.scale:g}"
+            )
+        return f"standard {self.app} n={self.n_nodes} scale={self.scale:g}"
+
+    # -- execution ------------------------------------------------------
+
+    def to_config(self):
+        """The :class:`~repro.config.ArchConfig` this cell runs under."""
+        from repro.config import ArchConfig
+
+        cfg = ArchConfig(n_nodes=self.n_nodes, seed=self.seed, scale=self.scale)
+        if self.protocol == "ecp":
+            cfg = cfg.with_ft(
+                checkpoint_frequency_hz=self.frequency_hz,
+                frequency_compression=self.frequency_compression,
+            )
+        return cfg
+
+    def execute(self) -> "RunResult":
+        """Run the cell to completion in this process."""
+        from repro.machine import Machine
+        from repro.workloads.splash import make_workload
+
+        workload = make_workload(
+            self.app, n_procs=self.n_nodes, scale=self.scale, seed=self.seed
+        )
+        return Machine(self.to_config(), workload, protocol=self.protocol).run()

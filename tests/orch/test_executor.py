@@ -1,0 +1,119 @@
+"""Executor tests: parallel completion, timeout, retry, degradation.
+
+Worker callables live at module level so they pickle into pool workers
+(the tests package is importable).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+from repro.orch.executor import run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_forever(x):
+    time.sleep(30)
+    return x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def _flaky(path):
+    """Fails on the first attempt, succeeds once the marker exists."""
+    if os.path.exists(path):
+        return "recovered"
+    with open(path, "w") as handle:
+        handle.write("seen")
+    raise RuntimeError("first attempt fails")
+
+
+def _die_in_worker(x):
+    """SIGKILL the pool worker (never the test process itself)."""
+    if multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def _collect(payloads, **kwargs):
+    return list(run_tasks(payloads, **kwargs))
+
+
+def test_serial_execution():
+    outcomes = _collect([1, 2, 3], worker=_square, parallel=1)
+    assert [o.value for o in sorted(outcomes, key=lambda o: o.index)] == [1, 4, 9]
+    assert all(o.ok and o.mode == "serial" for o in outcomes)
+
+
+def test_parallel_execution_completes_all():
+    outcomes = _collect(list(range(6)), worker=_square, parallel=2)
+    assert sorted(o.value for o in outcomes) == [0, 1, 4, 9, 16, 25]
+    assert all(o.ok for o in outcomes)
+    assert all(o.mode == "parallel" for o in outcomes)
+
+
+def test_error_is_reported_after_retries():
+    outcomes = _collect([7], worker=_boom, parallel=2, max_retries=1,
+                        retry_backoff=0.0)
+    (outcome,) = outcomes
+    assert not outcome.ok
+    assert outcome.attempts == 2  # first try + one retry
+    assert "boom 7" in outcome.error
+
+
+def test_retry_recovers_transient_failure(tmp_path):
+    marker = str(tmp_path / "marker")
+    outcomes = _collect([marker], worker=_flaky, parallel=2, max_retries=2,
+                        retry_backoff=0.0)
+    (outcome,) = outcomes
+    assert outcome.ok
+    assert outcome.value == "recovered"
+    assert outcome.attempts == 2
+
+
+def test_serial_retry_recovers_transient_failure(tmp_path):
+    marker = str(tmp_path / "marker")
+    outcomes = _collect([marker], worker=_flaky, parallel=1, max_retries=2,
+                        retry_backoff=0.0)
+    (outcome,) = outcomes
+    assert outcome.ok and outcome.attempts == 2 and outcome.mode == "serial"
+
+
+def test_timeout_abandons_the_task():
+    t0 = time.monotonic()
+    outcomes = _collect([1], worker=_sleep_forever, parallel=2,
+                        task_timeout=0.3, max_retries=0)
+    elapsed = time.monotonic() - t0
+    (outcome,) = outcomes
+    assert outcome.timed_out and not outcome.ok
+    assert outcome.value is None
+    assert elapsed < 20  # nowhere near the worker's 30s sleep
+
+
+def test_dead_worker_degrades_to_serial():
+    """A worker killed mid-task (fail-silent, like the paper's nodes)
+    must not lose the sweep: remaining cells complete in-process."""
+    outcomes = _collect([1, 2, 3], worker=_die_in_worker, parallel=2)
+    by_index = {o.index: o for o in outcomes}
+    assert len(by_index) == 3
+    assert all(o.ok for o in outcomes)
+    assert sorted(o.value for o in outcomes) == [10, 20, 30]
+    assert {o.mode for o in outcomes} == {"serial"}
+
+
+def test_pool_unavailable_degrades_to_serial(monkeypatch):
+    import repro.orch.executor as executor_module
+
+    def _no_pool(max_workers):
+        raise OSError("no processes for you")
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", _no_pool)
+    outcomes = _collect([2, 3], worker=_square, parallel=4)
+    assert sorted(o.value for o in outcomes) == [4, 9]
+    assert {o.mode for o in outcomes} == {"serial"}

@@ -1,0 +1,50 @@
+"""Journal tests: append-only discipline and torn-tail tolerance."""
+
+import json
+
+from repro.orch.journal import Journal
+
+
+def test_events_round_trip(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.run_started(n_cells=3, parallel=2, resume=False)
+    journal.task_started("k1", "cell one")
+    journal.task_completed("k1", "cell one", 1.25, "computed")
+    journal.task_failed("k2", "cell two", "boom", attempts=3)
+    journal.run_completed({"total": 3})
+    events = list(journal.events())
+    assert [e["event"] for e in events] == [
+        "run_started", "task_started", "task_completed", "task_failed",
+        "run_completed",
+    ]
+    assert journal.completed_keys() == {"k1"}
+
+
+def test_torn_tail_line_is_ignored(tmp_path):
+    """SIGKILL mid-append leaves a truncated last line; the reader must
+    treat the journal as every durable prefix line."""
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(path)
+    journal.task_completed("good", "cell", 0.5, "computed")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "task_completed", "key": "torn", "at"')
+    assert journal.completed_keys() == {"good"}
+    # appending after the torn line still works (new line boundary is
+    # whatever json.loads can parse per line)
+    journal.append("run_completed")
+    events = list(journal.events())
+    assert events[-1]["event"] == "run_completed"
+
+
+def test_missing_journal_is_empty(tmp_path):
+    journal = Journal(tmp_path / "nope.jsonl")
+    assert list(journal.events()) == []
+    assert journal.completed_keys() == set()
+
+
+def test_lines_are_valid_json(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    Journal(path).task_completed("k", "label", 0.1, "computed")
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert "at" in record and "event" in record

@@ -1,0 +1,172 @@
+"""Orchestrator tests: sourcing, journaling, parity, resume."""
+
+from repro.orch import (
+    Journal,
+    Orchestrator,
+    ResultStore,
+    TaskSpec,
+    comparable_result_dict,
+)
+
+SPECS = [
+    TaskSpec(protocol="standard", app="water", n_nodes=4, scale=0.0005, seed=2026),
+    TaskSpec(protocol="ecp", app="water", n_nodes=4, scale=0.0005, seed=2026,
+             frequency_hz=400.0),
+    TaskSpec(protocol="ecp", app="water", n_nodes=4, scale=0.0005, seed=2026,
+             frequency_hz=100.0),
+]
+
+
+def test_cold_run_computes_everything(tmp_path):
+    store = ResultStore(tmp_path)
+    events = []
+    results, report = Orchestrator(store=store).run(
+        SPECS, progress=events.append
+    )
+    assert set(results) == {s.key for s in SPECS}
+    assert report.computed == 3 and report.cached == 0 and report.ok
+    assert report.total == 3
+    # observability: one terminal event per cell, wall time populated
+    assert len(events) == 3
+    assert all(e.wall_seconds > 0 for e in events)
+    assert events[-1].queue_depth == 0
+    assert {e.done for e in events} == {1, 2, 3}
+    # everything persisted
+    assert store.summary().records == 3
+
+
+def test_warm_run_is_all_cache_hits(tmp_path):
+    store = ResultStore(tmp_path)
+    first, _ = Orchestrator(store=store).run(SPECS)
+    warm_store = ResultStore(tmp_path)
+    second, report = Orchestrator(store=warm_store).run(SPECS)
+    assert report.cached == 3 and report.computed == 0
+    assert report.hit_rate() == 1.0
+    for key in first:
+        assert comparable_result_dict(first[key]) == comparable_result_dict(
+            second[key]
+        )
+
+
+def test_parallel_results_bit_identical_to_serial(tmp_path):
+    """The acceptance bar: `--parallel N` must produce bit-identical
+    aggregate results to the serial path for a fixed seed."""
+    serial_results, serial_report = Orchestrator(
+        store=ResultStore(tmp_path / "serial")
+    ).run(SPECS, parallel=1)
+    parallel_results, parallel_report = Orchestrator(
+        store=ResultStore(tmp_path / "parallel")
+    ).run(SPECS, parallel=2)
+    assert serial_report.computed == parallel_report.computed == 3
+    assert set(serial_results) == set(parallel_results)
+    for key in serial_results:
+        assert comparable_result_dict(serial_results[key]) == (
+            comparable_result_dict(parallel_results[key])
+        ), f"cell {key[:12]} diverged between serial and parallel execution"
+
+
+def test_duplicate_specs_collapse(tmp_path):
+    results, report = Orchestrator(store=ResultStore(tmp_path)).run(
+        [SPECS[0], SPECS[0], SPECS[1]]
+    )
+    assert report.total == 2 and len(results) == 2
+
+
+def test_no_store_still_completes():
+    results, report = Orchestrator(store=None).run(SPECS[:1])
+    assert report.computed == 1 and report.ok
+    assert len(results) == 1
+
+
+def test_resume_skips_journaled_cells(tmp_path):
+    """Simulated crash: one run completes a prefix of the grid; a fresh
+    orchestrator under --resume must not recompute those cells."""
+    store = ResultStore(tmp_path)
+    _, first = Orchestrator(store=store).run(SPECS[:2])
+    assert first.computed == 2
+
+    resumed_store = ResultStore(tmp_path)
+    results, report = Orchestrator(store=resumed_store).run(
+        SPECS, resume=True, read_cache=False
+    )
+    assert set(results) == {s.key for s in SPECS}
+    assert report.resumed == 2
+    assert report.computed == 1
+    journaled = {s.key for s in SPECS[:2]}
+    assert report.recomputed_keys().isdisjoint(journaled)
+
+
+def test_resume_never_trusts_a_missing_record(tmp_path):
+    """A journaled completion whose store record was lost (cache
+    cleared, record invalidated) is recomputed, not trusted."""
+    store = ResultStore(tmp_path)
+    Orchestrator(store=store).run(SPECS[:1])
+    removed = 0
+    for path in (tmp_path / "objects").rglob("*.json"):
+        path.unlink()
+        removed += 1
+    assert removed == 1
+    results, report = Orchestrator(store=ResultStore(tmp_path)).run(
+        SPECS[:1], resume=True
+    )
+    assert report.computed == 1 and report.resumed == 0
+    assert len(results) == 1
+
+
+def test_no_cache_recomputes_but_repersists(tmp_path):
+    store = ResultStore(tmp_path)
+    Orchestrator(store=store).run(SPECS[:1])
+    _, report = Orchestrator(store=ResultStore(tmp_path)).run(
+        SPECS[:1], read_cache=False
+    )
+    assert report.computed == 1 and report.cached == 0
+    assert ResultStore(tmp_path).summary().records == 1
+
+
+def test_failed_cell_is_reported_not_raised(tmp_path, monkeypatch):
+    import repro.orch.orchestrator as orch_module
+
+    def _explode(payload):
+        raise RuntimeError("cell exploded")
+
+    monkeypatch.setattr(orch_module, "execute_spec_payload", _explode)
+    # serial path calls the patched symbol in-process
+    results, report = Orchestrator(
+        store=ResultStore(tmp_path), max_retries=0, retry_backoff=0.0
+    ).run(SPECS[:2], parallel=1)
+    assert report.failed == 2 and not report.ok
+    assert results == {}
+    assert "cell exploded" in report.format()
+    # failures are journaled for post-mortems
+    journal = Journal(ResultStore(tmp_path).journal_path)
+    failed = [e for e in journal.events() if e["event"] == "task_failed"]
+    assert len(failed) == 2
+
+
+def test_journal_records_the_run(tmp_path):
+    store = ResultStore(tmp_path)
+    Orchestrator(store=store).run(SPECS[:1], parallel=1)
+    events = list(Journal(store.journal_path).events())
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "run_started"
+    assert "task_started" in kinds and "task_completed" in kinds
+    assert kinds[-1] == "run_completed"
+    completed = next(e for e in events if e["event"] == "task_completed")
+    assert completed["key"] == SPECS[0].key
+    assert completed["wall_seconds"] > 0
+
+
+def test_timeout_surfaces_as_failure(tmp_path, monkeypatch):
+    """Timeouts are enforced in parallel mode, where a hung worker can
+    be abandoned without hanging the sweep."""
+    import repro.orch.orchestrator as orch_module
+    import tests.orch.test_executor as execmod
+
+    monkeypatch.setattr(
+        orch_module, "execute_spec_payload", execmod._sleep_forever
+    )
+    _, report = Orchestrator(
+        store=ResultStore(tmp_path), task_timeout=0.3, max_retries=0
+    ).run(SPECS[:1], parallel=2)
+    assert report.failed == 1
+    assert "timed out" in report.cells[-1].error

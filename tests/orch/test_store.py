@@ -1,0 +1,136 @@
+"""Result-store tests: round trip, atomicity, invalidation, stats."""
+
+import json
+
+import pytest
+
+from repro.orch.serialize import comparable_result_dict, run_result_to_dict
+from repro.orch.store import (
+    STORE_SCHEMA_VERSION,
+    CacheError,
+    ResultStore,
+    cache_enabled,
+    default_store,
+)
+from repro.orch.task import TaskSpec
+
+SPEC = TaskSpec(protocol="ecp", app="water", n_nodes=4, scale=0.0005,
+                seed=2026, frequency_hz=400.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return SPEC.execute()
+
+
+def test_round_trip_is_bit_identical(tmp_path, result):
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result)
+    loaded = store.load(SPEC.key)
+    assert comparable_result_dict(loaded) == comparable_result_dict(result)
+    # the derived metrics the sweeps read must survive the trip exactly
+    assert loaded.total_cycles == result.total_cycles
+    assert loaded.stats.n_checkpoints == result.stats.n_checkpoints
+    assert loaded.stats.mean_am_miss_rate() == result.stats.mean_am_miss_rate()
+    assert loaded.stats.injection_totals() == result.stats.injection_totals()
+    assert loaded.config.cycle_seconds == result.config.cycle_seconds
+    assert loaded.item_census == result.item_census
+    assert store.stats.hits == 1 and store.stats.writes == 1
+
+
+def test_miss_counts(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.load("0" * 64) is None
+    assert store.stats.misses == 1
+    assert store.stats.hit_rate() == 0.0
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path, result):
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result)
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_corrupt_record_is_invalidated(tmp_path, result):
+    store = ResultStore(tmp_path)
+    path = store.save(SPEC, result)
+    path.write_text("{ torn json", encoding="utf-8")
+    assert store.load(SPEC.key) is None
+    assert store.stats.invalidations == 1
+    assert not path.exists()  # deleted, next run recomputes
+
+
+def test_schema_mismatch_is_invalidated(tmp_path, result):
+    store = ResultStore(tmp_path)
+    path = store.save(SPEC, result)
+    record = json.loads(path.read_text())
+    record["schema"] = STORE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(record), encoding="utf-8")
+    assert store.load(SPEC.key) is None
+    assert store.stats.invalidations == 1
+
+
+def test_repro_version_mismatch_is_invalidated(tmp_path, result):
+    store = ResultStore(tmp_path)
+    path = store.save(SPEC, result)
+    record = json.loads(path.read_text())
+    record["repro_version"] = "0.0.0-older"
+    path.write_text(json.dumps(record), encoding="utf-8")
+    assert store.load(SPEC.key) is None
+    assert store.stats.invalidations == 1
+
+
+def test_config_change_misses_by_key(tmp_path, result):
+    """A parameter change needs no invalidation: it changes the key."""
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result)
+    other = TaskSpec(protocol="ecp", app="water", n_nodes=4, scale=0.0005,
+                     seed=2026, frequency_hz=100.0)
+    assert store.load(other.key) is None
+    assert store.stats.misses == 1 and store.stats.invalidations == 0
+
+
+def test_summary_and_clear(tmp_path, result):
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result)
+    summary = store.summary()
+    assert summary.records == 1
+    assert summary.total_bytes > 0
+    assert summary.schema == STORE_SCHEMA_VERSION
+    assert store.clear() == 1
+    assert store.summary().records == 0
+
+
+def test_contains_does_not_touch_counters(tmp_path, result):
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result)
+    assert store.contains(SPEC.key)
+    assert not store.contains("0" * 64)
+    assert store.stats.hits == 0 and store.stats.misses == 0
+
+
+def test_default_store_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    store = default_store()
+    assert store is not None and store.root == tmp_path / "alt"
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    assert not cache_enabled()
+    assert default_store() is None
+
+
+def test_unusable_cache_dir_raises_cache_error(tmp_path, result):
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    store = ResultStore(blocker / "cache")
+    with pytest.raises(CacheError):
+        store.save(SPEC, result)
+
+
+def test_wall_seconds_reports_original_run(tmp_path, result):
+    store = ResultStore(tmp_path)
+    store.save(SPEC, result, wall_seconds=1.5)
+    record = store.load_record(SPEC.key)
+    assert record["wall_seconds"] == 1.5
+    assert abs(run_result_to_dict(result)["wall_seconds"]
+               - result.wall_seconds) < 1e-12

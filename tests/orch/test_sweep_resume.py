@@ -1,0 +1,174 @@
+"""End-to-end resilience: a sweep killed with SIGKILL mid-run completes
+under ``--resume`` without recomputing journaled cells, and the sweep
+harnesses share one cross-process store."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    QUICK,
+    ExperimentProfile,
+    FrequencySweep,
+    PairRunner,
+    ScalingSweep,
+)
+from repro.orch import Journal, ResultStore, comparable_result_dict
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Laptop-test-sized profile for the in-process harness tests (the
+#: SIGKILL test uses ``quick`` because the subprocess selects its
+#: profile via REPRO_PROFILE, and cell keys must match across both).
+TINY = ExperimentProfile(
+    name="tiny", base_scale=0.002, period_cap_refs=8_000,
+    min_checkpoints=1, max_scale=0.01,
+)
+
+
+def _runner(tmp_path, profile=TINY):
+    return PairRunner(profile, store=ResultStore(tmp_path))
+
+
+# -- harness-level orchestration ---------------------------------------
+
+
+def test_frequency_sweep_prefetch_parallel_matches_lazy_serial(tmp_path):
+    """Prefetching the grid in parallel yields bit-identical cells to
+    the lazy serial path (same seed, fresh caches on both sides)."""
+    lazy = FrequencySweep(
+        apps=("water",), frequencies=(400.0, 100.0), n_nodes=4,
+        runner=_runner(tmp_path / "lazy"),
+    )
+    lazy_cell = lazy.cell("water", 400.0)
+
+    prefetched = FrequencySweep(
+        apps=("water",), frequencies=(400.0, 100.0), n_nodes=4,
+        runner=_runner(tmp_path / "prefetched"),
+    )
+    report = prefetched.prefetch(parallel=2)
+    assert report.ok and report.computed == len(prefetched.specs())
+    cell = prefetched.cell("water", 400.0)
+    assert cell.overhead.t_standard == lazy_cell.overhead.t_standard
+    assert cell.overhead.t_ft == lazy_cell.overhead.t_ft
+    assert cell.am_miss_rate_ecp == lazy_cell.am_miss_rate_ecp
+    assert cell.pages_ecp == lazy_cell.pages_ecp
+    # cell() after prefetch is pure memo reads: the store saw exactly
+    # one (cold) lookup per cell and nothing more
+    assert prefetched.runner.store.stats.misses == len(prefetched.specs())
+
+
+def test_scaling_sweep_prefetch(tmp_path):
+    sweep = ScalingSweep(
+        apps=("water",), node_counts=(4,), frequency_hz=400.0,
+        runner=_runner(tmp_path),
+    )
+    report = sweep.prefetch(parallel=2)
+    assert report.ok
+    assert sweep.fig9_rows()[0][1] == 4
+
+
+def test_pair_runners_share_the_store_across_instances(tmp_path):
+    """The PairRunner cache is no longer per-instance: a second runner
+    (standing in for a second bench process) gets disk hits."""
+    first = _runner(tmp_path)
+    result = first.run_standard("water", 4, 0.0005)
+    second = _runner(tmp_path)
+    again = second.run_standard("water", 4, 0.0005)
+    assert second.store.stats.hits == 1
+    assert comparable_result_dict(result) == comparable_result_dict(again)
+    # and the in-process memo still returns the identical object
+    assert second.run_standard("water", 4, 0.0005) is again
+
+
+def test_pair_runner_without_store_still_works():
+    runner = PairRunner(TINY, store=None)
+    r1 = runner.run_standard("water", 4, 0.0005)
+    assert runner.run_standard("water", 4, 0.0005) is r1
+
+
+def test_progress_event_format_smoke(tmp_path):
+    sweep = FrequencySweep(
+        apps=("water",), frequencies=(400.0,), n_nodes=4,
+        runner=_runner(tmp_path),
+    )
+    lines = []
+    sweep.prefetch(progress=lambda e: lines.append(e.format()))
+    assert len(lines) == len(sweep.specs())
+    assert all("water" in line for line in lines)
+    assert json.dumps(lines)  # formatted lines are plain text
+
+
+# -- SIGKILL / resume ---------------------------------------------------
+
+_SWEEP_FREQUENCIES = (400.0, 100.0)
+_SWEEP_ARGS = [
+    "sweep", "--apps", "water", "--nodes", "4",
+    "--frequencies", *[f"{f:g}" for f in _SWEEP_FREQUENCIES],
+    "--parallel", "1", "--quiet",
+]
+
+
+def _spawn_sweep(cache_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_PROFILE"] = "quick"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *_SWEEP_ARGS],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def test_sigkill_mid_sweep_then_resume_skips_journaled_cells(tmp_path):
+    """The acceptance scenario: SIGKILL a running sweep once at least
+    one cell is journaled, then finish the grid under --resume and
+    check that no journaled cell was recomputed."""
+    cache_dir = tmp_path / "cache"
+    journal = Journal(cache_dir / "journal.jsonl")
+    process = _spawn_sweep(cache_dir)
+    try:
+        deadline = time.monotonic() + 180
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                break  # finished the whole grid before we could kill it
+            if journal.completed_keys():
+                break
+            time.sleep(0.05)
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:  # pragma: no cover — cleanup only
+            process.kill()
+
+    journaled = journal.completed_keys()
+    assert journaled, "no cell completed within the deadline"
+
+    # finish the interrupted grid in-process with --resume semantics
+    # (QUICK profile: the continuation must address the same cells the
+    # killed CLI process was computing)
+    sweep = FrequencySweep(
+        apps=("water",), frequencies=_SWEEP_FREQUENCIES, n_nodes=4,
+        runner=PairRunner(QUICK, store=ResultStore(cache_dir)),
+    )
+    report = sweep.prefetch(resume=True)
+    assert report.ok
+    assert report.resumed >= 1
+    assert report.recomputed_keys().isdisjoint(journaled)
+    assert report.total == len(sweep.specs())
+    # the grid is genuinely complete: every figure row materializes
+    assert len(sweep.fig3_rows()) == len(_SWEEP_FREQUENCIES)
+
+    # a second resume recomputes nothing at all
+    again = FrequencySweep(
+        apps=("water",), frequencies=_SWEEP_FREQUENCIES, n_nodes=4,
+        runner=PairRunner(QUICK, store=ResultStore(cache_dir)),
+    )
+    report2 = again.prefetch(resume=True)
+    assert report2.computed == 0
+    assert report2.hit_rate() == 1.0

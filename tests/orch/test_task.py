@@ -1,0 +1,81 @@
+"""Task-model tests: canonical content keys."""
+
+import json
+
+import pytest
+
+from repro.orch.task import SPEC_VERSION, TaskSpec
+
+
+def _ecp_spec(**overrides):
+    params = dict(
+        protocol="ecp", app="water", n_nodes=4, scale=0.001, seed=2026,
+        frequency_hz=400.0, frequency_compression=2.0,
+    )
+    params.update(overrides)
+    return TaskSpec(**params)
+
+
+def test_key_is_deterministic():
+    assert _ecp_spec().key == _ecp_spec().key
+    # sha-256 over canonical JSON: stable across processes, no
+    # PYTHONHASHSEED dependence
+    assert len(_ecp_spec().key) == 64
+
+
+def test_every_field_is_key_relevant():
+    base = _ecp_spec()
+    variants = [
+        _ecp_spec(app="mp3d"),
+        _ecp_spec(n_nodes=9),
+        _ecp_spec(scale=0.002),
+        _ecp_spec(seed=1),
+        _ecp_spec(frequency_hz=100.0),
+        _ecp_spec(frequency_compression=1.0),
+        TaskSpec(protocol="standard", app="water", n_nodes=4, scale=0.001,
+                 seed=2026),
+    ]
+    keys = {spec.key for spec in variants}
+    assert base.key not in keys
+    assert len(keys) == len(variants)
+
+
+def test_float_noise_does_not_split_the_key():
+    # beyond the canonical precision, a float wiggle is the same cell
+    assert _ecp_spec(scale=0.001).key == _ecp_spec(scale=0.001 + 1e-13).key
+
+
+def test_round_trip_dict():
+    spec = _ecp_spec()
+    clone = TaskSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.key == spec.key
+    assert spec.to_dict()["spec_version"] == SPEC_VERSION
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TaskSpec(protocol="ecp", app="water", n_nodes=4, scale=0.001, seed=1)
+    with pytest.raises(ValueError):
+        TaskSpec(protocol="standard", app="water", n_nodes=4, scale=0.001,
+                 seed=1, frequency_hz=100.0)
+    with pytest.raises(ValueError):
+        TaskSpec(protocol="dsvm", app="water", n_nodes=4, scale=0.001, seed=1)
+
+
+def test_config_reflects_spec():
+    cfg = _ecp_spec().to_config()
+    assert cfg.n_nodes == 4
+    assert cfg.scale == 0.001
+    assert cfg.ft.checkpoint_frequency_hz == 400.0
+    assert cfg.ft.frequency_compression == 2.0
+    std = TaskSpec(protocol="standard", app="water", n_nodes=4, scale=0.001,
+                   seed=2026).to_config()
+    assert std.ft.frequency_compression == 1.0
+
+
+def test_labels_distinguish_protocols():
+    assert _ecp_spec().label().startswith("ecp ")
+    std = TaskSpec(protocol="standard", app="water", n_nodes=4, scale=0.001,
+                   seed=2026)
+    assert std.label().startswith("standard ")

@@ -59,3 +59,70 @@ def test_scale_parser_defaults():
     args = build_parser().parse_args(["scale"])
     assert args.nodes == [9, 16, 30, 42, 56]
     assert args.frequency == 100.0
+
+
+# -- PR 2: version, exit codes, cache subcommands, sweep orchestration --
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.startswith("repro ")
+
+
+def test_exit_codes_documented_in_help():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for code, meaning in [("0", "success"), ("3", "config"),
+                          ("4", "simulation"), ("6", "cache"), ("7", "sweep")]:
+        assert code in help_text
+    assert "exit codes" in help_text.lower()
+
+
+def test_invalid_config_exits_3(capsys):
+    # 7 nodes cannot form the paper's sqrt-grid topology
+    rc = main(["run", "water", "--nodes", "7", "--scale", "0.0005"])
+    assert rc == 3
+    assert "invalid parameters" in capsys.readouterr().err
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    rc = main(["run", "water", "--protocol", "standard",
+               "--nodes", "4", "--scale", "0.0005"])
+    assert rc == 0
+    capsys.readouterr()
+
+    rc = main(["cache", "stats", "--cache-dir", cache_dir, "--json"])
+    assert rc == 0
+    import json
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["schema"] >= 1
+    assert stats["records"] == 0  # `run` does not populate the store
+
+    rc = main(["cache", "clear", "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_sweep_populates_cache_and_warm_run_hits(tmp_path, capsys, monkeypatch):
+    """A tiny end-to-end `repro sweep --parallel` through main(): the
+    second run must be served entirely from the cache."""
+    cache_dir = str(tmp_path / "cache")
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+    argv = ["sweep", "--apps", "water", "--nodes", "4",
+            "--frequencies", "400", "--parallel", "2",
+            "--cache-dir", cache_dir, "--quiet"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "computed" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "2/2 served from cache (100% hit rate)" in warm
+
+    import json
+    assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["records"] >= 2  # one standard + one ECP cell

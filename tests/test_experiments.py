@@ -106,3 +106,17 @@ def test_ablation_replica_reuse_small():
     result = ablation_replica_reuse(n_nodes=4, scale=0.002)
     assert result.items_reused_on >= 0
     assert result.bytes_transferred_on <= result.bytes_transferred_off
+
+
+def test_unknown_profile_raises_with_valid_names(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "warp-speed")
+    with pytest.raises(ValueError) as excinfo:
+        current_profile()
+    message = str(excinfo.value)
+    assert "warp-speed" in message
+    assert "'quick'" in message and "'full'" in message
+
+
+def test_profile_selection_is_case_insensitive(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "  Full ")
+    assert current_profile() is FULL
