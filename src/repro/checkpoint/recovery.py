@@ -37,6 +37,12 @@ class UnrecoverableFailure(RuntimeError):
     """Both copies of a recovery pair were lost (or failures overlapped
     beyond the fault model)."""
 
+    #: True when the failure pattern itself exceeds the paper's fault
+    #: model (so being fatal is the *expected* outcome); False for
+    #: unrecoverable states the protocol should never produce under an
+    #: in-model scenario.  Set via :func:`repro.machine._fault_model_fatal`.
+    fault_model_fatal: bool = False
+
 
 def rebuild_metadata(protocol: "ExtendedProtocol") -> list[int]:
     """Rebuild pointers/entries from surviving Shared-CK copies.

@@ -8,6 +8,7 @@ Commands map one-to-one onto the paper's artefacts:
 ``sweep``      the Figs. 3-7 frequency sweep (parallel, resumable)
 ``scale``      the Figs. 8-11 node-count sweep (parallel, resumable)
 ``recover``    a failure-injection demo with recovery statistics
+``campaign``   randomized fault-injection campaign (parallel, resumable)
 ``verify``     model-check + fuzz the protocol invariants
 ``cache``      inspect or clear the on-disk result cache
 ============  =====================================================
@@ -18,10 +19,11 @@ Exit codes (distinct per failure class, see ``repro --help``):
 0     success
 2     usage error (bad arguments, unknown mutation/profile name)
 3     invalid configuration or workload parameters
-4     simulation failure (unrecoverable machine state)
+4     simulation failure (unrecoverable machine state or stall)
 5     verification failure (invariant violation / counterexample)
 6     result-cache failure (unusable cache directory)
 7     sweep failure (one or more cells failed after retries)
+8     campaign failure (defect outcomes or failed cells)
 ====  ==========================================================
 """
 
@@ -46,16 +48,18 @@ EXIT_SIMULATION = 4
 EXIT_VERIFY = 5
 EXIT_CACHE = 6
 EXIT_SWEEP = 7
+EXIT_CAMPAIGN = 8
 
 _EXIT_CODE_HELP = """\
 exit codes:
   0  success
   2  usage error (bad arguments, unknown names)
   3  invalid configuration or workload parameters
-  4  simulation failure (unrecoverable machine state)
+  4  simulation failure (unrecoverable machine state or stall)
   5  verification failure (invariant violation or counterexample)
   6  result-cache failure (unusable cache directory)
   7  sweep failure (one or more cells failed after retries)
+  8  campaign failure (defect outcomes or failed cells)
 """
 
 
@@ -221,7 +225,10 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     ]
     kind = "permanent" if args.permanent else "transient"
     print(f"injecting a {kind} failure of node {args.fail_node} at t={args.fail_at}...")
-    machine = Machine(cfg, wl, protocol="ecp", failure_plan=plan)
+    machine = Machine(
+        cfg, wl, protocol="ecp", failure_plan=plan,
+        stall_cycle_budget=args.stall_budget,
+    )
     result = machine.run()
     machine.check_invariants()
     s = result.stats
@@ -234,6 +241,61 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         ("completed", all(st.exhausted for st in machine.all_streams())),
     ]
     print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.fault.campaign import CampaignConfig, CampaignRunner
+
+    cfg = CampaignConfig(
+        seeds=args.seeds,
+        master_seed=args.master_seed,
+        app=args.app,
+        n_nodes=args.nodes,
+        refs_per_proc=args.refs,
+        mtbf_cycles=args.mtbf,
+        transient_fraction=args.transient_fraction,
+        repair_delay=args.repair_delay,
+        period=args.period,
+        detection_latency=args.detection,
+        target_phase=args.target_phase,
+        stall_budget=args.stall_budget,
+    )
+    runner = CampaignRunner(cfg, store=_make_store(args))
+    print(
+        f"campaign: {cfg.seeds} seeded cells of {cfg.app} on "
+        f"{cfg.n_nodes} nodes (MTBF {cfg.mtbf_cycles} cycles, "
+        f"target phase {cfg.target_phase}, master seed {cfg.master_seed})..."
+    )
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    report = runner.run(
+        parallel=args.parallel,
+        resume=args.resume,
+        read_cache=not args.no_cache,
+        task_timeout=args.task_timeout,
+        progress=progress,
+    )
+    if args.report:
+        Path(args.report).write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {args.report}")
+    print()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    if not report.ok:
+        print(
+            f"campaign: FAILED ({report.defects} defect outcome(s), "
+            f"{len(report.failed)} worker failure(s))",
+            file=sys.stderr,
+        )
+        return EXIT_CAMPAIGN
     return 0
 
 
@@ -405,7 +467,58 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--fail-node", type=int, default=3)
     recover.add_argument("--permanent", action="store_true")
     recover.add_argument("--seed", type=int, default=2026)
+    recover.add_argument(
+        "--stall-budget", type=int, default=None, metavar="CYCLES",
+        help="abort with a diagnostic dump if the machine makes no "
+             "progress for this many cycles (default: watchdog off)")
     recover.set_defaults(func=_cmd_recover)
+
+    from repro.machine import TRIGGER_WINDOWS as _WINDOWS
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="randomized fault-injection campaign",
+        description="Fan hundreds of seeded fault-injection cells "
+        "through the parallel orchestrator: exponential (MTBF) failure "
+        "arrivals, phase-targeted triggers, a stall watchdog, and a "
+        "six-way outcome classification per run.  A healthy simulator "
+        "reports zero simulator_bug and zero stalled cells for any "
+        "master seed; anything else exits 8 with the offending seeds.",
+    )
+    campaign.add_argument("--seeds", type=int, default=200,
+                          help="number of independently seeded cells (default 200)")
+    campaign.add_argument("--master-seed", type=int, default=2026,
+                          help="seed deriving every cell (same seed = same campaign)")
+    campaign.add_argument("--app", choices=("private", "uniform", "migratory"),
+                          default="private")
+    campaign.add_argument("--nodes", type=int, default=8)
+    campaign.add_argument("--refs", type=int, default=2_500,
+                          help="references per processor (default 2500)")
+    campaign.add_argument("--mtbf", type=int, default=40_000, metavar="CYCLES",
+                          help="mean cycles between generated failures")
+    campaign.add_argument("--transient-fraction", type=float, default=0.85,
+                          help="probability a generated failure is transient")
+    campaign.add_argument("--repair-delay", type=int, default=2_000, metavar="CYCLES",
+                          help="mean transient repair delay")
+    campaign.add_argument("--period", type=int, default=6_000, metavar="CYCLES",
+                          help="checkpoint period override")
+    campaign.add_argument("--detection", type=int, default=200, metavar="CYCLES",
+                          help="failure detection latency")
+    campaign.add_argument("--target-phase", default="mixed",
+                          choices=("mixed", "timed") + _WINDOWS,
+                          help="aim every cell's trigger at one window, "
+                               "'timed' for MTBF-only cells, or 'mixed' "
+                               "to cycle through all modes (default)")
+    campaign.add_argument("--stall-budget", type=int, default=100_000,
+                          metavar="CYCLES",
+                          help="per-run no-progress budget before the "
+                               "watchdog declares a stall")
+    campaign.add_argument("--report", default=None, metavar="PATH",
+                          help="also write the full JSON report here")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the JSON report instead of tables")
+    _add_sweep_orchestration_args(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
 
     verify = sub.add_parser(
         "verify",
@@ -458,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     from repro.checkpoint.recovery import UnrecoverableFailure
+    from repro.fault.watchdog import StallError
     from repro.orch.store import CacheError
 
     parser = build_parser()
@@ -474,6 +588,9 @@ def main(argv: list[str] | None = None) -> int:
     except CacheError as exc:
         print(f"cache error: {exc}", file=sys.stderr)
         return EXIT_CACHE
+    except StallError as exc:
+        print(f"simulation stalled: {exc}", file=sys.stderr)
+        return EXIT_SIMULATION
     except UnrecoverableFailure as exc:
         print(f"simulation failed: {exc}", file=sys.stderr)
         return EXIT_SIMULATION

@@ -1,6 +1,21 @@
-"""Failure models and the fault-injection process."""
+"""Failure models, fault injection and campaign machinery.
 
-from repro.fault.failures import FailurePlan
+Import discipline: :mod:`repro.machine` imports this package's
+``failures``/``injector``/``watchdog`` modules, so this ``__init__``
+must never import the campaign side (``triggers`` touches
+``repro.machine`` lazily; ``outcomes``/``campaign`` import it at module
+level) — import those modules by their full names instead.
+"""
+
+from repro.fault.failures import FailurePlan, validate_failure_plan
 from repro.fault.injector import fault_injector
+from repro.fault.watchdog import DEFAULT_STALL_BUDGET, StallError, stall_watchdog
 
-__all__ = ["FailurePlan", "fault_injector"]
+__all__ = [
+    "FailurePlan",
+    "validate_failure_plan",
+    "fault_injector",
+    "DEFAULT_STALL_BUDGET",
+    "StallError",
+    "stall_watchdog",
+]

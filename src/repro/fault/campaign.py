@@ -1,0 +1,571 @@
+"""Randomized fault-injection campaigns.
+
+A campaign turns the fault machinery into a statistical test oracle:
+hundreds of independently seeded cells, each a complete ECP run under a
+distribution-driven failure load — exponential (MTBF) inter-arrival
+times, uniformly drawn victims, a transient/permanent mix respecting
+the paper's fault model — optionally sharpened by one *phase-targeted*
+trigger ("kill the checkpoint leader during commit", "transient during
+the recovery scan").  Every run terminates in exactly one
+:class:`~repro.fault.outcomes.Outcome`; a healthy simulator produces
+zero ``SIMULATOR_BUG`` and zero ``STALLED`` cells no matter the seed.
+
+Cells are plain data (:class:`CampaignCell`), content-addressed like
+sweep cells, executed through the same parallel / cached / journaled
+machinery (:mod:`repro.orch`), and therefore resumable: a killed
+campaign continues where it stopped, and re-running with the same
+master seed replays bit-identical cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fault.failures import FailurePlan
+from repro.fault.outcomes import Outcome, RunOutcome, run_and_classify
+from repro.fault.triggers import LEADER, RANDOM, PhaseTrigger, attach_trigger_injector
+from repro.machine import TRIGGER_WINDOWS, Machine
+from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShared
+
+#: Bump when the cell parameter surface changes incompatibly; old cache
+#: records then hash differently and are recomputed.
+CAMPAIGN_SPEC_VERSION = 1
+
+#: ``kind`` discriminator for campaign records in the result store.
+CAMPAIGN_RECORD_KIND = "campaign-cell"
+
+#: Workloads a campaign can drive (small synthetic generators: the
+#: campaign stresses the *fault* paths, not SPLASH realism).
+CAMPAIGN_WORKLOADS = {
+    "private": PrivateOnly,
+    "uniform": UniformShared,
+    "migratory": MigratoryShared,
+}
+
+#: Per-cell targeting modes: purely timed (MTBF-only) or one trigger
+#: aimed at a named window.  ``mixed`` campaigns cycle through all of
+#: these so every window is exercised.
+TARGET_MODES = ("timed",) + TRIGGER_WINDOWS
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The knobs of one campaign (everything derives from these)."""
+
+    seeds: int = 200
+    master_seed: int = 2026
+    app: str = "private"
+    n_nodes: int = 8
+    refs_per_proc: int = 2_500
+    #: Mean cycles between generated failures (exponential arrivals).
+    mtbf_cycles: int = 40_000
+    #: Probability a generated failure is transient (vs. permanent; at
+    #: most one permanent per cell regardless).
+    transient_fraction: float = 0.85
+    #: Mean transient repair delay (jittered per failure).
+    repair_delay: int = 2_000
+    #: Checkpoint period override (cycles).
+    period: int = 6_000
+    detection_latency: int = 200
+    #: ``mixed`` (default), ``timed``, or one window name.
+    target_phase: str = "mixed"
+    stall_budget: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.seeds <= 0:
+            raise ValueError("a campaign needs at least one seed")
+        if self.app not in CAMPAIGN_WORKLOADS:
+            raise ValueError(
+                f"unknown campaign app {self.app!r}; pick one of "
+                f"{', '.join(sorted(CAMPAIGN_WORKLOADS))}"
+            )
+        if self.target_phase != "mixed" and self.target_phase not in TARGET_MODES:
+            raise ValueError(
+                f"unknown target phase {self.target_phase!r}; pick 'mixed', "
+                f"'timed' or one of {', '.join(TRIGGER_WINDOWS)}"
+            )
+        if self.mtbf_cycles <= 0:
+            raise ValueError("MTBF must be positive")
+        if not 0.0 <= self.transient_fraction <= 1.0:
+            raise ValueError("transient fraction must be in [0, 1]")
+        if self.stall_budget <= 0:
+            raise ValueError("stall budget must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "seeds": self.seeds,
+            "master_seed": self.master_seed,
+            "app": self.app,
+            "n_nodes": self.n_nodes,
+            "refs_per_proc": self.refs_per_proc,
+            "mtbf_cycles": self.mtbf_cycles,
+            "transient_fraction": self.transient_fraction,
+            "repair_delay": self.repair_delay,
+            "period": self.period,
+            "detection_latency": self.detection_latency,
+            "target_phase": self.target_phase,
+            "stall_budget": self.stall_budget,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully materialized campaign run, in canonical plain-data
+    form (hashable, picklable, replayable anywhere)."""
+
+    index: int
+    seed: int
+    app: str
+    n_nodes: int
+    refs_per_proc: int
+    period: int
+    detection_latency: int
+    stall_budget: int
+    #: Timed failures, as ``FailurePlan`` field dicts, time-ordered.
+    plan: tuple = ()
+    #: Optional phase-targeted trigger, as ``PhaseTrigger`` field dict.
+    trigger: dict | None = None
+
+    # -- canonical form -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_version": CAMPAIGN_SPEC_VERSION,
+            "kind": CAMPAIGN_RECORD_KIND,
+            "index": self.index,
+            "seed": self.seed,
+            "app": self.app,
+            "n_nodes": self.n_nodes,
+            "refs_per_proc": self.refs_per_proc,
+            "period": self.period,
+            "detection_latency": self.detection_latency,
+            "stall_budget": self.stall_budget,
+            "plan": [dict(f) for f in self.plan],
+            "trigger": dict(self.trigger) if self.trigger else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignCell":
+        return cls(
+            index=data["index"],
+            seed=data["seed"],
+            app=data["app"],
+            n_nodes=data["n_nodes"],
+            refs_per_proc=data["refs_per_proc"],
+            period=data["period"],
+            detection_latency=data["detection_latency"],
+            stall_budget=data["stall_budget"],
+            plan=tuple(dict(f) for f in data.get("plan", [])),
+            trigger=dict(data["trigger"]) if data.get("trigger") else None,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable content hash (sha-256 over canonical JSON)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        mode = self.trigger["window"] if self.trigger else "timed"
+        return (
+            f"cell{self.index:03d} {self.app} seed={self.seed} "
+            f"mode={mode} failures={len(self.plan)}"
+        )
+
+    # -- rehydration ----------------------------------------------------
+
+    def failure_plan(self) -> list[FailurePlan]:
+        return [FailurePlan(**f) for f in self.plan]
+
+    def phase_trigger(self) -> PhaseTrigger | None:
+        return PhaseTrigger(**self.trigger) if self.trigger else None
+
+
+def generate_failure_plan(
+    rng: random.Random,
+    n_nodes: int,
+    mtbf_cycles: int,
+    transient_fraction: float,
+    repair_delay: int,
+    horizon: int,
+) -> list[FailurePlan]:
+    """Draw a statically valid failure plan from the fault model.
+
+    Inter-arrival times are exponential with mean ``mtbf_cycles``;
+    victims are uniform over the nodes; each failure is transient with
+    probability ``transient_fraction`` (repair delay jittered around
+    the mean), permanent otherwise — but never more than one permanent
+    per plan, and never a victim still down from an earlier failure
+    (both would fail :func:`~repro.fault.failures.validate_failure_plan`).
+    """
+    plan: list[FailurePlan] = []
+    ready_at: dict[int, int] = {}
+    permanent_used = False
+    dead: set[int] = set()
+    t = 0
+    while True:
+        t += max(1, int(rng.expovariate(1.0 / mtbf_cycles)))
+        if t > horizon:
+            return plan
+        node = rng.randrange(n_nodes)
+        if node in dead or t <= ready_at.get(node, -1):
+            continue  # victim still down: the model has nothing to fail
+        transient = rng.random() < transient_fraction or permanent_used
+        if transient:
+            repair = max(1, int(repair_delay * (0.5 + rng.random())))
+            ready_at[node] = t + repair
+            plan.append(FailurePlan(time=t, node=node, repair_delay=repair))
+        else:
+            permanent_used = True
+            dead.add(node)
+            plan.append(FailurePlan(time=t, node=node, permanent=True))
+
+
+def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
+    """Materialize every cell of a campaign from the master seed.
+
+    Deterministic: the same :class:`CampaignConfig` always yields the
+    same cells (hence the same content keys, hence a fully cacheable
+    and byte-reproducible campaign).
+    """
+    rng = random.Random(cfg.master_seed)
+    # rough upper bound on run length; failures drawn past the actual
+    # end are harmless (the injector exits when the computation does)
+    horizon = cfg.refs_per_proc * 15
+    cells: list[CampaignCell] = []
+    for index in range(cfg.seeds):
+        seed = rng.randrange(2**31)
+        cell_rng = random.Random(seed)
+        mode = (
+            TARGET_MODES[index % len(TARGET_MODES)]
+            if cfg.target_phase == "mixed"
+            else cfg.target_phase
+        )
+        plan = generate_failure_plan(
+            cell_rng, cfg.n_nodes, cfg.mtbf_cycles,
+            cfg.transient_fraction, cfg.repair_delay, horizon,
+        )
+        trigger = None
+        if mode != "timed":
+            if mode in ("recovery_scan", "reconfig") and not plan:
+                # a recovery-window trigger needs a recovery to aim at:
+                # guarantee at least one timed transient failure
+                plan.append(FailurePlan(
+                    time=cfg.period + cfg.detection_latency + 1,
+                    node=cell_rng.randrange(cfg.n_nodes),
+                    repair_delay=cfg.repair_delay,
+                ))
+            trigger = {
+                "window": mode,
+                "target": LEADER if cell_rng.random() < 0.5 else RANDOM,
+                # permanents only in checkpoint windows: any failure
+                # during a recovery window is expected-fatal anyway
+                "permanent": (
+                    mode.startswith("ckpt") and cell_rng.random() < 0.3
+                ),
+                "repair_delay": 0,
+                "delay": cell_rng.randrange(0, 400),
+                "occurrence": 1 if cell_rng.random() < 0.7 else 2,
+            }
+            if not trigger["permanent"]:
+                trigger["repair_delay"] = cfg.repair_delay
+        cells.append(CampaignCell(
+            index=index,
+            seed=seed,
+            app=cfg.app,
+            n_nodes=cfg.n_nodes,
+            refs_per_proc=cfg.refs_per_proc,
+            period=cfg.period,
+            detection_latency=cfg.detection_latency,
+            stall_budget=cfg.stall_budget,
+            plan=tuple(
+                {"time": f.time, "node": f.node, "permanent": f.permanent,
+                 "repair_delay": f.repair_delay}
+                for f in plan
+            ),
+            trigger=trigger,
+        ))
+    return cells
+
+
+def execute_campaign_payload(payload: dict) -> dict:
+    """Run one cell to a classified outcome (worker-process entry
+    point: module-level, dict in, dict out)."""
+    from repro.config import AMConfig, ArchConfig, CacheConfig
+
+    cell = CampaignCell.from_dict(payload)
+    cfg = ArchConfig(
+        n_nodes=cell.n_nodes,
+        seed=cell.seed,
+        am=AMConfig(size_bytes=512 * 1024),
+        cache=CacheConfig(size_bytes=32 * 1024),
+    ).with_ft(
+        checkpoint_period_override=cell.period,
+        detection_latency=cell.detection_latency,
+    )
+    workload = CAMPAIGN_WORKLOADS[cell.app](
+        cell.n_nodes, refs_per_proc=cell.refs_per_proc
+    )
+    machine = Machine(
+        cfg, workload,
+        protocol="ecp",
+        failure_plan=cell.failure_plan(),
+        stall_cycle_budget=cell.stall_budget,
+    )
+    trigger = cell.phase_trigger()
+    # always attach the injector — with an empty trigger list it is the
+    # campaign's window-coverage probe
+    injector = attach_trigger_injector(
+        machine,
+        [trigger] if trigger else [],
+        rng=random.Random(cell.seed ^ 0x7A11),
+    )
+    return run_and_classify(machine, injector).to_dict()
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results (JSON-able)."""
+
+    config: dict
+    n_cells: int = 0
+    from_cache: int = 0
+    executed: int = 0
+    outcome_counts: dict = field(default_factory=dict)
+    #: window -> total entries across all runs.
+    window_coverage: dict = field(default_factory=dict)
+    #: window -> {planned, fired, skipped} trigger accounting.
+    trigger_coverage: dict = field(default_factory=dict)
+    total_rollback_refs: int = 0
+    total_recoveries: int = 0
+    total_recovery_cycles: int = 0
+    #: Per-cell records: index, seed, key, outcome, detail + metrics.
+    cells: list = field(default_factory=list)
+    #: Cells whose *worker* failed (infrastructure, not simulation).
+    failed: list = field(default_factory=list)
+
+    @property
+    def defects(self) -> int:
+        return (
+            self.outcome_counts.get(Outcome.SIMULATOR_BUG.value, 0)
+            + self.outcome_counts.get(Outcome.STALLED.value, 0)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Zero defects, zero infra failures, every cell classified."""
+        return (
+            not self.failed
+            and self.defects == 0
+            and sum(self.outcome_counts.values()) == self.n_cells
+        )
+
+    def mean_recovery_latency(self) -> float:
+        if self.total_recoveries == 0:
+            return 0.0
+        return self.total_recovery_cycles / self.total_recoveries
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "n_cells": self.n_cells,
+            "from_cache": self.from_cache,
+            "executed": self.executed,
+            "outcome_counts": dict(self.outcome_counts),
+            "window_coverage": dict(self.window_coverage),
+            "trigger_coverage": dict(self.trigger_coverage),
+            "total_rollback_refs": self.total_rollback_refs,
+            "total_recoveries": self.total_recoveries,
+            "total_recovery_cycles": self.total_recovery_cycles,
+            "mean_recovery_latency": self.mean_recovery_latency(),
+            "defects": self.defects,
+            "ok": self.ok,
+            "cells": list(self.cells),
+            "failed": list(self.failed),
+        }
+
+    def format(self) -> str:
+        from repro.stats.report import format_table
+
+        lines = [format_table(
+            ["outcome", "runs"],
+            [(o.value, self.outcome_counts.get(o.value, 0)) for o in Outcome],
+        )]
+        coverage_rows = []
+        for window in TRIGGER_WINDOWS:
+            trig = self.trigger_coverage.get(window, {})
+            coverage_rows.append((
+                window,
+                self.window_coverage.get(window, 0),
+                trig.get("planned", 0),
+                trig.get("fired", 0),
+                trig.get("skipped", 0),
+            ))
+        lines.append(format_table(
+            ["window", "entered", "triggers", "fired", "skipped"],
+            coverage_rows,
+        ))
+        lines.append(format_table(["campaign", "value"], [
+            ("cells", self.n_cells),
+            ("from cache", self.from_cache),
+            ("executed", self.executed),
+            ("worker failures", len(self.failed)),
+            ("recoveries", self.total_recoveries),
+            ("mean recovery latency", f"{self.mean_recovery_latency():.0f} cycles"),
+            ("work lost to rollbacks", f"{self.total_rollback_refs} refs"),
+            ("verdict", "OK" if self.ok else "DEFECTS FOUND"),
+        ]))
+        defect_cells = [
+            c for c in self.cells
+            if c["outcome"] in (Outcome.SIMULATOR_BUG.value, Outcome.STALLED.value)
+        ]
+        for cell in defect_cells[:5]:
+            lines.append(
+                f"defect: cell {cell['index']} (seed {cell['seed']}, "
+                f"key {cell['key'][:12]}) -> {cell['outcome']}: {cell['detail']}"
+            )
+            if cell.get("diagnostic"):
+                lines.append(cell["diagnostic"])
+        if len(defect_cells) > 5:
+            lines.append(f"... and {len(defect_cells) - 5} more defect cells")
+        return "\n\n".join(lines)
+
+
+class CampaignRunner:
+    """Drive a campaign through the orch executor/cache/journal."""
+
+    def __init__(self, config: CampaignConfig, store=None):
+        self.config = config
+        self.store = store
+        self.cells = build_cells(config)
+
+    @property
+    def journal(self):
+        from repro.orch.journal import Journal
+
+        if self.store is None:
+            return None
+        return Journal(self.store.root / "campaign-journal.jsonl")
+
+    def run(
+        self,
+        parallel: int = 1,
+        resume: bool = False,
+        read_cache: bool = True,
+        task_timeout: float | None = None,
+        max_retries: int = 1,
+        progress: Callable[[str], None] | None = None,
+    ) -> CampaignReport:
+        from repro.orch.executor import run_tasks
+
+        journal = self.journal
+        say = progress or (lambda _msg: None)
+        completed = (
+            journal.completed_keys() if (resume and journal is not None) else set()
+        )
+
+        report = CampaignReport(config=self.config.to_dict(),
+                                n_cells=len(self.cells))
+        outcomes: dict[int, RunOutcome] = {}
+        pending: list[CampaignCell] = []
+        for cell in self.cells:
+            cached = None
+            if self.store is not None and (read_cache or cell.key in completed):
+                cached = self.store.load_payload(cell.key, CAMPAIGN_RECORD_KIND)
+            if cached is not None:
+                outcomes[cell.index] = RunOutcome.from_dict(cached)
+                report.from_cache += 1
+                say(f"cached   {cell.label()} -> {cached['outcome']}")
+            else:
+                pending.append(cell)
+
+        if journal is not None:
+            journal.run_started(len(pending), parallel, resume)
+        for task in run_tasks(
+            [cell.to_dict() for cell in pending],
+            execute_campaign_payload,
+            parallel=parallel,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            on_start=lambda _i, p: (
+                journal.task_started(
+                    CampaignCell.from_dict(p).key, CampaignCell.from_dict(p).label()
+                ) if journal is not None else None
+            ),
+        ):
+            cell = pending[task.index]
+            if task.ok:
+                outcomes[cell.index] = RunOutcome.from_dict(task.value)
+                report.executed += 1
+                if self.store is not None:
+                    self.store.save_payload(
+                        cell.key, CAMPAIGN_RECORD_KIND, cell.to_dict(),
+                        task.value, wall_seconds=task.wall_seconds,
+                    )
+                if journal is not None:
+                    journal.task_completed(
+                        cell.key, cell.label(), task.wall_seconds, source="run"
+                    )
+                say(f"ran      {cell.label()} -> {task.value['outcome']}")
+            else:
+                error = task.error or "timed out"
+                report.failed.append({
+                    "index": cell.index, "seed": cell.seed, "key": cell.key,
+                    "error": error, "attempts": task.attempts,
+                })
+                if journal is not None:
+                    journal.task_failed(cell.key, cell.label(), error, task.attempts)
+                say(f"FAILED   {cell.label()}: {error}")
+
+        # -- aggregate ---------------------------------------------------
+        counts: Counter = Counter()
+        windows: Counter = Counter()
+        triggers: dict[str, Counter] = {}
+        for cell in self.cells:
+            outcome = outcomes.get(cell.index)
+            if outcome is None:
+                continue  # worker failure: accounted in report.failed
+            counts[outcome.outcome.value] += 1
+            windows.update(outcome.windows_entered)
+            if cell.trigger is not None:
+                bucket = triggers.setdefault(cell.trigger["window"], Counter())
+                bucket["planned"] += 1
+                bucket["fired"] += outcome.triggers_fired
+                bucket["skipped"] += outcome.triggers_skipped
+            report.total_rollback_refs += outcome.rollback_refs
+            report.total_recoveries += outcome.n_recoveries
+            report.total_recovery_cycles += outcome.recovery_cycles
+            record = {
+                "index": cell.index,
+                "seed": cell.seed,
+                "key": cell.key,
+                "mode": cell.trigger["window"] if cell.trigger else "timed",
+                "outcome": outcome.outcome.value,
+                "detail": outcome.detail,
+                "n_failures": outcome.n_failures,
+                "n_recoveries": outcome.n_recoveries,
+                "rollback_refs": outcome.rollback_refs,
+                "total_cycles": outcome.total_cycles,
+            }
+            if outcome.diagnostic:
+                record["diagnostic"] = outcome.diagnostic
+            report.cells.append(record)
+        report.outcome_counts = dict(counts)
+        report.window_coverage = dict(windows)
+        report.trigger_coverage = {
+            window: dict(bucket) for window, bucket in triggers.items()
+        }
+        if journal is not None:
+            journal.run_completed({
+                "n_cells": report.n_cells,
+                "from_cache": report.from_cache,
+                "executed": report.executed,
+                "failed": len(report.failed),
+                "defects": report.defects,
+            })
+        return report

@@ -32,3 +32,55 @@ class FailurePlan:
             raise ValueError("repair delay must be non-negative")
         if self.permanent and self.repair_delay:
             raise ValueError("a permanent failure has no repair delay")
+
+
+def validate_failure_plan(plan: list[FailurePlan], n_nodes: int) -> None:
+    """Reject plans that cannot be executed or violate the fault model.
+
+    Checked statically, at :class:`~repro.machine.Machine` construction,
+    so a bad plan fails with a clear message instead of blowing up
+    thousands of cycles into a run:
+
+    - every target node must exist;
+    - a node must not be scheduled to fail again before its previous
+      transient failure's repair completes (the hardware is not back
+      yet), nor ever again after a permanent failure;
+    - at most one permanent failure per plan: the paper's fault model
+      allows one permanent failure *between two completed recoveries*,
+      and a static plan has no way to order a completed recovery
+      between two permanent failures.
+    """
+    permanents = [f for f in plan if f.permanent]
+    if len(permanents) > 1:
+        times = ", ".join(f"t={f.time}" for f in sorted(permanents, key=lambda f: f.time))
+        raise ValueError(
+            f"failure plan schedules {len(permanents)} permanent failures "
+            f"({times}); the fault model allows at most one permanent "
+            "failure between two completed recoveries, and a static plan "
+            "cannot guarantee a recovery completes between them"
+        )
+    by_node: dict[int, list[FailurePlan]] = {}
+    for failure in plan:
+        if not 0 <= failure.node < n_nodes:
+            raise ValueError(
+                f"failure plan targets node {failure.node}, but the "
+                f"machine has nodes 0..{n_nodes - 1}"
+            )
+        by_node.setdefault(failure.node, []).append(failure)
+    for node, failures in by_node.items():
+        failures.sort(key=lambda f: (f.time, f.permanent))
+        for prev, nxt in zip(failures, failures[1:]):
+            if prev.permanent:
+                raise ValueError(
+                    f"node {node} is scheduled to fail at t={nxt.time} "
+                    f"after its permanent failure at t={prev.time}; a "
+                    "permanently failed node never returns"
+                )
+            repaired_at = prev.time + prev.repair_delay
+            if nxt.time <= repaired_at:
+                raise ValueError(
+                    f"node {node} is scheduled to fail again at "
+                    f"t={nxt.time}, before the repair of its t={prev.time} "
+                    f"failure completes (ready at t={repaired_at}); "
+                    "stagger the plan or extend the repair delay"
+                )

@@ -13,13 +13,25 @@ if TYPE_CHECKING:  # pragma: no cover
 def fault_injector(
     machine: "Machine", plan: list[FailurePlan]
 ) -> Generator[int, None, None]:
-    """Fire the planned failures at their scheduled times."""
+    """Fire the planned failures at their scheduled times.
+
+    Liveness is re-checked at fire time: the static plan validation
+    cannot see failures injected by phase-targeted triggers or repairs
+    delayed by a pending recovery, so a plan entry may target a node
+    that is (still) dead when its time arrives.  Failing a dead node is
+    meaningless under the fail-silent model, so the entry becomes a
+    recorded no-op (``stats.n_failures_skipped``) instead of an error
+    mid-run.
+    """
     for failure in sorted(plan, key=lambda f: f.time):
         delay = failure.time - machine.engine.now
         if delay > 0:
             yield delay
         if not machine.coordinator.active:
             return  # the computation already finished
+        if not machine.nodes[failure.node].alive:
+            machine.stats.n_failures_skipped += 1
+            continue
         machine.fail_node(
             failure.node,
             permanent=failure.permanent,

@@ -1,0 +1,228 @@
+"""Outcome classification for fault-injected runs.
+
+Every campaign run terminates in *exactly one* of six classes:
+
+``COMPLETED``
+    all work finished; no recovery was ever needed.
+``RECOVERED``
+    all work finished after one or more recoveries, and every
+    transiently failed node rejoined (the machine healed completely).
+``DEGRADED``
+    all work finished, but at least one node is permanently gone — the
+    machine runs on, reconfigured (the paper's graceful degradation).
+``UNRECOVERABLE_EXPECTED``
+    the run died of a failure pattern the paper's fault model
+    *declares* fatal — overlapping failures during a recovery, or too
+    few live memories to host the copies of a modified item.  Signalled
+    by :class:`~repro.checkpoint.recovery.UnrecoverableFailure` with
+    ``fault_model_fatal`` set (see :func:`repro.machine._fault_model_fatal`).
+``STALLED``
+    the stall watchdog found no progress for its cycle budget with work
+    outstanding; the :class:`~repro.fault.watchdog.StallError`
+    diagnostic dump is preserved in the outcome.
+``SIMULATOR_BUG``
+    anything else: an in-model run that raised (including invariant
+    violations and unrecoverable states the protocol should never
+    produce), or that terminated "cleanly" with work left undone.
+
+The distinction that makes campaigns useful as a test oracle is the
+last three-way split: STALLED and SIMULATOR_BUG are always defects to
+fix, UNRECOVERABLE_EXPECTED never is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.checkpoint.recovery import UnrecoverableFailure
+from repro.fault.watchdog import StallError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fault.triggers import TriggerInjector
+    from repro.machine import Machine
+
+
+class Outcome(str, enum.Enum):
+    """Terminal classification of one fault-injected run."""
+
+    COMPLETED = "completed"
+    RECOVERED = "recovered"
+    DEGRADED = "degraded"
+    UNRECOVERABLE_EXPECTED = "unrecoverable_expected"
+    STALLED = "stalled"
+    SIMULATOR_BUG = "simulator_bug"
+
+
+#: Outcomes that indicate a defect in the simulator/protocol rather
+#: than an (expected) consequence of the injected faults.
+DEFECT_OUTCOMES = frozenset({Outcome.STALLED, Outcome.SIMULATOR_BUG})
+
+
+@dataclass
+class RunOutcome:
+    """One run's classification plus the campaign metrics."""
+
+    outcome: Outcome
+    #: One line of context (exception message, completion summary).
+    detail: str = ""
+
+    # progress / cost metrics
+    total_cycles: int = 0
+    refs: int = 0
+    n_checkpoints: int = 0
+    n_recoveries: int = 0
+    n_failures: int = 0
+    n_failures_skipped: int = 0
+    #: References undone by rollbacks (work lost to failures).
+    rollback_refs: int = 0
+    #: Total cycles spent inside recoveries; divided by
+    #: ``n_recoveries`` this is the mean recovery latency.
+    recovery_cycles: int = 0
+    permanently_dead: int = 0
+
+    # phase-targeting coverage (from the TriggerInjector, if any)
+    windows_entered: dict[str, int] = field(default_factory=dict)
+    triggers_fired: int = 0
+    triggers_skipped: int = 0
+
+    #: Stall/crash diagnostics (watchdog dump or traceback tail).
+    diagnostic: str | None = None
+
+    @property
+    def is_defect(self) -> bool:
+        return self.outcome in DEFECT_OUTCOMES
+
+    def mean_recovery_latency(self) -> float:
+        if self.n_recoveries == 0:
+            return 0.0
+        return self.recovery_cycles / self.n_recoveries
+
+    def mean_rollback_distance(self) -> float:
+        """References lost per recovery (the rollback distance)."""
+        if self.n_recoveries == 0:
+            return 0.0
+        return self.rollback_refs / self.n_recoveries
+
+    def to_dict(self) -> dict:
+        return {
+            "outcome": self.outcome.value,
+            "detail": self.detail,
+            "total_cycles": self.total_cycles,
+            "refs": self.refs,
+            "n_checkpoints": self.n_checkpoints,
+            "n_recoveries": self.n_recoveries,
+            "n_failures": self.n_failures,
+            "n_failures_skipped": self.n_failures_skipped,
+            "rollback_refs": self.rollback_refs,
+            "recovery_cycles": self.recovery_cycles,
+            "permanently_dead": self.permanently_dead,
+            "windows_entered": dict(self.windows_entered),
+            "triggers_fired": self.triggers_fired,
+            "triggers_skipped": self.triggers_skipped,
+            "diagnostic": self.diagnostic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunOutcome":
+        data = dict(data)
+        data["outcome"] = Outcome(data["outcome"])
+        return cls(**data)
+
+
+def _collect_metrics(
+    machine: "Machine", outcome: RunOutcome, injector: "TriggerInjector | None"
+) -> RunOutcome:
+    stats = machine.stats
+    outcome.total_cycles = max(stats.total_cycles, machine.engine.now)
+    outcome.refs = stats.refs
+    outcome.n_checkpoints = stats.n_checkpoints
+    outcome.n_recoveries = stats.n_recoveries
+    outcome.n_failures = stats.n_failures
+    outcome.n_failures_skipped = stats.n_failures_skipped
+    outcome.rollback_refs = stats.rollback_refs
+    outcome.recovery_cycles = stats.recovery_cycles
+    outcome.permanently_dead = len(machine._permanently_dead)
+    if injector is not None:
+        outcome.windows_entered = dict(injector.windows_entered)
+        outcome.triggers_fired = len(injector.fired)
+        outcome.triggers_skipped = len(injector.skipped)
+    return outcome
+
+
+def classify_completion(machine: "Machine") -> RunOutcome:
+    """Classify a run whose ``machine.run()`` returned normally."""
+    unfinished = [s.proc_id for s in machine.all_streams() if not s.exhausted]
+    if unfinished:
+        # the engine went quiet with work left: an event-starved
+        # deadlock that even the watchdog could not convert (or the
+        # watchdog was off) — never a legal end state
+        return RunOutcome(
+            Outcome.SIMULATOR_BUG,
+            detail=(
+                f"run ended with {len(unfinished)} unexhausted stream(s) "
+                f"(procs {unfinished[:8]})"
+            ),
+        )
+    if machine._permanently_dead:
+        return RunOutcome(
+            Outcome.DEGRADED,
+            detail=(
+                f"completed on {sum(1 for n in machine.nodes if n.alive)} "
+                f"nodes after losing {sorted(machine._permanently_dead)}"
+            ),
+        )
+    if machine.stats.n_recoveries:
+        return RunOutcome(
+            Outcome.RECOVERED,
+            detail=f"completed after {machine.stats.n_recoveries} recover"
+            f"{'y' if machine.stats.n_recoveries == 1 else 'ies'}",
+        )
+    return RunOutcome(Outcome.COMPLETED, detail="completed failure-free")
+
+
+def classify_error(error: BaseException) -> RunOutcome:
+    """Classify a run whose ``machine.run()`` raised ``error``."""
+    if isinstance(error, StallError):
+        return RunOutcome(
+            Outcome.STALLED, detail=str(error).splitlines()[0],
+            diagnostic=error.diagnostic,
+        )
+    if isinstance(error, UnrecoverableFailure) and error.fault_model_fatal:
+        return RunOutcome(Outcome.UNRECOVERABLE_EXPECTED, detail=str(error))
+    # plain UnrecoverableFailure, AssertionError (invariant violations
+    # subclass it), or any other exception: the protocol broke
+    detail = f"{type(error).__name__}: {error}"
+    first_line = detail.splitlines()[0]
+    return RunOutcome(
+        Outcome.SIMULATOR_BUG,
+        detail=first_line,
+        diagnostic=detail if detail != first_line else None,
+    )
+
+
+def run_and_classify(
+    machine: "Machine",
+    injector: "TriggerInjector | None" = None,
+    max_cycles: int | None = None,
+) -> RunOutcome:
+    """Run ``machine`` to termination and classify the result.
+
+    Never raises for simulation-side errors (that is the point); only
+    programming errors in this harness itself escape.
+    """
+    try:
+        machine.run(max_cycles=max_cycles)
+    except BaseException as error:  # noqa: BLE001 — classification is the contract
+        outcome = classify_error(error)
+    else:
+        outcome = classify_completion(machine)
+        if not outcome.is_defect:
+            # a "successful" run that left the global protocol state
+            # corrupted is still a bug — audit the end state
+            try:
+                machine.check_invariants()
+            except AssertionError as error:
+                outcome = classify_error(error)
+    return _collect_metrics(machine, outcome, injector)

@@ -1,0 +1,132 @@
+"""Stall detection for fault-injected runs.
+
+A protocol bug in a coordination window — a barrier waiting on a member
+that will never arrive, a leader that died after everyone else finished
+its episode, a revival that never fires — does not crash the simulator:
+it leaves the machine spinning (or event-starved) with work still
+pending, which under an orchestrated campaign means a worker silently
+eating its whole task timeout.
+
+:func:`stall_watchdog` is a simulation process that converts such a
+livelock into a diagnosable failure: if no references retire *and* no
+checkpoint/recovery epoch or phase advances for ``budget`` cycles while
+work is still outstanding, it raises :class:`StallError` carrying a
+full diagnostic dump — coordinator phase and leaders, barrier
+membership vs. arrivals, per-node liveness/park state and stream
+positions — so the stall is debuggable from the campaign report alone.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+#: Default no-progress budget (cycles) before a run is declared stalled.
+DEFAULT_STALL_BUDGET = 200_000
+
+
+class StallError(RuntimeError):
+    """The machine made no progress for the configured cycle budget."""
+
+    def __init__(self, message: str, diagnostic: str):
+        super().__init__(f"{message}\n{diagnostic}")
+        self.diagnostic = diagnostic
+
+
+def _barrier_dump(name: str, barrier) -> str:
+    if barrier is None:
+        return f"  {name}: none"
+    missing = sorted(barrier.expected - barrier.arrived)
+    return (
+        f"  {name}: expected={sorted(barrier.expected)} "
+        f"arrived={sorted(barrier.arrived)} missing={missing} "
+        f"generation={barrier.generation}"
+    )
+
+
+def stall_diagnostic(machine: "Machine") -> str:
+    """Human-readable dump of everything a stalled run can tell us."""
+    coord = machine.coordinator
+    lines = [
+        f"t={machine.engine.now} "
+        f"(last retire t={coord.last_retire_time}, "
+        f"{machine.engine.pending_events()} events pending)",
+        f"coordinator: ckpt_phase={coord.ckpt_phase!r} "
+        f"epoch={coord.ckpt_epoch} requested={coord.ckpt_requested} "
+        f"abort={coord.ckpt_abort} leader={coord.ckpt_leader}",
+        f"             rec_phase={coord.rec_phase!r} "
+        f"epoch={coord.recovery_epoch} requested={coord.recovery_requested} "
+        f"leader={coord.rec_leader}",
+        f"participants={sorted(coord.participants)} "
+        f"active={sorted(coord.active)} "
+        f"detected={sorted(machine._detected)} "
+        f"pending_revival={dict(sorted(machine._pending_revival.items()))}",
+        _barrier_dump("ckpt_barrier", coord.ckpt_barrier),
+        _barrier_dump("rec_barrier", coord.rec_barrier),
+        "nodes:",
+    ]
+    for processor in machine.processors:
+        node = machine.nodes[processor.node_id]
+        remaining = sum(s.remaining for s in processor.streams)
+        lines.append(
+            f"  node {node.node_id}: "
+            f"{'alive' if node.alive else 'DEAD'}"
+            f"{' permanent' if node.node_id in machine._permanently_dead else ''}"
+            f" parked={processor.parked} streams={len(processor.streams)} "
+            f"refs_remaining={remaining}"
+        )
+    return "\n".join(lines)
+
+
+def stall_watchdog(
+    machine: "Machine", budget: int = DEFAULT_STALL_BUDGET
+) -> Generator[int, None, None]:
+    """Simulation process: abort the run when progress stops.
+
+    Progress means references retiring or the coordination state
+    machine moving (epoch, phase, commit/recovery completion, failure
+    handling, membership change).  The watchdog also keeps the event
+    heap non-empty while work is outstanding, so an event-starved
+    deadlock (every process parked on a flag that never fires) is
+    detected instead of silently ending the run with work left.
+    """
+    if budget <= 0:
+        raise ValueError("stall budget must be positive")
+    poll = max(1, budget // 8)
+    coord = machine.coordinator
+    stats = machine.stats
+    last_signature: tuple | None = None
+    last_progress = machine.engine.now
+    while True:
+        yield poll
+        work_left = any(not s.exhausted for s in machine.all_streams())
+        coordinating = (
+            coord.ckpt_requested
+            or coord.recovery_requested
+            or bool(machine._pending_revival)
+        )
+        if not work_left and not coordinating:
+            return
+        signature = (
+            stats.refs,
+            stats.n_checkpoints,
+            stats.n_recoveries,
+            stats.n_failures,
+            coord.ckpt_epoch,
+            coord.ckpt_phase,
+            coord.recovery_epoch,
+            coord.rec_phase,
+            len(coord.participants),
+            len(machine._pending_revival),
+        )
+        if signature != last_signature:
+            last_signature = signature
+            last_progress = machine.engine.now
+        elif machine.engine.now - last_progress >= budget:
+            raise StallError(
+                f"no progress for {machine.engine.now - last_progress} cycles "
+                f"(budget {budget}) with work outstanding",
+                stall_diagnostic(machine),
+            )

@@ -39,8 +39,9 @@ from repro.coherence.directory import Directory
 from repro.coherence.ecp import ExtendedProtocol
 from repro.coherence.standard import StandardProtocol
 from repro.config import ArchConfig, mesh_dimensions
-from repro.fault.failures import FailurePlan
+from repro.fault.failures import FailurePlan, validate_failure_plan
 from repro.fault.injector import fault_injector
+from repro.fault.watchdog import stall_watchdog
 from repro.memory.pages import PageRegistry
 from repro.memory.states import ItemState
 from repro.network.fabric import MeshFabric
@@ -55,6 +56,17 @@ from repro.stats.collectors import MachineStats
 from repro.workloads.base import Workload
 
 PROTOCOLS = {"standard": StandardProtocol, "ecp": ExtendedProtocol}
+
+def _fault_model_fatal(message: str) -> UnrecoverableFailure:
+    """An :class:`UnrecoverableFailure` the paper's fault model *allows*
+    to be fatal (overlapping failures, too few live memories).  The
+    campaign classifier distinguishes these (``UNRECOVERABLE_EXPECTED``)
+    from unrecoverable states the protocol should never reach
+    (``SIMULATOR_BUG``) via the ``fault_model_fatal`` attribute."""
+    error = UnrecoverableFailure(message)
+    error.fault_model_fatal = True
+    return error
+
 
 #: A modified item needs up to four copies in *distinct* memories while
 #: a recovery point is established (Exclusive owner + the two Inv-CK
@@ -83,6 +95,19 @@ class RunResult:
         return self.stats.total_cycles
 
 
+#: Named protocol windows, in the order a run traverses them.  Entering
+#: a window notifies ``Coordinator.window_listeners`` — the hook behind
+#: phase-targeted fault injection (repro.fault.triggers) and the
+#: campaign's phase-coverage accounting.
+TRIGGER_WINDOWS = (
+    "ckpt_sync",      # establishment requested, participants synchronising
+    "ckpt_create",    # parallel create phase (Pre-Commit copies placed)
+    "ckpt_commit",    # local commits between the 2nd and 3rd barrier
+    "recovery_scan",  # parallel per-node recovery scans
+    "reconfig",       # metadata rebuild + singleton re-replication
+)
+
+
 class Coordinator:
     """Global checkpoint/recovery synchronisation."""
 
@@ -109,8 +134,13 @@ class Coordinator:
         # recovery state
         self.recovery_requested = False
         self.recovery_epoch = 0
+        self.rec_phase = "idle"  # idle | scan | reconfig
         self.recovery_done: EventFlag | None = None
         self.rec_barrier: MemberBarrier | None = None
+
+        #: Callables invoked with a window name from ``TRIGGER_WINDOWS``
+        #: whenever the coordination protocol enters that window.
+        self.window_listeners: list = []
 
         self._work_flags: dict[int, EventFlag] = {}
         self._revival_flags: dict[int, EventFlag] = {}
@@ -188,6 +218,16 @@ class Coordinator:
         for flag in flags.values():
             flag.fire()
 
+    def _enter_window(self, window: str) -> None:
+        """The protocol entered a named window; tell the listeners.
+
+        Listeners run at the entry instant, inside the transition that
+        opened the window — anything they schedule (e.g. a targeted
+        failure) lands while the window is genuinely open.
+        """
+        for listener in list(self.window_listeners):
+            listener(window)
+
     # -- checkpoints ----------------------------------------------------------
 
     def request_checkpoint(self) -> EventFlag | None:
@@ -207,6 +247,7 @@ class Coordinator:
         )
         self.ckpt_leader = min(self.participants)
         self._wake_parked()
+        self._enter_window("ckpt_sync")
         return self.ckpt_done
 
     def participate_checkpoint(self, node_id: int) -> Generator[object, object, None]:
@@ -223,7 +264,9 @@ class Coordinator:
             return
         t_start = self.engine.now
         node.stats.ckpt_sync_cycles += t_start - t_entry
-        self.ckpt_phase = "create"
+        if self.ckpt_phase != "create":
+            self.ckpt_phase = "create"
+            self._enter_window("ckpt_create")
 
         if node.alive and not self.ckpt_abort:
             try:
@@ -243,7 +286,9 @@ class Coordinator:
         if not node.alive:
             return
         t_mid = self.engine.now
-        self.ckpt_phase = "commit"
+        if self.ckpt_phase != "commit":
+            self.ckpt_phase = "commit"
+            self._enter_window("ckpt_commit")
 
         aborted = self.ckpt_abort
         if node.alive and not aborted:
@@ -315,6 +360,9 @@ class Coordinator:
         if not node.alive:
             return
         t0 = self.engine.now
+        if self.rec_phase != "scan":
+            self.rec_phase = "scan"
+            self._enter_window("recovery_scan")
         protocol.recovery_scan_node(node_id)
         cost = scan_cost_cycles(protocol, node_id)
         node.stats.recovery_scan_cycles += cost
@@ -327,11 +375,14 @@ class Coordinator:
             return
 
         if node_id == self.rec_leader:
+            self.rec_phase = "reconfig"
+            self._enter_window("reconfig")
             singletons = rebuild_metadata(protocol)
             yield from reconfiguration_phase(protocol, self.engine, singletons)
             machine.rewind_streams()
             machine.stats.n_recoveries += 1
             machine.stats.recovery_cycles += self.engine.now - t0
+            self.rec_phase = "idle"
             self.recovery_requested = False
             machine.after_recovery()
             machine.notify_verifiers("on_recovery_complete")
@@ -351,6 +402,7 @@ class Machine:
         failure_plan: list[FailurePlan] | None = None,
         checkpointing: bool | None = None,
         record_network_trace: bool = False,
+        stall_cycle_budget: int | None = None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; pick {sorted(PROTOCOLS)}")
@@ -411,6 +463,13 @@ class Machine:
         self.failure_plan = list(failure_plan or [])
         if self.failure_plan and protocol != "ecp":
             raise ValueError("the standard protocol cannot survive failures")
+        validate_failure_plan(self.failure_plan, config.n_nodes)
+        #: No-progress cycle budget for the stall watchdog; ``None``
+        #: leaves the watchdog off (plain runs cannot livelock without
+        #: failures, and tests drive machines by hand).
+        self.stall_cycle_budget = stall_cycle_budget
+        if stall_cycle_budget is not None and stall_cycle_budget <= 0:
+            raise ValueError("stall_cycle_budget must be positive")
 
         self._started = False
 
@@ -455,6 +514,12 @@ class Machine:
             Process(self.engine, checkpoint_scheduler(self), name="ckpt-sched")
         if self.failure_plan:
             Process(self.engine, fault_injector(self, self.failure_plan), name="faults")
+        if self.stall_cycle_budget is not None:
+            Process(
+                self.engine,
+                stall_watchdog(self, self.stall_cycle_budget),
+                name="watchdog",
+            )
         for name, gen in self.extra_processes:
             Process(self.engine, gen, name=name)
         self._started = True
@@ -490,7 +555,11 @@ class Machine:
 
     def rewind_streams(self) -> None:
         for stream in self.all_streams():
-            stream.rewind_to(self._stream_snapshot.get(stream.proc_id, 0))
+            target = self._stream_snapshot.get(stream.proc_id, 0)
+            # references past the recovery point are rolled back: work
+            # lost to the failure (the campaign's rollback-distance metric)
+            self.stats.rollback_refs += max(0, stream.position - target)
+            stream.rewind_to(target)
         # a rewind may hand work back to processors that had finished
         for processor in self.processors:
             if processor.has_work() and self.nodes[processor.node_id].alive:
@@ -506,12 +575,12 @@ class Machine:
         if self.protocol_name != "ecp":
             raise RuntimeError("the standard protocol cannot survive failures")
         if self.coordinator.recovery_requested:
-            raise UnrecoverableFailure(
+            raise _fault_model_fatal(
                 "a second node failed while a recovery was in progress"
             )
         live_after = sum(1 for n in self.nodes if n.alive) - 1
         if live_after < MIN_LIVE_NODES_ECP:
-            raise UnrecoverableFailure(
+            raise _fault_model_fatal(
                 f"only {live_after} live nodes would remain; the ECP needs "
                 f"at least {MIN_LIVE_NODES_ECP} to host the copies of a "
                 "modified item"
@@ -548,7 +617,7 @@ class Machine:
             return
         live = [p for p in self.processors if self.nodes[p.node_id].alive]
         if not live:
-            raise UnrecoverableFailure("no live node left to adopt the work")
+            raise _fault_model_fatal("no live node left to adopt the work")
         target = min(live, key=lambda p: len(p.streams))
         for stream in streams:
             target.assign(stream)

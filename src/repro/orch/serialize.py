@@ -76,6 +76,8 @@ def _machine_stats_to_dict(stats: MachineStats) -> dict:
         "n_checkpoints": stats.n_checkpoints,
         "n_recoveries": stats.n_recoveries,
         "n_failures": stats.n_failures,
+        "n_failures_skipped": stats.n_failures_skipped,
+        "rollback_refs": stats.rollback_refs,
         "invariant_checks": stats.invariant_checks,
         "invariant_violations": stats.invariant_violations,
         "node_stats": [_node_stats_to_dict(ns) for ns in stats.node_stats],

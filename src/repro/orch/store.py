@@ -123,25 +123,14 @@ class ResultStore:
 
     # -- record I/O -----------------------------------------------------
 
-    def save(self, spec: TaskSpec, result: "RunResult",
-             wall_seconds: float | None = None) -> Path:
-        """Persist one completed cell atomically; returns the record path."""
+    def _write_record(self, key: str, record: dict) -> Path:
+        """Atomically serialize one record envelope into place."""
         self._ensure_root()
-        path = self._path_for(spec.key)
+        path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        record = {
-            "schema": STORE_SCHEMA_VERSION,
-            "repro_version": _repro_version,
-            "key": spec.key,
-            "spec": spec.to_dict(),
-            "result": run_result_to_dict(result),
-            "wall_seconds": wall_seconds if wall_seconds is not None
-            else result.wall_seconds,
-            "created_at": time.time(),
-        }
         payload = json.dumps(record, sort_keys=True).encode("utf-8")
         fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{spec.short_key}-", suffix=".tmp"
+            dir=path.parent, prefix=f".{key[:12]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -155,6 +144,21 @@ class ResultStore:
             raise
         self.stats.writes += 1
         return path
+
+    def save(self, spec: TaskSpec, result: "RunResult",
+             wall_seconds: float | None = None) -> Path:
+        """Persist one completed cell atomically; returns the record path."""
+        record = {
+            "schema": STORE_SCHEMA_VERSION,
+            "repro_version": _repro_version,
+            "key": spec.key,
+            "spec": spec.to_dict(),
+            "result": run_result_to_dict(result),
+            "wall_seconds": wall_seconds if wall_seconds is not None
+            else result.wall_seconds,
+            "created_at": time.time(),
+        }
+        return self._write_record(spec.key, record)
 
     def load_record(self, key: str) -> dict | None:
         """The full record envelope for ``key``, or None on miss.
@@ -198,6 +202,65 @@ class ResultStore:
     def contains(self, key: str) -> bool:
         """Existence check that does not touch the hit/miss counters."""
         return self._path_for(key).exists()
+
+    # -- generic payload records ----------------------------------------
+    #
+    # Non-sweep subsystems (e.g. the fault campaign) share the cache
+    # root but store plain-dict payloads instead of RunResults.  A
+    # ``kind`` discriminator lives in the envelope *and* is re-checked
+    # on load, so a key collision across record families (impossible
+    # anyway while the spec dicts embed their own kind) can never hand
+    # a campaign a RunResult or vice versa.
+
+    def save_payload(self, key: str, kind: str, spec: dict, payload: dict,
+                     wall_seconds: float = 0.0) -> Path:
+        """Persist an arbitrary JSON payload under a content key."""
+        record = {
+            "schema": STORE_SCHEMA_VERSION,
+            "repro_version": _repro_version,
+            "kind": kind,
+            "key": key,
+            "spec": spec,
+            "payload": payload,
+            "wall_seconds": wall_seconds,
+            "created_at": time.time(),
+        }
+        return self._write_record(key, record)
+
+    def load_payload(self, key: str, kind: str) -> dict | None:
+        """The payload stored under ``key``, or None on miss.
+
+        Applies the same trust discipline as :meth:`load_record`:
+        corrupt, schema-stale, version-stale or wrong-``kind`` records
+        are deleted and counted as invalidations + misses.
+        """
+        path = self._path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(raw)
+            valid = (
+                record.get("schema") == STORE_SCHEMA_VERSION
+                and record.get("repro_version") == _repro_version
+                and record.get("key") == key
+                and record.get("kind") == kind
+                and isinstance(record.get("payload"), dict)
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            valid = False
+        if not valid:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record["payload"]
 
     # -- maintenance ----------------------------------------------------
 

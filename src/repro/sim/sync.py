@@ -163,6 +163,11 @@ class MemberBarrier:
     def waiting(self) -> int:
         return len(self._arrived)
 
+    @property
+    def arrived(self) -> frozenset:
+        """Members that arrived in the current generation (diagnostics)."""
+        return frozenset(self._arrived)
+
 
 class Semaphore:
     """Counting semaphore; ``acquire()`` returns a waitable flag."""

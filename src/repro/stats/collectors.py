@@ -109,6 +109,12 @@ class MachineStats:
     n_checkpoints: int = 0
     n_recoveries: int = 0
     n_failures: int = 0
+    #: Planned or triggered failures skipped because the target node was
+    #: already dead at fire time (recorded no-ops, never errors).
+    n_failures_skipped: int = 0
+    #: References undone by recoveries: sum over rollbacks of how far
+    #: each stream was rewound (the campaign's work-lost metric).
+    rollback_refs: int = 0
 
     # runtime verification (repro.verify): invariant evaluations and
     # the violations they surfaced

@@ -1,0 +1,22 @@
+"""Shared builders for the fault-subsystem tests."""
+
+from repro.machine import Machine
+from repro.workloads.synthetic import PrivateOnly
+from tests.helpers import small_config
+
+
+def ft_machine(
+    wl=None,
+    plan=None,
+    period=6_000,
+    n_nodes=6,
+    detection=200,
+    refs=3_000,
+    **kwargs,
+):
+    """An ECP machine with checkpointing, mirroring tests/test_fault.py."""
+    wl = wl or PrivateOnly(n_nodes, refs_per_proc=refs)
+    cfg = small_config(n_nodes).with_ft(
+        checkpoint_period_override=period, detection_latency=detection
+    )
+    return Machine(cfg, wl, protocol="ecp", failure_plan=plan or [], **kwargs)

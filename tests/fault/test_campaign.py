@@ -1,0 +1,143 @@
+"""Campaign generation, execution, determinism, cache and resume."""
+
+import random
+
+from repro.fault.campaign import (
+    CAMPAIGN_RECORD_KIND,
+    CampaignCell,
+    CampaignConfig,
+    CampaignRunner,
+    build_cells,
+    execute_campaign_payload,
+    generate_failure_plan,
+)
+from repro.fault.failures import validate_failure_plan
+from repro.fault.outcomes import Outcome
+from repro.machine import TRIGGER_WINDOWS
+from repro.orch.store import ResultStore
+
+SMALL = dict(
+    seeds=6, master_seed=42, n_nodes=6, refs_per_proc=900,
+    mtbf_cycles=15_000, period=4_000, stall_budget=60_000,
+)
+
+
+def test_generated_plans_are_statically_valid():
+    for seed in range(30):
+        plan = generate_failure_plan(
+            random.Random(seed), n_nodes=8, mtbf_cycles=5_000,
+            transient_fraction=0.7, repair_delay=1_000, horizon=60_000,
+        )
+        validate_failure_plan(plan, n_nodes=8)  # must not raise
+        assert sum(f.permanent for f in plan) <= 1
+
+
+def test_build_cells_is_deterministic():
+    cfg = CampaignConfig(**SMALL)
+    a = build_cells(cfg)
+    b = build_cells(cfg)
+    assert [c.key for c in a] == [c.key for c in b]
+
+
+def test_master_seed_changes_every_cell():
+    keys_a = {c.key for c in build_cells(CampaignConfig(**SMALL))}
+    keys_b = {c.key for c in build_cells(
+        CampaignConfig(**{**SMALL, "master_seed": 43}))}
+    assert keys_a.isdisjoint(keys_b)
+
+
+def test_mixed_campaign_covers_every_window():
+    cells = build_cells(CampaignConfig(**SMALL))
+    modes = {c.trigger["window"] for c in cells if c.trigger}
+    assert modes == set(TRIGGER_WINDOWS)
+    assert any(c.trigger is None for c in cells)  # timed cells too
+
+
+def test_cell_round_trips_and_keys_stably():
+    cell = build_cells(CampaignConfig(**SMALL))[1]
+    clone = CampaignCell.from_dict(cell.to_dict())
+    assert clone == cell
+    assert clone.key == cell.key
+
+
+def test_worker_classifies_one_cell():
+    cell = build_cells(CampaignConfig(**SMALL))[0]
+    payload = execute_campaign_payload(cell.to_dict())
+    assert payload["outcome"] in {o.value for o in Outcome}
+    # the coverage probe runs even on timed cells
+    assert "windows_entered" in payload
+
+
+def test_campaign_run_classifies_every_cell_without_defects():
+    cfg = CampaignConfig(**SMALL)
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    assert sum(report.outcome_counts.values()) == cfg.seeds
+    assert report.outcome_counts.get(Outcome.SIMULATOR_BUG.value, 0) == 0
+    assert report.outcome_counts.get(Outcome.STALLED.value, 0) == 0
+    assert report.ok
+    assert report.executed == cfg.seeds
+    assert len(report.cells) == cfg.seeds
+    # the checkpoint windows are entered on every cell
+    assert report.window_coverage["ckpt_sync"] > 0
+
+
+def test_campaign_counts_reproducible_for_same_master_seed():
+    cfg = CampaignConfig(**SMALL)
+    first = CampaignRunner(cfg, store=None).run(parallel=1)
+    second = CampaignRunner(cfg, store=None).run(parallel=1)
+    assert first.outcome_counts == second.outcome_counts
+    assert first.window_coverage == second.window_coverage
+    assert (
+        [c["outcome"] for c in first.cells]
+        == [c["outcome"] for c in second.cells]
+    )
+
+
+def test_campaign_cache_and_resume(tmp_path):
+    cfg = CampaignConfig(**{**SMALL, "seeds": 4})
+    store = ResultStore(tmp_path / "cache")
+    cold = CampaignRunner(cfg, store=store).run(parallel=1)
+    assert cold.executed == 4 and cold.from_cache == 0
+
+    warm = CampaignRunner(cfg, store=store).run(parallel=1, resume=True)
+    assert warm.executed == 0 and warm.from_cache == 4
+    assert warm.outcome_counts == cold.outcome_counts
+
+    # the journal recorded the cold run durably
+    journal = CampaignRunner(cfg, store=store).journal
+    assert len(journal.completed_keys()) == 4
+
+    # payload records are kind-checked: a campaign key never loads as
+    # a sweep result
+    key = build_cells(cfg)[0].key
+    assert store.load_payload(key, CAMPAIGN_RECORD_KIND) is not None
+    assert store.load_payload(key, "something-else") is None
+
+
+def test_parallel_campaign_matches_serial(tmp_path):
+    cfg = CampaignConfig(**{**SMALL, "seeds": 4})
+    serial = CampaignRunner(cfg, store=None).run(parallel=1)
+    parallel = CampaignRunner(cfg, store=None).run(parallel=2)
+    assert parallel.outcome_counts == serial.outcome_counts
+    assert parallel.total_rollback_refs == serial.total_rollback_refs
+
+
+def test_report_json_round_trip():
+    import json
+
+    cfg = CampaignConfig(**{**SMALL, "seeds": 2})
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    blob = json.dumps(report.to_dict(), sort_keys=True)
+    data = json.loads(blob)
+    assert data["n_cells"] == 2
+    assert data["ok"] is True
+    assert data["config"]["master_seed"] == 42
+
+
+def test_report_format_mentions_outcomes_and_coverage():
+    cfg = CampaignConfig(**{**SMALL, "seeds": 2})
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    text = report.format()
+    assert "simulator_bug" in text
+    assert "ckpt_commit" in text
+    assert "verdict" in text

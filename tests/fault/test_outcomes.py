@@ -1,0 +1,136 @@
+"""Outcome classification: every termination maps to exactly one of
+the six classes, including the leader-failure windows the paper's
+coordination protocol is most sensitive to."""
+
+import random
+
+import pytest
+
+from repro.checkpoint.recovery import UnrecoverableFailure
+from repro.fault.failures import FailurePlan
+from repro.fault.outcomes import (
+    Outcome,
+    RunOutcome,
+    classify_error,
+    run_and_classify,
+)
+from repro.fault.triggers import LEADER, PhaseTrigger, attach_trigger_injector
+from repro.fault.watchdog import StallError
+from repro.machine import _fault_model_fatal
+from tests.fault.helpers import ft_machine
+
+
+def test_failure_free_run_is_completed():
+    outcome = run_and_classify(ft_machine(refs=2_000))
+    assert outcome.outcome is Outcome.COMPLETED
+    assert outcome.n_checkpoints >= 1
+    assert outcome.n_failures == 0
+    assert outcome.rollback_refs == 0
+
+
+def test_transient_failure_is_recovered():
+    m = ft_machine(plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)])
+    outcome = run_and_classify(m)
+    assert outcome.outcome is Outcome.RECOVERED
+    assert outcome.n_recoveries >= 1
+    assert outcome.rollback_refs > 0  # work was lost and re-executed
+    assert outcome.mean_recovery_latency() > 0
+    assert outcome.mean_rollback_distance() > 0
+
+
+def test_permanent_failure_is_degraded():
+    m = ft_machine(plan=[FailurePlan(time=15_000, node=2, permanent=True)])
+    outcome = run_and_classify(m)
+    assert outcome.outcome is Outcome.DEGRADED
+    assert outcome.permanently_dead == 1
+    assert "losing [2]" in outcome.detail
+
+
+def test_second_failure_during_recovery_is_expected_fatal():
+    """Satellite scenario: a transient failure lands while the recovery
+    of an earlier failure is still in progress — outside the fault
+    model, so fatal is the *expected* classification."""
+    m = ft_machine(plan=[
+        FailurePlan(time=20_000, node=2, repair_delay=5_000),
+        # detection at 20_200 starts the recovery; this lands inside it
+        FailurePlan(time=20_300, node=4, repair_delay=5_000),
+    ])
+    outcome = run_and_classify(m)
+    assert outcome.outcome is Outcome.UNRECOVERABLE_EXPECTED
+    assert "recovery was in progress" in outcome.detail
+
+
+def test_recovery_leader_dies_during_reconfiguration():
+    """Satellite scenario: the recovery leader fails inside the
+    reconfiguration window — a second failure during recovery, which
+    the model declares fatal."""
+    m = ft_machine(
+        plan=[FailurePlan(time=15_000, node=2, repair_delay=2_000)],
+        stall_cycle_budget=100_000,
+    )
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="reconfig", target=LEADER, repair_delay=2_000)],
+        rng=random.Random(7),
+    )
+    outcome = run_and_classify(m, injector)
+    assert outcome.outcome is Outcome.UNRECOVERABLE_EXPECTED
+    assert outcome.windows_entered["reconfig"] >= 1
+    assert len(injector.fired) == 1
+
+
+def test_livelock_is_stalled_with_diagnostic():
+    m = ft_machine(refs=2_000, stall_cycle_budget=25_000)
+    m.coordinator.participants.add(99)  # barrier member that never arrives
+    outcome = run_and_classify(m)
+    assert outcome.outcome is Outcome.STALLED
+    assert outcome.diagnostic is not None
+    assert "missing=[99]" in outcome.diagnostic
+
+
+def test_classify_error_distinguishes_fatal_kinds():
+    expected = classify_error(_fault_model_fatal("overlapping failures"))
+    assert expected.outcome is Outcome.UNRECOVERABLE_EXPECTED
+
+    bug = classify_error(UnrecoverableFailure("two Shared-CK1 copies"))
+    assert bug.outcome is Outcome.SIMULATOR_BUG
+
+    invariant = classify_error(AssertionError("invariant violations:..."))
+    assert invariant.outcome is Outcome.SIMULATOR_BUG
+
+    crash = classify_error(KeyError("item 42"))
+    assert crash.outcome is Outcome.SIMULATOR_BUG
+
+    stall = classify_error(StallError("no progress", "dump"))
+    assert stall.outcome is Outcome.STALLED
+    assert stall.diagnostic == "dump"
+
+
+def test_every_run_maps_to_exactly_one_outcome():
+    assert len(Outcome) == 6
+    outcome = run_and_classify(ft_machine(refs=1_000))
+    assert outcome.outcome in Outcome
+
+
+def test_outcome_round_trips_through_json_dict():
+    original = run_and_classify(
+        ft_machine(plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)])
+    )
+    restored = RunOutcome.from_dict(original.to_dict())
+    assert restored == original
+
+
+@pytest.mark.parametrize("window", ["ckpt_sync", "ckpt_create"])
+def test_transient_during_establishment_recovers(window):
+    """Failures inside the establishment windows abort the checkpoint
+    (old recovery point intact) and the run still finishes healthy."""
+    m = ft_machine(refs=3_000, stall_cycle_budget=100_000)
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window=window, target=LEADER, repair_delay=1_500)],
+        rng=random.Random(11),
+    )
+    outcome = run_and_classify(m, injector)
+    assert not outcome.is_defect, outcome.detail
+    assert outcome.outcome in (Outcome.RECOVERED, Outcome.DEGRADED,
+                               Outcome.UNRECOVERABLE_EXPECTED)

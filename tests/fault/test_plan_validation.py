@@ -1,0 +1,79 @@
+"""Static failure-plan validation (Machine construction time)."""
+
+import pytest
+
+from repro.fault.failures import FailurePlan, validate_failure_plan
+from repro.workloads.synthetic import PrivateOnly
+from tests.fault.helpers import ft_machine
+
+
+def test_valid_plan_passes():
+    validate_failure_plan(
+        [
+            FailurePlan(time=1_000, node=0, repair_delay=500),
+            FailurePlan(time=5_000, node=0, repair_delay=500),
+            FailurePlan(time=2_000, node=3, permanent=True),
+        ],
+        n_nodes=6,
+    )
+
+
+def test_empty_plan_passes():
+    validate_failure_plan([], n_nodes=4)
+
+
+def test_node_out_of_range_rejected():
+    with pytest.raises(ValueError, match="nodes 0..5"):
+        validate_failure_plan([FailurePlan(time=0, node=6)], n_nodes=6)
+    with pytest.raises(ValueError, match="nodes 0..5"):
+        validate_failure_plan([FailurePlan(time=0, node=-1)], n_nodes=6)
+
+
+def test_refail_before_repair_rejected():
+    plan = [
+        FailurePlan(time=1_000, node=2, repair_delay=5_000),
+        FailurePlan(time=3_000, node=2, repair_delay=100),
+    ]
+    with pytest.raises(ValueError, match="before the repair"):
+        validate_failure_plan(plan, n_nodes=6)
+
+
+def test_refail_exactly_at_repair_boundary_rejected():
+    plan = [
+        FailurePlan(time=1_000, node=2, repair_delay=1_000),
+        FailurePlan(time=2_000, node=2, repair_delay=100),
+    ]
+    with pytest.raises(ValueError, match="before the repair"):
+        validate_failure_plan(plan, n_nodes=6)
+
+
+def test_refail_after_repair_accepted():
+    plan = [
+        FailurePlan(time=1_000, node=2, repair_delay=1_000),
+        FailurePlan(time=2_001, node=2, repair_delay=100),
+    ]
+    validate_failure_plan(plan, n_nodes=6)
+
+
+def test_two_permanents_rejected():
+    plan = [
+        FailurePlan(time=1_000, node=1, permanent=True),
+        FailurePlan(time=9_000, node=2, permanent=True),
+    ]
+    with pytest.raises(ValueError, match="at most one permanent"):
+        validate_failure_plan(plan, n_nodes=6)
+
+
+def test_failure_after_permanent_rejected():
+    plan = [
+        FailurePlan(time=1_000, node=2, permanent=True),
+        FailurePlan(time=9_000, node=2, repair_delay=100),
+    ]
+    with pytest.raises(ValueError, match="never returns"):
+        validate_failure_plan(plan, n_nodes=6)
+
+
+def test_machine_constructor_validates_plan():
+    wl = PrivateOnly(6, refs_per_proc=100)
+    with pytest.raises(ValueError, match="nodes 0..5"):
+        ft_machine(wl, [FailurePlan(time=0, node=17)])

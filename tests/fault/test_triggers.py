@@ -1,0 +1,118 @@
+"""Phase-targeted triggers: windows fire, targets resolve, no-ops
+are recorded."""
+
+import random
+
+import pytest
+
+from repro.fault.failures import FailurePlan
+from repro.fault.outcomes import Outcome, run_and_classify
+from repro.fault.triggers import (
+    LEADER,
+    PhaseTrigger,
+    attach_trigger_injector,
+)
+from repro.machine import TRIGGER_WINDOWS
+from tests.fault.helpers import ft_machine
+
+
+def test_unknown_window_rejected():
+    with pytest.raises(ValueError, match="unknown trigger window"):
+        PhaseTrigger(window="ckpt_nonsense")
+
+
+def test_bad_target_rejected():
+    with pytest.raises(ValueError, match="target"):
+        PhaseTrigger(window="ckpt_sync", target="somebody")
+
+
+def test_all_windows_entered_on_a_faulty_run():
+    """The coverage probe sees every named window on a run with both
+    checkpoints and one recovery."""
+    m = ft_machine(plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)])
+    probe = attach_trigger_injector(m, [])
+    m.run()
+    for window in TRIGGER_WINDOWS:
+        assert probe.windows_entered[window] >= 1, window
+
+
+def test_ckpt_leader_dies_during_commit():
+    """The paper's hardest establishment case: the coordinating node
+    fails after the commit window opened.  The machine must finish the
+    work without the leader's help."""
+    m = ft_machine(refs=3_000, stall_cycle_budget=100_000)
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="ckpt_commit", target=LEADER, repair_delay=2_000)],
+        rng=random.Random(1),
+    )
+    outcome = run_and_classify(m, injector)
+    assert len(injector.fired) == 1
+    assert not outcome.is_defect, outcome.detail
+    assert all(s.exhausted for s in m.all_streams())
+    assert outcome.n_failures >= 1
+    assert outcome.windows_entered["ckpt_commit"] >= 1
+
+
+def test_trigger_occurrence_waits_for_nth_entry():
+    m = ft_machine(refs=4_000, stall_cycle_budget=100_000)
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="ckpt_sync", target=LEADER,
+                      repair_delay=1_500, occurrence=3)],
+        rng=random.Random(2),
+    )
+    outcome = run_and_classify(m, injector)
+    assert not outcome.is_defect, outcome.detail
+    assert len(injector.fired) == 1
+    # the machine had completed two full checkpoints before the hit
+    assert outcome.windows_entered["ckpt_sync"] >= 3
+
+
+def test_dead_target_becomes_recorded_noop():
+    """A trigger aimed at a node that is already down fires as a
+    recorded no-op, never an error (the fail-silent model has nothing
+    left to fail)."""
+    m = ft_machine(
+        plan=[FailurePlan(time=5_000, node=3, repair_delay=30_000)],
+        refs=3_000,
+        stall_cycle_budget=100_000,
+    )
+    injector = attach_trigger_injector(
+        m,
+        # node 3 is down for 30k cycles; the recovery scan window opens
+        # a detection latency after its failure
+        [PhaseTrigger(window="recovery_scan", target=3)],
+        rng=random.Random(3),
+    )
+    outcome = run_and_classify(m, injector)
+    assert injector.skipped, "trigger should have resolved to a dead node"
+    assert not injector.fired
+    assert outcome.n_failures_skipped >= 1
+    assert not outcome.is_defect, outcome.detail
+
+
+def test_delay_lands_failure_after_window_entry():
+    m = ft_machine(refs=3_000, stall_cycle_budget=100_000)
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="ckpt_create", target=LEADER,
+                      repair_delay=1_500, delay=50)],
+        rng=random.Random(4),
+    )
+    outcome = run_and_classify(m, injector)
+    assert len(injector.fired) == 1
+    assert not outcome.is_defect, outcome.detail
+
+
+def test_trigger_failures_count_in_stats():
+    m = ft_machine(refs=3_000, stall_cycle_budget=100_000)
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="ckpt_sync", target=1, repair_delay=1_500)],
+        rng=random.Random(5),
+    )
+    outcome = run_and_classify(m, injector)
+    assert outcome.n_failures >= 1
+    assert outcome.outcome in (Outcome.RECOVERED, Outcome.DEGRADED,
+                               Outcome.UNRECOVERABLE_EXPECTED)

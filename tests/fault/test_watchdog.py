@@ -1,0 +1,57 @@
+"""Stall watchdog: livelock -> STALLED with a diagnostic dump."""
+
+import pytest
+
+from repro.fault.failures import FailurePlan
+from repro.fault.watchdog import StallError, stall_diagnostic
+from tests.fault.helpers import ft_machine
+
+
+def _induce_checkpoint_livelock(machine):
+    """Add a phantom participant: the next checkpoint barrier waits for
+    a member that will never arrive — a classic coordination livelock."""
+    machine.coordinator.participants.add(99)
+
+
+def test_watchdog_converts_livelock_into_stall_error():
+    m = ft_machine(refs=2_000, stall_cycle_budget=30_000)
+    _induce_checkpoint_livelock(m)
+    with pytest.raises(StallError) as exc_info:
+        m.run()
+    error = exc_info.value
+    # the diagnostic names the barrier member that never arrived
+    assert "missing=[99]" in error.diagnostic
+    assert "ckpt_phase='sync'" in error.diagnostic
+    assert "no progress" in str(error)
+
+
+def test_watchdog_quiet_on_healthy_run():
+    m = ft_machine(refs=2_000, stall_cycle_budget=30_000)
+    result = m.run()
+    assert all(s.exhausted for s in m.all_streams())
+    assert result.stats.n_checkpoints >= 1
+
+
+def test_watchdog_quiet_on_fault_injected_run():
+    m = ft_machine(
+        plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)],
+        refs=3_000,
+        stall_cycle_budget=60_000,
+    )
+    result = m.run()
+    assert result.stats.n_recoveries == 1
+    assert all(s.exhausted for s in m.all_streams())
+
+
+def test_watchdog_budget_must_be_positive():
+    with pytest.raises(ValueError, match="positive"):
+        ft_machine(refs=100, stall_cycle_budget=0)
+
+
+def test_stall_diagnostic_dumps_machine_state():
+    m = ft_machine(refs=500)
+    dump = stall_diagnostic(m)
+    assert "coordinator:" in dump
+    assert "participants=" in dump
+    for node_id in range(6):
+        assert f"node {node_id}:" in dump

@@ -126,3 +126,52 @@ def test_sweep_populates_cache_and_warm_run_hits(tmp_path, capsys, monkeypatch):
     assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
     stats = json.loads(capsys.readouterr().out)
     assert stats["records"] >= 2  # one standard + one ECP cell
+
+
+# -- PR 3: fault-injection campaign ------------------------------------
+
+
+def test_campaign_parser_defaults():
+    args = build_parser().parse_args(["campaign"])
+    assert args.seeds == 200
+    assert args.master_seed == 2026
+    assert args.target_phase == "mixed"
+    assert args.parallel == 1
+    assert args.stall_budget == 100_000
+
+
+def test_campaign_parser_rejects_unknown_phase():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "--target-phase", "teardown"])
+
+
+def test_campaign_command_end_to_end(tmp_path, capsys):
+    """A tiny seeded campaign through main(): classified, cached,
+    resumable, exit 0, JSON report written."""
+    cache_dir = str(tmp_path / "cache")
+    report_path = tmp_path / "report.json"
+    argv = ["campaign", "--seeds", "4", "--nodes", "6", "--refs", "800",
+            "--mtbf", "15000", "--period", "4000", "--quiet",
+            "--cache-dir", cache_dir, "--report", str(report_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out and "OK" in out
+
+    import json
+    report = json.loads(report_path.read_text())
+    assert report["n_cells"] == 4
+    assert report["defects"] == 0
+    assert sum(report["outcome_counts"].values()) == 4
+
+    # warm re-run resumes entirely from the cache
+    assert main(argv + ["--resume"]) == 0
+    assert "from cache" in capsys.readouterr().out
+    warm_report = json.loads(report_path.read_text())
+    assert warm_report["from_cache"] == 4
+    assert warm_report["executed"] == 0
+    assert warm_report["outcome_counts"] == report["outcome_counts"]
+
+
+def test_campaign_exit_code_documented():
+    help_text = build_parser().format_help()
+    assert "8" in help_text and "campaign" in help_text
