@@ -50,7 +50,7 @@ def main() -> None:
         done = fn(t)
         messages = [
             f"{m.kind.value} {m.src}->{m.dst}"
-            for m in machine.fabric.trace[before:]
+            for m in list(machine.fabric.trace)[before:]
         ]
         steps.append((label, done - t if done else "-", census(machine),
                       "; ".join(messages) or "(local)"))

@@ -263,6 +263,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         detection_latency=args.detection,
         target_phase=args.target_phase,
         stall_budget=args.stall_budget,
+        loss_rate=args.loss_rate,
+        dup_rate=args.dup_rate,
+        reorder_rate=args.reorder_rate,
+        outage_rate=args.outage_rate,
     )
     runner = CampaignRunner(cfg, store=_make_store(args))
     print(
@@ -328,11 +332,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         max_depth=args.depth,
         checkpoints=args.protocol == "ecp",
         failures=args.failures and args.protocol == "ecp",
+        duplicates=args.duplicates,
+        lossy=args.lossy and args.protocol == "ecp",
     )
     print(f"model checking {mcfg.acting_nodes} acting nodes x "
           f"{mcfg.n_items} item(s), protocol={mcfg.protocol}, "
           f"depth={'closure' if mcfg.max_depth is None else mcfg.max_depth}, "
-          f"failures={'on' if mcfg.failures else 'off'}...")
+          f"failures={'on' if mcfg.failures else 'off'}, "
+          f"duplicates={'on' if mcfg.duplicates else 'off'}, "
+          f"lossy={'on' if mcfg.lossy else 'off'}...")
     result = check(mcfg, mutate=mutate, progress=lambda msg: print(f"  {msg}"))
     print(result.summary())
     if result.counterexample is not None:
@@ -509,6 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="aim every cell's trigger at one window, "
                                "'timed' for MTBF-only cells, or 'mixed' "
                                "to cycle through all modes (default)")
+    campaign.add_argument("--loss-rate", type=float, default=0.0, metavar="P",
+                          help="per-packet drop probability on the interconnect")
+    campaign.add_argument("--dup-rate", type=float, default=0.0, metavar="P",
+                          help="per-packet duplication probability")
+    campaign.add_argument("--reorder-rate", type=float, default=0.0, metavar="P",
+                          help="per-packet reorder (extra-delay) probability")
+    campaign.add_argument("--outage-rate", type=float, default=0.0, metavar="P",
+                          help="per-packet probability of starting a transient "
+                               "link outage on that (src, dst) path")
     campaign.add_argument("--stall-budget", type=int, default=100_000,
                           metavar="CYCLES",
                           help="per-run no-progress budget before the "
@@ -534,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--items", type=int, default=1, help="items in the model (1-2)")
     verify.add_argument("--depth", type=int, default=None,
                         help="BFS depth bound (default: explore to closure)")
+    verify.add_argument("--duplicates", action="store_true",
+                        help="also enumerate duplicate message deliveries "
+                             "(exactly-once effect of the transport layer)")
+    verify.add_argument("--lossy", action="store_true",
+                        help="also enumerate establishments under scripted "
+                             "drop/dup schedules (transport fault masking)")
     verify.add_argument("--failures", action="store_true",
                         help="enumerate single permanent node failures")
     verify.add_argument("--fuzz-seeds", type=int, default=10)

@@ -106,17 +106,11 @@ class ExtendedProtocol(StandardProtocol):
             )
         p_node = self.nodes[partner]
         if p_node.alive:
-            if p_node.am.state(item) is not ItemState.SHARED_CK2:
-                raise ProtocolError(
-                    f"partner of item {item} at node {partner} is "
-                    f"{p_node.am.state(item).name}, expected SHARED_CK2"
-                )
             t_inv = self.fabric.control(
                 serving, partner, Subnet.REQUEST, t, MessageKind.INVALIDATE, item
             )
             t_inv = p_node.mem_ctrl.occupy(t_inv, lat.pointer_lookup)
-            p_node.am.set_state(item, ItemState.INV_CK2)
-            self._invalidate_cached_item(p_node, item)
+            self.deliver_partner_invalidate(partner, item)
             t_ack = self.fabric.control(
                 partner, requester, Subnet.REPLY, t_inv, MessageKind.INVALIDATE_ACK, item
             )
@@ -137,15 +131,39 @@ class ExtendedProtocol(StandardProtocol):
         self._move_pointer(item, serving, requester, t)
         return max(acks_done, data_done)
 
+    def deliver_partner_invalidate(self, partner: int, item: int) -> bool:
+        """Receiver-side INVALIDATE at the CK2 partner: the recovery
+        copy degrades from Shared-CK2 to Inv-CK2 (Section 4.1).
+
+        Idempotent: a retransmitted INVALIDATE finds Inv-CK2 and re-acks
+        without touching state.  Returns whether state changed."""
+        p_node = self.nodes[partner]
+        state = p_node.am.state(item)
+        if state is ItemState.INV_CK2:
+            return False
+        if state is not ItemState.SHARED_CK2:
+            raise ProtocolError(
+                f"partner of item {item} at node {partner} is "
+                f"{state.name}, expected SHARED_CK2"
+            )
+        p_node.am.set_state(item, ItemState.INV_CK2)
+        self._invalidate_cached_item(p_node, item)
+        return True
+
     # ==================================================================
     # recovery-point establishment hooks (driven by repro.checkpoint)
     # ==================================================================
 
     def mark_precommit_local(self, node_id: int, item: int) -> None:
         """Create phase: turn an owned copy into the first Pre-Commit
-        copy (Fig. 2, Exclusive/Master-Shared arms)."""
+        copy (Fig. 2, Exclusive/Master-Shared arms).
+
+        Idempotent: a copy already in Pre-Commit1 (a retried create-scan
+        step after a lost ack) is left alone."""
         node = self.nodes[node_id]
         state = node.am.state(item)
+        if state is ItemState.PRE_COMMIT1:
+            return
         if state not in (ItemState.EXCLUSIVE, ItemState.MASTER_SHARED):
             raise ProtocolError(
                 f"create phase visited item {item} on node {node_id} "
@@ -153,22 +171,34 @@ class ExtendedProtocol(StandardProtocol):
             )
         node.am.set_state(item, ItemState.PRE_COMMIT1)
 
+    def deliver_precommit_mark(self, target: int, item: int) -> bool:
+        """Receiver-side PRECOMMIT_MARK handler: promote a Shared
+        replica to Pre-Commit2.
+
+        Idempotent: a duplicate finds Pre-Commit2 and re-acks without
+        touching state.  Returns whether state changed."""
+        target_node = self.nodes[target]
+        state = target_node.am.state(item)
+        if state is ItemState.PRE_COMMIT2:
+            return False
+        if state is not ItemState.SHARED:
+            raise ProtocolError(
+                f"replica promotion of item {item}: node {target} holds "
+                f"{state.name}, expected SHARED"
+            )
+        target_node.am.set_state(item, ItemState.PRE_COMMIT2)
+        return True
+
     def mark_precommit_replica(self, node_id: int, item: int, target: int, now: int) -> int:
         """Create phase, Master-Shared optimisation: promote an existing
         Shared replica to Pre-Commit2 with a control message instead of
         transferring the item (Section 3.3).  Returns the ack time."""
-        target_node = self.nodes[target]
-        if target_node.am.state(item) is not ItemState.SHARED:
-            raise ProtocolError(
-                f"replica promotion of item {item}: node {target} holds "
-                f"{target_node.am.state(item).name}, expected SHARED"
-            )
         lat = self.cfg.latency
         t = self.fabric.control(
             node_id, target, Subnet.REQUEST, now, MessageKind.PRECOMMIT_MARK, item
         )
-        t = target_node.mem_ctrl.occupy(t, lat.pointer_lookup)
-        target_node.am.set_state(item, ItemState.PRE_COMMIT2)
+        t = self.nodes[target].mem_ctrl.occupy(t, lat.pointer_lookup)
+        self.deliver_precommit_mark(target, item)
         entry = self.directory.entry(node_id, item)
         entry.sharers.discard(target)
         entry.partner = target
@@ -179,6 +209,9 @@ class ExtendedProtocol(StandardProtocol):
     def commit_node(self, node_id: int) -> tuple[int, int]:
         """Commit phase, local to ``node_id`` (Fig. 2): Pre-Commit
         copies become Shared-CK, old Inv-CK copies are discarded.
+
+        Naturally idempotent: a retried COMMIT finds both scan groups
+        empty and returns ``(0, 0)``.
 
         Returns ``(promoted, discarded)`` item-copy counts."""
         node = self.nodes[node_id]

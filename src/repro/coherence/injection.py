@@ -127,6 +127,11 @@ class InjectionEngine:
             probe_hops += 1
             cursor = candidate
             node = p.nodes[candidate]
+            if not node.alive:
+                # the hop died after the walk started but before the
+                # ring was reconfigured: the probe gets no answer and
+                # the walk remaps to the next live ring node
+                continue
             t = node.mem_ctrl.occupy(t, lat.pointer_lookup)
             if candidate in exclude:
                 continue
@@ -186,6 +191,11 @@ class InjectionEngine:
             p.registry.on_page_allocated(page, node_id)
         else:
             old = node.am.state(item)
+            if old is state:
+                # duplicate INJECT_DATA delivery: the copy is already
+                # installed; re-acking without mutation keeps the
+                # effect exactly-once
+                return
             if not old.is_replaceable:
                 raise InjectionFailed(
                     f"node {node_id} holds item {item} in {old.name}; "

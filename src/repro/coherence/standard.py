@@ -294,6 +294,20 @@ class StandardProtocol:
         t = self.nodes[home].mem_ctrl.occupy(t, lat.pointer_lookup)
         return self.fabric.control(home, serving, Subnet.REQUEST, t, kind, item)
 
+    def deliver_invalidate(self, node_id: int, item: int) -> bool:
+        """Receiver-side INVALIDATE handler: drop the local copy.
+
+        Idempotent: a retransmitted INVALIDATE finds the copy already
+        gone and simply acks again, so at-least-once delivery by the
+        transport yields exactly-once state effect.  Returns whether
+        the delivery changed state."""
+        node = self.nodes[node_id]
+        if node.am.state(item) is ItemState.INVALID:
+            return False
+        node.am.set_state(item, ItemState.INVALID)
+        self._invalidate_cached_item(node, item)
+        return True
+
     def _invalidate_sharers(
         self,
         serving: int,
@@ -316,8 +330,7 @@ class StandardProtocol:
                 serving, sharer, Subnet.REQUEST, now, MessageKind.INVALIDATE, item
             )
             t_inv = sh_node.mem_ctrl.occupy(t_inv, self.cfg.latency.pointer_lookup)
-            sh_node.am.set_state(item, ItemState.INVALID)
-            self._invalidate_cached_item(sh_node, item)
+            self.deliver_invalidate(sharer, item)
             t_ack = self.fabric.control(
                 sharer, ack_to, Subnet.REPLY, t_inv, MessageKind.INVALIDATE_ACK, item
             )

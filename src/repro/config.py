@@ -204,6 +204,86 @@ class FaultToleranceConfig:
 
 
 @dataclass(frozen=True)
+class TransportConfig:
+    """Unreliable-interconnect model + reliable-delivery transport knobs.
+
+    The paper assumes the interconnect delivers every message exactly
+    once; :mod:`repro.network.transport` earns that property end-to-end
+    with acks, timeouts and retransmission.  All fault rates default to
+    zero, in which case the transport is pass-through: no random draws,
+    no extra cycles, bit-identical Table 2 latencies (pay-for-use).
+    """
+
+    #: Probability an individual packet (message or ack) is lost.
+    loss_rate: float = 0.0
+    #: Probability a delivered packet is duplicated in flight (the
+    #: duplicate consumes bandwidth and is suppressed at the receiver).
+    dup_rate: float = 0.0
+    #: Probability a delivered packet is delayed past packets sent
+    #: after it (modelled as an extra delivery delay).
+    reorder_rate: float = 0.0
+    #: Maximum extra delivery delay (cycles) of a reordered packet.
+    reorder_max_delay: int = 64
+    #: Probability a transfer trips a transient outage of its (src, dst)
+    #: path; every packet on that path is lost until the outage ends.
+    outage_rate: float = 0.0
+    #: Duration of a transient link outage (cycles).
+    outage_cycles: int = 2_000
+    #: Retransmission timeout after the first (un-acked) attempt.  Must
+    #: exceed the worst-case uncontended round trip: at the paper's
+    #: largest mesh (8x7, 13 hops each way) a data packet plus its ack
+    #: take 4*13+36 + 4*13+4 = 144 cycles plus service time.
+    timeout_cycles: int = 400
+    #: Timeout multiplier per consecutive retransmission (exponential
+    #: backoff).
+    backoff_factor: float = 2.0
+    #: Backoff ceiling (cycles).
+    max_backoff_cycles: int = 6_400
+    #: Uniform jitter applied to each backoff interval, as a fraction
+    #: of the interval (decorrelates retry storms).
+    jitter_fraction: float = 0.25
+    #: Consecutive timeouts to one destination before the transport
+    #: reports it as a *suspected* failure to the detection layer (the
+    #: ECP recovery path, not the transport, decides what to do).
+    suspicion_threshold: int = 3
+    #: Hard cap on delivery attempts for one message before the sender
+    #: gives up and surfaces the destination as unavailable.  At any
+    #: plausible loss rate p, p^64 is unreachable; this is a livelock
+    #: backstop, not a tuning knob.
+    abandon_attempts: int = 64
+
+    @property
+    def unreliable(self) -> bool:
+        """True when any link-fault knob is active."""
+        return (
+            self.loss_rate > 0.0
+            or self.dup_rate > 0.0
+            or self.reorder_rate > 0.0
+            or self.outage_rate > 0.0
+        )
+
+    def validate(self) -> None:
+        for name in ("loss_rate", "dup_rate", "reorder_rate", "outage_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if self.timeout_cycles <= 0:
+            raise ValueError("timeout_cycles must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_cycles < self.timeout_cycles:
+            raise ValueError("max_backoff_cycles must be >= timeout_cycles")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        if self.abandon_attempts < self.suspicion_threshold:
+            raise ValueError("abandon_attempts must be >= suspicion_threshold")
+        if self.outage_cycles < 0 or self.reorder_max_delay < 0:
+            raise ValueError("outage_cycles/reorder_max_delay must be >= 0")
+
+
+@dataclass(frozen=True)
 class ArchConfig:
     """Complete machine description.
 
@@ -220,6 +300,7 @@ class ArchConfig:
     am: AMConfig = field(default_factory=AMConfig)
     latency: LatencyConfig = field(default_factory=LatencyConfig)
     ft: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
     scale: float = 1.0
     #: Random seed threaded through workload generators and victim picks.
     seed: int = 2026
@@ -227,6 +308,7 @@ class ArchConfig:
     def __post_init__(self) -> None:
         self.cache.validate()
         self.am.validate()
+        self.transport.validate()
         mesh_dimensions(self.n_nodes)  # raises on degenerate meshes
         if self.scale <= 0:
             raise ValueError("scale must be positive")
@@ -308,6 +390,10 @@ class ArchConfig:
     def with_ft(self, **kwargs) -> "ArchConfig":
         """Return a copy with fault-tolerance fields replaced."""
         return replace(self, ft=replace(self.ft, **kwargs))
+
+    def with_transport(self, **kwargs) -> "ArchConfig":
+        """Return a copy with transport fields replaced."""
+        return replace(self, transport=replace(self.transport, **kwargs))
 
     def transfer_cycles(self, hops: int, flits: int) -> int:
         """Uncontended pipelined-wormhole transfer latency."""

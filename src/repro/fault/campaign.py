@@ -34,7 +34,7 @@ from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShare
 
 #: Bump when the cell parameter surface changes incompatibly; old cache
 #: records then hash differently and are recomputed.
-CAMPAIGN_SPEC_VERSION = 1
+CAMPAIGN_SPEC_VERSION = 2
 
 #: ``kind`` discriminator for campaign records in the result store.
 CAMPAIGN_RECORD_KIND = "campaign-cell"
@@ -75,10 +75,20 @@ class CampaignConfig:
     #: ``mixed`` (default), ``timed``, or one window name.
     target_phase: str = "mixed"
     stall_budget: int = 100_000
+    #: Interconnect fault knobs (repro.network.transport); all zero
+    #: keeps the transport on its pay-for-use fast path.
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    outage_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.seeds <= 0:
             raise ValueError("a campaign needs at least one seed")
+        for name in ("loss_rate", "dup_rate", "reorder_rate", "outage_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
         if self.app not in CAMPAIGN_WORKLOADS:
             raise ValueError(
                 f"unknown campaign app {self.app!r}; pick one of "
@@ -110,6 +120,10 @@ class CampaignConfig:
             "detection_latency": self.detection_latency,
             "target_phase": self.target_phase,
             "stall_budget": self.stall_budget,
+            "loss_rate": self.loss_rate,
+            "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "outage_rate": self.outage_rate,
         }
 
 
@@ -130,6 +144,11 @@ class CampaignCell:
     plan: tuple = ()
     #: Optional phase-targeted trigger, as ``PhaseTrigger`` field dict.
     trigger: dict | None = None
+    #: Interconnect fault knobs (all zero: reliable links).
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    outage_rate: float = 0.0
 
     # -- canonical form -------------------------------------------------
 
@@ -147,6 +166,10 @@ class CampaignCell:
             "stall_budget": self.stall_budget,
             "plan": [dict(f) for f in self.plan],
             "trigger": dict(self.trigger) if self.trigger else None,
+            "loss_rate": self.loss_rate,
+            "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "outage_rate": self.outage_rate,
         }
 
     @classmethod
@@ -162,6 +185,10 @@ class CampaignCell:
             stall_budget=data["stall_budget"],
             plan=tuple(dict(f) for f in data.get("plan", [])),
             trigger=dict(data["trigger"]) if data.get("trigger") else None,
+            loss_rate=data.get("loss_rate", 0.0),
+            dup_rate=data.get("dup_rate", 0.0),
+            reorder_rate=data.get("reorder_rate", 0.0),
+            outage_rate=data.get("outage_rate", 0.0),
         )
 
     @property
@@ -289,6 +316,10 @@ def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
                 for f in plan
             ),
             trigger=trigger,
+            loss_rate=cfg.loss_rate,
+            dup_rate=cfg.dup_rate,
+            reorder_rate=cfg.reorder_rate,
+            outage_rate=cfg.outage_rate,
         ))
     return cells
 
@@ -307,6 +338,11 @@ def execute_campaign_payload(payload: dict) -> dict:
     ).with_ft(
         checkpoint_period_override=cell.period,
         detection_latency=cell.detection_latency,
+    ).with_transport(
+        loss_rate=cell.loss_rate,
+        dup_rate=cell.dup_rate,
+        reorder_rate=cell.reorder_rate,
+        outage_rate=cell.outage_rate,
     )
     workload = CAMPAIGN_WORKLOADS[cell.app](
         cell.n_nodes, refs_per_proc=cell.refs_per_proc
@@ -344,6 +380,11 @@ class CampaignReport:
     total_rollback_refs: int = 0
     total_recoveries: int = 0
     total_recovery_cycles: int = 0
+    total_failures_skipped: int = 0
+    total_spurious_suspicions: int = 0
+    total_transport_retries: int = 0
+    total_transport_retransmitted_flits: int = 0
+    total_transport_duplicates_suppressed: int = 0
     #: Per-cell records: index, seed, key, outcome, detail + metrics.
     cells: list = field(default_factory=list)
     #: Cells whose *worker* failed (infrastructure, not simulation).
@@ -382,6 +423,13 @@ class CampaignReport:
             "total_rollback_refs": self.total_rollback_refs,
             "total_recoveries": self.total_recoveries,
             "total_recovery_cycles": self.total_recovery_cycles,
+            "total_failures_skipped": self.total_failures_skipped,
+            "total_spurious_suspicions": self.total_spurious_suspicions,
+            "total_transport_retries": self.total_transport_retries,
+            "total_transport_retransmitted_flits":
+                self.total_transport_retransmitted_flits,
+            "total_transport_duplicates_suppressed":
+                self.total_transport_duplicates_suppressed,
             "mean_recovery_latency": self.mean_recovery_latency(),
             "defects": self.defects,
             "ok": self.ok,
@@ -418,6 +466,11 @@ class CampaignReport:
             ("recoveries", self.total_recoveries),
             ("mean recovery latency", f"{self.mean_recovery_latency():.0f} cycles"),
             ("work lost to rollbacks", f"{self.total_rollback_refs} refs"),
+            ("failures skipped", self.total_failures_skipped),
+            ("spurious suspicions", self.total_spurious_suspicions),
+            ("transport retries", self.total_transport_retries),
+            ("retransmitted flits", self.total_transport_retransmitted_flits),
+            ("duplicates suppressed", self.total_transport_duplicates_suppressed),
             ("verdict", "OK" if self.ok else "DEFECTS FOUND"),
         ]))
         defect_cells = [
@@ -540,6 +593,15 @@ class CampaignRunner:
             report.total_rollback_refs += outcome.rollback_refs
             report.total_recoveries += outcome.n_recoveries
             report.total_recovery_cycles += outcome.recovery_cycles
+            report.total_failures_skipped += outcome.n_failures_skipped
+            report.total_spurious_suspicions += outcome.spurious_suspicions
+            report.total_transport_retries += outcome.transport_retries
+            report.total_transport_retransmitted_flits += (
+                outcome.transport_retransmitted_flits
+            )
+            report.total_transport_duplicates_suppressed += (
+                outcome.transport_duplicates_suppressed
+            )
             record = {
                 "index": cell.index,
                 "seed": cell.seed,

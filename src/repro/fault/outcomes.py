@@ -82,6 +82,14 @@ class RunOutcome:
     recovery_cycles: int = 0
     permanently_dead: int = 0
 
+    # reliable-transport metrics (zero on a reliable interconnect)
+    transport_retries: int = 0
+    transport_timeouts: int = 0
+    transport_retransmitted_flits: int = 0
+    transport_duplicates_suppressed: int = 0
+    transport_suspicions: int = 0
+    spurious_suspicions: int = 0
+
     # phase-targeting coverage (from the TriggerInjector, if any)
     windows_entered: dict[str, int] = field(default_factory=dict)
     triggers_fired: int = 0
@@ -118,6 +126,12 @@ class RunOutcome:
             "rollback_refs": self.rollback_refs,
             "recovery_cycles": self.recovery_cycles,
             "permanently_dead": self.permanently_dead,
+            "transport_retries": self.transport_retries,
+            "transport_timeouts": self.transport_timeouts,
+            "transport_retransmitted_flits": self.transport_retransmitted_flits,
+            "transport_duplicates_suppressed": self.transport_duplicates_suppressed,
+            "transport_suspicions": self.transport_suspicions,
+            "spurious_suspicions": self.spurious_suspicions,
             "windows_entered": dict(self.windows_entered),
             "triggers_fired": self.triggers_fired,
             "triggers_skipped": self.triggers_skipped,
@@ -144,6 +158,12 @@ def _collect_metrics(
     outcome.rollback_refs = stats.rollback_refs
     outcome.recovery_cycles = stats.recovery_cycles
     outcome.permanently_dead = len(machine._permanently_dead)
+    outcome.transport_retries = stats.transport_retries
+    outcome.transport_timeouts = stats.transport_timeouts
+    outcome.transport_retransmitted_flits = stats.transport_retransmitted_flits
+    outcome.transport_duplicates_suppressed = stats.transport_duplicates_suppressed
+    outcome.transport_suspicions = stats.transport_suspicions
+    outcome.spurious_suspicions = stats.spurious_suspicions
     if injector is not None:
         outcome.windows_entered = dict(injector.windows_entered)
         outcome.triggers_fired = len(injector.fired)

@@ -77,6 +77,9 @@ def stall_diagnostic(machine: "Machine") -> str:
             f" parked={processor.parked} streams={len(processor.streams)} "
             f"refs_remaining={remaining}"
         )
+    transport = getattr(machine, "transport", None)
+    if transport is not None:
+        lines.extend(transport.dump().lines())
     return "\n".join(lines)
 
 

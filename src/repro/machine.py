@@ -46,6 +46,7 @@ from repro.memory.pages import PageRegistry
 from repro.memory.states import ItemState
 from repro.network.fabric import MeshFabric
 from repro.network.ring import LogicalRing
+from repro.network.transport import ReliableTransport
 from repro.network.topology import Mesh
 from repro.node.node import Node
 from repro.node.processor import Processor
@@ -105,6 +106,10 @@ TRIGGER_WINDOWS = (
     "ckpt_commit",    # local commits between the 2nd and 3rd barrier
     "recovery_scan",  # parallel per-node recovery scans
     "reconfig",       # metadata rebuild + singleton re-replication
+    # the reliable transport crossed its suspicion threshold toward one
+    # destination (consecutive retransmission timeouts) — only entered
+    # on an unreliable interconnect (repro.network.transport)
+    "transport_retry_storm",
 )
 
 
@@ -423,17 +428,32 @@ class Machine:
         )
         self.directory = Directory(config.n_nodes, config.items_per_page)
         self.rng = random.Random(config.seed)
+        self.stats = MachineStats(node_stats=[n.stats for n in self.nodes])
+        # the protocols ride on the reliable transport, never on the raw
+        # fabric; with every fault rate at zero it is pure pass-through
+        # (no rng draws, identical cycle arithmetic).  The fault model's
+        # rng is decoupled from the protocol's so enabling link faults
+        # never perturbs victim picks or workload generation.
+        self.transport = ReliableTransport(
+            self.fabric,
+            config.transport,
+            rng=random.Random(config.seed ^ 0x7E5EED),
+            stats=self.stats,
+        )
         self.protocol = PROTOCOLS[protocol](
             config,
-            self.fabric,
+            self.transport,
             self.ring,
             self.nodes,
             self.directory,
             self.registry,
             rng=self.rng,
         )
-        self.stats = MachineStats(node_stats=[n.stats for n in self.nodes])
         self.coordinator = Coordinator(self)
+        self.transport.on_suspect = self._on_transport_suspect
+        self.transport.on_retry_storm = lambda: self.coordinator._enter_window(
+            "transport_retry_storm"
+        )
 
         # wire workload streams to processors (stream p -> node p % N)
         self.processors = [Processor(self, i) for i in range(config.n_nodes)]
@@ -599,6 +619,18 @@ class Machine:
         self.engine.schedule(
             self.cfg.ft.detection_latency, lambda: self.detect_failure(node_id)
         )
+
+    def _on_transport_suspect(self, node_id: int) -> None:
+        """The transport crossed its consecutive-timeout threshold
+        toward ``node_id``: feed the ordinary detection path.  The
+        suspicion runs through the event heap (the transport fires
+        inside a protocol transaction, under a running processor
+        generator) and through the idempotent ``detect_failure``, which
+        discards it if the node is in fact alive — counted here as a
+        spurious suspicion."""
+        if self.nodes[node_id].alive:
+            self.stats.spurious_suspicions += 1
+        self.engine.schedule(0, lambda: self.detect_failure(node_id))
 
     def detect_failure(self, node_id: int) -> None:
         """Idempotent failure detection; triggers the global recovery."""

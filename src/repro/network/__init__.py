@@ -10,6 +10,12 @@ from repro.network.topology import Mesh, Subnet
 from repro.network.fabric import MeshFabric
 from repro.network.ring import LogicalRing
 from repro.network.message import Message, MessageKind
+from repro.network.transport import (
+    DeliveryFate,
+    FaultyFabric,
+    LinkFaultModel,
+    ReliableTransport,
+)
 
 __all__ = [
     "Mesh",
@@ -18,4 +24,8 @@ __all__ = [
     "LogicalRing",
     "Message",
     "MessageKind",
+    "DeliveryFate",
+    "FaultyFabric",
+    "LinkFaultModel",
+    "ReliableTransport",
 ]

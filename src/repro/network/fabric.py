@@ -12,16 +12,31 @@ without flit-level simulation (DESIGN.md section 3).
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.config import LatencyConfig
 from repro.network.topology import Mesh, Subnet
 from repro.network.message import Message, MessageKind
 from repro.sim.resources import ContentionPoint
 
 
+#: Default capacity of the trace ring buffer.  Long fault campaigns
+#: run with ``record_trace=True`` must not grow memory without bound;
+#: 65536 records comfortably cover any single transaction or episode a
+#: test wants to inspect.
+DEFAULT_TRACE_LIMIT = 65_536
+
+
 class MeshFabric:
     """The physical interconnect: two subnets of contended links."""
 
-    def __init__(self, mesh: Mesh, latency: LatencyConfig, record_trace: bool = False):
+    def __init__(
+        self,
+        mesh: Mesh,
+        latency: LatencyConfig,
+        record_trace: bool = False,
+        trace_limit: int = DEFAULT_TRACE_LIMIT,
+    ):
         self.mesh = mesh
         self.latency = latency
         self._links: dict[Subnet, dict[tuple[int, int], ContentionPoint]] = {
@@ -32,7 +47,13 @@ class MeshFabric:
             for subnet in Subnet
         }
         self.record_trace = record_trace
-        self.trace: list[Message] = []
+        if trace_limit <= 0:
+            raise ValueError("trace_limit must be positive")
+        #: Ring buffer of the most recent ``trace_limit`` messages.
+        self.trace: deque[Message] = deque(maxlen=trace_limit)
+        #: Messages evicted from the full ring buffer (so consumers can
+        #: tell a short trace from a truncated one).
+        self.trace_dropped = 0
         # aggregate statistics
         self.messages_sent = 0
         self.flits_carried = 0
@@ -70,6 +91,8 @@ class MeshFabric:
         self.flits_carried += flits * self.mesh.hops(src, dst)
         self.data_bytes_carried += data_bytes
         if self.record_trace and kind is not None:
+            if len(self.trace) == self.trace.maxlen:
+                self.trace_dropped += 1
             self.trace.append(
                 Message(kind=kind, src=src, dst=dst, item=item, depart=depart, arrive=arrival)
             )
@@ -143,6 +166,7 @@ class MeshFabric:
         self.flits_carried = 0
         self.data_bytes_carried = 0
         self.trace.clear()
+        self.trace_dropped = 0
         for links in self._links.values():
             for point in links.values():
                 point.reset()

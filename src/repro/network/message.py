@@ -34,6 +34,8 @@ class MessageKind(enum.Enum):
     CHECKPOINT_START = "checkpoint_start"
     RECOVERY_BROADCAST = "recovery_broadcast"
     RECONFIG_PROBE = "reconfig_probe"
+    # reliable-delivery transport (repro.network.transport)
+    TRANSPORT_ACK = "transport_ack"
 
 
 #: Message kinds that carry a full memory item as payload.

@@ -1,0 +1,459 @@
+"""Unreliable-interconnect model and the reliable-delivery transport.
+
+The paper's fault model assumes the interconnection network is
+fault-free: every message is delivered exactly once.  Real
+fault-tolerant machines *earn* that property with an end-to-end
+transport layer; this module supplies one so that the coherence and
+checkpoint protocols can be exercised over lossy links:
+
+:class:`LinkFaultModel`
+    A seeded per-transfer fault source: packets are dropped, duplicated
+    or reordered with configured probabilities, and a (src, dst) path
+    can suffer a transient outage during which every packet is lost.
+
+:class:`FaultyFabric`
+    Wraps a :class:`~repro.network.fabric.MeshFabric` and subjects each
+    transfer to the fault model.  A dropped packet still occupies the
+    links it traversed (it is discarded by the end-to-end check at the
+    destination NIC, as in any CRC-protected wormhole network).
+
+:class:`ReliableTransport`
+    The delivery layer the protocols ride on.  It exposes the exact
+    ``transfer``/``control``/``data``/``broadcast`` interface of
+    ``MeshFabric`` so it drops in as a protocol's ``fabric``.  Per
+    (src, dst) pair it maintains a sequence number; every logical
+    message is retransmitted on timeout with exponential backoff plus
+    jitter until a positive ack arrives, duplicates are suppressed at
+    the receiver by sequence comparison, and the *first* successful
+    delivery time is returned — the analytic-transaction equivalent of
+    exactly-once effect delivery.  All waiting is charged in simulated
+    cycles, so when every fault rate is zero the transport delegates
+    straight to the fabric: no random draws, no bookkeeping, and
+    bit-identical Table 2 latencies (pay-for-use).
+
+Escalation, not masking: after ``suspicion_threshold`` *consecutive*
+timeouts toward one destination the transport reports the node as a
+suspected failure through ``on_suspect`` (wired by
+:class:`~repro.machine.Machine` into the same idempotent
+``detect_failure`` path the heartbeat monitor of
+:mod:`repro.fault.detection` uses) and notifies the
+``transport_retry_storm`` trigger window.  The ECP recovery and
+reconfiguration machinery — not the transport — decides what happens
+next; a suspicion of a node that is in fact alive is counted as
+``spurious_suspicions`` and discarded by ``detect_failure``.
+
+Transactions stay analytic (DESIGN.md section 3): the retry loop
+advances a local time cursor and charges the network for every copy
+that crossed it; it never schedules engine events mid-transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import TransportConfig
+from repro.network.fabric import MeshFabric
+from repro.network.message import MessageKind
+from repro.network.topology import Subnet
+from repro.stats.collectors import MachineStats
+
+
+class DeliveryFate(enum.Enum):
+    """What the link-fault model did to one packet."""
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+    DUPLICATED = "duplicated"
+
+
+class LinkFaultModel:
+    """Seeded fault source for individual packet transfers.
+
+    Deterministic per (seed, draw sequence): the same configuration and
+    rng seed reproduce the same fates, which is what makes lossy
+    campaign cells content-addressable and replayable.
+    """
+
+    def __init__(self, cfg: TransportConfig, rng: random.Random | None = None):
+        self.cfg = cfg
+        self.rng = rng or random.Random(0)
+        #: (src, dst) -> simulation time the current outage ends.
+        self.outage_until: dict[tuple[int, int], int] = {}
+        #: Scripted fates consumed before any random draw (test and
+        #: model-checker hook; see :meth:`force`).
+        self._forced: deque[DeliveryFate] = deque()
+        # fault accounting (what the model injected, not what the
+        # transport recovered — the difference is the point)
+        self.drops_injected = 0
+        self.dups_injected = 0
+        self.reorders_injected = 0
+        self.outages_started = 0
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can occur (rates or scripted fates)."""
+        return self.cfg.unreliable or bool(self._forced)
+
+    def force(self, *fates: DeliveryFate) -> None:
+        """Script the next fates verbatim (consumed before rng draws)."""
+        self._forced.extend(fates)
+
+    def draw(self, src: int, dst: int, at: int) -> tuple[DeliveryFate, int]:
+        """Decide one packet's fate; returns (fate, extra_delay)."""
+        if self._forced:
+            fate = self._forced.popleft()
+            if fate is DeliveryFate.DROPPED:
+                self.drops_injected += 1
+            elif fate is DeliveryFate.DUPLICATED:
+                self.dups_injected += 1
+            return fate, 0
+        cfg = self.cfg
+        path = (src, dst)
+        until = self.outage_until.get(path)
+        if until is not None:
+            if at < until:
+                self.drops_injected += 1
+                return DeliveryFate.DROPPED, 0
+            del self.outage_until[path]
+        if cfg.outage_rate and self.rng.random() < cfg.outage_rate:
+            self.outage_until[path] = at + cfg.outage_cycles
+            self.outages_started += 1
+            self.drops_injected += 1
+            return DeliveryFate.DROPPED, 0
+        if cfg.loss_rate and self.rng.random() < cfg.loss_rate:
+            self.drops_injected += 1
+            return DeliveryFate.DROPPED, 0
+        delay = 0
+        if cfg.reorder_rate and self.rng.random() < cfg.reorder_rate:
+            delay = self.rng.randrange(1, cfg.reorder_max_delay + 1)
+            self.reorders_injected += 1
+        if cfg.dup_rate and self.rng.random() < cfg.dup_rate:
+            self.dups_injected += 1
+            return DeliveryFate.DUPLICATED, delay
+        return DeliveryFate.DELIVERED, delay
+
+
+class FaultyFabric:
+    """A ``MeshFabric`` whose transfers are subject to link faults."""
+
+    def __init__(self, fabric: MeshFabric, faults: LinkFaultModel):
+        self.raw = fabric
+        self.faults = faults
+
+    def attempt(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+        data_bytes: int = 0,
+    ) -> tuple[DeliveryFate, int | None]:
+        """One physical send attempt; returns (fate, arrival or None).
+
+        The packet occupies its links whatever the fate (a dropped
+        packet is discarded by the destination's end-to-end check, a
+        duplicated packet crosses the network twice).
+        """
+        arrival = self.raw.transfer(
+            src, dst, flits, subnet, depart, kind=kind, item=item, data_bytes=data_bytes
+        )
+        fate, delay = self.faults.draw(src, dst, depart)
+        if fate is DeliveryFate.DROPPED:
+            return fate, None
+        if fate is DeliveryFate.DUPLICATED:
+            # the duplicate consumes bandwidth too
+            self.raw.transfer(src, dst, flits, subnet, depart, kind=kind, item=item)
+        return fate, arrival + delay
+
+
+@dataclass
+class OutstandingEntry:
+    """Sender-side state of one un-acked logical message (the per-
+    destination retry queue surfaced by the stall-watchdog dump)."""
+
+    src: int
+    dst: int
+    seq: int
+    kind: MessageKind | None
+    item: int | None
+    attempts: int = 0
+    #: Simulation time the current retransmission timer expires.
+    backoff_deadline: int = 0
+    abandoned: bool = False
+
+    def describe(self) -> str:
+        kind = self.kind.value if self.kind is not None else "?"
+        state = "ABANDONED" if self.abandoned else f"deadline={self.backoff_deadline}"
+        return (
+            f"{self.src}->{self.dst} seq={self.seq} {kind} "
+            f"item={self.item} attempts={self.attempts} {state}"
+        )
+
+
+@dataclass
+class TransportDump:
+    """Snapshot of transport state for diagnostics."""
+
+    outstanding: list = field(default_factory=list)
+    consecutive_timeouts: dict = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        out = [
+            "transport: "
+            f"consecutive_timeouts={dict(sorted(self.consecutive_timeouts.items()))}"
+        ]
+        if not self.outstanding:
+            out.append("  outstanding: none")
+        for entry in self.outstanding:
+            out.append(f"  outstanding: {entry.describe()}")
+        return out
+
+
+class ReliableTransport:
+    """Reliable delivery over a (possibly) faulty fabric.
+
+    Drop-in replacement for ``MeshFabric`` from the protocols' point of
+    view.  ``stats`` is the machine's :class:`MachineStats` (transport
+    counters live there so they survive result serialization); a fresh
+    one is created for standalone use in tests.
+    """
+
+    def __init__(
+        self,
+        fabric: MeshFabric,
+        cfg: TransportConfig | None = None,
+        rng: random.Random | None = None,
+        stats: MachineStats | None = None,
+    ):
+        self.cfg = cfg or TransportConfig()
+        self.raw = fabric
+        self.faults = LinkFaultModel(self.cfg, rng)
+        self.faulty = FaultyFabric(fabric, self.faults)
+        self.stats = stats if stats is not None else MachineStats()
+        #: (src, dst) -> next sequence number to assign.
+        self.next_seq: dict[tuple[int, int], int] = {}
+        #: (src, dst) -> highest sequence number whose effect was
+        #: delivered (receiver-side duplicate suppression).
+        self.delivered_seq: dict[tuple[int, int], int] = {}
+        #: dst -> consecutive timeouts since the last successful ack.
+        self.consecutive_timeouts: dict[int, int] = {}
+        #: In-flight (or abandoned) messages, keyed by (src, dst).
+        self.outstanding: dict[tuple[int, int], OutstandingEntry] = {}
+        #: Called with the destination node id when a destination
+        #: crosses the suspicion threshold (Machine wires this to the
+        #: detection path).
+        self.on_suspect = None
+        #: Called with no arguments when a retry storm begins (Machine
+        #: wires this to the ``transport_retry_storm`` trigger window).
+        self.on_retry_storm = None
+
+    # -- MeshFabric-compatible passthroughs -----------------------------
+
+    @property
+    def mesh(self):
+        return self.raw.mesh
+
+    @property
+    def latency(self):
+        return self.raw.latency
+
+    @property
+    def record_trace(self):
+        return self.raw.record_trace
+
+    @property
+    def trace(self):
+        return self.raw.trace
+
+    def link_utilisation(self, elapsed: int):
+        return self.raw.link_utilisation(elapsed)
+
+    def reset_stats(self) -> None:
+        self.raw.reset_stats()
+
+    # -- the reliable transfer ------------------------------------------
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+        data_bytes: int = 0,
+    ) -> int:
+        """Deliver one logical message exactly once; return the time its
+        effect applies at ``dst`` (first successful delivery)."""
+        if src == dst or not self.faults.active:
+            # pay-for-use: a reliable transport over reliable links is
+            # the identity — no draws, no counters, identical cycles
+            return self.raw.transfer(
+                src, dst, flits, subnet, depart,
+                kind=kind, item=item, data_bytes=data_bytes,
+            )
+        return self._reliable_transfer(
+            src, dst, flits, subnet, depart, kind, item, data_bytes
+        )
+
+    def _reliable_transfer(
+        self,
+        src: int,
+        dst: int,
+        flits: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None,
+        item: int | None,
+        data_bytes: int,
+    ) -> int:
+        cfg = self.cfg
+        stats = self.stats
+        pair = (src, dst)
+        seq = self.next_seq.get(pair, 0)
+        self.next_seq[pair] = seq + 1
+        entry = OutstandingEntry(src=src, dst=dst, seq=seq, kind=kind, item=item)
+        self.outstanding[pair] = entry
+        ack_subnet = Subnet.REPLY if subnet is Subnet.REQUEST else Subnet.REQUEST
+
+        send_time = depart
+        timeout = cfg.timeout_cycles
+        first_arrival: int | None = None
+
+        while True:
+            entry.attempts += 1
+            entry.backoff_deadline = send_time + timeout
+            if entry.attempts > cfg.abandon_attempts:
+                entry.abandoned = True
+                self._suspect(dst)
+                from repro.coherence.standard import NodeUnavailable
+
+                raise NodeUnavailable(dst, item if item is not None else -1)
+            if entry.attempts > 1:
+                stats.transport_retries += 1
+                stats.transport_retransmitted_flits += flits
+            fate, arrival = self.faulty.attempt(
+                src, dst, flits, subnet, send_time,
+                kind=kind, item=item,
+                data_bytes=data_bytes if entry.attempts == 1 else 0,
+            )
+            if arrival is not None:
+                if self.delivered_seq.get(pair, -1) >= seq:
+                    # a retransmission of an already-applied message:
+                    # the receiver's sequence check suppresses it
+                    stats.transport_duplicates_suppressed += 1
+                else:
+                    self.delivered_seq[pair] = seq
+                    first_arrival = arrival
+                if fate is DeliveryFate.DUPLICATED:
+                    # the in-flight duplicate arrives with the same
+                    # sequence number and is suppressed too
+                    stats.transport_duplicates_suppressed += 1
+                if self._send_ack(dst, src, ack_subnet, arrival, item):
+                    self.consecutive_timeouts[dst] = 0
+                    del self.outstanding[pair]
+                    assert first_arrival is not None
+                    return first_arrival
+            # message or ack lost: the retransmission timer expires
+            stats.transport_timeouts += 1
+            self._note_timeout(dst)
+            send_time = send_time + timeout
+            timeout = self._next_timeout(timeout)
+
+    def _send_ack(
+        self, src: int, dst: int, subnet: Subnet, depart: int, item: int | None
+    ) -> bool:
+        """The receiver's positive ack; returns True when it arrives."""
+        self.stats.transport_acks += 1
+        fate, arrival = self.faulty.attempt(
+            src, dst, self.raw.latency.control_flits, subnet, depart,
+            kind=MessageKind.TRANSPORT_ACK, item=item,
+        )
+        if fate is DeliveryFate.DUPLICATED:
+            # a duplicated ack is harmless; the sender ignores the copy
+            self.stats.transport_duplicates_suppressed += 1
+        return arrival is not None
+
+    def _next_timeout(self, timeout: int) -> int:
+        grown = min(int(timeout * self.cfg.backoff_factor), self.cfg.max_backoff_cycles)
+        if self.cfg.jitter_fraction:
+            jitter = int(grown * self.cfg.jitter_fraction * self.faults.rng.random())
+            grown = min(grown + jitter, self.cfg.max_backoff_cycles)
+        return max(1, grown)
+
+    def _note_timeout(self, dst: int) -> None:
+        count = self.consecutive_timeouts.get(dst, 0) + 1
+        self.consecutive_timeouts[dst] = count
+        if count == self.cfg.suspicion_threshold:
+            self._suspect(dst)
+
+    def _suspect(self, dst: int) -> None:
+        self.stats.transport_suspicions += 1
+        if self.on_retry_storm is not None:
+            self.on_retry_storm()
+        if self.on_suspect is not None:
+            self.on_suspect(dst)
+
+    # -- convenience wrappers (mirror MeshFabric) -----------------------
+
+    def control(
+        self,
+        src: int,
+        dst: int,
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+    ) -> int:
+        return self.transfer(
+            src, dst, self.raw.latency.control_flits, subnet, depart,
+            kind=kind, item=item,
+        )
+
+    def data(
+        self,
+        src: int,
+        dst: int,
+        item_bytes: int,
+        depart: int,
+        kind: MessageKind | None = None,
+        item: int | None = None,
+    ) -> int:
+        lat = self.raw.latency
+        flits = lat.control_flits + lat.item_flits(item_bytes)
+        return self.transfer(
+            src, dst, flits, Subnet.REPLY, depart,
+            kind=kind, item=item, data_bytes=item_bytes,
+        )
+
+    def broadcast(
+        self,
+        src: int,
+        targets: list[int],
+        subnet: Subnet,
+        depart: int,
+        kind: MessageKind | None = None,
+    ) -> dict[int, int]:
+        return {
+            dst: self.control(src, dst, subnet, depart, kind=kind) for dst in targets
+        }
+
+    # -- diagnostics ----------------------------------------------------
+
+    def dump(self) -> TransportDump:
+        """Snapshot for the stall-watchdog diagnostic."""
+        return TransportDump(
+            outstanding=sorted(
+                self.outstanding.values(), key=lambda e: (e.src, e.dst)
+            ),
+            consecutive_timeouts={
+                dst: n for dst, n in self.consecutive_timeouts.items() if n
+            },
+        )

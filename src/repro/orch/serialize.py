@@ -22,6 +22,7 @@ from repro.config import (
     CacheConfig,
     FaultToleranceConfig,
     LatencyConfig,
+    TransportConfig,
 )
 from repro.machine import RunResult
 from repro.stats.collectors import MachineStats, NodeStats
@@ -42,6 +43,8 @@ def config_from_dict(data: dict) -> ArchConfig:
         am=AMConfig(**data["am"]),
         latency=LatencyConfig(**data["latency"]),
         ft=FaultToleranceConfig(**data["ft"]),
+        # absent in records written before the transport layer existed
+        transport=TransportConfig(**data.get("transport", {})),
         scale=data["scale"],
         seed=data["seed"],
     )
@@ -78,6 +81,13 @@ def _machine_stats_to_dict(stats: MachineStats) -> dict:
         "n_failures": stats.n_failures,
         "n_failures_skipped": stats.n_failures_skipped,
         "rollback_refs": stats.rollback_refs,
+        "transport_retries": stats.transport_retries,
+        "transport_timeouts": stats.transport_timeouts,
+        "transport_retransmitted_flits": stats.transport_retransmitted_flits,
+        "transport_duplicates_suppressed": stats.transport_duplicates_suppressed,
+        "transport_acks": stats.transport_acks,
+        "transport_suspicions": stats.transport_suspicions,
+        "spurious_suspicions": stats.spurious_suspicions,
         "invariant_checks": stats.invariant_checks,
         "invariant_violations": stats.invariant_violations,
         "node_stats": [_node_stats_to_dict(ns) for ns in stats.node_stats],

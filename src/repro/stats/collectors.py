@@ -116,6 +116,25 @@ class MachineStats:
     #: each stream was rewound (the campaign's work-lost metric).
     rollback_refs: int = 0
 
+    # reliable-delivery transport (repro.network.transport); all stay
+    # zero unless the interconnect is configured unreliable
+    #: Retransmissions of logical messages (attempts beyond the first).
+    transport_retries: int = 0
+    #: Retransmission timers that expired (lost message or lost ack).
+    transport_timeouts: int = 0
+    #: Flits that crossed the network more than once for one message.
+    transport_retransmitted_flits: int = 0
+    #: Deliveries discarded by receiver-side sequence checks.
+    transport_duplicates_suppressed: int = 0
+    #: Positive acks sent by receivers.
+    transport_acks: int = 0
+    #: Destinations escalated to the detection layer after consecutive
+    #: timeouts (suspected failures, alive or not).
+    transport_suspicions: int = 0
+    #: Transport suspicions whose target was in fact alive (discarded
+    #: by the idempotent ``detect_failure``).
+    spurious_suspicions: int = 0
+
     # runtime verification (repro.verify): invariant evaluations and
     # the violations they surfaced
     invariant_checks: int = 0

@@ -62,8 +62,24 @@ S = ItemState
 #: An event is a plain tuple: ("r", node, item), ("w", node, item),
 #: ("evict", node, item), ("ckpt",), ("ckpt_abort", k),
 #: ("ckpt_fail_create", f, k, "revert"|"leave"),
-#: ("ckpt_fail_commit", f, k), ("fail", node), ("recover",).
+#: ("ckpt_fail_commit", f, k), ("fail", node), ("recover",),
+#: plus the transport events ("dup_invalidate", node, item),
+#: ("dup_partner_invalidate", node, item), ("dup_inject", node, item)
+#: (a retransmitted message delivered a second time — the idempotent
+#: handler must not change state) and ("ckpt_lossy", spec) (an
+#: establishment under a scripted drop/dup schedule — the reliable
+#: transport must mask it, i.e. reach the loss-free end state).
 Event = tuple
+
+#: Scripted transport fates for ``ckpt_lossy``: each character is one
+#: packet fate ('d' dropped, 'u' duplicated), consumed in order by the
+#: transport's link-fault model during the establishment.
+LOSSY_SCHEDULES = ("d", "dd", "ddd", "u", "du")
+
+
+class DuplicateEffectError(RuntimeError):
+    """A duplicate delivery changed protocol state (the exactly-once
+    effect guarantee is broken)."""
 
 #: Relaxed context between a failure and the end of its recovery: pairs
 #: may be singletons, metadata may reference the dead node, and an
@@ -100,6 +116,12 @@ class ModelConfig:
     evictions: bool = True
     #: Enumerate single permanent node failures (incl. mid-establishment).
     failures: bool = False
+    #: Enumerate duplicate deliveries of already-applied messages (the
+    #: transport's exactly-once effect property).
+    duplicates: bool = False
+    #: Enumerate establishments under scripted drop/dup schedules (the
+    #: transport must mask them: same end state as a loss-free run).
+    lossy: bool = False
     seed: int = 0
 
     def __post_init__(self):
@@ -108,6 +130,8 @@ class ModelConfig:
                 "checkpoint/failure events need the ECP; pass "
                 "checkpoints=False, failures=False for the standard protocol"
             )
+        if self.lossy and not self.checkpoints:
+            raise ValueError("lossy establishment events need checkpoints=True")
 
     @property
     def machine_nodes(self) -> int:
@@ -191,6 +215,19 @@ def format_event(event: Event) -> str:
         return f"node {event[1]} fails (permanent)"
     if kind == "recover":
         return "recovery (scans + rebuild + reconfiguration + rollback)"
+    if kind == "dup_invalidate":
+        return f"duplicate INVALIDATE delivered (node={event[1]}, item={event[2]})"
+    if kind == "dup_partner_invalidate":
+        return (
+            f"duplicate partner INVALIDATE delivered "
+            f"(node={event[1]}, item={event[2]})"
+        )
+    if kind == "dup_inject":
+        return f"duplicate INJECT_DATA delivered (node={event[1]}, item={event[2]})"
+    if kind == "ckpt_lossy":
+        return (
+            f"establish recovery point under drop/dup schedule {event[1]!r}"
+        )
     return repr(event)
 
 
@@ -280,8 +317,30 @@ def enabled_events(machine: Machine, mcfg: ModelConfig) -> list[Event]:
                 if node.am.state(i) in _EVICTABLE:
                     events.append(("evict", node.node_id, i))
 
+    if mcfg.duplicates:
+        ecp = mcfg.protocol == "ecp"
+        for node in machine.nodes:
+            if not node.alive:
+                continue
+            for i in range(mcfg.n_items):
+                state = node.am.state(i)
+                if state is S.INVALID:
+                    # a retransmitted INVALIDATE lands after its effect
+                    # applied (acting nodes only: spares add no coverage)
+                    if node.node_id < mcfg.acting_nodes:
+                        events.append(("dup_invalidate", node.node_id, i))
+                else:
+                    events.append(("dup_inject", node.node_id, i))
+                if ecp and state is S.INV_CK2:
+                    events.append(("dup_partner_invalidate", node.node_id, i))
+
     if mcfg.checkpoints and not pending:
         events.append(("ckpt",))
+        # lossy variants directly after the clean one: their end state
+        # must merge with the state ("ckpt",) just put in `seen`
+        if mcfg.lossy:
+            for spec in LOSSY_SCHEDULES:
+                events.append(("ckpt_lossy", spec))
         for k in range(len(live)):
             events.append(("ckpt_abort", k))
 
@@ -344,6 +403,11 @@ def apply_event(machine: Machine, event: Event) -> bool:
             _fail(machine, event[1])
         elif kind == "recover":
             _recover(machine)
+        elif kind in ("dup_invalidate", "dup_partner_invalidate", "dup_inject"):
+            _redeliver(machine, event)
+        elif kind == "ckpt_lossy":
+            _force_schedule(machine, event[1])
+            _establish(machine)
         else:
             raise ValueError(f"unknown model event {event!r}")
     except (NodeUnavailable, InjectionFailed, CapacityError, EstablishmentFailed):
@@ -369,6 +433,40 @@ def _evict(machine: Machine, node_id: int, item: int) -> None:
     else:
         cause = protocol._replacement_cause(state)
         protocol.injector.inject(node_id, item, state, now, cause, drop_local=True)
+
+
+def _redeliver(machine: Machine, event: Event) -> None:
+    """Deliver one already-applied protocol message a second time, as a
+    retransmitted duplicate that escaped the transport's sequence check
+    would; the idempotent handler must leave the canonical state
+    untouched (exactly-once effect)."""
+    kind, node_id, item = event
+    protocol = machine.protocol
+    before = canonical_state(machine)
+    if kind == "dup_invalidate":
+        changed = protocol.deliver_invalidate(node_id, item)
+    elif kind == "dup_partner_invalidate":
+        changed = protocol.deliver_partner_invalidate(node_id, item)
+    else:  # dup_inject: the INJECT_DATA install path runs twice
+        state = machine.nodes[node_id].am.state(item)
+        protocol.injector._install(node_id, item, state, machine.engine.now)
+        changed = False
+    if changed or canonical_state(machine) != before:
+        raise DuplicateEffectError(
+            f"{format_event(event)} was not suppressed: the duplicate "
+            "changed protocol state"
+        )
+
+
+def _force_schedule(machine: Machine, spec: str) -> None:
+    """Script the transport's next packet fates from a schedule string."""
+    from repro.network.transport import DeliveryFate
+
+    fates = {
+        "d": DeliveryFate.DROPPED,
+        "u": DeliveryFate.DUPLICATED,
+    }
+    machine.transport.faults.force(*(fates[c] for c in spec))
 
 
 def _fail(machine: Machine, node_id: int) -> None:
@@ -513,6 +611,14 @@ def check(
                     dump_state(machine),
                 )
                 return result
+            except DuplicateEffectError as exc:
+                result.transitions += 1
+                result.counterexample = Counterexample(
+                    trace + (event,),
+                    [Violation("EXACTLY-ONCE", None, str(exc))],
+                    dump_state(machine),
+                )
+                return result
             result.transitions += 1
             extended = trace + (event,)
             violations = check_machine(machine, _context(machine))
@@ -521,6 +627,24 @@ def check(
                     extended, violations, dump_state(machine)
                 )
                 return result
+            if event[0] == "ckpt_lossy":
+                # fault masking: a retried establishment must land on
+                # exactly the loss-free establishment's state — in
+                # particular no node commits a recovery point another
+                # node is missing
+                reference = replay(mcfg, trace + (("ckpt",),), mutate)
+                if canonical_state(machine) != canonical_state(reference):
+                    result.counterexample = Counterexample(
+                        extended,
+                        [Violation(
+                            "LOSSY-CKPT", None,
+                            f"establishment under drop/dup schedule "
+                            f"{event[1]!r} diverged from the loss-free "
+                            "establishment",
+                        )],
+                        dump_state(machine),
+                    )
+                    return result
             key = canonical_state(machine)
             if key in seen:
                 continue

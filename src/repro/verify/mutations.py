@@ -94,6 +94,64 @@ def _mut_write_skips_inv_ck_degrade(machine: "Machine") -> None:
     protocol._pre_miss_write = _pre_miss_write
 
 
+def _mut_lost_precommit_mark(machine: "Machine") -> None:
+    """The create phase's PRECOMMIT_MARK is dropped and never retried
+    (a fire-and-forget transport): the owner commits a recovery 'pair'
+    whose second member was never promoted (CK-PAIR, DIR-PARTNER)."""
+    from repro.network.message import MessageKind
+    from repro.network.topology import Subnet
+
+    protocol = machine.protocol
+
+    def mark_precommit_replica(node_id, item, target, now):
+        t = protocol.fabric.control(
+            node_id, target, Subnet.REQUEST, now, MessageKind.PRECOMMIT_MARK, item
+        )
+        entry = protocol.directory.entry(node_id, item)
+        entry.sharers.discard(target)
+        entry.partner = target
+        return t  # bug: the mark was lost; no retry, no promotion
+
+    protocol.mark_precommit_replica = mark_precommit_replica
+
+
+def _mut_commit_skips_one_node(machine: "Machine") -> None:
+    """Node 1's COMMIT is lost and never retried: a recovery point
+    committed on every node but one (PRE-COMMIT and pair breakage)."""
+    protocol = machine.protocol
+    inner = protocol.commit_node
+
+    def commit_node(node_id):
+        if node_id == 1:
+            return 0, 0  # bug: the commit never reached node 1
+        return inner(node_id)
+
+    protocol.commit_node = commit_node
+
+
+def _mut_dup_inject_reinstalls(machine: "Machine") -> None:
+    """The INJECT_DATA handler lost its duplicate guard: a
+    retransmitted injection re-runs the install path, which for a
+    Shared copy prunes the sharing list the node is still on
+    (EXACTLY-ONCE; needs ``ModelConfig(duplicates=True)``)."""
+    protocol = machine.protocol
+    injector = protocol.injector
+    inner = injector._install
+
+    def _install(node_id, item, state, now):
+        node = protocol.nodes[node_id]
+        if node.am.has_page(node.am.page_of(item)) and node.am.state(item) is state:
+            # bug: no already-installed check — the duplicate is treated
+            # as a stale replaceable copy being overwritten
+            if state is S.SHARED:
+                protocol.on_shared_copy_dropped(node_id, item, now)
+            node.am.set_state(item, state)
+            return
+        inner(node_id, item, state, now)
+
+    injector._install = _install
+
+
 def _mut_home_timeout_ignored(machine: "Machine") -> None:
     """Regression guard for a real bug: a cold miss on an item whose
     home node died (pointer partition wiped, not yet rehosted) used to
@@ -127,6 +185,24 @@ MUTATIONS: dict[str, Mutation] = {
             "write takes ownership without degrading Shared-CK to Inv-CK",
             ("CK-VS-OWNER", "INV-PAIR"),
             _mut_write_skips_inv_ck_degrade,
+        ),
+        Mutation(
+            "lost-precommit-mark",
+            "PRECOMMIT_MARK dropped without retry: pair never promoted",
+            ("CK-PAIR", "DIR-PARTNER"),
+            _mut_lost_precommit_mark,
+        ),
+        Mutation(
+            "commit-skips-one-node",
+            "COMMIT lost to one node without retry: partial recovery point",
+            ("PRE-COMMIT", "CK-PAIR", "CK-VS-INV", "DUP"),
+            _mut_commit_skips_one_node,
+        ),
+        Mutation(
+            "dup-inject-reinstalls",
+            "duplicate INJECT_DATA re-runs the install path",
+            ("EXACTLY-ONCE", "DIR-SHARERS"),
+            _mut_dup_inject_reinstalls,
         ),
         Mutation(
             "home-timeout-ignored",

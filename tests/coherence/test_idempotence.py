@@ -1,0 +1,100 @@
+"""Duplicate-delivery idempotence of the ECP's receiver-side handlers.
+
+The reliable transport suppresses retransmitted messages by sequence
+number, but an *immediate* retry after a lost ack reaches the handler
+again.  Every state-mutating receiver handler therefore tolerates
+re-delivery: the second call re-acks without mutating anything.
+Request/reply kinds (READ_REQ, DATA_REPLY, ...) are not re-executed at
+this layer at all — their retransmissions are absorbed by the
+transport's sequence check before any handler runs (PROTOCOL.md §8).
+INJECT_DATA's duplicate guard is covered in test_injection.py.
+"""
+
+import pytest
+
+from repro.coherence.standard import ProtocolError
+from repro.memory.states import ItemState
+from tests.helpers import bare_machine, do_checkpoint
+
+S = ItemState
+ITEM = 128
+
+
+def addr(item):
+    return item * ITEM
+
+
+def shared_machine(item=5):
+    """Node 0 owns (Master-Shared), node 1 holds a Shared replica."""
+    m = bare_machine(protocol="ecp")
+    m.protocol.write(0, addr(item), 0)
+    m.protocol.read(1, addr(item), 1_000)
+    return m
+
+
+def test_invalidate_redelivery_is_suppressed():
+    m = shared_machine()
+    p = m.protocol
+    assert p.deliver_invalidate(1, 5) is True
+    assert m.nodes[1].am.state(5) is S.INVALID
+    # the retransmission finds Invalid and re-acks without mutating
+    assert p.deliver_invalidate(1, 5) is False
+    assert m.nodes[1].am.state(5) is S.INVALID
+
+
+def test_partner_invalidate_redelivery_is_suppressed():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    do_checkpoint(m)
+    partner = p.directory.entry(0, 5).partner
+    assert m.nodes[partner].am.state(5) is S.SHARED_CK2
+    assert p.deliver_partner_invalidate(partner, 5) is True
+    assert m.nodes[partner].am.state(5) is S.INV_CK2
+    assert p.deliver_partner_invalidate(partner, 5) is False
+    assert m.nodes[partner].am.state(5) is S.INV_CK2
+
+
+def test_partner_invalidate_rejects_a_non_partner_state():
+    m = shared_machine()
+    with pytest.raises(ProtocolError, match="SHARED_CK2"):
+        m.protocol.deliver_partner_invalidate(1, 5)
+
+
+def test_precommit_mark_redelivery_is_suppressed():
+    m = shared_machine()
+    p = m.protocol
+    assert p.deliver_precommit_mark(1, 5) is True
+    assert m.nodes[1].am.state(5) is S.PRE_COMMIT2
+    assert p.deliver_precommit_mark(1, 5) is False
+    assert m.nodes[1].am.state(5) is S.PRE_COMMIT2
+
+
+def test_precommit_mark_rejects_a_non_shared_state():
+    m = shared_machine()
+    m.protocol.deliver_invalidate(1, 5)
+    with pytest.raises(ProtocolError, match="SHARED"):
+        m.protocol.deliver_precommit_mark(1, 5)
+
+
+def test_precommit_local_retry_is_a_no_op():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.mark_precommit_local(0, 5)
+    assert m.nodes[0].am.state(5) is S.PRE_COMMIT1
+    p.mark_precommit_local(0, 5)  # retried create-scan step: no raise
+    assert m.nodes[0].am.state(5) is S.PRE_COMMIT1
+
+
+def test_commit_retry_finds_empty_scan_groups():
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.mark_precommit_local(0, 5)
+    promoted, _ = p.commit_node(0)
+    assert promoted == 1
+    assert m.nodes[0].am.state(5) is S.SHARED_CK1
+    # a retransmitted COMMIT promotes and discards nothing
+    assert p.commit_node(0) == (0, 0)
+    assert m.nodes[0].am.state(5) is S.SHARED_CK1

@@ -160,3 +160,45 @@ def test_ck1_injection_moves_pointer_and_entry():
     assert p.directory.serving_node(5) == result.acceptor
     # the moved entry still knows its partner
     assert p.directory.entry(result.acceptor, 5).partner is not None
+
+
+def test_injection_skips_hop_dead_before_ring_reconfig():
+    """The successor died but the ring has not been reconfigured yet:
+    the probe gets no answer there and remaps to the next live node."""
+    m = owned_machine()
+    succ = m.ring.successor(0)
+    m.nodes[succ].fail()  # alive flag drops; ring still names the node
+    result = m.protocol.injector.inject(
+        0, 5, S.EXCLUSIVE, 1_000, InjectionCause.REPLACEMENT_MASTER
+    )
+    assert result.acceptor != succ
+    assert result.probe_hops >= 2
+    assert m.nodes[succ].am.state(5) is S.INVALID  # nothing installed there
+
+
+def test_duplicate_inject_data_is_a_no_op():
+    m = owned_machine()
+    p = m.protocol
+    result = p.injector.inject(
+        0, 5, S.EXCLUSIVE, 1_000, InjectionCause.REPLACEMENT_MASTER
+    )
+    acc = result.acceptor
+    # a retransmitted INJECT_DATA re-enters the install path
+    p.injector._install(acc, 5, S.EXCLUSIVE, 2_000)
+    assert m.nodes[acc].am.state(5) is S.EXCLUSIVE
+    assert p.directory.serving_node(5) == acc
+
+
+def test_duplicate_shared_install_keeps_sharing_list():
+    """The duplicate guard must fire before the Shared-victim prune:
+    re-delivering a Shared injection may not knock the node off the
+    sharing list it just joined."""
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    p.read(1, addr(5), 1_000)
+    owner = p.directory.serving_node(5)
+    assert 1 in p.directory.entry(owner, 5).sharers
+    p.injector._install(1, 5, S.SHARED, 2_000)
+    assert 1 in p.directory.entry(owner, 5).sharers
+    assert m.nodes[1].am.state(5) is S.SHARED

@@ -17,7 +17,7 @@ from repro.machine import TRIGGER_WINDOWS
 from repro.orch.store import ResultStore
 
 SMALL = dict(
-    seeds=6, master_seed=42, n_nodes=6, refs_per_proc=900,
+    seeds=7, master_seed=42, n_nodes=6, refs_per_proc=900,
     mtbf_cycles=15_000, period=4_000, stall_budget=60_000,
 )
 
@@ -141,3 +141,36 @@ def test_report_format_mentions_outcomes_and_coverage():
     assert "simulator_bug" in text
     assert "ckpt_commit" in text
     assert "verdict" in text
+
+
+def test_lossy_campaign_recovers_and_reports_transport_work():
+    """Lossy cells complete without defects: the transport masks the
+    link faults and the report surfaces how hard it had to work."""
+    cfg = CampaignConfig(
+        **{**SMALL, "seeds": 4, "loss_rate": 0.02, "dup_rate": 0.01}
+    )
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    assert report.ok
+    assert report.outcome_counts.get(Outcome.SIMULATOR_BUG.value, 0) == 0
+    assert report.outcome_counts.get(Outcome.STALLED.value, 0) == 0
+    assert report.total_transport_retries > 0
+    assert report.total_transport_duplicates_suppressed > 0
+    text = report.format()
+    assert "transport retries" in text
+    assert "spurious suspicions" in text
+
+
+def test_lossy_rates_change_cell_keys():
+    keys_clean = {c.key for c in build_cells(CampaignConfig(**SMALL))}
+    keys_lossy = {c.key for c in build_cells(
+        CampaignConfig(**{**SMALL, "loss_rate": 0.02}))}
+    assert keys_clean.isdisjoint(keys_lossy)
+
+
+def test_lossy_cell_round_trips():
+    cfg = CampaignConfig(**{**SMALL, "loss_rate": 0.02, "dup_rate": 0.01,
+                            "reorder_rate": 0.005, "outage_rate": 0.001})
+    cell = build_cells(cfg)[0]
+    clone = CampaignCell.from_dict(cell.to_dict())
+    assert clone == cell and clone.key == cell.key
+    assert clone.loss_rate == 0.02 and clone.outage_rate == 0.001

@@ -28,8 +28,14 @@ def test_bad_target_rejected():
 
 def test_all_windows_entered_on_a_faulty_run():
     """The coverage probe sees every named window on a run with both
-    checkpoints and one recovery."""
+    checkpoints and one recovery.  The transport window needs a retry
+    storm, scripted here as three consecutive drops of one message."""
+    from repro.network.transport import DeliveryFate
+
     m = ft_machine(plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)])
+    m.transport.faults.force(
+        DeliveryFate.DROPPED, DeliveryFate.DROPPED, DeliveryFate.DROPPED
+    )
     probe = attach_trigger_injector(m, [])
     m.run()
     for window in TRIGGER_WINDOWS:

@@ -87,7 +87,22 @@ def test_trace_recording():
 def test_no_trace_by_default():
     fabric = make_fabric()
     fabric.control(0, 1, Subnet.REQUEST, 0, kind=MessageKind.READ_REQ)
-    assert fabric.trace == []
+    assert len(fabric.trace) == 0
+
+
+def test_trace_ring_buffer_bounds_memory():
+    fabric = make_fabric(record_trace=True, trace_limit=4)
+    for i in range(10):
+        fabric.control(0, 1, Subnet.REQUEST, i, kind=MessageKind.READ_REQ, item=i)
+    assert len(fabric.trace) == 4
+    assert fabric.trace_dropped == 6
+    # the buffer keeps the most recent records
+    assert [m.item for m in fabric.trace] == [6, 7, 8, 9]
+
+
+def test_trace_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        make_fabric(record_trace=True, trace_limit=0)
 
 
 def test_link_utilisation():
@@ -103,7 +118,8 @@ def test_reset_stats():
     fabric.data(0, 1, item_bytes=128, depart=0, kind=MessageKind.DATA_REPLY)
     fabric.reset_stats()
     assert fabric.messages_sent == 0
-    assert fabric.trace == []
+    assert len(fabric.trace) == 0
+    assert fabric.trace_dropped == 0
     assert fabric.link_utilisation(100)[Subnet.REPLY] == 0
 
 

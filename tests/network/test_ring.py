@@ -100,3 +100,26 @@ def test_ring_neighbours_are_physically_adjacent():
         succ = ring.successor(node)
         if succ != mesh.snake_order()[0]:
             assert mesh.hops(node, succ) <= mesh.width + 1
+
+
+def test_walk_skips_node_that_dies_mid_walk():
+    """The walk is lazy: a node that fails after the walk started but
+    before the cursor reaches it is skipped (the reconfigured ring
+    takes effect immediately, not at the next walk)."""
+    ring = ring16()
+    walk = ring.walk_from(0)
+    first = next(walk)
+    doomed = ring.successor(ring.successor(first))
+    ring.mark_dead(doomed)
+    rest = list(walk)
+    assert doomed not in rest
+    assert len([first] + rest) == 14  # every other live node, once
+
+
+def test_walk_includes_node_revived_mid_walk():
+    ring = ring16()
+    ring.mark_dead(10)
+    walk = ring.walk_from(0)
+    next(walk)
+    ring.revive(10)
+    assert 10 in list(walk)

@@ -63,6 +63,9 @@ def _mutation_config(name):
         # the bug only fires on a cold miss against a dead home node
         return ModelConfig(acting_nodes=2, n_items=1, failures=True,
                            max_depth=4)
+    if name == "dup-inject-reinstalls":
+        # the bug only fires on a duplicate delivery
+        return ModelConfig(acting_nodes=2, n_items=1, duplicates=True)
     return ModelConfig(acting_nodes=2, n_items=1)
 
 
@@ -99,18 +102,42 @@ def test_counterexample_replays_deterministically():
     assert {v.code for v in violations} == {v.code for v in cx.violations}
 
 
+def test_transport_events_close_clean():
+    """The lossy-transport acceptance run: duplicate redeliveries and
+    forced drop/dup schedules under checkpoint establishment added to
+    the alphabet, and the real ECP still closes with zero violations —
+    exactly-once effect delivery and no partial commit on any explored
+    path."""
+    result = check(
+        ModelConfig(acting_nodes=2, n_items=1, duplicates=True, lossy=True)
+    )
+    assert result.ok, result.counterexample.format()
+    assert result.complete
+    assert result.states > 150
+    assert result.transitions > result.states
+
+
+def test_lossy_requires_checkpoints():
+    with pytest.raises(ValueError, match="checkpoints"):
+        ModelConfig(acting_nodes=2, n_items=1, lossy=True, checkpoints=False)
+
+
 def test_format_event_covers_alphabet():
     events = [
         ("r", 0, 1),
         ("w", 1, 0),
         ("evict", 2, 0),
         ("ckpt",),
+        ("ckpt_lossy", "dd"),
         ("ckpt_abort", 1),
         ("ckpt_fail_create", 0, 1, "leave"),
         ("ckpt_fail_create", 0, 1, "revert"),
         ("ckpt_fail_commit", 0, 2),
         ("fail", 3),
         ("recover",),
+        ("dup_invalidate", 0, 1),
+        ("dup_partner_invalidate", 1, 0),
+        ("dup_inject", 0, 0),
     ]
     rendered = [format_event(e) for e in events]
     assert all(rendered)
