@@ -11,6 +11,7 @@ Commands map one-to-one onto the paper's artefacts:
 ``campaign``   randomized fault-injection campaign (parallel, resumable)
 ``verify``     model-check + fuzz the protocol invariants
 ``cache``      inspect or clear the on-disk result cache
+``bench``      simulation-kernel microbenchmarks (BENCH_kernel.json)
 ============  =====================================================
 
 Exit codes (distinct per failure class, see ``repro --help``):
@@ -412,6 +413,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        profile_reference,
+        run_suite,
+    )
+
+    if args.profile:
+        print(profile_reference(top=args.top, quick=args.quick))
+        return EXIT_OK
+    mode = "quick" if args.quick else "full"
+    print(f"repro bench ({mode} suite)...")
+    report = run_suite(quick=args.quick, progress=lambda m: print(f"  {m}"))
+    if args.baseline:
+        report.attach_baseline(args.baseline)
+    report.write(args.out)
+    print(report.format())
+    print(f"wrote {args.out}")
+    if args.check_against:
+        failures = check_regression(
+            report, args.check_against, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return EXIT_VERIFY
+        print(
+            f"regression gate: OK (within {args.tolerance:.0%} of "
+            f"{args.check_against})"
+        )
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -588,6 +622,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_clear.add_argument("--cache-dir", default=None, metavar="DIR")
     cache.set_defaults(func=_cmd_cache)
+
+    bench = sub.add_parser(
+        "bench",
+        help="simulation-kernel microbenchmarks",
+        description="Run the fixed kernel benchmark suite (engine "
+        "events/sec, fabric flit-hops/sec, end-to-end cycles/sec at "
+        "the paper's node counts) and write BENCH_kernel.json.  See "
+        "docs/PERF.md for methodology and how to read the report.",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="shrunk workloads for CI smoke runs")
+    bench.add_argument("--out", default="BENCH_kernel.json",
+                       help="report path (default BENCH_kernel.json)")
+    bench.add_argument("--baseline", default=None, metavar="JSON",
+                       help="record speedups against this baseline report")
+    bench.add_argument("--check-against", default=None, metavar="JSON",
+                       help="fail (exit 5) if engine events/sec regresses "
+                       "more than --tolerance vs this baseline report")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional regression for "
+                       "--check-against (default 0.30)")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the reference run instead and print "
+                       "the top-N hotspot table")
+    bench.add_argument("--top", type=int, default=25,
+                       help="rows in the --profile hotspot table")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

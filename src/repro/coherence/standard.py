@@ -73,6 +73,11 @@ class StandardProtocol:
         self.registry = registry
         self.rng = rng or random.Random(cfg.seed)
         self.injector = InjectionEngine(self)
+        # read()/write() run once per simulated reference; hoist the
+        # constants they would otherwise chase through cfg.latency
+        self._cache_hit_lat = cfg.latency.cache_hit
+        self._am_fill_lat = cfg.latency.local_am_fill
+        self._item_bytes = cfg.am.item_bytes
 
     # ==================================================================
     # public operations
@@ -85,14 +90,14 @@ class StandardProtocol:
         stats.refs += 1
         stats.reads += 1
         if node.cache.read_probe(addr):
-            return now + self.cfg.latency.cache_hit
+            return now + self._cache_hit_lat
         stats.am_read_accesses += 1
-        item = self.cfg.item_of(addr)
+        item = addr // self._item_bytes
         state = node.am.state(item)
         if state.is_readable:
             if state.is_checkpoint_readable:
                 stats.sharedck_reads += 1
-            t = node.mem_ctrl.occupy(now, self.cfg.latency.local_am_fill)
+            t = node.mem_ctrl.occupy(now, self._am_fill_lat)
             self._cache_fill(node, addr, dirty=False, now=t)
             return t
         now = self._pre_miss_read(node_id, item, now)
@@ -106,8 +111,8 @@ class StandardProtocol:
         stats.refs += 1
         stats.writes += 1
         if node.cache.write_probe(addr):
-            return now + self.cfg.latency.cache_hit
-        item = self.cfg.item_of(addr)
+            return now + self._cache_hit_lat
+        item = addr // self._item_bytes
         stats.am_write_accesses += 1
         state = node.am.state(item)
         lat = self.cfg.latency

@@ -77,6 +77,14 @@ class AttractionMemory:
             "inv_ck": set(),
             "pre_commit": set(),
         }
+        # state -> its group's index set (None for ungrouped states):
+        # the memoized form of _GROUP_OF + self._groups used by the
+        # set_state hot path (same-group transitions compare the set
+        # objects by identity, which is exactly name equality above)
+        self._group_set_of: dict[ItemState, set[int] | None] = {
+            state: (self._groups[name] if name is not None else None)
+            for state, name in _GROUP_OF.items()
+        }
         # statistics
         self.pages_allocated_peak = 0
         self.pages_allocated_cumulative = 0
@@ -96,10 +104,11 @@ class AttractionMemory:
     # -- state access -----------------------------------------------------
 
     def state(self, item: int) -> ItemState:
-        frame = self._frames.get(self.page_of(item))
+        per_page = self._items_per_page
+        frame = self._frames.get(item // per_page)
         if frame is None:
             return ItemState.INVALID
-        return frame.states[self._offset(item)]
+        return frame.states[item % per_page]
 
     def has_page(self, page: int) -> bool:
         return page in self._frames
@@ -115,17 +124,17 @@ class AttractionMemory:
                 f"node {self.node_id}: page {self.page_of(item)} not resident "
                 f"for item {item}"
             )
-        offset = self._offset(item)
+        offset = item % self._items_per_page
         old = frame.states[offset]
         if old is state:
             return
-        old_group = _GROUP_OF[old]
-        new_group = _GROUP_OF[state]
-        if old_group != new_group:
-            if old_group is not None:
-                self._groups[old_group].discard(item)
-            if new_group is not None:
-                self._groups[new_group].add(item)
+        old_set = self._group_set_of[old]
+        new_set = self._group_set_of[state]
+        if old_set is not new_set:
+            if old_set is not None:
+                old_set.discard(item)
+            if new_set is not None:
+                new_set.add(item)
         frame.states[offset] = state
 
     # -- page allocation ------------------------------------------------------

@@ -29,6 +29,10 @@ class SectoredCache:
         self._n_sets = config.n_sets
         self._assoc = config.associativity
         self._lines_per_sector = config.lines_per_sector
+        # probe-path copies of the geometry (attribute chains through
+        # ``self.config`` cost real time at one probe per reference)
+        self._sector_bytes = config.sector_bytes
+        self._line_bytes = config.line_bytes
         # Per set: list of sectors in LRU order (front = LRU, back = MRU).
         self._sets: list[list[_Sector]] = [[] for _ in range(self._n_sets)]
         self._index: dict[int, _Sector] = {}
@@ -42,13 +46,13 @@ class SectoredCache:
     # -- geometry helpers -------------------------------------------------
 
     def sector_of(self, addr: int) -> int:
-        return addr // self.config.sector_bytes
+        return addr // self._sector_bytes
 
     def line_of(self, addr: int) -> int:
-        return addr // self.config.line_bytes
+        return addr // self._line_bytes
 
     def _line_index(self, addr: int) -> int:
-        return (addr % self.config.sector_bytes) // self.config.line_bytes
+        return (addr % self._sector_bytes) // self._line_bytes
 
     def _set_index(self, sector_id: int) -> int:
         return sector_id % self._n_sets
@@ -59,19 +63,27 @@ class SectoredCache:
     # -- lookups ------------------------------------------------------------
 
     def line_state(self, addr: int) -> LineState:
-        sector = self._index.get(self.sector_of(addr))
+        sector = self._index.get(addr // self._sector_bytes)
         if sector is None:
             return LineState.INVALID
-        return sector.lines[self._line_index(addr)]
+        return sector.lines[(addr % self._sector_bytes) // self._line_bytes]
 
     def read_probe(self, addr: int) -> bool:
         """Processor read: hit iff the line is CLEAN or DIRTY."""
-        state = self.line_state(addr)
-        if state is LineState.INVALID:
+        # line_state + _touch fused into one sector lookup: this and
+        # write_probe run once per simulated reference
+        sector_bytes = self._sector_bytes
+        sector_id = addr // sector_bytes
+        sector = self._index.get(sector_id)
+        if (
+            sector is None
+            or sector.lines[(addr % sector_bytes) // self._line_bytes]
+            is LineState.INVALID
+        ):
             self.read_misses += 1
             return False
         self.read_hits += 1
-        self._touch(addr)
+        self._touch_sector(sector_id, sector)
         return True
 
     def write_probe(self, addr: int) -> bool:
@@ -82,10 +94,16 @@ class SectoredCache:
         here; the protocol upgrades it with :meth:`mark_dirty` once the
         AM grants exclusivity.
         """
-        state = self.line_state(addr)
-        if state is LineState.DIRTY:
+        sector_bytes = self._sector_bytes
+        sector_id = addr // sector_bytes
+        sector = self._index.get(sector_id)
+        if (
+            sector is not None
+            and sector.lines[(addr % sector_bytes) // self._line_bytes]
+            is LineState.DIRTY
+        ):
             self.write_hits += 1
-            self._touch(addr)
+            self._touch_sector(sector_id, sector)
             return True
         self.write_misses += 1
         return False
@@ -141,12 +159,15 @@ class SectoredCache:
         return sector, writebacks
 
     def _touch(self, addr: int) -> None:
-        sector_id = self.sector_of(addr)
+        sector_id = addr // self._sector_bytes
         sector = self._index.get(sector_id)
-        if sector is None:
-            return
-        ways = self._sets[self._set_index(sector_id)]
-        if ways and ways[-1] is sector:
+        if sector is not None:
+            self._touch_sector(sector_id, sector)
+
+    def _touch_sector(self, sector_id: int, sector: _Sector) -> None:
+        # ``sector`` is resident, so its set is non-empty
+        ways = self._sets[sector_id % self._n_sets]
+        if ways[-1] is sector:
             return
         ways.remove(sector)
         ways.append(sector)

@@ -8,6 +8,21 @@ header additionally queues at every link behind packets that occupy it.
 This reproduces the paper's Table 2 latencies exactly in the
 uncontended case and preserves the qualitative behaviour of hot links
 without flit-level simulation (DESIGN.md section 3).
+
+Two kernel fast paths keep the model cheap without changing a single
+arrival time (docs/PERF.md):
+
+- XY routes are resolved once per ``(subnet, src, dst)`` into tuples of
+  :class:`~repro.sim.resources.ContentionPoint` objects instead of
+  re-walking mesh coordinates on every transfer;
+- the fabric tracks, per subnet, the latest time any link is occupied
+  to (``max free``).  A transfer departing at or after that horizon
+  cannot queue anywhere, so its arrival is the closed form
+  ``depart + hop * h + f`` and each link on the path takes a branchless
+  idle-occupation update.  Any transfer departing earlier falls back to
+  the full per-hop wait/occupy walk — under contention, and under
+  retransmission traffic from the lossy transport, semantics are
+  untouched.
 """
 
 from __future__ import annotations
@@ -46,6 +61,15 @@ class MeshFabric:
             }
             for subnet in Subnet
         }
+        #: Lazily-built routing tables: (src, dst) -> (tuple of the
+        #: route's ContentionPoints in hop order, hop count).
+        self._routes: dict[Subnet, dict[tuple[int, int], tuple[tuple, int]]] = {
+            subnet: {} for subnet in Subnet
+        }
+        #: Per-subnet contention horizon: the latest time any link of
+        #: the subnet is occupied to.  A transfer departing at or after
+        #: it cannot queue (fast-forward applicability condition).
+        self._max_free: dict[Subnet, int] = {subnet: 0 for subnet in Subnet}
         self.record_trace = record_trace
         if trace_limit <= 0:
             raise ValueError("trace_limit must be positive")
@@ -79,16 +103,44 @@ class MeshFabric:
         """
         if src == dst:
             return depart
-        links = self._links[subnet]
-        cursor = depart
-        for link in self.mesh.xy_route(src, dst):
-            point = links[link]
-            start = point.wait_until_free(cursor)
-            point.occupy(start, flits)
-            cursor = start + self.latency.hop
-        arrival = cursor + flits
+        routes = self._routes[subnet]
+        cached = routes.get((src, dst))
+        if cached is None:
+            cached = self._build_route(subnet, src, dst)
+        route, hops = cached
+        hop = self.latency.hop
+        if depart >= self._max_free[subnet]:
+            # Contention-free fast-forward: no link in the subnet is
+            # occupied past ``depart``, so nothing on the path can make
+            # the header wait and the arrival is closed-form.  Each link
+            # still records the occupation (slot access: links are
+            # single-server, asserted at route build) so a later,
+            # earlier-departing transfer that falls back to the full
+            # walk sees identical link state.
+            end = depart + flits
+            for point in route:
+                point._free[0] = end
+                point.busy_cycles += flits
+                point.uses += 1
+                end += hop
+            # ends of successive links grow by ``hop``; the last one is
+            # the new subnet horizon
+            self._max_free[subnet] = end - hop
+            arrival = depart + hop * hops + flits
+        else:
+            cursor = depart
+            for point in route:
+                start = point.wait_until_free(cursor)
+                point.occupy(start, flits)
+                cursor = start + hop
+            arrival = cursor + flits
+            # link starts are non-decreasing along the path, so the last
+            # link's occupation end bounds this transfer's contribution
+            end_last = arrival - hop
+            if end_last > self._max_free[subnet]:
+                self._max_free[subnet] = end_last
         self.messages_sent += 1
-        self.flits_carried += flits * self.mesh.hops(src, dst)
+        self.flits_carried += flits * hops
         self.data_bytes_carried += data_bytes
         if self.record_trace and kind is not None:
             if len(self.trace) == self.trace.maxlen:
@@ -97,6 +149,19 @@ class MeshFabric:
                 Message(kind=kind, src=src, dst=dst, item=item, depart=depart, arrive=arrival)
             )
         return arrival
+
+    def _build_route(
+        self, subnet: Subnet, src: int, dst: int
+    ) -> tuple[tuple, int]:
+        """Resolve and memoize the XY route as ContentionPoint objects."""
+        links = self._links[subnet]
+        route = tuple(links[link] for link in self.mesh.xy_route(src, dst))
+        for point in route:
+            # the fast path writes _free[0] directly
+            assert len(point._free) == 1, "mesh links must be single-server"
+        cached = (route, len(route))
+        self._routes[subnet][(src, dst)] = cached
+        return cached
 
     # -- convenience wrappers --------------------------------------------
 
@@ -170,3 +235,5 @@ class MeshFabric:
         for links in self._links.values():
             for point in links.values():
                 point.reset()
+        # links are idle again, so the fast-forward horizon restarts
+        self._max_free = {subnet: 0 for subnet in Subnet}

@@ -48,7 +48,7 @@ DATA_KINDS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A record of one protocol message (used for traces and tests)."""
 

@@ -24,6 +24,10 @@ class LogicalRing:
         self._order = mesh.snake_order()
         self._position = {node: idx for idx, node in enumerate(self._order)}
         self._dead: set[int] = set()
+        # successor lookups sit on the injection hot path; the table is
+        # only valid for the current membership, so any reconfiguration
+        # clears it
+        self._succ_cache: dict[int, int] = {}
 
     # -- failure management ---------------------------------------------
 
@@ -31,6 +35,7 @@ class LogicalRing:
         """Reconfigure the ring to skip ``node``."""
         self._check(node)
         self._dead.add(node)
+        self._succ_cache.clear()
         if len(self._dead) >= len(self._order):
             raise RuntimeError("all ring nodes are dead")
 
@@ -38,6 +43,7 @@ class LogicalRing:
         """Re-insert a repaired node (transient-failure rejoin)."""
         self._check(node)
         self._dead.discard(node)
+        self._succ_cache.clear()
 
     def is_alive(self, node: int) -> bool:
         return node not in self._dead
@@ -50,12 +56,16 @@ class LogicalRing:
 
     def successor(self, node: int) -> int:
         """Next live node on the ring after ``node``."""
+        cached = self._succ_cache.get(node)
+        if cached is not None:
+            return cached
         self._check(node)
         idx = self._position[node]
         n = len(self._order)
         for step in range(1, n + 1):
             candidate = self._order[(idx + step) % n]
             if candidate not in self._dead:
+                self._succ_cache[node] = candidate
                 return candidate
         raise RuntimeError("no live successor on the ring")
 

@@ -44,7 +44,11 @@ next; a suspicion of a node that is in fact alive is counted as
 
 Transactions stay analytic (DESIGN.md section 3): the retry loop
 advances a local time cursor and charges the network for every copy
-that crossed it; it never schedules engine events mid-transfer.
+that crossed it.  When an engine is wired in, each attempt arms a real
+*cancellable* retransmission timer at its backoff deadline — cancelled
+the moment the attempt resolves — so the retry machinery exercises the
+engine's timer-cancellation path without ever dispatching an event
+(``timers_fired`` stays zero; ``events_dispatched`` is unchanged).
 """
 
 from __future__ import annotations
@@ -172,7 +176,7 @@ class FaultyFabric:
         return fate, arrival + delay
 
 
-@dataclass
+@dataclass(slots=True)
 class OutstandingEntry:
     """Sender-side state of one un-acked logical message (the per-
     destination retry queue surfaced by the stall-watchdog dump)."""
@@ -236,6 +240,24 @@ class ReliableTransport:
         self.faults = LinkFaultModel(self.cfg, rng)
         self.faulty = FaultyFabric(fabric, self.faults)
         self.stats = stats if stats is not None else MachineStats()
+        # hot-path caches: the fault-model "active" property inlined
+        # (``_forced`` aliases the model's deque, mutated in place only)
+        self._unreliable = self.cfg.unreliable
+        self._forced = self.faults._forced
+        self._raw_transfer = fabric.transfer
+        self._control_flits = fabric.latency.control_flits
+        #: Optional simulation engine (Machine wires it).  When present,
+        #: every retransmission attempt arms a *cancellable* engine
+        #: timer at its backoff deadline; the timer is cancelled the
+        #: moment the attempt resolves (ack, inline timeout handling or
+        #: abandonment), so the retry machinery never inflates
+        #: ``events_dispatched`` — cancelled events are never dispatched.
+        self.engine = None
+        #: Timers armed / timers that actually fired (the latter stays
+        #: zero: transactions are analytic, every timer is cancelled
+        #: within the transfer that armed it).
+        self.timers_armed = 0
+        self.timers_fired = 0
         #: (src, dst) -> next sequence number to assign.
         self.next_seq: dict[tuple[int, int], int] = {}
         #: (src, dst) -> highest sequence number whose effect was
@@ -292,10 +314,10 @@ class ReliableTransport:
     ) -> int:
         """Deliver one logical message exactly once; return the time its
         effect applies at ``dst`` (first successful delivery)."""
-        if src == dst or not self.faults.active:
+        if src == dst or not (self._unreliable or self._forced):
             # pay-for-use: a reliable transport over reliable links is
             # the identity — no draws, no counters, identical cycles
-            return self.raw.transfer(
+            return self._raw_transfer(
                 src, dst, flits, subnet, depart,
                 kind=kind, item=item, data_bytes=data_bytes,
             )
@@ -326,46 +348,67 @@ class ReliableTransport:
         send_time = depart
         timeout = cfg.timeout_cycles
         first_arrival: int | None = None
+        engine = self.engine
+        handle = None
 
-        while True:
-            entry.attempts += 1
-            entry.backoff_deadline = send_time + timeout
-            if entry.attempts > cfg.abandon_attempts:
-                entry.abandoned = True
-                self._suspect(dst)
-                from repro.coherence.standard import NodeUnavailable
+        try:
+            while True:
+                entry.attempts += 1
+                entry.backoff_deadline = send_time + timeout
+                if entry.attempts > cfg.abandon_attempts:
+                    entry.abandoned = True
+                    self._suspect(dst)
+                    from repro.coherence.standard import NodeUnavailable
 
-                raise NodeUnavailable(dst, item if item is not None else -1)
-            if entry.attempts > 1:
-                stats.transport_retries += 1
-                stats.transport_retransmitted_flits += flits
-            fate, arrival = self.faulty.attempt(
-                src, dst, flits, subnet, send_time,
-                kind=kind, item=item,
-                data_bytes=data_bytes if entry.attempts == 1 else 0,
-            )
-            if arrival is not None:
-                if self.delivered_seq.get(pair, -1) >= seq:
-                    # a retransmission of an already-applied message:
-                    # the receiver's sequence check suppresses it
-                    stats.transport_duplicates_suppressed += 1
-                else:
-                    self.delivered_seq[pair] = seq
-                    first_arrival = arrival
-                if fate is DeliveryFate.DUPLICATED:
-                    # the in-flight duplicate arrives with the same
-                    # sequence number and is suppressed too
-                    stats.transport_duplicates_suppressed += 1
-                if self._send_ack(dst, src, ack_subnet, arrival, item):
-                    self.consecutive_timeouts[dst] = 0
-                    del self.outstanding[pair]
-                    assert first_arrival is not None
-                    return first_arrival
-            # message or ack lost: the retransmission timer expires
-            stats.transport_timeouts += 1
-            self._note_timeout(dst)
-            send_time = send_time + timeout
-            timeout = self._next_timeout(timeout)
+                    raise NodeUnavailable(dst, item if item is not None else -1)
+                if engine is not None and entry.backoff_deadline > engine.now:
+                    # arm the real retransmission timer for this attempt;
+                    # the previous attempt's timer was handled inline
+                    # (timeout charged analytically), so cancel it first
+                    if handle is not None:
+                        handle.cancel()
+                    handle = engine.schedule_cancellable_at(
+                        entry.backoff_deadline, self._timer_fired
+                    )
+                    self.timers_armed += 1
+                if entry.attempts > 1:
+                    stats.transport_retries += 1
+                    stats.transport_retransmitted_flits += flits
+                fate, arrival = self.faulty.attempt(
+                    src, dst, flits, subnet, send_time,
+                    kind=kind, item=item,
+                    data_bytes=data_bytes if entry.attempts == 1 else 0,
+                )
+                if arrival is not None:
+                    if self.delivered_seq.get(pair, -1) >= seq:
+                        # a retransmission of an already-applied message:
+                        # the receiver's sequence check suppresses it
+                        stats.transport_duplicates_suppressed += 1
+                    else:
+                        self.delivered_seq[pair] = seq
+                        first_arrival = arrival
+                    if fate is DeliveryFate.DUPLICATED:
+                        # the in-flight duplicate arrives with the same
+                        # sequence number and is suppressed too
+                        stats.transport_duplicates_suppressed += 1
+                    if self._send_ack(dst, src, ack_subnet, arrival, item):
+                        self.consecutive_timeouts[dst] = 0
+                        del self.outstanding[pair]
+                        assert first_arrival is not None
+                        return first_arrival
+                # message or ack lost: the retransmission timer expires
+                stats.transport_timeouts += 1
+                self._note_timeout(dst)
+                send_time = send_time + timeout
+                timeout = self._next_timeout(timeout)
+        finally:
+            # the transfer resolved (delivered or abandoned): the armed
+            # timer must never reach dispatch
+            if handle is not None:
+                handle.cancel()
+
+    def _timer_fired(self) -> None:  # pragma: no cover - always cancelled
+        self.timers_fired += 1
 
     def _send_ack(
         self, src: int, dst: int, subnet: Subnet, depart: int, item: int | None
@@ -373,7 +416,7 @@ class ReliableTransport:
         """The receiver's positive ack; returns True when it arrives."""
         self.stats.transport_acks += 1
         fate, arrival = self.faulty.attempt(
-            src, dst, self.raw.latency.control_flits, subnet, depart,
+            src, dst, self._control_flits, subnet, depart,
             kind=MessageKind.TRANSPORT_ACK, item=item,
         )
         if fate is DeliveryFate.DUPLICATED:
@@ -413,7 +456,7 @@ class ReliableTransport:
         item: int | None = None,
     ) -> int:
         return self.transfer(
-            src, dst, self.raw.latency.control_flits, subnet, depart,
+            src, dst, self._control_flits, subnet, depart,
             kind=kind, item=item,
         )
 

@@ -54,9 +54,15 @@ class Processor:
         return any(not s.exhausted for s in self.streams)
 
     def _next_ref(self) -> Reference | None:
-        n = len(self.streams)
+        streams = self.streams
+        n = len(streams)
+        if n == 1:
+            # the dominant case (multiple streams only after migration);
+            # _rr advances exactly as the general loop would
+            self._rr += 1
+            return streams[0].next_ref()
         for _ in range(n):
-            stream = self.streams[self._rr % n]
+            stream = streams[self._rr % n]
             self._rr += 1
             ref = stream.next_ref()
             if ref is not None:
@@ -71,6 +77,10 @@ class Processor:
         engine = machine.engine
         protocol = machine.protocol
         node = machine.nodes[self.node_id]
+        node_id = self.node_id
+        proto_read = protocol.read
+        proto_write = protocol.write
+        next_ref = self._next_ref
 
         while True:
             if not node.alive:
@@ -103,29 +113,72 @@ class Processor:
             t_local = engine.now
             deadline = t_local + BATCH_BUDGET_CYCLES
             failed_node: int | None = None
-            while t_local < deadline:
-                pending_recovery = (
-                    coord.recovery_requested
-                    and coord.recovery_epoch != self.last_recovery_epoch
-                )
-                pending_ckpt = (
-                    coord.ckpt_requested and coord.ckpt_epoch != self.last_ckpt_epoch
-                )
-                if pending_recovery or pending_ckpt:
-                    break
-                ref = self._next_ref()
-                if ref is None:
-                    break
-                issue_at = t_local + ref.think
+            streams = self.streams
+            if len(streams) == 1:
+                # dominant case (multiple streams only after migration):
+                # the stream advance is inlined — no _next_ref/next_ref
+                # call layers — with every next_ref-equivalent counted
+                # into _rr so migration round-robin stays bit-identical
+                stream = streams[0]
+                ref_at = stream._ref_at
+                proc_id = stream.proc_id
+                n_refs = stream.n_refs
+                consumed = 0
                 try:
-                    if ref.is_write:
-                        t_local = protocol.write(self.node_id, ref.addr, issue_at)
-                    else:
-                        t_local = protocol.read(self.node_id, ref.addr, issue_at)
-                except NodeUnavailable as exc:
-                    failed_node = exc.node_id
-                    t_local = issue_at
-                    break
+                    while t_local < deadline:
+                        if (
+                            coord.recovery_requested
+                            and coord.recovery_epoch != self.last_recovery_epoch
+                        ) or (
+                            coord.ckpt_requested
+                            and coord.ckpt_epoch != self.last_ckpt_epoch
+                        ):
+                            break
+                        position = stream.position
+                        if position >= n_refs:
+                            consumed += 1  # the next_ref call that found None
+                            break
+                        stream.position = position + 1
+                        consumed += 1
+                        think, is_write, addr = ref_at(proc_id, position)
+                        issue_at = t_local + think
+                        try:
+                            if is_write:
+                                t_local = proto_write(node_id, addr, issue_at)
+                            else:
+                                t_local = proto_read(node_id, addr, issue_at)
+                        except NodeUnavailable as exc:
+                            failed_node = exc.node_id
+                            t_local = issue_at
+                            break
+                finally:
+                    self._rr += consumed
+            else:
+                while t_local < deadline:
+                    pending_recovery = (
+                        coord.recovery_requested
+                        and coord.recovery_epoch != self.last_recovery_epoch
+                    )
+                    pending_ckpt = (
+                        coord.ckpt_requested
+                        and coord.ckpt_epoch != self.last_ckpt_epoch
+                    )
+                    if pending_recovery or pending_ckpt:
+                        break
+                    ref = next_ref()
+                    if ref is None:
+                        break
+                    think, is_write, addr = ref
+                    issue_at = t_local + think
+                    try:
+                        if is_write:
+                            t_local = proto_write(node_id, addr, issue_at)
+                        else:
+                            t_local = proto_read(node_id, addr, issue_at)
+                    except NodeUnavailable as exc:
+                        failed_node = exc.node_id
+                        t_local = issue_at
+                        break
             if failed_node is not None:
                 machine.detect_failure(failed_node)
             if t_local > engine.now:

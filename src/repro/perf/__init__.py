@@ -1,0 +1,31 @@
+"""Simulation-kernel performance instrumentation.
+
+The ROADMAP's "fast as the hardware allows" goal only counts when it is
+measured, so this package is the repository's perf instrument:
+
+:mod:`repro.perf.bench`
+    A fixed microbenchmark suite — engine events/sec, fabric
+    flit-hops/sec, end-to-end cycles/sec on the reference workload at
+    9/25/56 nodes plus the ``repro run`` reference configuration —
+    writing ``BENCH_kernel.json`` with an environment fingerprint and
+    an optional comparison against a committed baseline (``repro
+    bench``, see docs/PERF.md).
+
+:mod:`repro.perf.golden`
+    The seeded determinism contract: reference runs whose
+    ``comparable_result_dict`` digests are committed to
+    ``tests/perf/golden/`` and asserted identical before and after any
+    kernel fast path (fault-free and lossy-transport cells).
+"""
+
+from repro.perf.bench import (  # noqa: F401
+    BenchReport,
+    BenchRow,
+    check_regression,
+    run_suite,
+)
+from repro.perf.golden import (  # noqa: F401
+    GOLDEN_CELLS,
+    reference_run,
+    result_digest,
+)

@@ -33,6 +33,8 @@ class ProcessState(enum.Enum):
 class Process:
     """A lightweight simulated process driven by the engine."""
 
+    __slots__ = ("engine", "name", "_body", "state", "result", "error", "completion")
+
     def __init__(self, engine: "Engine", body: Generator[Any, Any, Any], name: str = "proc"):
         from repro.sim.sync import EventFlag  # local import to avoid a cycle
 

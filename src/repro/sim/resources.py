@@ -29,6 +29,8 @@ from repro.sim.sync import EventFlag, Semaphore
 class Resource:
     """Blocking multi-server resource for process-level models."""
 
+    __slots__ = ("engine", "name", "_sem", "total_acquisitions")
+
     def __init__(self, engine: "Engine", servers: int = 1, name: str = "res"):
         self.engine = engine
         self.name = name

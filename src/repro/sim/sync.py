@@ -18,6 +18,8 @@ class EventFlag:
     value.  ``reset()`` re-arms the flag.
     """
 
+    __slots__ = ("engine", "name", "_waiters", "_set", "_value")
+
     def __init__(self, engine: "Engine", name: str = "event"):
         self.engine = engine
         self.name = name
@@ -73,6 +75,8 @@ class Barrier:
     checkpoints.
     """
 
+    __slots__ = ("engine", "name", "parties", "generation", "_flag", "_arrived")
+
     def __init__(self, engine: "Engine", parties: int, name: str = "barrier"):
         if parties <= 0:
             raise ValueError("barrier needs at least one party")
@@ -123,6 +127,8 @@ class MemberBarrier:
     two phases of the same episode.
     """
 
+    __slots__ = ("engine", "name", "expected", "generation", "_arrived", "_flag")
+
     def __init__(self, engine: "Engine", members, name: str = "mbarrier"):
         members = set(members)
         if not members:
@@ -171,6 +177,8 @@ class MemberBarrier:
 
 class Semaphore:
     """Counting semaphore; ``acquire()`` returns a waitable flag."""
+
+    __slots__ = ("engine", "name", "_tokens", "_queue")
 
     def __init__(self, engine: "Engine", tokens: int = 1, name: str = "sem"):
         if tokens < 0:

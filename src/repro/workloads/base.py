@@ -19,7 +19,8 @@ through :meth:`Workload._alloc_private` / :meth:`Workload._alloc_shared`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 _MASK64 = (1 << 64) - 1
 
@@ -33,9 +34,13 @@ def mix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
-@dataclass(frozen=True)
-class Reference:
-    """One memory reference of one process."""
+class Reference(NamedTuple):
+    """One memory reference of one process.
+
+    A NamedTuple rather than a dataclass: streams materialise one of
+    these per reference, so C-speed construction matters (it is the
+    same immutable attribute API either way).
+    """
 
     think: int       # non-memory instruction cycles preceding the access
     is_write: bool
@@ -76,18 +81,23 @@ class WorkloadProfile:
 class ReferenceStream:
     """The reference stream of one process, with checkpointable position."""
 
+    __slots__ = ("workload", "proc_id", "n_refs", "position", "_ref_at")
+
     def __init__(self, workload: "Workload", proc_id: int, n_refs: int):
         self.workload = workload
         self.proc_id = proc_id
         self.n_refs = n_refs
         self.position = 0
+        # bound-method cache: next_ref is called once per simulated
+        # reference, and workloads never rebind ref_at
+        self._ref_at = workload.ref_at
 
     def next_ref(self) -> Reference | None:
-        if self.position >= self.n_refs:
+        position = self.position
+        if position >= self.n_refs:
             return None
-        ref = self.workload.ref_at(self.proc_id, self.position)
-        self.position += 1
-        return ref
+        self.position = position + 1
+        return self._ref_at(self.proc_id, position)
 
     def rewind_to(self, position: int) -> None:
         if not (0 <= position <= self.n_refs):
@@ -134,6 +144,11 @@ class Workload(abc.ABC):
         self.page_bytes = page_bytes
         self._cursor = 0            # allocation cursor (bytes)
         self.shared_base: int | None = None
+        # hot-path memo tables (pure-function results only, so they
+        # cannot perturb determinism): salt -> mix64(seed mix),
+        # (proc, salt) -> (block, per-block hash)
+        self._salt_memo: dict[int, int] = {}
+        self._block_memo: dict[tuple[int, int], tuple[int, int]] = {}
 
     # -- layout helpers ---------------------------------------------------
 
@@ -171,9 +186,19 @@ class Workload(abc.ABC):
     # -- randomness helpers --------------------------------------------------
 
     def _hash(self, proc: int, index: int, salt: int) -> int:
-        return mix64(
-            mix64(self.seed * 0x1F1F1F1F + salt) ^ (proc << 40) ^ index
-        )
+        # equal to mix64(mix64(seed * 0x1F1F1F1F + salt) ^ (proc << 40)
+        # ^ index) with the inner mix memoized per salt (it depends on
+        # nothing else) and the outer finalizer inlined — this is the
+        # single hottest function of a simulation run
+        memo = self._salt_memo
+        base = memo.get(salt)
+        if base is None:
+            base = memo[salt] = mix64(self.seed * 0x1F1F1F1F + salt)
+        x = base ^ (proc << 40) ^ index
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return x ^ (x >> 31)
 
     def _pick_addr(
         self,
@@ -193,13 +218,40 @@ class Workload(abc.ABC):
         block.  Small windows give cache-resident behaviour; large
         windows stream through the region.
         """
-        n_items = max(1, size_bytes // self.item_bytes)
+        item_bytes = self.item_bytes
+        n_items = size_bytes // item_bytes
+        if n_items < 1:
+            n_items = 1
         block = index // block_len
-        h = self._hash(proc, index, salt)
-        slot = h % min(window_items, n_items)
-        item = mix64(self._hash(proc, block, salt ^ 0x5A5A) + slot) % n_items
-        offset = (h >> 32) % self.item_bytes
-        return base + item * self.item_bytes + (offset & ~0x3)
+        # inlined self._hash(proc, index, salt) — see _hash for the memo
+        memo = self._salt_memo
+        base_mix = memo.get(salt)
+        if base_mix is None:
+            base_mix = memo[salt] = mix64(self.seed * 0x1F1F1F1F + salt)
+        x = base_mix ^ (proc << 40) ^ index
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        h = x ^ (x >> 31)
+        slot = h % (window_items if window_items < n_items else n_items)
+        # the block hash is constant across a whole block of indices;
+        # streams advance (nearly) monotonically, so one memo slot per
+        # (proc, salt) catches almost every call
+        memo = self._block_memo
+        key = (proc, salt)
+        cached = memo.get(key)
+        if cached is not None and cached[0] == block:
+            bh = cached[1]
+        else:
+            bh = self._hash(proc, block, salt ^ 0x5A5A)
+            memo[key] = (block, bh)
+        # inlined mix64(bh + slot)
+        x = (bh + slot + 0x9E3779B97F4A7C15) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        item = (x ^ (x >> 31)) % n_items
+        offset = (h >> 32) % item_bytes
+        return base + item * item_bytes + (offset & ~0x3)
 
     # -- the stream -----------------------------------------------------------
 

@@ -25,7 +25,9 @@ Full-scale stream lengths derive from the Table 3 instruction counts;
 
 from __future__ import annotations
 
-from repro.workloads.base import Reference, Workload, mix64
+from repro.workloads.base import _MASK64, Reference, Workload, mix64
+
+_tuple_new = tuple.__new__
 
 
 class _CalibratedWorkload(Workload):
@@ -37,6 +39,53 @@ class _CalibratedWorkload(Workload):
     write_density: float
     shared_read_density: float
     shared_write_density: float
+
+    def __init__(self, n_procs: int, scale: float = 1.0, seed: int = 2026, **kw):
+        super().__init__(n_procs, scale=scale, seed=seed, **kw)
+        # Per-reference draws compare a 20-bit hash field against the
+        # Table 3 probabilities.  ``m / 2**20 < p`` is exactly
+        # ``m < p * 2**20`` (scaling a float by a power of two only
+        # shifts its exponent; the integer side is exact either way), so
+        # the thresholds are hoisted out of ref_at with bit-identical
+        # outcomes and the per-call divisions disappear.
+        self._w_thresh = self._p_write * float(1 << 20)
+        self._sw_thresh = self._p_shared_write * float(1 << 20)
+        self._sr_thresh = self._p_shared_read * float(1 << 20)
+        mean_think = self._mean_think
+        self._think_whole = int(mean_think)
+        # same power-of-two argument for the 16-bit think dither
+        self._think_thresh = (mean_think - self._think_whole) * 65536.0
+        self._rpp = self.refs_per_proc()
+        self._write_window_cached = self._scale_to_procs(self.WRITE_WINDOW_ITEMS, 3)
+        # ref_at's two per-reference hashes, with their per-salt seed
+        # mixes hoisted (identical to Workload._hash with these salts)
+        self._h_ref_base = mix64(seed * 0x1F1F1F1F + 0xA11)
+        self._h_think_base = mix64(seed * 0x1F1F1F1F + 0xD17E)
+        # private-region _pick_addr constants need the layout, which the
+        # subclass builds after this __init__ — filled on first ref_at
+        self._priv_ready = False
+
+    def _init_priv_consts(self) -> None:
+        """Region-constant pieces of ``_pick_addr`` over the private
+        region, hoisted so ``ref_at`` can inline the private-address
+        computation (bit-identical to calling ``_pick_addr``)."""
+        item_bytes = self.item_bytes
+        n_items = self._private_bytes // item_bytes
+        if n_items < 1:
+            n_items = 1
+        self._priv_n_items = n_items
+        ww = self._write_window_cached
+        self._pw_window = ww if ww < n_items else n_items
+        self._pr_window = 48 if 48 < n_items else n_items
+        seed_mix = self.seed * 0x1F1F1F1F
+        self._h_pw = mix64(seed_mix + 0x9122)       # write ref hash base
+        self._h_pr = mix64(seed_mix + 0x9121)       # read ref hash base
+        self._h_pwb = mix64(seed_mix + (0x9122 ^ 0x5A5A))  # write block base
+        self._h_prb = mix64(seed_mix + (0x9121 ^ 0x5A5A))  # read block base
+        self._pw_blklen = self.WRITE_BLOCK_LEN
+        self._pw_blocks: dict[int, tuple[int, int]] = {}  # proc -> (block, bh)
+        self._pr_blocks: dict[int, tuple[int, int]] = {}
+        self._priv_ready = True
 
     def __post_layout(self) -> None:  # pragma: no cover - helper contract
         pass
@@ -75,22 +124,73 @@ class _CalibratedWorkload(Workload):
         return cached
 
     def ref_at(self, proc: int, index: int) -> Reference:
-        h = self._hash(proc, index, 0xA11)
-        is_write = (h & 0xFFFFF) / float(1 << 20) < self._p_write
+        # two inlined SplitMix64 finalizers (== _hash(proc, index,
+        # 0xA11) and _hash(proc, index, 0xD17E)): this is the innermost
+        # per-reference work of every simulation
+        pi = (proc << 40) ^ index
+        x = self._h_ref_base ^ pi
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        h = x ^ (x >> 31)
+        is_write = (h & 0xFFFFF) < self._w_thresh
         h_class = (h >> 20) & 0xFFFFF
         if is_write:
-            shared = h_class / float(1 << 20) < self._p_shared_write
+            shared = h_class < self._sw_thresh
         else:
-            shared = h_class / float(1 << 20) < self._p_shared_read
+            shared = h_class < self._sr_thresh
         if shared:
             addr = self._shared_addr(proc, index, is_write, h >> 40)
         else:
-            addr = self._private_addr(proc, index, is_write, h >> 40)
-        return Reference(
-            think=self._think(proc, index, self._mean_think),
-            is_write=is_write,
-            addr=addr,
-        )
+            # the private-region _pick_addr fully inlined (region
+            # geometry is workload-constant, precomputed once); every
+            # arithmetic step mirrors Workload._pick_addr exactly
+            if not self._priv_ready:
+                self._init_priv_consts()
+            if is_write:
+                block = index // self._pw_blklen
+                window = self._pw_window
+                memo = self._pw_blocks
+                x = self._h_pw ^ pi
+                blk_base = self._h_pwb
+            else:
+                block = index >> 12  # // 4096
+                window = self._pr_window
+                memo = self._pr_blocks
+                x = self._h_pr ^ pi
+                blk_base = self._h_prb
+            x = (x + 0x9E3779B97F4A7C15) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            hp = x ^ (x >> 31)
+            cached = memo.get(proc)
+            if cached is not None and cached[0] == block:
+                bh = cached[1]
+            else:
+                x = blk_base ^ (proc << 40) ^ block
+                x = (x + 0x9E3779B97F4A7C15) & _MASK64
+                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+                bh = x ^ (x >> 31)
+                memo[proc] = (block, bh)
+            x = (bh + hp % window + 0x9E3779B97F4A7C15) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            item_bytes = self.item_bytes
+            addr = (
+                self._private[proc]
+                + ((x ^ (x >> 31)) % self._priv_n_items) * item_bytes
+                + ((hp >> 32) % item_bytes & ~0x3)
+            )
+        # inlined Workload._think against the hoisted dither threshold
+        x = self._h_think_base ^ pi
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        ht = x ^ (x >> 31)
+        think = self._think_whole + (1 if (ht & 0xFFFF) < self._think_thresh else 0)
+        # bypass the namedtuple __new__ shim (== Reference(think, ...))
+        return _tuple_new(Reference, (think, is_write, addr))
 
     # -- subclass hooks ----------------------------------------------------
 
@@ -113,7 +213,7 @@ class _CalibratedWorkload(Workload):
 
     @property
     def _write_window(self) -> int:
-        return self._scale_to_procs(self.WRITE_WINDOW_ITEMS, 3)
+        return self._write_window_cached
 
     def _private_addr(self, proc: int, index: int, is_write: bool, h: int) -> int:
         if is_write:
@@ -122,18 +222,12 @@ class _CalibratedWorkload(Workload):
                 self._private_bytes,
                 proc,
                 index,
-                salt=0x9122,
-                block_len=self.WRITE_BLOCK_LEN,
-                window_items=self._write_window,
+                0x9122,
+                self.WRITE_BLOCK_LEN,
+                self._write_window_cached,
             )
         return self._pick_addr(
-            self._private[proc],
-            self._private_bytes,
-            proc,
-            index,
-            salt=0x9121,
-            block_len=4096,
-            window_items=48,
+            self._private[proc], self._private_bytes, proc, index, 0x9121, 4096, 48
         )
 
     def _shared_addr(self, proc: int, index: int, is_write: bool, h: int) -> int:
@@ -173,7 +267,7 @@ class BarnesHut(_CalibratedWorkload):
         self._bodies = self._alloc_shared(self._bodies_bytes)
 
     def _iteration(self, proc: int, index: int) -> int:
-        return index * self._ITERATIONS // self.refs_per_proc()
+        return index * self._ITERATIONS // self._rpp
 
     def _shared_addr(self, proc: int, index: int, is_write: bool, h: int) -> int:
         iteration = self._iteration(proc, index)
@@ -242,12 +336,12 @@ class Cholesky(_CalibratedWorkload):
         # matrix provides dozens of panels for the pipeline
         self._panel_bytes = 2048
         self._n_panels = max(2, self._matrix_bytes // self._panel_bytes)
-
-    def _phase(self, index: int) -> int:
         # panels complete at the factorisation's pace: never faster than
         # one panel per ~4k references, at most two passes per run
-        n_phases = max(2, min(self._n_panels * 2, self.refs_per_proc() // 4096))
-        return index * n_phases // max(1, self.refs_per_proc())
+        self._n_phases = max(2, min(self._n_panels * 2, self._rpp // 4096))
+
+    def _phase(self, index: int) -> int:
+        return index * self._n_phases // max(1, self._rpp)
 
     def _panel_addr(
         self, panel: int, proc: int, index: int, salt: int, window_items: int = 40
@@ -310,7 +404,7 @@ class Mp3d(_CalibratedWorkload):
         self._space = self._alloc_shared(self._space_bytes)
 
     def _step(self, index: int) -> int:
-        return index * self._STEPS // max(1, self.refs_per_proc())
+        return index * self._STEPS // max(1, self._rpp)
 
     def _shared_addr(self, proc: int, index: int, is_write: bool, h: int) -> int:
         step = self._step(index)
@@ -377,7 +471,7 @@ class Water(_CalibratedWorkload):
         self._forces = self._alloc_shared(self._forces_bytes)
 
     def _shared_addr(self, proc: int, index: int, is_write: bool, h: int) -> int:
-        iteration = index * self._ITERATIONS // max(1, self.refs_per_proc())
+        iteration = index * self._ITERATIONS // max(1, self._rpp)
         n_items = self._forces_bytes // self.item_bytes
         slice_items = max(1, n_items // self.n_procs)
         if h % 100 < 80:

@@ -274,3 +274,62 @@ def test_full_run_bit_identical_under_inert_transport_knobs():
     a.pop("config")
     b.pop("config")
     assert a == b
+
+
+# -- cancellable retransmission timers ---------------------------------
+
+
+def test_retry_timers_are_armed_and_always_cancelled():
+    """With an engine wired, every retry attempt arms a real
+    retransmission timer, and every timer is cancelled before it can
+    fire: the lossy retry traffic adds *zero* dispatched events."""
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    transport = make_transport(TransportConfig(loss_rate=0.3), seed=11)
+    transport.engine = engine
+    dispatched_before = engine.events_dispatched
+
+    for i in range(40):
+        transport.transfer(0, 5, 32, Subnet.REQUEST, depart=engine.now + i)
+    assert transport.stats.transport_timeouts > 0  # losses actually hit
+    assert transport.timers_armed > 40  # >1 attempt somewhere
+
+    # timers for resolved transfers are tombstoned; draining the clock
+    # past every deadline must dispatch none of them
+    engine.run()
+    assert engine.events_dispatched == dispatched_before
+    assert transport.timers_fired == 0
+    assert engine.idle()
+
+
+def test_timers_cancelled_on_abandonment_too():
+    """The timer of the final (abandoned) attempt is cancelled as well:
+    a NodeUnavailable escalation leaks no pending event."""
+    from repro.coherence.standard import NodeUnavailable
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    transport = make_transport(TransportConfig(loss_rate=1.0,
+                                               abandon_attempts=3))
+    transport.engine = engine
+    with pytest.raises(NodeUnavailable):
+        transport.transfer(0, 5, 8, Subnet.REQUEST, depart=0)
+    assert transport.timers_armed == 3
+    engine.run()
+    assert engine.events_dispatched == 0
+    assert transport.timers_fired == 0
+    assert engine.idle()
+
+
+def test_no_timers_without_engine_or_faults():
+    """Timer arming is pay-for-use: none on the pass-through path, none
+    when no engine is wired."""
+    clean = make_transport()
+    clean.engine = None
+    clean.transfer(0, 5, 32, Subnet.REQUEST, depart=0)
+    assert clean.timers_armed == 0
+
+    lossy = make_transport(TransportConfig(loss_rate=0.5), seed=3)
+    lossy.transfer(0, 5, 32, Subnet.REQUEST, depart=0)  # engine is None
+    assert lossy.timers_armed == 0

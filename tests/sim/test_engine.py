@@ -156,9 +156,161 @@ def test_zero_delay_runs_at_current_time():
     assert times == [5]
 
 
-def test_float_delay_truncated_to_int():
+def test_non_integral_float_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError, match="non-integral"):
+        engine.schedule(2.9, lambda: None)
+    with pytest.raises(SimulationError, match="non-integral"):
+        engine.schedule_at(2.9, lambda: None)
+
+
+def test_integral_float_delay_accepted():
     engine = Engine()
     times = []
-    engine.schedule(2.9, lambda: times.append(engine.now))
+    engine.schedule(3.0, lambda: times.append(engine.now))
     engine.run()
-    assert times == [2]
+    assert times == [3]
+
+
+# -- batching edge cases ---------------------------------------------------
+
+
+def test_same_cycle_fifo_across_sources():
+    """A same-timestamp batch interleaves heap entries and zero-delay
+    work scheduled *by* the batch in strict schedule (FIFO) order."""
+    engine = Engine()
+    log = []
+    engine.schedule_at(5, lambda: (log.append("a"),
+                                   engine.schedule(0, lambda: log.append("a0"))))
+    engine.schedule_at(5, lambda: (log.append("b"),
+                                   engine.schedule_at(5, lambda: log.append("b0"))))
+    engine.schedule_at(5, lambda: log.append("c"))
+    engine.run()
+    # heap entries at t=5 first (lower seq), then the zero-delay work in
+    # the order it was scheduled
+    assert log == ["a", "b", "c", "a0", "b0"]
+    assert engine.now == 5
+
+
+def test_until_exactly_on_batch_boundary():
+    """``until`` equal to a batch's timestamp dispatches that whole
+    batch; the next batch (strictly later) stays pending."""
+    engine = Engine()
+    log = []
+    for tag in ("x", "y"):
+        engine.schedule_at(10, lambda tag=tag: log.append(tag))
+    engine.schedule_at(11, lambda: log.append("late"))
+    engine.run(until=10)
+    assert log == ["x", "y"]
+    assert engine.now == 10
+    assert engine.pending_events() == 1
+    engine.run()
+    assert log == ["x", "y", "late"]
+
+
+def test_max_events_splits_a_same_timestamp_batch():
+    """``max_events`` can stop mid-batch; a later run resumes the rest
+    of the batch at the same timestamp in FIFO order."""
+    engine = Engine()
+    log = []
+    for i in range(5):
+        engine.schedule_at(7, lambda i=i: log.append(i))
+    engine.run(max_events=2)
+    assert log == [0, 1]
+    assert engine.now == 7
+    assert engine.pending_events() == 3
+    engine.run()
+    assert log == [0, 1, 2, 3, 4]
+    assert engine.now == 7
+
+
+def test_max_events_splits_batch_with_zero_delay_work():
+    """Stopping mid-batch must not lose zero-delay work scheduled by
+    the dispatched prefix (it is flushed back onto the heap)."""
+    engine = Engine()
+    log = []
+    engine.schedule_at(3, lambda: (log.append("a"),
+                                   engine.schedule(0, lambda: log.append("a0"))))
+    engine.schedule_at(3, lambda: log.append("b"))
+    engine.run(max_events=2)
+    assert log == ["a", "b"]
+    assert engine.pending_events() == 1
+    engine.run()
+    assert log == ["a", "b", "a0"]
+    assert engine.now == 3
+
+
+# -- cancellable events ----------------------------------------------------
+
+
+def test_cancelled_event_never_fires_and_is_uncounted():
+    """A cancelled timer does not fire when its time is reached, does
+    not count as dispatched, and the clock still advances past it."""
+    engine = Engine()
+    log = []
+    handle = engine.schedule_cancellable(5, lambda: log.append("timer"))
+    engine.schedule_at(9, lambda: log.append("later"))
+    assert handle.active and handle.time == 5
+    assert handle.cancel() is True
+    assert not handle.active
+    assert handle.cancel() is False  # idempotent
+    engine.run()
+    assert log == ["later"]
+    assert engine.events_dispatched == 1
+    assert engine.now == 9
+
+
+def test_cancel_after_fire_reports_false():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_cancellable_at(2, lambda: fired.append(1))
+    engine.run()
+    assert fired == [1]
+    assert not handle.active
+    assert handle.cancel() is False
+    assert engine.events_dispatched == 1
+
+
+def test_pending_events_excludes_cancelled():
+    engine = Engine()
+    handles = [engine.schedule_cancellable(i + 1, lambda: None) for i in range(4)]
+    assert engine.pending_events() == 4
+    handles[1].cancel()
+    handles[2].cancel()
+    assert engine.pending_events() == 2
+    assert not engine.idle()
+
+
+def test_mass_cancellation_compacts_heap():
+    """Compaction reclaims the heap when tombstones dominate, without
+    disturbing live entries."""
+    engine = Engine()
+    live = []
+    keep = engine.schedule_cancellable(500, lambda: live.append("keep"))
+    handles = [engine.schedule_cancellable(i + 1, lambda: live.append("no"))
+               for i in range(200)]
+    for h in handles:
+        h.cancel()
+    # lazy deletion has bounded debt: tombstones no longer dominate
+    assert engine._cancelled <= len(engine._heap)
+    assert engine.pending_events() == 1
+    engine.run()
+    assert live == ["keep"]
+    assert keep.active is False
+    assert engine.now == 500
+
+
+def test_mid_run_compaction_keeps_future_events():
+    """Regression: a compaction triggered *during* dispatch (a callback
+    cancelling en masse) must not strand later events — the run loop
+    aliases the heap list, so compaction must rebuild it in place."""
+    engine = Engine()
+    log = []
+    handles = [engine.schedule_cancellable(100 + i, lambda: log.append("dead"))
+               for i in range(200)]
+    engine.schedule_at(50, lambda: [h.cancel() for h in handles])
+    engine.schedule_at(400, lambda: log.append("survivor"))
+    engine.run()
+    assert log == ["survivor"]
+    assert engine.now == 400
+    assert engine.idle()
