@@ -49,12 +49,16 @@ from repro.memory.states import ItemState, LineState
 from repro.workloads import (
     BarnesHut,
     Cholesky,
+    DATACENTER_WORKLOADS,
     Mp3d,
+    ScanAnalytics,
+    StreamingTraceWorkload,
     Water,
     Reference,
     SPLASH_WORKLOADS,
     TraceWorkload,
     Workload,
+    ZipfKV,
     make_workload,
 )
 
@@ -91,8 +95,12 @@ __all__ = [
     "Water",
     "Reference",
     "SPLASH_WORKLOADS",
+    "DATACENTER_WORKLOADS",
     "TraceWorkload",
+    "StreamingTraceWorkload",
     "Workload",
+    "ZipfKV",
+    "ScanAnalytics",
     "make_workload",
     "__version__",
 ]

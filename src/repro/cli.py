@@ -38,7 +38,7 @@ from repro.config import ArchConfig, PAPER_FREQUENCIES_HZ, PAPER_NODE_COUNTS
 from repro.fault.failures import FailurePlan
 from repro.machine import Machine
 from repro.stats.report import format_table
-from repro.workloads.splash import SPLASH_WORKLOADS, make_workload
+from repro.workloads.registry import WORKLOAD_FAMILIES, make_workload
 
 # Distinct nonzero exit codes, one per failure class (documented in
 # the module docstring and in ``repro --help``).
@@ -112,13 +112,34 @@ def _run_sweep_harness(sweep, args: argparse.Namespace):
     return report
 
 
+def _build_run_workload(args: argparse.Namespace):
+    """The workload `repro run` drives: a registered generator or a
+    streaming gzip trace replay (`run trace --trace PATH`)."""
+    if args.app == "trace":
+        if not args.trace:
+            raise ValueError("app 'trace' needs --trace PATH (a gzip stream trace)")
+        from repro.workloads.tracefile import load_stream_trace
+
+        return load_stream_trace(args.trace)
+    kw = {}
+    if args.app == "zipf":
+        kw = {"skew": args.skew, "keyspace_items": args.keyspace,
+              "write_fraction": args.write_mix}
+    elif args.app == "scan":
+        kw = {"stride_items": args.stride, "pressure_ratio": args.pressure}
+    return make_workload(
+        args.app, n_procs=args.nodes, scale=args.scale, seed=args.seed, **kw
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    cfg = ArchConfig(n_nodes=args.nodes, seed=args.seed)
+    wl = _build_run_workload(args)
+    n_nodes = wl.n_procs if args.app == "trace" else args.nodes
+    cfg = ArchConfig(n_nodes=n_nodes, seed=args.seed)
     if args.protocol == "ecp":
         cfg = cfg.with_ft(checkpoint_frequency_hz=args.frequency)
-    wl = make_workload(args.app, n_procs=args.nodes, scale=args.scale, seed=args.seed)
     print(
-        f"running {args.app} on a {args.nodes}-node COMA "
+        f"running {args.app} on a {n_nodes}-node COMA "
         f"({args.protocol}, scale={args.scale})..."
     )
     machine = Machine(cfg, wl, protocol=args.protocol)
@@ -459,13 +480,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="one simulation run")
-    run.add_argument("app", choices=sorted(SPLASH_WORKLOADS))
+    run.add_argument("app", choices=sorted(WORKLOAD_FAMILIES) + ["trace"])
     run.add_argument("--protocol", choices=("standard", "ecp"), default="ecp")
     run.add_argument("--nodes", type=int, default=16)
     run.add_argument("--frequency", type=float, default=100.0,
                      help="recovery points per second (ECP only)")
     run.add_argument("--scale", type=float, default=0.01)
     run.add_argument("--seed", type=int, default=2026)
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="gzip stream trace to replay (app 'trace' only; "
+                          "--nodes is taken from the trace header)")
+    run.add_argument("--skew", type=float, default=0.99,
+                     help="Zipf exponent of the key popularity (zipf only)")
+    run.add_argument("--keyspace", type=int, default=8192, metavar="KEYS",
+                     help="shared KV keyspace size in items (zipf only)")
+    run.add_argument("--write-mix", type=float, default=0.05, metavar="FRAC",
+                     help="fraction of KV operations that write (zipf only)")
+    run.add_argument("--stride", type=int, default=1, metavar="ITEMS",
+                     help="scan stride in items (scan only)")
+    run.add_argument("--pressure", type=float, default=4.0, metavar="RATIO",
+                     help="working-set to attraction-memory pressure ratio "
+                          "(scan only)")
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="reproduce Tables 1-3")
@@ -479,7 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
         "content-addressed result cache and journaled, so the sweep "
         "can run in parallel, survive being killed, and resume.",
     )
-    sweep.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
+    sweep.add_argument("--apps", nargs="*", choices=sorted(WORKLOAD_FAMILIES))
     sweep.add_argument(
         "--frequencies", nargs="*", type=float, default=list(PAPER_FREQUENCIES_HZ)
     )
@@ -495,14 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
         "8-11, with the same cache/journal/parallel machinery as "
         "`repro sweep`.",
     )
-    scale.add_argument("--apps", nargs="*", choices=sorted(SPLASH_WORKLOADS))
+    scale.add_argument("--apps", nargs="*", choices=sorted(WORKLOAD_FAMILIES))
     scale.add_argument("--nodes", nargs="*", type=int, default=list(PAPER_NODE_COUNTS))
     scale.add_argument("--frequency", type=float, default=100.0)
     _add_sweep_orchestration_args(scale)
     scale.set_defaults(func=_cmd_scale)
 
     recover = sub.add_parser("recover", help="failure injection demo")
-    recover.add_argument("app", choices=sorted(SPLASH_WORKLOADS))
+    recover.add_argument("app", choices=sorted(WORKLOAD_FAMILIES))
     recover.add_argument("--nodes", type=int, default=16)
     recover.add_argument("--scale", type=float, default=0.005)
     recover.add_argument("--fail-at", type=int, default=100_000)
@@ -531,7 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of independently seeded cells (default 200)")
     campaign.add_argument("--master-seed", type=int, default=2026,
                           help="seed deriving every cell (same seed = same campaign)")
-    campaign.add_argument("--app", choices=("private", "uniform", "migratory"),
+    campaign.add_argument("--app",
+                          choices=("private", "uniform", "migratory",
+                                   "zipf", "scan", "water"),
                           default="private")
     campaign.add_argument("--nodes", type=int, default=8)
     campaign.add_argument("--refs", type=int, default=2_500,

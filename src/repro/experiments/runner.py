@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.machine import RunResult
 from repro.orch.store import ResultStore, default_store
 from repro.orch.task import TaskSpec
-from repro.workloads.splash import SPLASH_WORKLOADS
+from repro.workloads.registry import WORKLOAD_FAMILIES
 
 
 CLOCK_HZ = 20_000_000
@@ -58,14 +58,14 @@ class ExperimentProfile:
 
     def period_refs(self, app: str, frequency_hz: float) -> int:
         """Reference-indexed period for one cell, after the cap."""
-        cls = SPLASH_WORKLOADS[app]
+        cls = WORKLOAD_FAMILIES[app]
         density = cls.read_density + cls.write_density
         paper = CLOCK_HZ / frequency_hz * density
         return int(min(paper, self.period_cap_refs))
 
     def compression_for(self, app: str, frequency_hz: float) -> float:
         """Frequency compression applied by the period cap (1 = none)."""
-        cls = SPLASH_WORKLOADS[app]
+        cls = WORKLOAD_FAMILIES[app]
         density = cls.read_density + cls.write_density
         paper = CLOCK_HZ / frequency_hz * density
         return max(1.0, paper / self.period_cap_refs)
@@ -75,7 +75,7 @@ class ExperimentProfile:
         refs_needed = (self.min_checkpoints + 0.5) * self.period_refs(
             app, frequency_hz
         )
-        cls = SPLASH_WORKLOADS[app]
+        cls = WORKLOAD_FAMILIES[app]
         fullscale_refs = (
             cls.instructions_millions
             * 1e6

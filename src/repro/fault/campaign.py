@@ -30,21 +30,44 @@ from repro.fault.failures import FailurePlan
 from repro.fault.outcomes import Outcome, RunOutcome, run_and_classify
 from repro.fault.triggers import LEADER, RANDOM, PhaseTrigger, attach_trigger_injector
 from repro.machine import TRIGGER_WINDOWS, Machine
+from repro.workloads.datacenter import ScanAnalytics, ZipfKV
+from repro.workloads.splash import Water
 from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShared
 
 #: Bump when the cell parameter surface changes incompatibly; old cache
-#: records then hash differently and are recomputed.
-CAMPAIGN_SPEC_VERSION = 2
+#: records then hash differently and are recomputed.  v3: outcomes grew
+#: checkpoint-pollution metrics, so v2 records (which would read back
+#: as all-zero pollution) are invalidated wholesale.
+CAMPAIGN_SPEC_VERSION = 3
 
 #: ``kind`` discriminator for campaign records in the result store.
 CAMPAIGN_RECORD_KIND = "campaign-cell"
 
-#: Workloads a campaign can drive (small synthetic generators: the
-#: campaign stresses the *fault* paths, not SPLASH realism).
+#: Workloads a campaign can drive: the small synthetic generators (the
+#: original fault-path stressors), the datacenter-traffic family, whose
+#: skewed/streaming access patterns pollute checkpoints very
+#: differently from the uniform stressors, and water as the SPLASH
+#: reference point (the paper's best case for the ECP).
 CAMPAIGN_WORKLOADS = {
     "private": PrivateOnly,
     "uniform": UniformShared,
     "migratory": MigratoryShared,
+    "zipf": ZipfKV,
+    "scan": ScanAnalytics,
+    "water": Water,
+}
+
+#: Campaign-sized parameter overrides.  Campaign machines run tiny
+#: attraction memories (512 KB/node) to keep cells fast; the datacenter
+#: generators' full-run defaults would not fit, and a COMA working set
+#: that exceeds total AM is an invalid machine, not a fault.
+CAMPAIGN_WORKLOAD_KW = {
+    "zipf": {"keyspace_items": 1024, "clients_per_proc": 8},
+    "scan": {"pressure_ratio": 2.0, "am_bytes": 128 * 1024},
+    # water's regions shrink with scale; 1/8 keeps the per-node private
+    # working set inside a campaign AM while the cell's refs_per_proc
+    # budget (not scale) sets the stream length
+    "water": {"scale": 0.125},
 }
 
 #: Per-cell targeting modes: purely timed (MTBF-only) or one trigger
@@ -344,8 +367,12 @@ def execute_campaign_payload(payload: dict) -> dict:
         reorder_rate=cell.reorder_rate,
         outage_rate=cell.outage_rate,
     )
+    # the cell seed drives the reference stream too, so cells vary in
+    # both fault timing and workload content (v3; v2 cells shared one
+    # stream per app)
     workload = CAMPAIGN_WORKLOADS[cell.app](
-        cell.n_nodes, refs_per_proc=cell.refs_per_proc
+        cell.n_nodes, refs_per_proc=cell.refs_per_proc, seed=cell.seed,
+        **CAMPAIGN_WORKLOAD_KW.get(cell.app, {}),
     )
     machine = Machine(
         cfg, workload,
@@ -380,6 +407,13 @@ class CampaignReport:
     total_rollback_refs: int = 0
     total_recoveries: int = 0
     total_recovery_cycles: int = 0
+    total_ckpt_bytes_replicated: int = 0
+    total_ckpt_items_replicated: int = 0
+    total_ckpt_items_reused: int = 0
+    #: workload class (splash/synthetic/datacenter/trace) -> aggregated
+    #: ECP metrics: checkpoint pollution, work lost, rollback distance,
+    #: recovery latency.
+    class_metrics: dict = field(default_factory=dict)
     total_failures_skipped: int = 0
     total_spurious_suspicions: int = 0
     total_transport_retries: int = 0
@@ -423,6 +457,12 @@ class CampaignReport:
             "total_rollback_refs": self.total_rollback_refs,
             "total_recoveries": self.total_recoveries,
             "total_recovery_cycles": self.total_recovery_cycles,
+            "total_ckpt_bytes_replicated": self.total_ckpt_bytes_replicated,
+            "total_ckpt_items_replicated": self.total_ckpt_items_replicated,
+            "total_ckpt_items_reused": self.total_ckpt_items_reused,
+            "class_metrics": {
+                cls: dict(metrics) for cls, metrics in self.class_metrics.items()
+            },
             "total_failures_skipped": self.total_failures_skipped,
             "total_spurious_suspicions": self.total_spurious_suspicions,
             "total_transport_retries": self.total_transport_retries,
@@ -466,6 +506,9 @@ class CampaignReport:
             ("recoveries", self.total_recoveries),
             ("mean recovery latency", f"{self.mean_recovery_latency():.0f} cycles"),
             ("work lost to rollbacks", f"{self.total_rollback_refs} refs"),
+            ("checkpoint pollution", f"{self.total_ckpt_bytes_replicated} bytes"),
+            ("ckpt items replicated", self.total_ckpt_items_replicated),
+            ("ckpt items reused", self.total_ckpt_items_reused),
             ("failures skipped", self.total_failures_skipped),
             ("spurious suspicions", self.total_spurious_suspicions),
             ("transport retries", self.total_transport_retries),
@@ -473,6 +516,22 @@ class CampaignReport:
             ("duplicates suppressed", self.total_transport_duplicates_suppressed),
             ("verdict", "OK" if self.ok else "DEFECTS FOUND"),
         ]))
+        if self.class_metrics:
+            lines.append(format_table(
+                ["class", "cells", "ckpt bytes", "work lost",
+                 "rollback dist", "recovery lat"],
+                [
+                    (
+                        cls,
+                        m.get("cells", 0),
+                        m.get("ckpt_bytes_replicated", 0),
+                        m.get("rollback_refs", 0),
+                        f"{m.get('mean_rollback_distance', 0.0):.0f} refs",
+                        f"{m.get('mean_recovery_latency', 0.0):.0f} cyc",
+                    )
+                    for cls, m in sorted(self.class_metrics.items())
+                ],
+            ))
         defect_cells = [
             c for c in self.cells
             if c["outcome"] in (Outcome.SIMULATOR_BUG.value, Outcome.STALLED.value)
@@ -576,9 +635,12 @@ class CampaignRunner:
                 say(f"FAILED   {cell.label()}: {error}")
 
         # -- aggregate ---------------------------------------------------
+        from repro.workloads.registry import workload_class_of
+
         counts: Counter = Counter()
         windows: Counter = Counter()
         triggers: dict[str, Counter] = {}
+        by_class: dict[str, Counter] = {}
         for cell in self.cells:
             outcome = outcomes.get(cell.index)
             if outcome is None:
@@ -593,6 +655,18 @@ class CampaignRunner:
             report.total_rollback_refs += outcome.rollback_refs
             report.total_recoveries += outcome.n_recoveries
             report.total_recovery_cycles += outcome.recovery_cycles
+            report.total_ckpt_bytes_replicated += outcome.ckpt_bytes_replicated
+            report.total_ckpt_items_replicated += outcome.ckpt_items_replicated
+            report.total_ckpt_items_reused += outcome.ckpt_items_reused
+            bucket = by_class.setdefault(workload_class_of(cell.app), Counter())
+            bucket["cells"] += 1
+            bucket["ckpt_bytes_replicated"] += outcome.ckpt_bytes_replicated
+            bucket["ckpt_items_replicated"] += outcome.ckpt_items_replicated
+            bucket["ckpt_items_reused"] += outcome.ckpt_items_reused
+            bucket["rollback_refs"] += outcome.rollback_refs
+            bucket["n_recoveries"] += outcome.n_recoveries
+            bucket["recovery_cycles"] += outcome.recovery_cycles
+            bucket["n_checkpoints"] += outcome.n_checkpoints
             report.total_failures_skipped += outcome.n_failures_skipped
             report.total_spurious_suspicions += outcome.spurious_suspicions
             report.total_transport_retries += outcome.transport_retries
@@ -622,6 +696,17 @@ class CampaignRunner:
         report.trigger_coverage = {
             window: dict(bucket) for window, bucket in triggers.items()
         }
+        for cls, bucket in by_class.items():
+            recoveries = bucket["n_recoveries"]
+            report.class_metrics[cls] = {
+                **{k: int(v) for k, v in bucket.items()},
+                "mean_rollback_distance": (
+                    bucket["rollback_refs"] / recoveries if recoveries else 0.0
+                ),
+                "mean_recovery_latency": (
+                    bucket["recovery_cycles"] / recoveries if recoveries else 0.0
+                ),
+            }
         if journal is not None:
             journal.run_completed({
                 "n_cells": report.n_cells,

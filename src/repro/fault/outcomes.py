@@ -82,6 +82,14 @@ class RunOutcome:
     recovery_cycles: int = 0
     permanently_dead: int = 0
 
+    # checkpoint-pollution metrics (ECP overhead the workload induces)
+    #: Bytes of checkpoint state replicated across nodes.
+    ckpt_bytes_replicated: int = 0
+    #: Items newly replicated at checkpoints.
+    ckpt_items_replicated: int = 0
+    #: Items whose existing shared replica was reused instead.
+    ckpt_items_reused: int = 0
+
     # reliable-transport metrics (zero on a reliable interconnect)
     transport_retries: int = 0
     transport_timeouts: int = 0
@@ -126,6 +134,9 @@ class RunOutcome:
             "rollback_refs": self.rollback_refs,
             "recovery_cycles": self.recovery_cycles,
             "permanently_dead": self.permanently_dead,
+            "ckpt_bytes_replicated": self.ckpt_bytes_replicated,
+            "ckpt_items_replicated": self.ckpt_items_replicated,
+            "ckpt_items_reused": self.ckpt_items_reused,
             "transport_retries": self.transport_retries,
             "transport_timeouts": self.transport_timeouts,
             "transport_retransmitted_flits": self.transport_retransmitted_flits,
@@ -158,6 +169,9 @@ def _collect_metrics(
     outcome.rollback_refs = stats.rollback_refs
     outcome.recovery_cycles = stats.recovery_cycles
     outcome.permanently_dead = len(machine._permanently_dead)
+    outcome.ckpt_bytes_replicated = stats.total("ckpt_bytes_replicated")
+    outcome.ckpt_items_replicated = stats.total("ckpt_items_replicated")
+    outcome.ckpt_items_reused = stats.total("ckpt_items_reused")
     outcome.transport_retries = stats.transport_retries
     outcome.transport_timeouts = stats.transport_timeouts
     outcome.transport_retransmitted_flits = stats.transport_retransmitted_flits

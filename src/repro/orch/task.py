@@ -123,7 +123,7 @@ class TaskSpec:
     def execute(self) -> "RunResult":
         """Run the cell to completion in this process."""
         from repro.machine import Machine
-        from repro.workloads.splash import make_workload
+        from repro.workloads.registry import make_workload
 
         workload = make_workload(
             self.app, n_procs=self.n_nodes, scale=self.scale, seed=self.seed

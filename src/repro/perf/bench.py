@@ -45,7 +45,7 @@ from repro.machine import Machine
 from repro.network.fabric import MeshFabric
 from repro.network.topology import Mesh, Subnet
 from repro.sim.engine import Engine
-from repro.workloads.splash import make_workload
+from repro.workloads.registry import make_workload
 
 #: Report schema version (bump on incompatible layout changes).
 SCHEMA = 1
@@ -256,9 +256,14 @@ def bench_fabric(n_transfers: int) -> BenchRow:
 
 
 def bench_end_to_end(
-    n_nodes: int, scale: float, key: str | None = None, repeats: int = 2
+    n_nodes: int,
+    scale: float,
+    key: str | None = None,
+    repeats: int = 2,
+    app: str = REFERENCE_APP,
 ) -> BenchRow:
-    """``Machine.run`` cycles/sec on the reference workload.
+    """``Machine.run`` cycles/sec on a registered workload (the
+    reference app by default).
 
     The row reports the best of ``repeats`` identical runs: the work is
     deterministic, so the wall-clock minimum is the standard estimator
@@ -273,7 +278,7 @@ def bench_end_to_end(
             checkpoint_frequency_hz=REFERENCE_FREQUENCY_HZ
         )
         wl = make_workload(
-            REFERENCE_APP, n_procs=n_nodes, scale=scale, seed=REFERENCE_SEED
+            app, n_procs=n_nodes, scale=scale, seed=REFERENCE_SEED
         )
         machine = Machine(cfg, wl, protocol="ecp")
         gc.collect()
@@ -290,7 +295,7 @@ def bench_end_to_end(
         value=result.total_cycles / wall if wall else 0.0,
         wall_seconds=wall,
         detail={
-            "app": REFERENCE_APP,
+            "app": app,
             "protocol": "ecp",
             "n_nodes": n_nodes,
             "scale": scale,
@@ -334,6 +339,19 @@ def run_suite(quick: bool = False, progress=None) -> BenchReport:
     rows.append(
         bench_end_to_end(REFERENCE_NODES, ref_scale, key="end_to_end_reference")
     )
+    # heavy-traffic rows: the datacenter generators stress the kernel
+    # differently — zipf concentrates coherence traffic on hot pages,
+    # scan streams misses through the attraction memory
+    for app in ("zipf", "scan"):
+        note(
+            f"end-to-end heavy traffic: {app} on {REFERENCE_NODES} nodes "
+            f"(scale {ref_scale})..."
+        )
+        rows.append(
+            bench_end_to_end(
+                REFERENCE_NODES, ref_scale, key=f"end_to_end_{app}", app=app
+            )
+        )
     return BenchReport(
         rows=rows, environment=environment_fingerprint(), quick=quick
     )

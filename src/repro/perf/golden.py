@@ -31,7 +31,7 @@ from pathlib import Path
 from repro.config import ArchConfig
 from repro.machine import Machine, RunResult
 from repro.orch.serialize import comparable_result_dict
-from repro.workloads.splash import make_workload
+from repro.workloads.registry import make_workload
 
 #: Where the committed digests live, relative to the repo root.
 GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "perf" / "golden"
@@ -75,6 +75,9 @@ class GoldenCell:
 GOLDEN_CELLS = (
     GoldenCell(name="water9_faultfree"),
     GoldenCell(name="water9_loss1pct", loss_rate=0.01),
+    # datacenter traffic: a skewed KV stream pins the hot-key coherence
+    # pattern (and the Zipf sampler's bit-exactness) the same way
+    GoldenCell(name="zipf9_faultfree", app="zipf"),
 )
 
 

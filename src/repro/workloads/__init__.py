@@ -16,18 +16,34 @@ back to a recovery point is just resetting its stream position.
 """
 
 from repro.workloads.base import Reference, ReferenceStream, Workload, WorkloadProfile
+from repro.workloads.datacenter import (
+    DATACENTER_WORKLOADS,
+    ScanAnalytics,
+    ZipfKV,
+)
 from repro.workloads.splash import (
     BarnesHut,
     Cholesky,
     Mp3d,
     Water,
     SPLASH_WORKLOADS,
+)
+from repro.workloads.registry import (
+    WORKLOAD_FAMILIES,
     make_workload,
+    workload_class_of,
+    workload_names,
 )
 from repro.workloads.synthetic import (
     UniformShared,
     MigratoryShared,
     PrivateOnly,
+)
+from repro.workloads.tracefile import (
+    StreamingTraceWorkload,
+    TraceFormatError,
+    load_stream_trace,
+    write_stream_trace,
 )
 from repro.workloads.traces import TraceWorkload, record_trace
 
@@ -41,10 +57,20 @@ __all__ = [
     "Mp3d",
     "Water",
     "SPLASH_WORKLOADS",
+    "DATACENTER_WORKLOADS",
+    "WORKLOAD_FAMILIES",
+    "ZipfKV",
+    "ScanAnalytics",
     "make_workload",
+    "workload_class_of",
+    "workload_names",
     "UniformShared",
     "MigratoryShared",
     "PrivateOnly",
     "TraceWorkload",
+    "StreamingTraceWorkload",
+    "TraceFormatError",
+    "load_stream_trace",
+    "write_stream_trace",
     "record_trace",
 ]

@@ -122,6 +122,11 @@ class Workload(abc.ABC):
 
     #: Human-readable application name.
     name: str = "workload"
+    #: Coarse family the workload belongs to (``splash``, ``synthetic``,
+    #: ``datacenter``, ``trace``); campaign reports aggregate their ECP
+    #: metrics per class so recovery behaviour can be compared across
+    #: workload shapes.
+    workload_class: str = "synthetic"
     #: Full-scale instruction count in millions (Table 3), for reporting.
     instructions_millions: float = 0.0
 

@@ -1,0 +1,375 @@
+"""Datacenter-traffic workloads: Zipf KV serving and scan analytics.
+
+The paper evaluates the ECP only on 1996 SPLASH kernels; the modern
+descendants of its fault-model (CXL resilience, RMA fault tolerance —
+see PAPERS.md) evaluate memory-resilience mechanisms under *datacenter*
+serving workloads, whose access statistics are nothing like SPLASH
+locality: key popularity is Zipf-skewed, read/write mixes are extreme,
+and working sets either concentrate on a tiny hot set or stream
+sequentially through tables much larger than any cache.  This module
+models both regimes as the same kind of deterministic,
+index-addressable reference stream the rest of the simulator runs on
+(see :mod:`repro.workloads.base`), so checkpoint pollution, rollback
+distance and recovery latency can be measured per workload *class*
+with the existing campaign machinery.
+
+Both generators are pure functions of ``(seed, proc, index)`` plus
+their constructor parameters: identical seeds replay bit-identical
+streams (campaign cells stay content-addressable and cacheable), and
+different seeds decorrelate every draw.
+
+Fault-model interaction, in brief:
+
+- :class:`ZipfKV` concentrates shared writes on a small hot set, so
+  recovery points stay cheap (few Inv-CK copies) but *every* rollback
+  hits hot, contended items — recovery latency is dominated by
+  re-replication of the hot set.
+- :class:`ScanAnalytics` streams a table through the attraction
+  memories; checkpoint-create scans race the sweep front, recovery
+  data volume tracks the dirty window, and memory pressure (table
+  larger than the AMs) maximises checkpoint pollution via displaced
+  recovery copies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import gcd
+
+from repro.workloads.base import Reference, Workload
+
+#: 53-bit uniform resolution for CDF inversion (matches double mantissa).
+_U53 = float(1 << 53)
+
+
+def zipf_cdf(n_keys: int, skew: float) -> list[float]:
+    """Cumulative distribution of a Zipf(``skew``) law over ranks
+    ``1..n_keys`` (``skew == 0`` degenerates to the uniform law).
+
+    Returned as a monotone list ``cdf[r] = P(rank <= r + 1)`` with
+    ``cdf[-1] == 1.0``; sample by inverting with ``bisect_left``.
+    """
+    if n_keys < 1:
+        raise ValueError("need at least one key")
+    if skew < 0:
+        raise ValueError("Zipf skew must be non-negative")
+    if skew == 0.0:
+        return [(r + 1) / n_keys for r in range(n_keys)]
+    weights = [1.0 / float(r + 1) ** skew for r in range(n_keys)]
+    total = sum(weights)
+    cdf: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    cdf[-1] = 1.0  # guard against float round-down at the tail
+    return cdf
+
+
+def _coprime_step(n: int, seed_hash: int) -> int:
+    """A seed-derived multiplier coprime with ``n`` (so
+    ``rank -> rank * step % n`` is a permutation)."""
+    step = (seed_hash % n) | 1
+    while gcd(step, n) != 1:
+        step = (step + 2) % n or 1
+    return step
+
+
+class ZipfKV(Workload):
+    """Zipfian key-value serving: many concurrent client sessions per
+    processor hammering a shared store with skewed key popularity.
+
+    Each processor models ``clients_per_proc`` concurrent users
+    (request streams are interleaved round-robin, so a machine of
+    ``n_procs`` processors serves ``n_procs * clients_per_proc``
+    simulated users).  Every reference is either
+
+    - a **KV operation** on the shared store: the key is drawn from a
+      Zipf(``skew``) law over ``keyspace_items`` keys and is a write
+      (put/update) with probability ``write_fraction``, else a read
+      (get); or
+    - a **session touch** (probability ``session_fraction``): a
+      read/write of the issuing client's private session state
+      (request parsing, connection buffers) — private data the ECP
+      never replicates.
+
+    Key ranks are scattered over the store's address range by a
+    seed-derived permutation, so popularity is *not* correlated with
+    spatial locality (adjacent hot keys would otherwise share pages
+    and understate injection traffic).
+
+    Parameters
+    ----------
+    skew:
+        Zipf exponent ``s``; 0 is uniform, 0.99 is the YCSB default,
+        higher concentrates traffic further onto the head.
+    keyspace_items:
+        Number of distinct keys in the shared store (one item each).
+    write_fraction:
+        Probability a reference is a write — applied to KV ops and
+        session touches alike, so the stream-wide read/write mix
+        equals the configured mix (statistically validated in
+        ``tests/workloads/``).
+    clients_per_proc:
+        Concurrent client sessions per processor.
+    session_fraction:
+        Fraction of references that touch private session state
+        instead of the shared store.
+    refs_per_proc:
+        Explicit stream length (campaign-style); when ``None`` the
+        length derives from ``instructions_millions`` and ``scale``
+        exactly like the SPLASH generators (sweep-style).
+
+    Fault-model interaction: shared writes concentrate on the Zipf
+    head, so recovery points replicate a small, hot set of items —
+    cheap recovery points, but rollbacks replay contended traffic and
+    recovery re-replicates exactly the items every node wants.
+    """
+
+    name = "zipf-kv"
+    workload_class = "datacenter"
+    #: Nominal full-scale run length (sweep-style scaling only).
+    instructions_millions = 120.0
+    #: Densities used by the experiment profiles to convert recovery
+    #: point frequencies into reference-indexed periods (match the
+    #: default ``write_fraction`` / think time below).
+    read_density = 0.2375
+    write_density = 0.0125
+
+    def __init__(
+        self,
+        n_procs: int,
+        scale: float = 1.0,
+        seed: int = 2026,
+        refs_per_proc: int | None = None,
+        keyspace_items: int = 8192,
+        skew: float = 0.99,
+        write_fraction: float = 0.05,
+        clients_per_proc: int = 64,
+        session_fraction: float = 0.25,
+        session_items_per_client: int = 4,
+        **kw,
+    ):
+        super().__init__(n_procs, scale=scale, seed=seed, **kw)
+        if keyspace_items < 1:
+            raise ValueError("keyspace needs at least one key")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= session_fraction < 1.0:
+            raise ValueError("session_fraction must be in [0, 1)")
+        if clients_per_proc < 1:
+            raise ValueError("need at least one client per processor")
+        self.keyspace_items = keyspace_items
+        self.skew = skew
+        self.write_fraction = write_fraction
+        self.clients_per_proc = clients_per_proc
+        self.session_fraction = session_fraction
+        self.session_items_per_client = max(1, session_items_per_client)
+        self._n_refs = refs_per_proc
+        # private session state first (layout contract), then the store
+        session_bytes = (
+            self.clients_per_proc * self.session_items_per_client * self.item_bytes
+        )
+        self._session_bytes = max(session_bytes, self.item_bytes)
+        self._sessions = self._alloc_private(self._session_bytes)
+        self._store_bytes = keyspace_items * self.item_bytes
+        self._store = self._alloc_shared(self._store_bytes)
+        # Zipf inverse-CDF table + rank->item scatter permutation, both
+        # pure functions of (seed, parameters): determinism holds
+        self._cdf = zipf_cdf(keyspace_items, skew)
+        step = _coprime_step(keyspace_items, self._hash(0, 0, 0x5EED) | 1)
+        offset = self._hash(0, 1, 0x5EED) % keyspace_items
+        self._perm = [
+            (r * step + offset) % keyspace_items for r in range(keyspace_items)
+        ]
+        self._rank_of_item = [0] * keyspace_items
+        for rank, item in enumerate(self._perm):
+            self._rank_of_item[item] = rank
+        # hoisted thresholds (20-bit hash fields, exact — see splash.py)
+        self._wf_thresh = write_fraction * float(1 << 20)
+        self._sf_thresh = session_fraction * float(1 << 20)
+        self._mean_think = max(
+            0.0, 1.0 / (self.read_density + self.write_density) - 1.0
+        )
+
+    @property
+    def reference_density(self) -> float:
+        return self.read_density + self.write_density
+
+    def refs_per_proc(self) -> int:
+        if self._n_refs is not None:
+            return self._n_refs
+        total = self.instructions_millions * 1e6 * self.reference_density
+        return max(1, int(total * self.scale / self.n_procs))
+
+    # -- stream -----------------------------------------------------------
+
+    def rank_at(self, proc: int, index: int) -> int | None:
+        """Zipf rank (0 = hottest) of reference ``index``, or ``None``
+        for a session touch.  Used by the statistical test suite."""
+        h = self._hash(proc, index, 0x2B1)
+        if ((h >> 20) & 0xFFFFF) < self._sf_thresh:
+            return None
+        u = ((h >> 11) & ((1 << 53) - 1)) / _U53
+        return bisect_left(self._cdf, u)
+
+    def rank_of_addr(self, addr: int) -> int | None:
+        """Inverse of the key scatter: the Zipf rank stored at ``addr``
+        (``None`` for addresses outside the shared store)."""
+        if not self.is_shared_addr(addr):
+            return None
+        item = (addr - self._store) // self.item_bytes
+        if not 0 <= item < self.keyspace_items:
+            return None
+        return self._rank_of_item[item]
+
+    def ref_at(self, proc: int, index: int) -> Reference:
+        h = self._hash(proc, index, 0x2B1)
+        is_write = (h & 0xFFFFF) < self._wf_thresh
+        if ((h >> 20) & 0xFFFFF) < self._sf_thresh:
+            # session touch: this client's private state
+            client = index % self.clients_per_proc
+            slot = (h >> 40) % self.session_items_per_client
+            addr = (
+                self._sessions[proc]
+                + (client * self.session_items_per_client + slot) * self.item_bytes
+            )
+        else:
+            # KV op: invert the Zipf CDF, scatter rank over the store
+            u = ((h >> 11) & ((1 << 53) - 1)) / _U53
+            rank = bisect_left(self._cdf, u)
+            addr = self._store + self._perm[rank] * self.item_bytes
+        return Reference(
+            think=self._think(proc, index, self._mean_think),
+            is_write=is_write,
+            addr=addr,
+        )
+
+
+class ScanAnalytics(Workload):
+    """Scan-heavy analytics: sequential sweeps through a shared table
+    much larger than the attraction memories.
+
+    Each processor sweeps the whole table at a configurable item
+    ``stride``, starting from its own phase offset, so over time every
+    processor touches every page — the opposite of SPLASH partitioned
+    locality and the worst case for attraction-memory residency.  The
+    table size is expressed as a *memory-pressure ratio*: a working set
+    of ``pressure_ratio x am_bytes`` bytes, where ``am_bytes`` is the
+    per-node attraction-memory size the run is expected to use
+    (campaigns use 512 KB AMs; ``repro run`` defaults to 8 MB).  A
+    ratio > 1 forces continuous displacement of recovery copies —
+    checkpoint pollution in its purest form.
+
+    A small ``write_fraction`` of references are aggregation-buffer
+    writes to the processor's private accumulator (group-by state,
+    partial sums); the table itself is read-only, as in a warehouse
+    scan.  Setting ``table_writes=True`` instead directs writes at the
+    scan front (an in-place update sweep), which maximises Inv-CK
+    creation across the whole table.
+
+    Parameters
+    ----------
+    stride_items:
+        Items skipped per reference (1 = dense sequential scan; larger
+        strides model column projections and defeat page-grain reuse).
+    pressure_ratio:
+        Working-set size as a multiple of ``am_bytes``.
+    am_bytes:
+        Nominal per-node attraction-memory size used to size the table.
+    write_fraction:
+        Probability a reference is an accumulator (or, with
+        ``table_writes``, scan-front) write.
+    refs_per_proc:
+        Explicit stream length; ``None`` derives it from ``scale`` as
+        for the SPLASH generators.
+
+    Fault-model interaction: the sweep front dirties a moving window,
+    so recovery data volume tracks ``write_fraction`` x window size;
+    under pressure > 1 every checkpoint-create races displacement and
+    rollbacks re-scan cold data (long rollback distance, cheap items).
+    """
+
+    name = "scan-analytics"
+    workload_class = "datacenter"
+    instructions_millions = 90.0
+    read_density = 0.27
+    write_density = 0.03
+
+    def __init__(
+        self,
+        n_procs: int,
+        scale: float = 1.0,
+        seed: int = 2026,
+        refs_per_proc: int | None = None,
+        stride_items: int = 1,
+        pressure_ratio: float = 4.0,
+        am_bytes: int = 512 * 1024,
+        write_fraction: float = 0.1,
+        table_writes: bool = False,
+        accumulator_items: int = 64,
+        **kw,
+    ):
+        super().__init__(n_procs, scale=scale, seed=seed, **kw)
+        if stride_items < 1:
+            raise ValueError("stride must be at least one item")
+        if pressure_ratio <= 0:
+            raise ValueError("pressure ratio must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.stride_items = stride_items
+        self.pressure_ratio = pressure_ratio
+        self.am_bytes = am_bytes
+        self.write_fraction = write_fraction
+        self.table_writes = table_writes
+        self.accumulator_items = max(1, accumulator_items)
+        self._n_refs = refs_per_proc
+        self._acc_bytes = self.accumulator_items * self.item_bytes
+        self._acc = self._alloc_private(self._acc_bytes)
+        # the table scales with the workload scale (sweep semantics) but
+        # never below one page, and its *pressure* is the headline knob
+        self._table_bytes = self._scaled_bytes(int(pressure_ratio * am_bytes))
+        self._table = self._alloc_shared(self._table_bytes)
+        self._table_items = max(1, self._table_bytes // self.item_bytes)
+        self._wf_thresh = write_fraction * float(1 << 20)
+        self._mean_think = max(
+            0.0, 1.0 / (self.read_density + self.write_density) - 1.0
+        )
+
+    @property
+    def reference_density(self) -> float:
+        return self.read_density + self.write_density
+
+    def refs_per_proc(self) -> int:
+        if self._n_refs is not None:
+            return self._n_refs
+        total = self.instructions_millions * 1e6 * self.reference_density
+        return max(1, int(total * self.scale / self.n_procs))
+
+    def scan_item_at(self, proc: int, index: int) -> int:
+        """Table item under the scan front at reference ``index``
+        (phase-offset per processor, wrapping)."""
+        start = (proc * self._table_items) // max(1, self.n_procs)
+        return (start + index * self.stride_items) % self._table_items
+
+    def ref_at(self, proc: int, index: int) -> Reference:
+        h = self._hash(proc, index, 0x5CA7)
+        is_write = (h & 0xFFFFF) < self._wf_thresh
+        if is_write and not self.table_writes:
+            # aggregation state: private accumulator slot
+            slot = (h >> 24) % self.accumulator_items
+            addr = self._acc[proc] + slot * self.item_bytes
+        else:
+            addr = self._table + self.scan_item_at(proc, index) * self.item_bytes
+        return Reference(
+            think=self._think(proc, index, self._mean_think),
+            is_write=is_write,
+            addr=addr,
+        )
+
+
+#: The datacenter family, by registry name.
+DATACENTER_WORKLOADS: dict[str, type[Workload]] = {
+    "zipf": ZipfKV,
+    "scan": ScanAnalytics,
+}

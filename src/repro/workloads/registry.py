@@ -1,0 +1,90 @@
+"""The unified workload registry.
+
+One name -> class mapping across every generator family the simulator
+can drive by name — the four SPLASH applications (Table 3), the
+datacenter-traffic family (Zipf KV serving, scan analytics), and the
+small directed synthetic generators — plus the superset factory
+:func:`make_workload` used by the CLI, the sweep task model and the
+golden-digest harness.
+
+Every registered class carries ``read_density`` / ``write_density`` /
+``instructions_millions`` (used by the experiment profiles to convert
+recovery-point frequencies into reference-indexed periods and to size
+scaled runs) and a ``workload_class`` tag (``splash`` / ``datacenter``
+/ ``synthetic``) that campaign reports aggregate ECP metrics by.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.datacenter import DATACENTER_WORKLOADS, ScanAnalytics, ZipfKV
+from repro.workloads.splash import SPLASH_WORKLOADS
+from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShared
+
+#: Workloads addressable by name from ``repro run`` / ``sweep`` /
+#: ``scale`` / ``bench`` (they all take ``scale`` + ``seed``).
+WORKLOAD_FAMILIES: dict[str, type[Workload]] = {
+    **SPLASH_WORKLOADS,
+    **DATACENTER_WORKLOADS,
+}
+
+#: The small directed generators (campaigns also accept these; they
+#: have no calibrated densities, so sweeps do not).
+SYNTHETIC_WORKLOADS: dict[str, type[Workload]] = {
+    "private": PrivateOnly,
+    "uniform": UniformShared,
+    "migratory": MigratoryShared,
+}
+
+
+def workload_names() -> list[str]:
+    """Every name :func:`make_workload` accepts, sorted."""
+    return sorted(WORKLOAD_FAMILIES)
+
+
+def workload_class_of(name: str) -> str:
+    """The ECP-metric aggregation class of a registered workload."""
+    for registry in (WORKLOAD_FAMILIES, SYNTHETIC_WORKLOADS):
+        if name in registry:
+            return registry[name].workload_class
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def reference_density_of(name: str) -> float:
+    """Calibrated references-per-instruction of a named workload (the
+    experiment profiles' period arithmetic)."""
+    cls = WORKLOAD_FAMILIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown workload {name!r}; pick one of {workload_names()}"
+        )
+    return cls.read_density + cls.write_density
+
+
+def make_workload(
+    name: str, n_procs: int, scale: float = 1.0, seed: int = 2026, **kw
+) -> Workload:
+    """Factory over every named family (SPLASH + datacenter).
+
+    A superset of :func:`repro.workloads.splash.make_workload`: SPLASH
+    names build bit-identical workloads to the original factory, so
+    existing sweep cache keys stay valid.
+    """
+    cls = WORKLOAD_FAMILIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown workload {name!r}; pick one of {workload_names()}"
+        )
+    return cls(n_procs, scale=scale, seed=seed, **kw)
+
+
+__all__ = [
+    "WORKLOAD_FAMILIES",
+    "SYNTHETIC_WORKLOADS",
+    "ScanAnalytics",
+    "ZipfKV",
+    "make_workload",
+    "reference_density_of",
+    "workload_class_of",
+    "workload_names",
+]

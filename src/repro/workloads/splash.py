@@ -34,6 +34,8 @@ class _CalibratedWorkload(Workload):
     """Shared machinery: draw op and shared/private class from the
     Table 3 densities, then delegate address choice to the subclass."""
 
+    workload_class = "splash"
+
     # Table 3 densities, as fractions of instructions
     read_density: float
     write_density: float
@@ -41,7 +43,17 @@ class _CalibratedWorkload(Workload):
     shared_write_density: float
 
     def __init__(self, n_procs: int, scale: float = 1.0, seed: int = 2026, **kw):
+        # Optional stream-length override so calibrated workloads can
+        # join fixed-budget harnesses (fault campaigns give every cell
+        # the same refs_per_proc regardless of app).  Left unset, the
+        # length derives from instructions_millions * density * scale
+        # exactly as before.
+        refs_override = kw.pop("refs_per_proc", None)
         super().__init__(n_procs, scale=scale, seed=seed, **kw)
+        if refs_override is not None:
+            if int(refs_override) < 1:
+                raise ValueError("refs_per_proc must be >= 1")
+            self._refs_per_proc_cache = int(refs_override)
         # Per-reference draws compare a 20-bit hash field against the
         # Table 3 probabilities.  ``m / 2**20 < p`` is exactly
         # ``m < p * 2**20`` (scaling a float by a power of two only

@@ -16,6 +16,7 @@ class TraceWorkload(Workload):
     """A workload backed by explicit per-process reference lists."""
 
     name = "trace"
+    workload_class = "trace"
 
     def __init__(
         self,

@@ -1,0 +1,129 @@
+"""Campaign integration for the datacenter workload family.
+
+A small seeded Zipf campaign must run defect-free (zero SIMULATOR_BUG,
+zero STALLED), report the per-workload-class ECP metrics the family was
+added to measure, and resume warm from the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    build_cells,
+    execute_campaign_payload,
+)
+from repro.fault.outcomes import Outcome, RunOutcome
+from repro.orch.store import ResultStore
+
+
+def _small_config(app: str, seeds: int = 6) -> CampaignConfig:
+    return CampaignConfig(
+        seeds=seeds,
+        master_seed=7,
+        app=app,
+        n_nodes=8,
+        refs_per_proc=1_200,
+        mtbf_cycles=30_000,
+        period=5_000,
+        stall_budget=150_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_report(tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("zipf-campaign"))
+    cfg = _small_config("zipf")
+    runner = CampaignRunner(cfg, store=store)
+    report = runner.run()
+    return cfg, store, report
+
+
+class TestZipfCampaign:
+    def test_runs_defect_free(self, zipf_report):
+        _cfg, _store, report = zipf_report
+        assert report.ok, report.to_dict()
+        assert report.defects == 0
+        assert report.outcome_counts.get(Outcome.SIMULATOR_BUG.value, 0) == 0
+        assert report.outcome_counts.get(Outcome.STALLED.value, 0) == 0
+        assert not report.failed
+        assert report.executed == 6
+
+    def test_reports_datacenter_class_metrics(self, zipf_report):
+        _cfg, _store, report = zipf_report
+        assert set(report.class_metrics) == {"datacenter"}
+        metrics = report.class_metrics["datacenter"]
+        assert metrics["cells"] == 6
+        # the four ECP metrics the family exists to measure
+        for key in ("ckpt_bytes_replicated", "rollback_refs",
+                    "mean_rollback_distance", "mean_recovery_latency"):
+            assert key in metrics
+        # checkpoints ran, so pollution is nonzero
+        assert metrics["n_checkpoints"] > 0
+        assert metrics["ckpt_bytes_replicated"] > 0
+        # and the report serializes
+        as_dict = report.to_dict()
+        assert as_dict["class_metrics"]["datacenter"] == metrics
+        assert "checkpoint pollution" in report.format()
+
+    def test_resume_is_warm(self, zipf_report):
+        cfg, store, first = zipf_report
+        again = CampaignRunner(cfg, store=store).run(resume=True)
+        assert again.ok
+        assert again.from_cache == first.n_cells
+        assert again.executed == 0
+        # cached aggregation carries the same class metrics
+        assert again.class_metrics == first.class_metrics
+
+    def test_same_master_seed_same_cells(self, zipf_report):
+        cfg, _store, _report = zipf_report
+        keys_a = [cell.key for cell in build_cells(cfg)]
+        keys_b = [cell.key for cell in build_cells(cfg)]
+        assert keys_a == keys_b
+
+
+class TestScanCampaignCell:
+    def test_single_cell_executes_clean(self):
+        cfg = _small_config("scan", seeds=2)
+        for cell in build_cells(cfg):
+            outcome = RunOutcome.from_dict(
+                execute_campaign_payload(cell.to_dict())
+            )
+            assert not outcome.is_defect, outcome.detail
+            assert outcome.ckpt_bytes_replicated >= 0
+
+    def test_seed_varies_the_stream(self):
+        """v3 cells drive the workload from the cell seed: two cells of
+        one campaign produce different outcome metrics."""
+        cfg = _small_config("zipf", seeds=4)
+        cells = build_cells(cfg)
+        totals = {
+            execute_campaign_payload(cell.to_dict())["total_cycles"]
+            for cell in cells[:2]
+        }
+        assert len(totals) == 2
+
+
+class TestSplashCampaignCell:
+    def test_water_cell_executes_clean(self):
+        """SPLASH joins campaigns through the refs_per_proc override;
+        water cells run defect-free and report under class 'splash'
+        (the Zipf-vs-SPLASH comparison in EXPERIMENTS.md)."""
+        cfg = _small_config("water", seeds=2)
+        for cell in build_cells(cfg):
+            outcome = RunOutcome.from_dict(
+                execute_campaign_payload(cell.to_dict())
+            )
+            assert not outcome.is_defect, outcome.detail
+
+
+class TestWorkloadClassValidation:
+    def test_campaign_accepts_datacenter_apps(self):
+        for app in ("zipf", "scan", "water"):
+            CampaignConfig(seeds=1, app=app)
+
+    def test_campaign_rejects_unknown_app(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(seeds=1, app="nosuch")

@@ -1,0 +1,91 @@
+"""Validation of the scan-heavy analytics generator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.workloads.datacenter import ScanAnalytics
+
+
+class TestScanPattern:
+    def test_sequential_stride(self):
+        wl = ScanAnalytics(4, seed=3, refs_per_proc=5_000, stride_items=1)
+        for proc in range(4):
+            prev = wl.scan_item_at(proc, 0)
+            for index in range(1, 200):
+                item = wl.scan_item_at(proc, index)
+                assert item == (prev + 1) % wl._table_items
+                prev = item
+
+    @pytest.mark.parametrize("stride", [3, 17])
+    def test_configurable_stride(self, stride):
+        wl = ScanAnalytics(4, seed=3, refs_per_proc=5_000, stride_items=stride)
+        for index in range(200):
+            assert (
+                wl.scan_item_at(0, index)
+                == (index * stride) % wl._table_items
+            )
+
+    def test_phase_offsets_partition_the_table(self):
+        """Processors start their sweeps at distinct, evenly spaced
+        offsets so the front is spread over the table."""
+        wl = ScanAnalytics(8, seed=3, refs_per_proc=5_000)
+        starts = [wl.scan_item_at(p, 0) for p in range(8)]
+        assert len(set(starts)) == 8
+        assert starts == sorted(starts)
+
+    def test_full_table_coverage(self):
+        """One processor's sweep eventually touches every table item."""
+        wl = ScanAnalytics(
+            2, seed=3, refs_per_proc=5_000, pressure_ratio=1.0,
+            am_bytes=16 * 1024, stride_items=1,
+        )
+        touched = {wl.scan_item_at(0, i) for i in range(wl._table_items)}
+        assert len(touched) == wl._table_items
+
+    def test_pressure_ratio_sizes_table(self):
+        am = 64 * 1024
+        small = ScanAnalytics(2, refs_per_proc=10, pressure_ratio=1.0,
+                              am_bytes=am)
+        big = ScanAnalytics(2, refs_per_proc=10, pressure_ratio=4.0,
+                            am_bytes=am)
+        assert small._table_bytes == am
+        assert big._table_bytes == 4 * am
+
+
+class TestScanWrites:
+    def test_writes_hit_private_accumulator(self):
+        wl = ScanAnalytics(4, seed=7, refs_per_proc=10_000,
+                           write_fraction=0.2)
+        for proc in range(4):
+            for index in range(10_000):
+                ref = wl.ref_at(proc, index)
+                if ref.is_write:
+                    assert ref.addr < wl.shared_base
+                else:
+                    assert ref.addr >= wl.shared_base
+
+    def test_table_writes_mode_dirties_scan_front(self):
+        wl = ScanAnalytics(4, seed=7, refs_per_proc=10_000,
+                           write_fraction=0.2, table_writes=True)
+        shared_writes = 0
+        for index in range(10_000):
+            ref = wl.ref_at(0, index)
+            if ref.is_write:
+                assert ref.addr >= wl.shared_base
+                shared_writes += 1
+        assert shared_writes > 0
+
+    def test_write_mix(self):
+        frac = 0.1
+        wl = ScanAnalytics(8, seed=11, refs_per_proc=20_000,
+                           write_fraction=frac)
+        writes = total = 0
+        for proc in range(8):
+            for index in range(20_000):
+                total += 1
+                writes += wl.ref_at(proc, index).is_write
+        sigma = math.sqrt(frac * (1 - frac) / total)
+        assert abs(writes / total - frac) < 4 * sigma

@@ -1,0 +1,209 @@
+"""Statistical validation of the Zipf KV serving generator.
+
+Empirical distributions are tested against the *configured* ones with
+hand-rolled chi-square and Kolmogorov-Smirnov statistics (no scipy in
+the environment) at fixed seeds — the generators are deterministic, so
+these are exact regression tests with statistically-motivated bounds,
+not flaky hypothesis tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.workloads.datacenter import ScanAnalytics, ZipfKV, zipf_cdf
+from repro.workloads.registry import make_workload
+
+# chi-square critical values at alpha = 0.001 (overwhelming evidence
+# threshold: a correct sampler at a fixed seed sits far below these,
+# a mis-parameterized one far above)
+CHI2_CRIT = {9: 27.88, 19: 43.82, 20: 45.31, 31: 61.10, 49: 85.35}
+
+
+def _sample_ranks(wl: ZipfKV, refs_per_proc: int) -> list[int]:
+    ranks = []
+    for proc in range(wl.n_procs):
+        for index in range(refs_per_proc):
+            rank = wl.rank_at(proc, index)
+            if rank is not None:
+                ranks.append(rank)
+    return ranks
+
+
+def _chi_square(observed: list[int], expected: list[float]) -> float:
+    return sum(
+        (o - e) ** 2 / e for o, e in zip(observed, expected) if e > 0
+    )
+
+
+def _rank_histogram(ranks: list[int], n_keys: int, head: int) -> tuple:
+    """Counts for ranks 0..head-1 plus one tail bucket."""
+    counts = [0] * (head + 1)
+    for rank in ranks:
+        counts[rank if rank < head else head] += 1
+    return counts
+
+
+class TestZipfDistribution:
+    def test_cdf_shape(self):
+        cdf = zipf_cdf(1000, 0.99)
+        assert len(cdf) == 1000
+        assert cdf[-1] == 1.0
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        # head mass: with s=0.99 over 1000 keys the top key holds ~13%
+        assert 0.10 < cdf[0] < 0.20
+
+    def test_cdf_uniform_at_zero_skew(self):
+        cdf = zipf_cdf(100, 0.0)
+        for i, value in enumerate(cdf):
+            assert value == pytest.approx((i + 1) / 100)
+
+    def test_chi_square_empirical_vs_configured(self):
+        """Empirical rank frequencies match the configured Zipf pmf."""
+        skew, n_keys = 0.99, 2048
+        wl = ZipfKV(8, seed=42, refs_per_proc=30_000,
+                    keyspace_items=n_keys, skew=skew)
+        ranks = _sample_ranks(wl, 30_000)
+        assert len(ranks) > 100_000
+        head = 20
+        cdf = zipf_cdf(n_keys, skew)
+        pmf = [cdf[0]] + [cdf[i] - cdf[i - 1] for i in range(1, head)]
+        probs = pmf + [1.0 - cdf[head - 1]]
+        observed = _rank_histogram(ranks, n_keys, head)
+        expected = [p * len(ranks) for p in probs]
+        chi2 = _chi_square(observed, expected)
+        assert chi2 < CHI2_CRIT[20], (
+            f"chi-square {chi2:.1f} rejects the configured Zipf "
+            f"(s={skew}) at alpha=0.001"
+        )
+
+    def test_chi_square_rejects_wrong_exponent(self):
+        """The same statistic *does* reject a mis-configured exponent —
+        the test above has power, it is not vacuously passing."""
+        n_keys = 2048
+        wl = ZipfKV(8, seed=42, refs_per_proc=30_000,
+                    keyspace_items=n_keys, skew=0.99)
+        ranks = _sample_ranks(wl, 30_000)
+        head = 20
+        wrong = zipf_cdf(n_keys, 0.6)  # claim a much flatter skew
+        pmf = [wrong[0]] + [wrong[i] - wrong[i - 1] for i in range(1, head)]
+        probs = pmf + [1.0 - wrong[head - 1]]
+        observed = _rank_histogram(ranks, n_keys, head)
+        expected = [p * len(ranks) for p in probs]
+        assert _chi_square(observed, expected) > CHI2_CRIT[20]
+
+    def test_ks_empirical_vs_configured_cdf(self):
+        """KS distance between the empirical rank CDF and the
+        configured CDF stays under the alpha=0.001 critical band."""
+        skew, n_keys = 0.8, 1024
+        wl = ZipfKV(4, seed=7, refs_per_proc=25_000,
+                    keyspace_items=n_keys, skew=skew)
+        ranks = _sample_ranks(wl, 25_000)
+        n = len(ranks)
+        counts = [0] * n_keys
+        for rank in ranks:
+            counts[rank] += 1
+        cdf = zipf_cdf(n_keys, skew)
+        d_max, cumulative = 0.0, 0
+        for i in range(n_keys):
+            cumulative += counts[i]
+            d_max = max(d_max, abs(cumulative / n - cdf[i]))
+        ks_crit = 1.95 / math.sqrt(n)  # alpha ~ 0.001
+        assert d_max < ks_crit, f"KS D={d_max:.4f} >= {ks_crit:.4f}"
+
+
+class TestReadWriteMix:
+    @pytest.mark.parametrize("write_fraction", [0.05, 0.3])
+    def test_kv_write_mix(self, write_fraction):
+        wl = ZipfKV(8, seed=11, refs_per_proc=20_000,
+                    write_fraction=write_fraction, session_fraction=0.0)
+        writes = total = 0
+        for proc in range(wl.n_procs):
+            for index in range(20_000):
+                ref = wl.ref_at(proc, index)
+                total += 1
+                writes += ref.is_write
+        observed = writes / total
+        # binomial 4-sigma band around the configured fraction
+        sigma = math.sqrt(write_fraction * (1 - write_fraction) / total)
+        assert abs(observed - write_fraction) < 4 * sigma + 1e-9
+
+    def test_session_fraction(self):
+        wl = ZipfKV(4, seed=5, refs_per_proc=20_000, session_fraction=0.25)
+        session = total = 0
+        for proc in range(wl.n_procs):
+            for index in range(20_000):
+                total += 1
+                session += wl.rank_at(proc, index) is None
+        sigma = math.sqrt(0.25 * 0.75 / total)
+        assert abs(session / total - 0.25) < 4 * sigma
+
+    def test_session_touches_are_private(self):
+        wl = ZipfKV(4, seed=5, refs_per_proc=5_000)
+        for proc in range(wl.n_procs):
+            for index in range(5_000):
+                if wl.rank_at(proc, index) is None:
+                    assert wl.ref_at(proc, index).addr < wl.shared_base
+                else:
+                    assert wl.ref_at(proc, index).addr >= wl.shared_base
+
+
+class TestSeedDeterminism:
+    """Same seed -> bit-identical streams; different seed -> different
+    streams.  Covers all three datacenter generators (the streaming
+    replayer inherits determinism from the recorded source, asserted in
+    tests/workloads/test_streaming_trace.py)."""
+
+    CASES = [
+        ("zipf", {"refs_per_proc": 2_000}),
+        ("scan", {"refs_per_proc": 2_000}),
+    ]
+
+    @pytest.mark.parametrize("name,kw", CASES)
+    def test_same_seed_identical(self, name, kw):
+        a = make_workload(name, 8, seed=123, **kw)
+        b = make_workload(name, 8, seed=123, **kw)
+        for proc in range(8):
+            for index in range(2_000):
+                assert a.ref_at(proc, index) == b.ref_at(proc, index)
+
+    @pytest.mark.parametrize("name,kw", CASES)
+    def test_different_seed_differs(self, name, kw):
+        a = make_workload(name, 8, seed=123, **kw)
+        b = make_workload(name, 8, seed=124, **kw)
+        assert any(
+            a.ref_at(proc, index) != b.ref_at(proc, index)
+            for proc in range(8)
+            for index in range(2_000)
+        )
+
+    def test_ref_at_is_pure(self):
+        """ref_at(p, i) is index-addressable: revisiting any index
+        returns the identical reference (the rollback contract)."""
+        wl = ZipfKV(4, seed=9, refs_per_proc=1_000)
+        first = [
+            [wl.ref_at(p, i) for i in range(1_000)] for p in range(4)
+        ]
+        for p in (3, 0, 2):
+            for i in (999, 0, 500, 1):
+                assert wl.ref_at(p, i) == first[p][i]
+
+
+class TestParameterValidation:
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            ZipfKV(4, skew=-0.1)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            ZipfKV(4, write_fraction=1.5)
+
+    def test_rejects_empty_keyspace(self):
+        with pytest.raises(ValueError):
+            ZipfKV(4, keyspace_items=0)
+
+    def test_rejects_bad_pressure(self):
+        with pytest.raises(ValueError):
+            ScanAnalytics(4, pressure_ratio=0.0)
