@@ -10,9 +10,16 @@ Commands map one-to-one onto the paper's artefacts:
 ``recover``    a failure-injection demo with recovery statistics
 ``campaign``   randomized fault-injection campaign (parallel, resumable)
 ``verify``     model-check + fuzz the protocol invariants
-``cache``      inspect or clear the on-disk result cache
+``cache``      inspect, garbage-collect or clear the result cache
 ``bench``      simulation-kernel microbenchmarks (BENCH_kernel.json)
+``worker``     task-executing daemon for distributed dispatch
+``dispatch``   coordinator: shard a campaign across worker daemons
+``serve``      live HTTP dashboard + API over a running campaign
 ============  =====================================================
+
+Sweeps and campaigns accept ``--workers host:port,...`` to shard
+cells over ``repro worker`` daemons instead of a local process pool
+(see docs/DISTRIBUTED.md for the topology and failure semantics).
 
 Exit codes (distinct per failure class, see ``repro --help``):
 
@@ -25,6 +32,7 @@ Exit codes (distinct per failure class, see ``repro --help``):
 6     result-cache failure (unusable cache directory)
 7     sweep failure (one or more cells failed after retries)
 8     campaign failure (defect outcomes or failed cells)
+9     dispatch failure (no worker reachable / all workers lost)
 ====  ==========================================================
 """
 
@@ -50,6 +58,7 @@ EXIT_VERIFY = 5
 EXIT_CACHE = 6
 EXIT_SWEEP = 7
 EXIT_CAMPAIGN = 8
+EXIT_DISPATCH = 9
 
 _EXIT_CODE_HELP = """\
 exit codes:
@@ -61,6 +70,7 @@ exit codes:
   6  result-cache failure (unusable cache directory)
   7  sweep failure (one or more cells failed after retries)
   8  campaign failure (defect outcomes or failed cells)
+  9  dispatch failure (no worker reachable or all workers lost)
 """
 
 
@@ -77,6 +87,21 @@ def _add_sweep_orchestration_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",
         help="shard pending cells over N worker processes (default 1)")
+    parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="shard pending cells over these repro worker daemons "
+             "instead of a local pool (see docs/DISTRIBUTED.md)")
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="coordinator ping cadence per worker (default 1.0)")
+    parser.add_argument(
+        "--heartbeat-misses", type=int, default=3, metavar="N",
+        help="consecutive missed heartbeats before a worker is "
+             "declared dead and its cells reassigned (default 3)")
+    parser.add_argument(
+        "--no-local-fallback", action="store_true",
+        help="fail (exit 9) instead of finishing cells in-process "
+             "when every worker has died")
     parser.add_argument(
         "--resume", action="store_true",
         help="skip cells journaled as completed by an earlier "
@@ -96,6 +121,24 @@ def _add_sweep_orchestration_args(parser: argparse.ArgumentParser) -> None:
         help="suppress per-cell progress lines")
 
 
+def _make_executor(args: argparse.Namespace):
+    """The DistributedExecutor selected by ``--workers``, or None for
+    the default local process pool."""
+    if not getattr(args, "workers", None):
+        return None
+    from repro.distributed import DistributedExecutor, parse_workers
+
+    log = None if args.quiet else (lambda msg: print(f"  [dispatch] {msg}"))
+    return DistributedExecutor(
+        parse_workers(args.workers),
+        task_timeout=args.task_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+        local_fallback=not args.no_local_fallback,
+        log=log,
+    )
+
+
 def _run_sweep_harness(sweep, args: argparse.Namespace):
     """Prefetch a sweep's grid under the CLI's orchestration flags."""
     progress = None if args.quiet else (lambda event: print(event.format()))
@@ -105,6 +148,7 @@ def _run_sweep_harness(sweep, args: argparse.Namespace):
         read_cache=not args.no_cache,
         progress=progress,
         task_timeout=args.task_timeout,
+        executor=_make_executor(args),
     )
     print()
     print(report.format())
@@ -266,13 +310,10 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    import json as _json
-    from pathlib import Path
+def _campaign_config_from_args(args: argparse.Namespace):
+    from repro.fault.campaign import CampaignConfig
 
-    from repro.fault.campaign import CampaignConfig, CampaignRunner
-
-    cfg = CampaignConfig(
+    return CampaignConfig(
         seeds=args.seeds,
         master_seed=args.master_seed,
         app=args.app,
@@ -290,11 +331,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         reorder_rate=args.reorder_rate,
         outage_rate=args.outage_rate,
     )
+
+
+def _cmd_campaign(args: argparse.Namespace, on_cell=None) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.fault.campaign import CampaignRunner
+
+    cfg = _campaign_config_from_args(args)
     runner = CampaignRunner(cfg, store=_make_store(args))
+    executor = _make_executor(args)
     print(
         f"campaign: {cfg.seeds} seeded cells of {cfg.app} on "
         f"{cfg.n_nodes} nodes (MTBF {cfg.mtbf_cycles} cycles, "
-        f"target phase {cfg.target_phase}, master seed {cfg.master_seed})..."
+        f"target phase {cfg.target_phase}, master seed {cfg.master_seed}"
+        + (f", workers {args.workers}" if args.workers else "")
+        + ")..."
     )
     progress = None if args.quiet else (lambda line: print(f"  {line}"))
     report = runner.run(
@@ -303,6 +356,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         read_cache=not args.no_cache,
         task_timeout=args.task_timeout,
         progress=progress,
+        executor=executor,
+        on_cell=on_cell,
     )
     if args.report:
         Path(args.report).write_text(
@@ -424,7 +479,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 rows.append((f"records @ repro {version}", count))
             rows.append(("journal", "present" if store.journal_path.exists()
                          else "absent"))
+            rows.append((
+                "reclaimable (gc)",
+                f"{summary.reclaimable_records} record(s), "
+                f"{summary.reclaimable_bytes / 1024:.1f} KB",
+            ))
             print(format_table(["cache", "value"], rows))
+        return 0
+    if args.cache_command == "gc":
+        report = store.gc(keep_days=args.keep_days, dry_run=args.dry_run)
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            return 0
+        verb = "would remove" if report.dry_run else "removed"
+        print(
+            f"cache gc ({store.root}, keep-days {report.keep_days:g}"
+            f"{', dry run' if report.dry_run else ''}):"
+        )
+        print(
+            f"  {verb} {report.removed_records} of {report.scanned} "
+            f"record(s) ({report.removed_bytes / 1024:.1f} KB); kept "
+            f"{report.kept_recent} recent, {report.kept_referenced} "
+            f"journal-referenced"
+        )
+        if not report.dry_run:
+            print(
+                f"  compacted {report.journals_compacted} journal(s): "
+                f"{report.journal_lines_dropped} stale/torn line(s), "
+                f"{report.journal_bytes_reclaimed / 1024:.1f} KB reclaimed"
+            )
         return 0
     if args.cache_command == "clear":
         removed = store.clear()
@@ -432,6 +515,127 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"{store.root}")
         return 0
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import WorkerDaemon
+    from repro.distributed.protocol import parse_addr
+
+    host, port = parse_addr(args.listen)
+    daemon = WorkerDaemon(
+        host=host,
+        port=port,
+        slots=args.parallel,
+        max_tasks=args.max_tasks,
+        log=(lambda _msg: None) if args.quiet else print,
+    )
+    daemon.start()
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print("worker: interrupted, shutting down")
+    finally:
+        daemon.close()
+    return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.distributed import ping_workers, shutdown_workers
+    from repro.distributed.protocol import parse_workers
+
+    addrs = parse_workers(args.workers) if args.workers else []
+    if not addrs:
+        print("dispatch: --workers HOST:PORT,... is required",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.ping or args.shutdown:
+        probe = shutdown_workers if args.shutdown else ping_workers
+        rows = probe(addrs)
+        ok = True
+        for row in rows:
+            if row["ok"]:
+                detail = ("shutdown requested" if args.shutdown else
+                          f"up, slots={row['slots']}, pid={row['pid']}, "
+                          f"rtt {row['rtt_ms']} ms")
+            else:
+                detail = f"unreachable ({row['error']})"
+                ok = False
+            print(f"  {row['addr']}: {detail}")
+        return 0 if ok else EXIT_DISPATCH
+
+    # Distributed campaign: same cells, reports and exit codes as
+    # `repro campaign --workers ...` — `dispatch` merely makes the
+    # coordinator role explicit and refuses to run without daemons.
+    return _cmd_campaign(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.distributed import DashboardServer, ServeState
+    from repro.fault.campaign import CampaignRunner
+
+    cfg = _campaign_config_from_args(args)
+    state = ServeState()
+    server = DashboardServer(state, host=args.host, port=args.port)
+    server.start()
+    print(f"repro serve: dashboard at http://{server.host}:{server.port}/ "
+          f"(api: /api/status, /api/workers, /healthz)")
+
+    outcome: dict = {}
+
+    def _campaign_thread() -> None:
+        try:
+            runner = CampaignRunner(cfg, store=_make_store(args))
+            executor = _make_executor(args)
+            if executor is not None:
+                state.set_worker_probe(
+                    lambda: (
+                        executor.coordinator.snapshot()
+                        if executor.coordinator is not None
+                        else None
+                    )
+                )
+            state.campaign_started(
+                cfg.to_dict(), total=cfg.seeds, parallel=args.parallel
+            )
+            progress = (
+                None if args.quiet else (lambda line: print(f"  {line}"))
+            )
+            report = runner.run(
+                parallel=args.parallel,
+                resume=args.resume,
+                read_cache=not args.no_cache,
+                task_timeout=args.task_timeout,
+                progress=progress,
+                executor=executor,
+                on_cell=state.cell_done,
+            )
+            state.campaign_finished(report.to_dict())
+            outcome["exit"] = 0 if report.ok else EXIT_CAMPAIGN
+        except BaseException as exc:  # surfaced on the dashboard, not lost
+            state.campaign_crashed(f"{type(exc).__name__}: {exc}")
+            outcome["exit"] = EXIT_CAMPAIGN
+            if not isinstance(exc, Exception):
+                raise
+
+    thread = threading.Thread(
+        target=_campaign_thread, name="serve-campaign", daemon=True
+    )
+    thread.start()
+    try:
+        thread.join()
+        if args.linger:
+            print("campaign finished; serving dashboard until Ctrl-C")
+            while True:
+                thread.join(3600.0)
+    except KeyboardInterrupt:
+        print("\nserve: interrupted")
+    finally:
+        server.close()
+    return outcome.get("exit", EXIT_CAMPAIGN)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -552,6 +756,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.machine import TRIGGER_WINDOWS as _WINDOWS
 
+    def _add_campaign_args(target: argparse.ArgumentParser) -> None:
+        """Campaign cell-grid flags, shared by campaign/dispatch/serve."""
+        target.add_argument("--seeds", type=int, default=200,
+                            help="number of independently seeded cells (default 200)")
+        target.add_argument("--master-seed", type=int, default=2026,
+                            help="seed deriving every cell (same seed = same campaign)")
+        target.add_argument("--app",
+                            choices=("private", "uniform", "migratory",
+                                     "zipf", "scan", "water"),
+                            default="private")
+        target.add_argument("--nodes", type=int, default=8)
+        target.add_argument("--refs", type=int, default=2_500,
+                            help="references per processor (default 2500)")
+        target.add_argument("--mtbf", type=int, default=40_000, metavar="CYCLES",
+                            help="mean cycles between generated failures")
+        target.add_argument("--transient-fraction", type=float, default=0.85,
+                            help="probability a generated failure is transient")
+        target.add_argument("--repair-delay", type=int, default=2_000,
+                            metavar="CYCLES",
+                            help="mean transient repair delay")
+        target.add_argument("--period", type=int, default=6_000, metavar="CYCLES",
+                            help="checkpoint period override")
+        target.add_argument("--detection", type=int, default=200, metavar="CYCLES",
+                            help="failure detection latency")
+        target.add_argument("--target-phase", default="mixed",
+                            choices=("mixed", "timed") + _WINDOWS,
+                            help="aim every cell's trigger at one window, "
+                                 "'timed' for MTBF-only cells, or 'mixed' "
+                                 "to cycle through all modes (default)")
+        target.add_argument("--loss-rate", type=float, default=0.0, metavar="P",
+                            help="per-packet drop probability on the interconnect")
+        target.add_argument("--dup-rate", type=float, default=0.0, metavar="P",
+                            help="per-packet duplication probability")
+        target.add_argument("--reorder-rate", type=float, default=0.0, metavar="P",
+                            help="per-packet reorder (extra-delay) probability")
+        target.add_argument("--outage-rate", type=float, default=0.0, metavar="P",
+                            help="per-packet probability of starting a transient "
+                                 "link outage on that (src, dst) path")
+        target.add_argument("--stall-budget", type=int, default=100_000,
+                            metavar="CYCLES",
+                            help="per-run no-progress budget before the "
+                                 "watchdog declares a stall")
+        target.add_argument("--report", default=None, metavar="PATH",
+                            help="also write the full JSON report here")
+        target.add_argument("--json", action="store_true",
+                            help="print the JSON report instead of tables")
+        _add_sweep_orchestration_args(target)
+
     campaign = sub.add_parser(
         "campaign",
         help="randomized fault-injection campaign",
@@ -562,51 +814,64 @@ def build_parser() -> argparse.ArgumentParser:
         "reports zero simulator_bug and zero stalled cells for any "
         "master seed; anything else exits 8 with the offending seeds.",
     )
-    campaign.add_argument("--seeds", type=int, default=200,
-                          help="number of independently seeded cells (default 200)")
-    campaign.add_argument("--master-seed", type=int, default=2026,
-                          help="seed deriving every cell (same seed = same campaign)")
-    campaign.add_argument("--app",
-                          choices=("private", "uniform", "migratory",
-                                   "zipf", "scan", "water"),
-                          default="private")
-    campaign.add_argument("--nodes", type=int, default=8)
-    campaign.add_argument("--refs", type=int, default=2_500,
-                          help="references per processor (default 2500)")
-    campaign.add_argument("--mtbf", type=int, default=40_000, metavar="CYCLES",
-                          help="mean cycles between generated failures")
-    campaign.add_argument("--transient-fraction", type=float, default=0.85,
-                          help="probability a generated failure is transient")
-    campaign.add_argument("--repair-delay", type=int, default=2_000, metavar="CYCLES",
-                          help="mean transient repair delay")
-    campaign.add_argument("--period", type=int, default=6_000, metavar="CYCLES",
-                          help="checkpoint period override")
-    campaign.add_argument("--detection", type=int, default=200, metavar="CYCLES",
-                          help="failure detection latency")
-    campaign.add_argument("--target-phase", default="mixed",
-                          choices=("mixed", "timed") + _WINDOWS,
-                          help="aim every cell's trigger at one window, "
-                               "'timed' for MTBF-only cells, or 'mixed' "
-                               "to cycle through all modes (default)")
-    campaign.add_argument("--loss-rate", type=float, default=0.0, metavar="P",
-                          help="per-packet drop probability on the interconnect")
-    campaign.add_argument("--dup-rate", type=float, default=0.0, metavar="P",
-                          help="per-packet duplication probability")
-    campaign.add_argument("--reorder-rate", type=float, default=0.0, metavar="P",
-                          help="per-packet reorder (extra-delay) probability")
-    campaign.add_argument("--outage-rate", type=float, default=0.0, metavar="P",
-                          help="per-packet probability of starting a transient "
-                               "link outage on that (src, dst) path")
-    campaign.add_argument("--stall-budget", type=int, default=100_000,
-                          metavar="CYCLES",
-                          help="per-run no-progress budget before the "
-                               "watchdog declares a stall")
-    campaign.add_argument("--report", default=None, metavar="PATH",
-                          help="also write the full JSON report here")
-    campaign.add_argument("--json", action="store_true",
-                          help="print the JSON report instead of tables")
-    _add_sweep_orchestration_args(campaign)
+    _add_campaign_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    worker = sub.add_parser(
+        "worker",
+        help="task-executing daemon for distributed dispatch",
+        description="Run a worker daemon executing sweep/campaign cells "
+        "sent by a coordinator (`repro campaign --workers ...` or "
+        "`repro dispatch`).  Announces its bound address on stdout; "
+        "--listen HOST:0 binds a kernel-assigned port.",
+    )
+    worker.add_argument("--listen", default="127.0.0.1:7070",
+                        metavar="HOST:PORT",
+                        help="address to listen on (default 127.0.0.1:7070; "
+                             "port 0 = kernel-assigned)")
+    worker.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="task slots (local process-pool width, default 1)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="hard-exit upon receiving task N+1, leaving it "
+                             "unanswered (crash-injection knob for "
+                             "reassignment tests)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-task log lines")
+    worker.set_defaults(func=_cmd_worker)
+
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="coordinator: shard a campaign across worker daemons",
+        description="Explicit coordinator role: shard a fault-injection "
+        "campaign across `repro worker` daemons (--workers is required; "
+        "exit 9 if no worker is reachable), or probe/stop daemons with "
+        "--ping / --shutdown.  Results are bit-identical to a serial "
+        "`repro campaign` with the same parameters.",
+    )
+    dispatch.add_argument("--ping", action="store_true",
+                          help="probe each worker's health and exit")
+    dispatch.add_argument("--shutdown", action="store_true",
+                          help="ask each worker daemon to exit cleanly")
+    _add_campaign_args(dispatch)
+    dispatch.set_defaults(func=_cmd_dispatch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live HTTP dashboard + API over a running campaign",
+        description="Run a campaign (locally or over --workers) while "
+        "serving a live HTML dashboard and JSON API: progress, per-worker "
+        "throughput, outcome taxonomy and ETA at /, /api/status, "
+        "/api/workers and /healthz.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="dashboard bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8484,
+                       help="dashboard port (default 8484; 0 = kernel-assigned)")
+    serve.add_argument("--linger", action="store_true",
+                       help="keep serving the final dashboard after the "
+                            "campaign finishes (until Ctrl-C)")
+    _add_campaign_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     verify = sub.add_parser(
         "verify",
@@ -643,7 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser(
         "cache",
-        help="inspect or clear the on-disk result cache",
+        help="inspect, garbage-collect or clear the on-disk result cache",
         description="The sweep harness persists every completed "
         "simulation cell under a content-addressed cache directory "
         "(default .repro-cache/, override with --cache-dir or "
@@ -654,6 +919,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--cache-dir", default=None, metavar="DIR")
     cache_stats.add_argument("--json", action="store_true",
                              help="machine-readable output")
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="prune stale records and compact the journals",
+        description="Remove records neither written nor referenced by "
+        "any journal task_completed event within --keep-days, then "
+        "compact every journal (drop torn lines and superseded "
+        "duplicate completions).  --dry-run reports without deleting.",
+    )
+    cache_gc.add_argument("--cache-dir", default=None, metavar="DIR")
+    from repro.orch.store import GC_KEEP_DAYS_DEFAULT
+
+    cache_gc.add_argument("--keep-days", type=float,
+                          default=GC_KEEP_DAYS_DEFAULT, metavar="DAYS",
+                          help="retention window in days (default 30)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, delete nothing")
+    cache_gc.add_argument("--json", action="store_true",
+                          help="machine-readable output")
     cache_clear = cache_sub.add_parser(
         "clear", help="delete every record and the journal"
     )
@@ -692,6 +975,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     from repro.checkpoint.recovery import UnrecoverableFailure
+    from repro.distributed.coordinator import DispatchError
     from repro.fault.watchdog import StallError
     from repro.orch.store import CacheError
 
@@ -699,6 +983,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except DispatchError as exc:
+        print(f"dispatch error: {exc}", file=sys.stderr)
+        return EXIT_DISPATCH
     except BrokenPipeError:
         # e.g. `repro sweep | head` — the reader went away mid-report;
         # detach stdout so interpreter shutdown doesn't re-raise

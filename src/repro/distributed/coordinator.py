@@ -1,0 +1,600 @@
+"""The dispatch coordinator: shard cells across worker daemons.
+
+:class:`Coordinator.run` is the distributed analogue of
+:func:`repro.orch.executor.run_tasks` — same payloads-in,
+:class:`~repro.orch.executor.TaskOutcome`-out contract, same
+completion-order streaming — so the orchestrator and the campaign
+runner consume it unchanged and their store-before-journal crash
+discipline (and therefore ``--resume``) holds under either executor.
+
+Fault model, mirroring the paper's machine at harness scale:
+
+- **worker death** (socket EOF/reset, or ``heartbeat_misses``
+  consecutive missed pongs): every cell in flight on that worker is
+  *reassigned* to the surviving workers.  Reassignment does not consume
+  the cell's retry budget — the cell did nothing wrong.
+- **cell failure** (the worker answered ``ok: false``): bounded retry
+  with ``max_retries``, like the local pool.
+- **cell timeout** (``task_timeout`` seconds without an answer while
+  the worker is otherwise live): the assignment is abandoned — a late
+  answer is discarded by assignment id — and the cell retried.
+- **total worker loss**: remaining cells degrade to in-process serial
+  execution (exactly the local executor's ``BrokenProcessPool``
+  behaviour), unless ``local_fallback=False``.
+
+Exactly-once *effects* come for free from content addressing: a cell
+reassigned after an answer was lost in flight recomputes the same
+deterministic result under the same key, and the store's atomic
+same-content write makes the duplicate harmless.
+
+One reader thread per worker turns the socket into events on a queue;
+the dispatch thread owns all registry state and all sends.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.distributed import framing, protocol
+from repro.distributed.framing import ConnectionClosed, FrameError
+from repro.distributed.registry import WorkerHandle, WorkerRegistry, WorkerState
+from repro.orch.executor import TaskOutcome, _run_serial
+
+
+class DispatchError(RuntimeError):
+    """The coordinator cannot run at all (e.g. no worker reachable)."""
+
+
+def _shutdown_close(sock: socket.socket) -> None:
+    """Half-close then close, waking any thread blocked in ``recv``.
+
+    A bare ``close()`` while this process's reader thread is parked in
+    ``recv`` on the same socket never reaches the kernel-side close (the
+    blocked syscall pins the open file), so no FIN is sent and the peer
+    waits forever.  ``shutdown`` sends the FIN immediately and unblocks
+    the reader.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+@dataclass
+class DispatchStats:
+    """What one coordinator run did, for reports and the dashboard."""
+
+    n_workers: int = 0
+    connected: int = 0
+    completed: int = 0
+    failed: int = 0
+    reassignments: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    local_fallback_cells: int = 0
+    workers: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "connected": self.connected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "reassignments": self.reassignments,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "local_fallback_cells": self.local_fallback_cells,
+            "workers": list(self.workers),
+        }
+
+
+@dataclass
+class _Assignment:
+    """One cell sent to one worker (dies with the assignment)."""
+
+    task_id: int
+    index: int
+    payload: dict
+    attempt: int
+    worker: WorkerHandle
+    sent_at: float
+
+
+class Coordinator:
+    """Shards one batch of payloads across the configured workers."""
+
+    def __init__(
+        self,
+        addrs: list[tuple[str, int]],
+        task_timeout: float | None = None,
+        max_retries: int = 1,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 3,
+        connect_timeout: float = 5.0,
+        local_fallback: bool = True,
+        log=None,
+    ):
+        if not addrs:
+            raise DispatchError("a coordinator needs at least one worker address")
+        self.registry = WorkerRegistry(addrs)
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.connect_timeout = connect_timeout
+        self.local_fallback = local_fallback
+        self.stats = DispatchStats(n_workers=len(addrs))
+        self._log = log or (lambda _msg: None)
+        self._events: queue.Queue = queue.Queue()
+        self._sockets: dict[int, socket.socket] = {}  # id(worker) -> sock
+        self._writers: dict[int, framing.FrameWriter] = {}
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()  # guards snapshot() vs dispatch mutation
+
+    # -- observability ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Thread-safe view for ``repro serve``'s worker table."""
+        with self._lock:
+            stats = self.stats.to_dict()
+            stats["workers"] = self.registry.snapshot()
+        return stats
+
+    # -- connection management -------------------------------------------
+
+    def _connect_all(self, worker_fn_kind: str) -> None:
+        threads = []
+        for worker in self.registry:
+            thread = threading.Thread(
+                target=self._connect_one, args=(worker,),
+                name=f"connect-{worker.name}", daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(self.connect_timeout + 1.0)
+
+    def _connect_one(self, worker: WorkerHandle) -> None:
+        try:
+            sock = socket.create_connection(worker.addr, timeout=self.connect_timeout)
+            sock.settimeout(None)
+            framing.send_frame(sock, protocol.hello())
+            welcome = protocol.check_welcome(framing.recv_frame(sock))
+        except (OSError, ConnectionClosed, FrameError,
+                protocol.ProtocolError) as exc:
+            self._events.put(("dead", worker, f"connect failed: {exc}"))
+            return
+        self._events.put(("welcome", worker, welcome, sock))
+
+    def _start_reader(self, worker: WorkerHandle, sock: socket.socket) -> None:
+        def read_loop() -> None:
+            while True:
+                try:
+                    message = framing.recv_frame(sock)
+                except ConnectionClosed as exc:
+                    self._events.put(("dead", worker, str(exc)))
+                    return
+                except (FrameError, OSError) as exc:
+                    self._events.put(("dead", worker, f"stream error: {exc}"))
+                    return
+                self._events.put(("frame", worker, message))
+
+        thread = threading.Thread(
+            target=read_loop, name=f"reader-{worker.name}", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+
+    def _drop_worker(self, worker: WorkerHandle, reason: str,
+                     requeue, counts_as_death: bool = True) -> None:
+        if worker.state is WorkerState.DEAD:
+            return
+        with self._lock:
+            stranded = worker.mark_dead(reason)
+            if counts_as_death:
+                self.stats.worker_deaths += 1
+        self._log(f"worker {worker.name} lost ({reason}); "
+                  f"reassigning {len(stranded)} in-flight cell(s)")
+        sock = self._sockets.pop(id(worker), None)
+        self._writers.pop(id(worker), None)
+        if sock is not None:
+            _shutdown_close(sock)
+        requeue(stranded, reassigned=True)
+
+    def close(self) -> None:
+        """Close every worker connection (workers stay up for reuse)."""
+        for sock in list(self._sockets.values()):
+            _shutdown_close(sock)
+        self._sockets.clear()
+        self._writers.clear()
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, payloads: list[dict], kind: str, on_start=None):
+        """Yield one :class:`TaskOutcome` per payload, completion order."""
+        if kind not in protocol.TASK_KINDS:
+            raise DispatchError(f"unknown task kind {kind!r}")
+        try:
+            yield from self._run(payloads, kind, on_start)
+        finally:
+            self.close()
+
+    def _run(self, payloads: list[dict], kind: str, on_start):
+        pending: list[tuple[int, dict, int]] = [
+            (i, p, 1) for i, p in enumerate(payloads)
+        ]
+        assignments: dict[int, _Assignment] = {}
+        started: set[int] = set()
+        terminal = 0
+        next_task_id = 0
+        last_heartbeat = time.monotonic()
+
+        self._connect_all(kind)
+        # drain connection results before first assignment so the very
+        # first cells spread across every worker that came up
+        deadline = time.monotonic() + self.connect_timeout
+        while (
+            sum(1 for w in self.registry
+                if w.state is WorkerState.CONNECTING) > 0
+            and time.monotonic() < deadline
+        ):
+            self._drain_events(assignments, pending, block=True)
+        if not self.registry.up():
+            reasons = ", ".join(
+                f"{w.name}: {w.death_reason or 'no answer'}" for w in self.registry
+            )
+            raise DispatchError(f"no worker reachable ({reasons})")
+        with self._lock:
+            self.stats.connected = len(self.registry.up())
+
+        def requeue(stranded_ids: list[int], reassigned: bool = False) -> None:
+            for task_id in stranded_ids:
+                assignment = assignments.pop(task_id, None)
+                if assignment is None:
+                    continue
+                pending.append(
+                    (assignment.index, assignment.payload, assignment.attempt)
+                )
+                if reassigned:
+                    with self._lock:
+                        self.stats.reassignments += 1
+
+        while terminal < len(payloads):
+            # -- total worker loss: degrade like a broken local pool ----
+            if self.registry.all_dead():
+                if not self.local_fallback:
+                    raise DispatchError(
+                        "every worker died with "
+                        f"{len(payloads) - terminal} cell(s) unfinished"
+                    )
+                leftovers = sorted(
+                    pending
+                    + [(a.index, a.payload, a.attempt) for a in assignments.values()]
+                )
+                pending.clear()
+                assignments.clear()
+                self._log(
+                    f"all workers dead; finishing {len(leftovers)} cell(s) "
+                    "serially in-process"
+                )
+                with self._lock:
+                    self.stats.local_fallback_cells += len(leftovers)
+                entry = protocol.resolve_kind(kind)
+                for outcome in _run_serial(
+                    leftovers, entry, self.max_retries, 0.0, None
+                ):
+                    terminal += 1
+                    with self._lock:
+                        if outcome.ok:
+                            self.stats.completed += 1
+                        else:
+                            self.stats.failed += 1
+                    yield outcome
+                break
+
+            # -- assign pending cells to free slots ---------------------
+            for worker in self.registry.with_free_slot():
+                if not pending:
+                    break
+                while pending and worker.free_slots > 0:
+                    index, payload, attempt = pending.pop(0)
+                    writer = self._writers.get(id(worker))
+                    if writer is None:
+                        pending.insert(0, (index, payload, attempt))
+                        break
+                    task_id = next_task_id
+                    next_task_id += 1
+                    if attempt == 1 and index not in started and on_start is not None:
+                        started.add(index)
+                        on_start(index, payload)
+                    try:
+                        writer.send(protocol.task(task_id, kind, payload))
+                    except (OSError, FrameError) as exc:
+                        pending.insert(0, (index, payload, attempt))
+                        self._drop_worker(worker, f"send failed: {exc}", requeue)
+                        break
+                    now = time.monotonic()
+                    with self._lock:
+                        worker.inflight[task_id] = now
+                    assignments[task_id] = _Assignment(
+                        task_id=task_id, index=index, payload=payload,
+                        attempt=attempt, worker=worker, sent_at=now,
+                    )
+
+            # -- heartbeats and liveness --------------------------------
+            now = time.monotonic()
+            if now - last_heartbeat >= self.heartbeat_interval:
+                last_heartbeat = now
+                for worker in list(self.registry.up()):
+                    if now - worker.last_pong > (
+                        self.heartbeat_interval * self.heartbeat_misses
+                    ):
+                        self._drop_worker(
+                            worker,
+                            f"missed {self.heartbeat_misses} heartbeats",
+                            requeue,
+                        )
+                        continue
+                    writer = self._writers.get(id(worker))
+                    if writer is None:
+                        continue
+                    try:
+                        writer.send(protocol.ping(time.time()))
+                    except (OSError, FrameError) as exc:
+                        self._drop_worker(worker, f"ping failed: {exc}", requeue)
+
+            # -- per-cell timeout ---------------------------------------
+            if self.task_timeout is not None:
+                for assignment in list(assignments.values()):
+                    if now - assignment.sent_at < self.task_timeout:
+                        continue
+                    worker = assignment.worker
+                    with self._lock:
+                        worker.inflight.pop(assignment.task_id, None)
+                        self.stats.timeouts += 1
+                    assignments.pop(assignment.task_id, None)
+                    if assignment.attempt <= self.max_retries:
+                        with self._lock:
+                            self.stats.retries += 1
+                        pending.append((
+                            assignment.index, assignment.payload,
+                            assignment.attempt + 1,
+                        ))
+                    else:
+                        terminal += 1
+                        with self._lock:
+                            self.stats.failed += 1
+                        yield TaskOutcome(
+                            index=assignment.index, payload=assignment.payload,
+                            timed_out=True, attempts=assignment.attempt,
+                            wall_seconds=now - assignment.sent_at,
+                            mode="distributed",
+                        )
+
+            # -- results, pongs, deaths ---------------------------------
+            for outcome in self._drain_events(
+                assignments, pending, block=True, requeue=requeue
+            ):
+                terminal += 1
+                yield outcome
+
+    def _drain_events(self, assignments, pending, block: bool,
+                      requeue=None) -> list[TaskOutcome]:
+        """Handle every queued event (waiting briefly for the first)."""
+        outcomes: list[TaskOutcome] = []
+        first = True
+        while True:
+            try:
+                event = self._events.get(
+                    timeout=0.05 if (block and first) else 0.0
+                )
+            except queue.Empty:
+                return outcomes
+            first = False
+            tag, worker = event[0], event[1]
+            if tag == "welcome":
+                _, _, welcome, sock = event
+                with self._lock:
+                    worker.state = WorkerState.UP
+                    worker.slots = welcome["slots"]
+                    worker.pid = welcome.get("pid")
+                    worker.last_pong = time.monotonic()
+                self._sockets[id(worker)] = sock
+                self._writers[id(worker)] = framing.FrameWriter(sock)
+                self._start_reader(worker, sock)
+                self._log(
+                    f"worker {worker.name} up "
+                    f"(slots={worker.slots}, pid={worker.pid})"
+                )
+            elif tag == "dead":
+                reason = event[2]
+                if worker.state is WorkerState.CONNECTING:
+                    with self._lock:
+                        worker.state = WorkerState.DEAD
+                        worker.death_reason = reason
+                    self._log(f"worker {worker.name} unreachable: {reason}")
+                elif requeue is not None:
+                    self._drop_worker(worker, reason, requeue)
+                else:
+                    self._drop_worker(worker, reason, lambda *_a, **_k: None)
+            elif tag == "frame":
+                message = event[2]
+                mtype = message.get("type")
+                if mtype == "pong":
+                    with self._lock:
+                        worker.last_pong = time.monotonic()
+                elif mtype == "result":
+                    outcome = self._handle_result(
+                        worker, message, assignments, pending
+                    )
+                    if outcome is not None:
+                        outcomes.append(outcome)
+                else:
+                    self._log(
+                        f"ignoring unknown frame {mtype!r} from {worker.name}"
+                    )
+
+    def _handle_result(self, worker: WorkerHandle, message: dict,
+                       assignments, pending) -> TaskOutcome | None:
+        task_id = message.get("task_id")
+        assignment = assignments.pop(task_id, None)
+        if assignment is None:
+            return None  # late answer to a reassigned/timed-out cell
+        wall = float(message.get("wall_seconds", 0.0))
+        with self._lock:
+            worker.inflight.pop(task_id, None)
+            worker.busy_seconds += wall
+        if message.get("ok"):
+            with self._lock:
+                worker.completed += 1
+                self.stats.completed += 1
+            return TaskOutcome(
+                index=assignment.index, payload=assignment.payload,
+                value=message.get("value"), attempts=assignment.attempt,
+                wall_seconds=wall, mode="distributed",
+            )
+        error = str(message.get("error", "worker reported failure"))
+        with self._lock:
+            worker.failed += 1
+        if assignment.attempt <= self.max_retries:
+            with self._lock:
+                self.stats.retries += 1
+            pending.append(
+                (assignment.index, assignment.payload, assignment.attempt + 1)
+            )
+            return None
+        with self._lock:
+            self.stats.failed += 1
+        return TaskOutcome(
+            index=assignment.index, payload=assignment.payload,
+            error=error, attempts=assignment.attempt,
+            wall_seconds=wall, mode="distributed",
+        )
+
+
+class DistributedExecutor:
+    """Executor-shaped front end over :class:`Coordinator`.
+
+    Drop-in peer of :class:`repro.orch.executor.LocalExecutor`: the
+    orchestrator and campaign runner hand it the same module-level
+    worker callable, which it maps back to a wire kind (the callable
+    itself never leaves the process).
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        addrs: list[tuple[str, int]],
+        task_timeout: float | None = None,
+        max_retries: int = 1,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 3,
+        local_fallback: bool = True,
+        log=None,
+    ):
+        self.addrs = list(addrs)
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.local_fallback = local_fallback
+        self._log = log
+        #: Set for the lifetime of each run; ``repro serve`` polls it.
+        self.coordinator: Coordinator | None = None
+        #: Stats of the most recently completed run.
+        self.last_stats: DispatchStats | None = None
+
+    @property
+    def parallel(self) -> int:
+        """Nominal width for reports/ETA: one slot per worker minimum
+        (the true width is the sum of advertised slots, known only
+        after the handshake)."""
+        coordinator = self.coordinator
+        if coordinator is not None:
+            up = coordinator.registry.up()
+            if up:
+                return sum(w.slots for w in up)
+        return max(1, len(self.addrs))
+
+    def run(self, payloads, worker, on_start=None):
+        kind = protocol.kind_for(worker)
+        if kind is None:
+            raise DispatchError(
+                f"{worker.__module__}.{worker.__qualname__} is not a "
+                "registered distributed task kind"
+            )
+        self.coordinator = Coordinator(
+            self.addrs,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_misses=self.heartbeat_misses,
+            local_fallback=self.local_fallback,
+            log=self._log,
+        )
+        try:
+            yield from self.coordinator.run(payloads, kind, on_start=on_start)
+        finally:
+            self.last_stats = self.coordinator.stats
+            self.last_stats.workers = self.coordinator.registry.snapshot()
+            self.coordinator = None
+
+
+# -- ops helpers --------------------------------------------------------
+
+
+def ping_workers(addrs: list[tuple[str, int]],
+                 timeout: float = 5.0) -> list[dict]:
+    """Handshake + one ping per address; returns a status row each."""
+    rows = []
+    for addr in addrs:
+        name = f"{addr[0]}:{addr[1]}"
+        t0 = time.perf_counter()
+        try:
+            with socket.create_connection(addr, timeout=timeout) as sock:
+                framing.send_frame(sock, protocol.hello())
+                welcome = protocol.check_welcome(framing.recv_frame(sock))
+                framing.send_frame(sock, protocol.ping(time.time()))
+                reply = framing.recv_frame(sock)
+                if reply.get("type") != "pong":
+                    raise protocol.ProtocolError(
+                        f"expected pong, got {reply.get('type')!r}"
+                    )
+            rows.append({
+                "addr": name, "ok": True,
+                "slots": welcome["slots"], "pid": welcome.get("pid"),
+                "rtt_ms": round((time.perf_counter() - t0) * 1000, 2),
+            })
+        except (OSError, ConnectionClosed, FrameError,
+                protocol.ProtocolError) as exc:
+            rows.append({"addr": name, "ok": False, "error": str(exc)})
+    return rows
+
+
+def shutdown_workers(addrs: list[tuple[str, int]],
+                     timeout: float = 5.0) -> list[dict]:
+    """Ask every reachable daemon to exit; returns a status row each."""
+    rows = []
+    for addr in addrs:
+        name = f"{addr[0]}:{addr[1]}"
+        try:
+            with socket.create_connection(addr, timeout=timeout) as sock:
+                framing.send_frame(sock, protocol.hello())
+                protocol.check_welcome(framing.recv_frame(sock))
+                framing.send_frame(sock, protocol.shutdown())
+            rows.append({"addr": name, "ok": True})
+        except (OSError, ConnectionClosed, FrameError,
+                protocol.ProtocolError) as exc:
+            rows.append({"addr": name, "ok": False, "error": str(exc)})
+    return rows

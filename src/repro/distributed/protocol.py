@@ -1,0 +1,181 @@
+"""The coordinator/worker wire protocol.
+
+Every frame (see :mod:`repro.distributed.framing`) is a JSON object
+with a ``type`` field.  The conversation is strictly
+coordinator-initiated::
+
+    coordinator                         worker
+    -----------                         ------
+    hello {version}          ->
+                             <-         welcome {version, slots, pid,
+                                                 repro_version}
+    task {task_id, kind,     ->
+          payload}
+                             <-         result {task_id, ok, value |
+                                                error, wall_seconds}
+    ping {t}                 ->
+                             <-         pong {t}
+    shutdown                 ->         (worker drains and exits)
+
+Version and ``repro_version`` are both checked in the handshake: a
+protocol mismatch is a hard error, and a worker running a different
+``repro`` release is refused because the simulator's physics may differ
+under the same content key — the same rule the result store applies to
+cached records.
+
+Tasks are named by *kind*, not by pickled callables: the worker resolves
+a kind against :data:`TASK_KINDS`, a fixed allowlist of module-level
+entry points (the same functions the local process pool uses).  Nothing
+executable ever crosses the wire, and an unknown kind is a per-task
+error, not a daemon crash.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable
+
+from repro import __version__ as repro_version
+
+#: Bump on any incompatible change to the frame schema above.
+PROTOCOL_VERSION = 1
+
+#: Task kinds a worker will execute: kind -> "module:function".  Both
+#: entry points take one plain payload dict and return a plain dict —
+#: the exact contract the local ``ProcessPoolExecutor`` path uses, so a
+#: cell computes identically whichever executor ran it.
+TASK_KINDS = {
+    "sweep-cell": "repro.orch.orchestrator:execute_spec_payload",
+    "campaign-cell": "repro.fault.campaign:execute_campaign_payload",
+}
+
+
+class ProtocolError(RuntimeError):
+    """The peer spoke framing-valid JSON that violates this protocol."""
+
+
+def resolve_kind(kind: str) -> Callable[[dict], dict]:
+    """The worker-side entry point for ``kind`` (allowlist lookup)."""
+    try:
+        target = TASK_KINDS[kind]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown task kind {kind!r}; known: {', '.join(sorted(TASK_KINDS))}"
+        ) from None
+    module_name, _, func_name = target.partition(":")
+    return getattr(import_module(module_name), func_name)
+
+
+def kind_for(worker: Callable) -> str | None:
+    """The registered kind whose entry point is ``worker``, if any.
+
+    Matched by module-qualified name rather than identity so a
+    re-imported function (different module object, same code) still
+    resolves.
+    """
+    qualified = f"{worker.__module__}:{worker.__qualname__}"
+    for kind, target in TASK_KINDS.items():
+        if target == qualified:
+            return kind
+    return None
+
+
+# -- message constructors ----------------------------------------------
+
+
+def hello() -> dict:
+    return {"type": "hello", "version": PROTOCOL_VERSION,
+            "repro_version": repro_version}
+
+
+def welcome(slots: int, pid: int) -> dict:
+    return {"type": "welcome", "version": PROTOCOL_VERSION,
+            "repro_version": repro_version, "slots": slots, "pid": pid}
+
+
+def task(task_id: int, kind: str, payload: dict) -> dict:
+    return {"type": "task", "task_id": task_id, "kind": kind, "payload": payload}
+
+
+def result_ok(task_id: int, value: dict, wall_seconds: float) -> dict:
+    return {"type": "result", "task_id": task_id, "ok": True,
+            "value": value, "wall_seconds": wall_seconds}
+
+
+def result_error(task_id: int, error: str, wall_seconds: float) -> dict:
+    return {"type": "result", "task_id": task_id, "ok": False,
+            "error": error, "wall_seconds": wall_seconds}
+
+
+def ping(t: float) -> dict:
+    return {"type": "ping", "t": t}
+
+
+def pong(t: float) -> dict:
+    return {"type": "pong", "t": t}
+
+
+def shutdown() -> dict:
+    return {"type": "shutdown"}
+
+
+# -- validation --------------------------------------------------------
+
+
+def check_welcome(message: dict) -> dict:
+    """Validate a worker's handshake reply; returns it."""
+    if message.get("type") != "welcome":
+        raise ProtocolError(f"expected welcome, got {message.get('type')!r}")
+    if message.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: worker speaks "
+            f"{message.get('version')!r}, coordinator speaks {PROTOCOL_VERSION}"
+        )
+    if message.get("repro_version") != repro_version:
+        raise ProtocolError(
+            f"repro version mismatch: worker runs "
+            f"{message.get('repro_version')!r}, coordinator runs {repro_version} "
+            "(results would not be comparable)"
+        )
+    if not isinstance(message.get("slots"), int) or message["slots"] < 1:
+        raise ProtocolError(f"welcome carries invalid slots {message.get('slots')!r}")
+    return message
+
+
+def check_hello(message: dict) -> dict:
+    """Validate a coordinator's handshake; returns it."""
+    if message.get("type") != "hello":
+        raise ProtocolError(f"expected hello, got {message.get('type')!r}")
+    if message.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: coordinator speaks "
+            f"{message.get('version')!r}, worker speaks {PROTOCOL_VERSION}"
+        )
+    if message.get("repro_version") != repro_version:
+        raise ProtocolError(
+            f"repro version mismatch: coordinator runs "
+            f"{message.get('repro_version')!r}, worker runs {repro_version}"
+        )
+    return message
+
+
+def parse_addr(text: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with a usable error."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address {text!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"worker address {text!r} has a non-numeric port") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"worker address {text!r} has an out-of-range port")
+    return host, port
+
+
+def parse_workers(text: str) -> list[tuple[str, int]]:
+    """Parse a ``--workers host:port,host:port,...`` flag value."""
+    addrs = [parse_addr(part.strip()) for part in text.split(",") if part.strip()]
+    if not addrs:
+        raise ValueError("--workers names no addresses")
+    return addrs

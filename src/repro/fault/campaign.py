@@ -423,6 +423,11 @@ class CampaignReport:
     cells: list = field(default_factory=list)
     #: Cells whose *worker* failed (infrastructure, not simulation).
     failed: list = field(default_factory=list)
+    #: Which executor computed the cells ("local" or "distributed").
+    executor: str = "local"
+    #: Distributed dispatch stats (reassignments, worker deaths,
+    #: per-worker throughput) when a DistributedExecutor ran them.
+    dispatch: dict | None = None
 
     @property
     def defects(self) -> int:
@@ -475,6 +480,8 @@ class CampaignReport:
             "ok": self.ok,
             "cells": list(self.cells),
             "failed": list(self.failed),
+            "executor": self.executor,
+            "dispatch": dict(self.dispatch) if self.dispatch else None,
         }
 
     def format(self) -> str:
@@ -498,8 +505,17 @@ class CampaignReport:
             ["window", "entered", "triggers", "fired", "skipped"],
             coverage_rows,
         ))
+        dispatch_rows = []
+        if self.dispatch is not None:
+            dispatch_rows = [
+                ("workers connected", self.dispatch.get("connected", 0)),
+                ("cells reassigned", self.dispatch.get("reassignments", 0)),
+                ("worker deaths", self.dispatch.get("worker_deaths", 0)),
+            ]
         lines.append(format_table(["campaign", "value"], [
             ("cells", self.n_cells),
+            ("executor", self.executor),
+            *dispatch_rows,
             ("from cache", self.from_cache),
             ("executed", self.executed),
             ("worker failures", len(self.failed)),
@@ -572,17 +588,35 @@ class CampaignRunner:
         task_timeout: float | None = None,
         max_retries: int = 1,
         progress: Callable[[str], None] | None = None,
+        executor=None,
+        on_cell: Callable[[dict], None] | None = None,
     ) -> CampaignReport:
-        from repro.orch.executor import run_tasks
+        """Complete every cell of the campaign.
 
+        ``executor`` is anything matching the
+        :class:`~repro.orch.executor.LocalExecutor` interface (pass a
+        :class:`~repro.distributed.DistributedExecutor` to shard cells
+        over worker daemons); ``on_cell`` receives one structured dict
+        per terminal cell — the live feed ``repro serve`` renders.
+        """
+        from repro.orch.executor import LocalExecutor
+
+        if executor is None:
+            executor = LocalExecutor(
+                parallel=parallel, task_timeout=task_timeout,
+                max_retries=max_retries,
+            )
+        parallel = executor.parallel
         journal = self.journal
         say = progress or (lambda _msg: None)
+        emit = on_cell or (lambda _event: None)
         completed = (
             journal.completed_keys() if (resume and journal is not None) else set()
         )
 
         report = CampaignReport(config=self.config.to_dict(),
-                                n_cells=len(self.cells))
+                                n_cells=len(self.cells),
+                                executor=getattr(executor, "name", "local"))
         outcomes: dict[int, RunOutcome] = {}
         pending: list[CampaignCell] = []
         for cell in self.cells:
@@ -593,17 +627,17 @@ class CampaignRunner:
                 outcomes[cell.index] = RunOutcome.from_dict(cached)
                 report.from_cache += 1
                 say(f"cached   {cell.label()} -> {cached['outcome']}")
+                emit({"index": cell.index, "label": cell.label(),
+                      "source": "cached", "outcome": cached["outcome"],
+                      "wall_seconds": 0.0})
             else:
                 pending.append(cell)
 
         if journal is not None:
             journal.run_started(len(pending), parallel, resume)
-        for task in run_tasks(
+        for task in executor.run(
             [cell.to_dict() for cell in pending],
             execute_campaign_payload,
-            parallel=parallel,
-            task_timeout=task_timeout,
-            max_retries=max_retries,
             on_start=lambda _i, p: (
                 journal.task_started(
                     CampaignCell.from_dict(p).key, CampaignCell.from_dict(p).label()
@@ -614,6 +648,8 @@ class CampaignRunner:
             if task.ok:
                 outcomes[cell.index] = RunOutcome.from_dict(task.value)
                 report.executed += 1
+                # store record first, journal line second: a journaled
+                # completion always has a durable record behind it
                 if self.store is not None:
                     self.store.save_payload(
                         cell.key, CAMPAIGN_RECORD_KIND, cell.to_dict(),
@@ -624,6 +660,9 @@ class CampaignRunner:
                         cell.key, cell.label(), task.wall_seconds, source="run"
                     )
                 say(f"ran      {cell.label()} -> {task.value['outcome']}")
+                emit({"index": cell.index, "label": cell.label(),
+                      "source": "ran", "outcome": task.value["outcome"],
+                      "wall_seconds": task.wall_seconds})
             else:
                 error = task.error or "timed out"
                 report.failed.append({
@@ -633,6 +672,12 @@ class CampaignRunner:
                 if journal is not None:
                     journal.task_failed(cell.key, cell.label(), error, task.attempts)
                 say(f"FAILED   {cell.label()}: {error}")
+                emit({"index": cell.index, "label": cell.label(),
+                      "source": "failed", "outcome": None,
+                      "wall_seconds": task.wall_seconds, "error": error})
+        last_stats = getattr(executor, "last_stats", None)
+        if last_stats is not None:
+            report.dispatch = last_stats.to_dict()
 
         # -- aggregate ---------------------------------------------------
         from repro.workloads.registry import workload_class_of

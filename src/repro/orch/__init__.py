@@ -17,7 +17,7 @@ backward-error-recovery properties the paper gives the COMA machine:
   together (:class:`Orchestrator`).
 """
 
-from repro.orch.executor import TaskOutcome, run_tasks
+from repro.orch.executor import LocalExecutor, TaskOutcome, run_tasks
 from repro.orch.journal import Journal
 from repro.orch.orchestrator import (
     CellRecord,
@@ -27,6 +27,7 @@ from repro.orch.orchestrator import (
     execute_spec_payload,
 )
 from repro.orch.serialize import (
+    comparable_payload,
     comparable_result_dict,
     config_from_dict,
     config_to_dict,
@@ -37,6 +38,8 @@ from repro.orch.store import (
     CacheError,
     CacheStats,
     DEFAULT_CACHE_DIR,
+    GC_KEEP_DAYS_DEFAULT,
+    GCReport,
     STORE_SCHEMA_VERSION,
     ResultStore,
     StoreSummary,
@@ -50,7 +53,10 @@ __all__ = [
     "CacheStats",
     "CellRecord",
     "DEFAULT_CACHE_DIR",
+    "GC_KEEP_DAYS_DEFAULT",
+    "GCReport",
     "Journal",
+    "LocalExecutor",
     "Orchestrator",
     "ProgressEvent",
     "ResultStore",
@@ -61,6 +67,7 @@ __all__ = [
     "TaskOutcome",
     "TaskSpec",
     "cache_enabled",
+    "comparable_payload",
     "comparable_result_dict",
     "config_from_dict",
     "config_to_dict",

@@ -125,6 +125,8 @@ def run_tasks(
     queue: list[tuple[int, Any, int]] = [(i, p, 1) for i, p in enumerate(payloads)]
     inflight: dict[Future, _Attempt] = {}
     abandoned = False  # a timed-out worker may still be running in the pool
+    interrupted = True  # cleared on normal loop exit; KeyboardInterrupt,
+    # StallError or a closed generator must not leave orphan workers
     broken: list[tuple[int, Any, int]] = []  # resubmit serially on pool death
 
     def submit_next() -> bool:
@@ -206,12 +208,16 @@ def run_tasks(
                             timed_out=True, attempts=task.attempt,
                             wall_seconds=now - task.submitted_at,
                         )
+        interrupted = False
     finally:
-        # best effort: reap workers still grinding on abandoned tasks
+        # best effort: reap workers still grinding on abandoned tasks,
+        # and never *wait* on them when unwinding from an interrupt —
+        # an aborted sweep must not leave orphan worker processes
         # (the process table is cleared by shutdown, so snapshot first)
+        kill = abandoned or interrupted
         workers = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=not abandoned, cancel_futures=True)
-        if abandoned:
+        pool.shutdown(wait=not kill, cancel_futures=True)
+        if kill:
             for process in workers:
                 try:
                     process.terminate()
@@ -221,3 +227,45 @@ def run_tasks(
     if broken:
         broken.sort()
         yield from _run_serial(broken, worker, max_retries, retry_backoff, None)
+
+
+class LocalExecutor:
+    """Single-host execution behind the shared executor interface.
+
+    An *executor* is anything with ``run(payloads, worker, on_start=None)
+    -> Iterator[TaskOutcome]`` and a nominal ``parallel`` width; the
+    orchestrator and the campaign runner are written against that
+    shape, so :class:`repro.distributed.DistributedExecutor` drops in
+    without either of them knowing whether cells ran in a local process
+    pool or on daemons across the network.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        parallel: int = 1,
+        task_timeout: float | None = None,
+        max_retries: int = 1,
+        retry_backoff: float = 0.25,
+    ):
+        self.parallel = max(1, parallel)
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+
+    def run(
+        self,
+        payloads: list[Any],
+        worker: Callable[[Any], Any],
+        on_start: Callable[[int, Any], None] | None = None,
+    ) -> Iterator[TaskOutcome]:
+        yield from run_tasks(
+            payloads,
+            worker,
+            parallel=self.parallel,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            on_start=on_start,
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Iterator
@@ -95,3 +96,72 @@ class Journal:
             for event in self.events()
             if event["event"] == "task_completed" and "key" in event
         }
+
+    # -- maintenance ----------------------------------------------------
+
+    def compact(self) -> tuple[int, int]:
+        """Drop torn/garbage lines and stale duplicate completions.
+
+        A journal accumulates noise over many runs: torn tail lines
+        from SIGKILLed writers (tolerated on read, but dead weight on
+        disk) and repeated ``task_completed`` lines for the same key
+        from re-run sweeps — only the newest matters to ``--resume``.
+        Rewrites the file atomically keeping every other event in
+        order; a no-op (and no rewrite) when the log is already clean.
+
+        Returns ``(lines_dropped, bytes_reclaimed)``.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                raw_lines = handle.read().splitlines(keepends=True)
+        except FileNotFoundError:
+            return 0, 0
+
+        parsed: list[dict | None] = []
+        last_completed: dict[str, int] = {}
+        for i, raw in enumerate(raw_lines):
+            try:
+                record = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                record = None
+            if not isinstance(record, dict) or "event" not in record:
+                record = None
+            parsed.append(record)
+            if record and record["event"] == "task_completed" and "key" in record:
+                last_completed[record["key"]] = i
+
+        keep: list[bytes] = []
+        dropped = 0
+        for i, (raw, record) in enumerate(zip(raw_lines, parsed)):
+            if record is None:
+                dropped += 1  # torn or garbage line
+                continue
+            if (
+                record["event"] == "task_completed"
+                and "key" in record
+                and last_completed[record["key"]] != i
+            ):
+                dropped += 1  # superseded duplicate completion
+                continue
+            keep.append(raw if raw.endswith(b"\n") else raw + b"\n")
+        if dropped == 0:
+            return 0, 0
+
+        before = sum(len(raw) for raw in raw_lines)
+        payload = b"".join(keep)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".journal-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return dropped, before - len(payload)

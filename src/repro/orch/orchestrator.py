@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.orch.executor import run_tasks
+from repro.orch.executor import LocalExecutor
 from repro.orch.journal import Journal
 from repro.orch.serialize import run_result_from_dict, run_result_to_dict
 from repro.orch.store import ResultStore
@@ -101,6 +101,11 @@ class SweepReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    #: "local" or "distributed" — which executor computed the cells.
+    executor: str = "local"
+    #: Distributed dispatch stats (reassignments, worker deaths, ...)
+    #: when a DistributedExecutor ran the cells.
+    dispatch: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -116,7 +121,7 @@ class SweepReport:
         return {c.key for c in self.cells if c.source == "computed"}
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "total": self.total,
             "resumed": self.resumed,
             "cached": self.cached,
@@ -125,7 +130,16 @@ class SweepReport:
             "wall_seconds": round(self.wall_seconds, 3),
             "parallel": self.parallel,
             "serial_fallbacks": self.serial_fallbacks,
+            "executor": self.executor,
         }
+        if self.dispatch is not None:
+            summary["dispatch"] = {
+                k: self.dispatch[k]
+                for k in ("connected", "reassignments", "worker_deaths",
+                          "local_fallback_cells")
+                if k in self.dispatch
+            }
+        return summary
 
     def format(self) -> str:
         lines = [
@@ -136,10 +150,16 @@ class SweepReport:
             f"cache ({self.hit_rate():.0%} hit rate), "
             f"{self.cache_invalidations} invalidated",
             f"wall time: {self.wall_seconds:.1f}s "
-            f"(parallel={self.parallel}"
+            f"({self.executor} executor, parallel={self.parallel}"
             + (f", {self.serial_fallbacks} serial fallbacks" if self.serial_fallbacks else "")
             + ")",
         ]
+        if self.dispatch is not None:
+            lines.append(
+                f"dispatch: {self.dispatch.get('connected', 0)} worker(s), "
+                f"{self.dispatch.get('reassignments', 0)} reassignment(s), "
+                f"{self.dispatch.get('worker_deaths', 0)} worker death(s)"
+            )
         for cell in self.cells:
             if cell.error is not None:
                 lines.append(f"FAILED {cell.label}: {cell.error}")
@@ -174,14 +194,32 @@ class Orchestrator:
         resume: bool = False,
         read_cache: bool = True,
         progress=None,
+        executor=None,
     ) -> tuple[dict[str, "object"], SweepReport]:
-        """Complete every cell; returns ``({key: RunResult}, report)``."""
+        """Complete every cell; returns ``({key: RunResult}, report)``.
+
+        ``executor`` is anything matching the
+        :class:`~repro.orch.executor.LocalExecutor` interface; when
+        ``None`` a local one is built from ``parallel`` and the
+        orchestrator's timeout/retry policy.
+        """
         t_start = time.perf_counter()
+        if executor is None:
+            executor = LocalExecutor(
+                parallel=parallel,
+                task_timeout=self.task_timeout,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
+            )
+        parallel = executor.parallel
         unique: dict[str, TaskSpec] = {}
         for spec in specs:
             unique.setdefault(spec.key, spec)
 
-        report = SweepReport(total=len(unique), parallel=max(1, parallel))
+        report = SweepReport(
+            total=len(unique), parallel=max(1, parallel),
+            executor=getattr(executor, "name", "local"),
+        )
         results: dict[str, object] = {}
         done = 0
         compute_walls: list[float] = []
@@ -240,15 +278,8 @@ class Orchestrator:
             if self.journal is not None:
                 self.journal.task_started(spec.key, spec.label())
 
-        for outcome in run_tasks(
-            payloads,
-            execute_spec_payload,
-            parallel=parallel,
-            task_timeout=self.task_timeout,
-            max_retries=self.max_retries,
-            retry_backoff=self.retry_backoff,
-            on_start=on_start,
-        ):
+        for outcome in executor.run(payloads, execute_spec_payload,
+                                    on_start=on_start):
             spec = pending[outcome.index]
             done += 1
             queue_depth = report.total - done
@@ -290,6 +321,9 @@ class Orchestrator:
                 emit(spec, "failed", outcome.wall_seconds, queue_depth)
 
         report.wall_seconds = time.perf_counter() - t_start
+        last_stats = getattr(executor, "last_stats", None)
+        if last_stats is not None:
+            report.dispatch = last_stats.to_dict()
         if self.store is not None:
             report.cache_hits = self.store.stats.hits
             report.cache_misses = self.store.stats.misses

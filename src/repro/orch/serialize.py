@@ -137,3 +137,21 @@ def comparable_result_dict(result: RunResult) -> dict:
     data = run_result_to_dict(result)
     data.pop("wall_seconds")
     return data
+
+
+def comparable_payload(payload):
+    """``payload`` (any JSON tree — a stored record, a campaign-cell
+    outcome) with every wall-clock field recursively removed and dict
+    keys ordered.  Two executions of the same content key — local,
+    distributed, or reassigned after a worker death — must compare
+    equal under this projection; that equality is what the distributed
+    fabric's acceptance tests and CI smoke job assert."""
+    if isinstance(payload, dict):
+        return {
+            key: comparable_payload(value)
+            for key, value in sorted(payload.items())
+            if key not in ("wall_seconds", "created_at")
+        }
+    if isinstance(payload, list):
+        return [comparable_payload(value) for value in payload]
+    return payload

@@ -53,6 +53,10 @@ STORE_SCHEMA_VERSION = 1
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Default ``repro cache gc --keep-days``: records older than this and
+#: unreferenced by any equally-recent journal completion are pruned.
+GC_KEEP_DAYS_DEFAULT = 30.0
+
 
 class CacheError(RuntimeError):
     """The cache directory cannot be used (unwritable, not a directory)."""
@@ -84,6 +88,9 @@ class StoreSummary:
     records: int
     total_bytes: int
     repro_versions: dict[str, int] = field(default_factory=dict)
+    #: What ``repro cache gc`` (at the default --keep-days) would free.
+    reclaimable_records: int = 0
+    reclaimable_bytes: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -92,6 +99,38 @@ class StoreSummary:
             "records": self.records,
             "total_bytes": self.total_bytes,
             "repro_versions": self.repro_versions,
+            "reclaimable_records": self.reclaimable_records,
+            "reclaimable_bytes": self.reclaimable_bytes,
+        }
+
+
+@dataclass
+class GCReport:
+    """What one ``repro cache gc`` pass did (or would do)."""
+
+    keep_days: float
+    dry_run: bool
+    scanned: int = 0
+    removed_records: int = 0
+    removed_bytes: int = 0
+    kept_recent: int = 0
+    kept_referenced: int = 0
+    journals_compacted: int = 0
+    journal_lines_dropped: int = 0
+    journal_bytes_reclaimed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "keep_days": self.keep_days,
+            "dry_run": self.dry_run,
+            "scanned": self.scanned,
+            "removed_records": self.removed_records,
+            "removed_bytes": self.removed_bytes,
+            "kept_recent": self.kept_recent,
+            "kept_referenced": self.kept_referenced,
+            "journals_compacted": self.journals_compacted,
+            "journal_lines_dropped": self.journal_lines_dropped,
+            "journal_bytes_reclaimed": self.journal_bytes_reclaimed,
         }
 
 
@@ -269,7 +308,7 @@ class ResultStore:
             return
         yield from sorted(self.objects_dir.glob("*/*.json"))
 
-    def summary(self) -> StoreSummary:
+    def summary(self, gc_keep_days: float = GC_KEEP_DAYS_DEFAULT) -> StoreSummary:
         records = 0
         total_bytes = 0
         versions: dict[str, int] = {}
@@ -281,13 +320,93 @@ class ResultStore:
             except (json.JSONDecodeError, UnicodeDecodeError, OSError):
                 version = "corrupt"
             versions[version] = versions.get(version, 0) + 1
+        preview = self.gc(keep_days=gc_keep_days, dry_run=True)
         return StoreSummary(
             root=str(self.root),
             schema=STORE_SCHEMA_VERSION,
             records=records,
             total_bytes=total_bytes,
             repro_versions=versions,
+            reclaimable_records=preview.removed_records,
+            reclaimable_bytes=preview.removed_bytes,
         )
+
+    # -- garbage collection ---------------------------------------------
+
+    def _journal_paths(self) -> list[Path]:
+        """Every journal sharing this cache root (the sweep journal
+        plus per-subsystem logs like campaign-journal.jsonl)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.jsonl"))
+
+    def referenced_keys(self, since: float) -> set[str]:
+        """Content keys with a ``task_completed`` journal line newer
+        than ``since`` (unix time) in any journal under this root."""
+        from repro.orch.journal import Journal
+
+        keys: set[str] = set()
+        for path in self._journal_paths():
+            for event in Journal(path).events():
+                if (
+                    event.get("event") == "task_completed"
+                    and "key" in event
+                    and event.get("at", 0.0) >= since
+                ):
+                    keys.add(event["key"])
+        return keys
+
+    def gc(self, keep_days: float = GC_KEEP_DAYS_DEFAULT,
+           dry_run: bool = False, now: float | None = None) -> GCReport:
+        """Prune stale records and compact the journals.
+
+        A record survives when it is *recent* (``created_at`` within
+        ``keep_days``) or *referenced* (a journal completion for its
+        key within the window — the key a ``--resume`` could still
+        trust).  Everything else, including corrupt records, is
+        deleted.  Journals are then compacted (torn lines and
+        superseded duplicate completions dropped); ``dry_run`` scans
+        and reports without touching the disk.
+        """
+        if keep_days < 0:
+            raise ValueError("--keep-days must be >= 0")
+        now = time.time() if now is None else now
+        cutoff = now - keep_days * 86400.0
+        report = GCReport(keep_days=keep_days, dry_run=dry_run)
+        referenced = self.referenced_keys(cutoff)
+        for path in self._record_paths():
+            report.scanned += 1
+            size = path.stat().st_size
+            key = path.stem
+            try:
+                record = json.loads(path.read_bytes())
+                created_at = float(record.get("created_at", 0.0))
+            except (json.JSONDecodeError, UnicodeDecodeError,
+                    OSError, TypeError, ValueError):
+                created_at = None  # corrupt: never worth keeping
+            if created_at is not None and created_at >= cutoff:
+                report.kept_recent += 1
+                continue
+            if key in referenced:
+                report.kept_referenced += 1
+                continue
+            report.removed_records += 1
+            report.removed_bytes += size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        if not dry_run:
+            from repro.orch.journal import Journal
+
+            for path in self._journal_paths():
+                dropped, reclaimed = Journal(path).compact()
+                if dropped:
+                    report.journals_compacted += 1
+                    report.journal_lines_dropped += dropped
+                    report.journal_bytes_reclaimed += reclaimed
+        return report
 
     def clear(self) -> int:
         """Delete every record (and the journal); returns records removed."""

@@ -1,0 +1,83 @@
+"""CLI surface of the distributed fabric and the cache gc subcommand."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from repro.cli import EXIT_DISPATCH, EXIT_USAGE, main
+from repro.distributed import WorkerDaemon, ping_workers, shutdown_workers
+from repro.orch.journal import Journal
+from repro.orch.store import ResultStore
+
+
+def _dead_addr() -> str:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    host, port = probe.getsockname()
+    probe.close()
+    return f"{host}:{port}"
+
+
+def test_dispatch_requires_workers(capsys):
+    assert main(["dispatch"]) == EXIT_USAGE
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_dispatch_ping_unreachable_exits_9(capsys):
+    assert main(["dispatch", "--ping", "--workers", _dead_addr()]) == EXIT_DISPATCH
+    assert "unreachable" in capsys.readouterr().out
+
+
+def test_campaign_with_no_reachable_worker_exits_9(capsys, tmp_path):
+    code = main([
+        "campaign", "--seeds", "2", "--refs", "200",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--workers", _dead_addr(), "--quiet",
+    ])
+    assert code == EXIT_DISPATCH
+    assert "dispatch error" in capsys.readouterr().err
+
+
+def test_worker_daemon_serves_ping_and_shutdown():
+    daemon = WorkerDaemon(port=0, slots=2)
+    host, port = daemon.start()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+
+    rows = ping_workers([(host, port)])
+    assert rows[0]["ok"] and rows[0]["slots"] == 2
+
+    assert shutdown_workers([(host, port)])[0]["ok"]
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    daemon.close()
+
+
+def test_cache_gc_cli_dry_run_then_real(capsys, tmp_path):
+    root = tmp_path / "cache"
+    store = ResultStore(root)
+    store.save_payload("ab" + "0" * 62, "campaign-cell", {}, {"v": 1})
+    # backdate it past any retention window
+    path = store._path_for("ab" + "0" * 62)
+    record = json.loads(path.read_text())
+    record["created_at"] = time.time() - 400 * 86400
+    path.write_text(json.dumps(record))
+    journal = Journal(store.journal_path)
+    journal.task_completed("zz" + "0" * 62, "cell", 0.5, "computed")
+    journal.task_completed("zz" + "0" * 62, "cell", 0.6, "computed")
+
+    assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+    assert "reclaimable (gc)" in capsys.readouterr().out
+
+    assert main(["cache", "gc", "--cache-dir", str(root), "--dry-run"]) == 0
+    assert "would remove 1 of 1" in capsys.readouterr().out
+    assert path.exists()
+
+    assert main(["cache", "gc", "--cache-dir", str(root), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["removed_records"] == 1
+    assert report["journal_lines_dropped"] == 1  # the superseded completion
+    assert not path.exists()

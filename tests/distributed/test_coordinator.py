@@ -1,0 +1,222 @@
+"""Coordinator fault handling against scripted in-process workers.
+
+These tests exercise the dispatch loop's failure semantics — heartbeat
+misses, EOF deaths, reassignment, bounded retry — without spawning real
+daemons: a :class:`FakeWorker` thread speaks the wire protocol and
+misbehaves on cue.  The payloads never execute anywhere; the fakes just
+echo them back, which is all the coordinator can observe anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.distributed import framing, protocol
+from repro.distributed.coordinator import (
+    Coordinator,
+    DispatchError,
+    DistributedExecutor,
+)
+from repro.distributed.framing import ConnectionClosed, FrameError
+from repro.distributed.registry import WorkerState
+
+
+class FakeWorker(threading.Thread):
+    """A scripted worker daemon: one connection, one behaviour.
+
+    Modes: ``good`` answers everything; ``silent`` handshakes then never
+    replies (heartbeat-miss fodder); ``die-on-task`` drops the
+    connection upon its first task (EOF with the cell in flight);
+    ``always-error`` answers every task with ``ok: false``.
+    """
+
+    def __init__(self, mode: str = "good", slots: int = 1):
+        super().__init__(daemon=True)
+        self.mode = mode
+        self.slots = slots
+        self.tasks_seen = 0
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(1)
+        self.addr = self.listener.getsockname()
+
+    def close(self) -> None:
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+    def run(self) -> None:  # noqa: C901 — a script, one branch per cue
+        try:
+            conn, _peer = self.listener.accept()
+        except OSError:
+            return
+        try:
+            protocol.check_hello(framing.recv_frame(conn))
+            framing.send_frame(
+                conn, protocol.welcome(slots=self.slots, pid=os.getpid())
+            )
+            while True:
+                message = framing.recv_frame(conn)
+                if self.mode == "silent":
+                    continue
+                mtype = message.get("type")
+                if mtype == "ping":
+                    framing.send_frame(conn, protocol.pong(message["t"]))
+                elif mtype == "task":
+                    self.tasks_seen += 1
+                    if self.mode == "die-on-task":
+                        conn.close()
+                        return
+                    if self.mode == "always-error":
+                        framing.send_frame(conn, protocol.result_error(
+                            message["task_id"], "scripted failure", 0.01
+                        ))
+                    else:
+                        framing.send_frame(conn, protocol.result_ok(
+                            message["task_id"],
+                            {"echo": message["payload"]},
+                            0.01,
+                        ))
+                elif mtype == "shutdown":
+                    return
+        except (ConnectionClosed, FrameError, OSError,
+                protocol.ProtocolError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+@pytest.fixture
+def spawn():
+    workers: list[FakeWorker] = []
+
+    def _spawn(*modes: str, slots: int = 1) -> list[FakeWorker]:
+        for mode in modes:
+            worker = FakeWorker(mode=mode, slots=slots)
+            worker.start()
+            workers.append(worker)
+        return workers
+
+    yield _spawn
+    for worker in workers:
+        worker.close()
+
+
+def _coordinator(workers, **kwargs) -> Coordinator:
+    kwargs.setdefault("heartbeat_interval", 0.05)
+    kwargs.setdefault("heartbeat_misses", 2)
+    kwargs.setdefault("connect_timeout", 5.0)
+    return Coordinator([w.addr for w in workers], **kwargs)
+
+
+PAYLOADS = [{"cell": i} for i in range(6)]
+
+
+def test_dispatches_across_workers(spawn):
+    workers = spawn("good", "good")
+    coordinator = _coordinator(workers)
+    outcomes = list(coordinator.run(PAYLOADS, "campaign-cell"))
+    assert len(outcomes) == len(PAYLOADS)
+    assert all(o.ok for o in outcomes)
+    assert sorted(o.value["echo"]["cell"] for o in outcomes) == list(range(6))
+    assert all(o.mode == "distributed" for o in outcomes)
+    assert coordinator.stats.connected == 2
+    assert coordinator.stats.completed == len(PAYLOADS)
+    assert coordinator.stats.worker_deaths == 0
+    # both fakes actually carried load
+    assert all(w.tasks_seen > 0 for w in workers)
+
+
+def test_heartbeat_miss_kills_worker_and_reassigns(spawn):
+    workers = spawn("good", "silent")
+    coordinator = _coordinator(workers)
+    outcomes = list(coordinator.run(PAYLOADS, "campaign-cell"))
+    assert len(outcomes) == len(PAYLOADS)
+    assert all(o.ok for o in outcomes)
+    assert coordinator.stats.worker_deaths == 1
+    assert coordinator.stats.reassignments >= 1
+    dead = [w for w in coordinator.registry if w.state is WorkerState.DEAD]
+    assert len(dead) == 1
+    assert "heartbeat" in dead[0].death_reason
+    # reassignment must not have consumed the cells' retry budget
+    assert all(o.attempts == 1 for o in outcomes)
+
+
+def test_eof_death_reassigns_inflight_cell(spawn):
+    workers = spawn("good", "die-on-task")
+    coordinator = _coordinator(workers)
+    outcomes = list(coordinator.run(PAYLOADS, "campaign-cell"))
+    assert len(outcomes) == len(PAYLOADS)
+    assert all(o.ok for o in outcomes)
+    assert coordinator.stats.worker_deaths == 1
+    assert coordinator.stats.reassignments >= 1
+
+
+def test_no_worker_reachable_raises_dispatch_error():
+    # a freshly bound-then-closed port: nothing listens there
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    addr = probe.getsockname()
+    probe.close()
+    coordinator = Coordinator([addr], connect_timeout=2.0)
+    with pytest.raises(DispatchError, match="no worker reachable"):
+        list(coordinator.run(PAYLOADS, "campaign-cell"))
+
+
+def test_unknown_kind_is_refused_up_front(spawn):
+    workers = spawn("good")
+    coordinator = _coordinator(workers)
+    with pytest.raises(DispatchError, match="unknown task kind"):
+        list(coordinator.run(PAYLOADS, "arbitrary-exec"))
+
+
+def test_cell_errors_retry_then_fail(spawn):
+    workers = spawn("always-error")
+    coordinator = _coordinator(workers, max_retries=1, local_fallback=False)
+    payloads = PAYLOADS[:2]
+    outcomes = list(coordinator.run(payloads, "campaign-cell"))
+    assert len(outcomes) == len(payloads)
+    assert all(not o.ok for o in outcomes)
+    assert all(o.error == "scripted failure" for o in outcomes)
+    assert all(o.attempts == 2 for o in outcomes)  # 1 try + 1 retry
+    assert coordinator.stats.retries == 2
+    assert coordinator.stats.failed == 2
+
+
+def test_total_worker_loss_without_fallback_raises(spawn):
+    workers = spawn("die-on-task")
+    coordinator = _coordinator(workers, local_fallback=False)
+    with pytest.raises(DispatchError, match="every worker died"):
+        list(coordinator.run(PAYLOADS, "campaign-cell"))
+
+
+def test_executor_refuses_unregistered_callables(spawn):
+    workers = spawn("good")
+    executor = DistributedExecutor([w.addr for w in workers])
+    with pytest.raises(DispatchError, match="not a registered"):
+        list(executor.run(PAYLOADS, test_dispatches_across_workers))
+
+
+def test_executor_runs_and_records_stats(spawn):
+    from repro.fault.campaign import execute_campaign_payload
+
+    workers = spawn("good", slots=2)
+    executor = DistributedExecutor(
+        [w.addr for w in workers],
+        heartbeat_interval=0.05, heartbeat_misses=2,
+    )
+    outcomes = list(executor.run(PAYLOADS, execute_campaign_payload))
+    assert all(o.ok for o in outcomes)
+    assert executor.coordinator is None  # cleared after the run
+    assert executor.last_stats is not None
+    assert executor.last_stats.completed == len(PAYLOADS)
+    assert executor.last_stats.workers[0]["slots"] == 2

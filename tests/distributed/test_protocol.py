@@ -1,0 +1,70 @@
+"""Handshake validation, kind allowlisting and address parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import protocol
+from repro.fault.campaign import execute_campaign_payload
+from repro.orch.orchestrator import execute_spec_payload
+
+
+def test_handshake_round_trip():
+    protocol.check_hello(protocol.hello())
+    protocol.check_welcome(protocol.welcome(slots=4, pid=123))
+
+
+@pytest.mark.parametrize("field,value", [
+    ("version", 999),
+    ("repro_version", "0.0.1"),
+    ("type", "task"),
+])
+def test_check_welcome_rejects_mismatch(field, value):
+    message = protocol.welcome(slots=2, pid=1)
+    message[field] = value
+    with pytest.raises(protocol.ProtocolError):
+        protocol.check_welcome(message)
+
+
+def test_check_welcome_rejects_bad_slots():
+    message = protocol.welcome(slots=2, pid=1)
+    message["slots"] = 0
+    with pytest.raises(protocol.ProtocolError, match="slots"):
+        protocol.check_welcome(message)
+
+
+def test_check_hello_rejects_version_mismatch():
+    message = protocol.hello()
+    message["version"] = 0
+    with pytest.raises(protocol.ProtocolError, match="version mismatch"):
+        protocol.check_hello(message)
+
+
+def test_kinds_resolve_to_the_local_pool_entry_points():
+    assert protocol.resolve_kind("sweep-cell") is execute_spec_payload
+    assert protocol.resolve_kind("campaign-cell") is execute_campaign_payload
+
+
+def test_kind_for_maps_callables_back():
+    assert protocol.kind_for(execute_spec_payload) == "sweep-cell"
+    assert protocol.kind_for(execute_campaign_payload) == "campaign-cell"
+    assert protocol.kind_for(test_handshake_round_trip) is None
+
+
+def test_unknown_kind_is_a_protocol_error():
+    with pytest.raises(protocol.ProtocolError, match="unknown task kind"):
+        protocol.resolve_kind("arbitrary-exec")
+
+
+def test_parse_addr():
+    assert protocol.parse_addr("127.0.0.1:7070") == ("127.0.0.1", 7070)
+    assert protocol.parse_addr("node3:0") == ("node3", 0)
+    for bad in ("7070", ":7070", "host:", "host:notaport", "host:70000"):
+        with pytest.raises(ValueError):
+            protocol.parse_addr(bad)
+
+
+def test_parse_workers():
+    assert protocol.parse_workers("a:1, b:2,") == [("a", 1), ("b", 2)]
+    with pytest.raises(ValueError):
+        protocol.parse_workers(" , ")

@@ -1,0 +1,88 @@
+"""`repro serve`: state aggregation and the HTTP surface."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.distributed.serve import DashboardServer, ServeState
+
+
+def _fill(state: ServeState) -> None:
+    state.campaign_started({"app": "zipf"}, total=4, parallel=2)
+    state.cell_done({"index": 0, "label": "cell-0", "source": "cached",
+                     "outcome": "completed", "wall_seconds": 0.0})
+    state.cell_done({"index": 1, "label": "cell-1", "source": "ran",
+                     "outcome": "recovered", "wall_seconds": 0.5})
+    state.cell_done({"index": 2, "label": "cell-2", "source": "failed",
+                     "outcome": "stalled", "wall_seconds": 1.0})
+
+
+def test_serve_state_snapshot_aggregates():
+    state = ServeState()
+    assert state.snapshot()["status"] == "idle"
+
+    _fill(state)
+    snap = state.snapshot()
+    assert snap["status"] == "running"
+    assert snap["progress"] == {
+        "done": 3, "total": 4, "from_cache": 1, "executed": 1,
+        "failed": 1, "percent": 75.0,
+    }
+    assert snap["outcomes"]["recovered"] == 1
+    assert snap["outcomes"]["stalled"] == 1
+    assert snap["eta_seconds"] is not None
+    assert [e["index"] for e in snap["recent"]] == [2, 1, 0]
+
+    state.campaign_finished({"ok": False, "defects": 1, "n_cells": 4})
+    done = state.snapshot()
+    assert done["status"] == "defects"
+    assert done["result_summary"]["defects"] == 1
+
+
+def test_serve_state_worker_probe_survives_probe_errors():
+    state = ServeState()
+    state.set_worker_probe(lambda: {"workers": [{"addr": "a:1"}],
+                                    "reassignments": 2})
+    assert state.snapshot()["workers"] == [{"addr": "a:1"}]
+
+    def boom():
+        raise RuntimeError("run torn down")
+
+    state.set_worker_probe(boom)
+    # last-known worker table is retained when the probe races teardown
+    assert state.snapshot()["workers"] == [{"addr": "a:1"}]
+    assert state.snapshot()["dispatch"] is None
+
+
+def test_dashboard_endpoints():
+    state = ServeState()
+    _fill(state)
+    with DashboardServer(state, host="127.0.0.1", port=0) as server:
+        base = f"http://127.0.0.1:{server.port}"
+
+        def get(path: str) -> tuple[int, bytes]:
+            with urllib.request.urlopen(base + path, timeout=10) as response:
+                return response.status, response.read()
+
+        status, body = get("/healthz")
+        assert status == 200 and json.loads(body) == {"ok": True}
+
+        status, body = get("/api/status")
+        assert status == 200
+        assert json.loads(body)["progress"]["done"] == 3
+
+        status, body = get("/api/workers")
+        assert status == 200 and "workers" in json.loads(body)
+
+        status, body = get("/")
+        assert status == 200
+        page = body.decode()
+        assert "campaign dashboard" in page
+        assert "%%" not in page  # template escapes resolved
+
+        try:
+            get("/nonsense")
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404

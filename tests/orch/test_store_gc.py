@@ -1,0 +1,169 @@
+"""`repro cache gc`: retention rules and journal compaction."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.orch.journal import Journal
+from repro.orch.store import GC_KEEP_DAYS_DEFAULT, ResultStore
+
+DAY = 86400.0
+
+
+def _backdate(store: ResultStore, key: str, days: float, now: float) -> None:
+    """Rewrite a record's created_at as if saved ``days`` days ago."""
+    path = store._path_for(key)
+    record = json.loads(path.read_text())
+    record["created_at"] = now - days * DAY
+    path.write_text(json.dumps(record))
+
+
+def _save(store: ResultStore, key: str) -> None:
+    store.save_payload(key, "campaign-cell", {"seed": key}, {"v": key})
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+NOW = time.time()
+
+
+def test_gc_prunes_old_unreferenced_records(store):
+    _save(store, "aa" + "0" * 62)
+    _save(store, "bb" + "0" * 62)
+    _backdate(store, "aa" + "0" * 62, days=45, now=NOW)
+
+    report = store.gc(keep_days=30, now=NOW)
+    assert report.scanned == 2
+    assert report.removed_records == 1
+    assert report.removed_bytes > 0
+    assert report.kept_recent == 1
+    assert store.load_payload("bb" + "0" * 62, "campaign-cell") is not None
+    assert store.load_record("aa" + "0" * 62) is None
+
+
+def test_gc_keeps_journal_referenced_records(store):
+    key = "cc" + "0" * 62
+    _save(store, key)
+    _backdate(store, key, days=45, now=NOW)
+    # a completion inside the window vouches for the old record
+    Journal(store.journal_path).task_completed(key, "cell", 0.5, "computed")
+
+    report = store.gc(keep_days=30, now=NOW)
+    assert report.removed_records == 0
+    assert report.kept_referenced == 1
+    assert store.load_payload(key, "campaign-cell") is not None
+
+
+def test_gc_ignores_stale_journal_references(store):
+    key = "dd" + "0" * 62
+    _save(store, key)
+    _backdate(store, key, days=45, now=NOW)
+    journal = Journal(store.journal_path)
+    journal.task_completed(key, "cell", 0.5, "computed")
+    # push the completion itself outside the window
+    lines = store.journal_path.read_text().splitlines()
+    record = json.loads(lines[-1])
+    record["at"] = NOW - 45 * DAY
+    store.journal_path.write_text(json.dumps(record) + "\n")
+
+    report = store.gc(keep_days=30, now=NOW)
+    assert report.removed_records == 1
+    assert report.kept_referenced == 0
+
+
+def test_gc_removes_corrupt_records(store):
+    key = "ee" + "0" * 62
+    _save(store, key)
+    store._path_for(key).write_text("{torn json")
+
+    report = store.gc(keep_days=30, now=NOW)
+    assert report.removed_records == 1
+    assert not store._path_for(key).exists()
+
+
+def test_gc_dry_run_deletes_nothing(store):
+    key = "ff" + "0" * 62
+    _save(store, key)
+    _backdate(store, key, days=45, now=NOW)
+
+    report = store.gc(keep_days=30, dry_run=True, now=NOW)
+    assert report.dry_run
+    assert report.removed_records == 1
+    assert store._path_for(key).exists()
+    # and it never rewrites journals either
+    assert report.journals_compacted == 0
+
+
+def test_summary_reports_reclaimables(store):
+    old, fresh = "ab" + "0" * 62, "cd" + "0" * 62
+    _save(store, old)
+    _save(store, fresh)
+    _backdate(store, old, days=GC_KEEP_DAYS_DEFAULT + 10, now=time.time())
+
+    summary = store.summary()
+    assert summary.records == 2
+    assert summary.reclaimable_records == 1
+    assert 0 < summary.reclaimable_bytes < summary.total_bytes
+    assert summary.to_dict()["reclaimable_records"] == 1
+
+
+def test_gc_rejects_negative_keep_days(store):
+    with pytest.raises(ValueError):
+        store.gc(keep_days=-1)
+
+
+def test_journal_compact_drops_torn_and_duplicate_lines(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(path)
+    journal.task_completed("k1", "cell-1", 0.5, "computed")
+    journal.task_completed("k2", "cell-2", 0.5, "computed")
+    journal.task_completed("k1", "cell-1", 0.7, "computed")  # supersedes
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "task_comp')  # torn tail from a SIGKILL
+
+    before = path.stat().st_size
+    dropped, reclaimed = journal.compact()
+    assert dropped == 2  # the stale duplicate + the torn line
+    assert reclaimed == before - path.stat().st_size > 0
+    events = list(journal.events())
+    assert [e["key"] for e in events] == ["k2", "k1"]
+    assert [e["wall_seconds"] for e in events] == [0.5, 0.7]
+    assert journal.completed_keys() == {"k1", "k2"}
+
+
+def test_journal_compact_is_noop_when_clean(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(path)
+    journal.run_started(2, 1, False)
+    journal.task_completed("k1", "cell-1", 0.5, "computed")
+    mtime = path.stat().st_mtime_ns
+
+    assert journal.compact() == (0, 0)
+    assert path.stat().st_mtime_ns == mtime  # no rewrite at all
+    assert journal.compact() == (0, 0)
+
+
+def test_journal_compact_missing_file(tmp_path):
+    assert Journal(tmp_path / "absent.jsonl").compact() == (0, 0)
+
+
+def test_gc_compacts_every_journal_under_the_root(store):
+    _save(store, "aa" + "1" * 62)
+    sweep = Journal(store.journal_path)
+    sweep.task_completed("aa" + "1" * 62, "cell", 0.5, "computed")
+    sweep.task_completed("aa" + "1" * 62, "cell", 0.6, "computed")
+    campaign = Journal(store.root / "campaign-journal.jsonl")
+    campaign.task_completed("zz" + "1" * 62, "cell", 0.5, "computed")
+    with open(campaign.path, "a", encoding="utf-8") as handle:
+        handle.write("garbage line\n")
+
+    report = store.gc(keep_days=30)
+    assert report.journals_compacted == 2
+    assert report.journal_lines_dropped == 2
+    assert report.journal_bytes_reclaimed > 0
