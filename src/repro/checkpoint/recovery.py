@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Generator, TYPE_CHECKING
 
-from repro.coherence.injection import InjectionCause
+from repro.coherence.injection import InjectionCause, InjectionFailed
 from repro.memory.states import ItemState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,8 +40,17 @@ class UnrecoverableFailure(RuntimeError):
     #: True when the failure pattern itself exceeds the paper's fault
     #: model (so being fatal is the *expected* outcome); False for
     #: unrecoverable states the protocol should never produce under an
-    #: in-model scenario.  Set via :func:`repro.machine._fault_model_fatal`.
+    #: in-model scenario.  Set via :meth:`fatal`.
     fault_model_fatal: bool = False
+
+    @classmethod
+    def fatal(cls, message: str) -> "UnrecoverableFailure":
+        """An unrecoverable failure the fault model *allows*: the
+        campaign classifier maps it to ``UNRECOVERABLE_EXPECTED``
+        instead of ``SIMULATOR_BUG``."""
+        error = cls(message)
+        error.fault_model_fatal = True
+        return error
 
 
 def rebuild_metadata(protocol: "ExtendedProtocol") -> list[int]:
@@ -104,6 +113,14 @@ def reconfiguration_phase(
 
     Runs as a simulation generator so the re-replication traffic is
     charged against the network like any other injection.
+
+    Hardened against the two ways a rebuild can be re-entered or
+    overtaken: a singleton whose pair is already whole (double
+    invocation, e.g. a replayed recovery) is skipped instead of
+    acquiring a third Shared-CK2 copy, and a holder that died *after*
+    ``rebuild_metadata`` picked it escalates to a fault-model-fatal
+    :class:`UnrecoverableFailure` (overlapping failures) rather than
+    corrupting the rebuilt directory.
     """
     recreated = 0
     for item in singletons:
@@ -111,20 +128,42 @@ def reconfiguration_phase(
         if holder is None:
             raise UnrecoverableFailure(f"singleton item {item} has no holder")
         node = protocol.nodes[holder]
+        if not node.alive:
+            # a second death landed between the metadata rebuild and
+            # this item's turn: its only recovery copy is gone
+            raise UnrecoverableFailure.fatal(
+                f"node {holder} holding the only copy of item {item} "
+                "died during reconfiguration"
+            )
+        entry = protocol.directory.entry(holder, item)
+        if (
+            entry.partner is not None
+            and protocol.nodes[entry.partner].alive
+            and protocol.nodes[entry.partner].am.state(item)
+            is ItemState.SHARED_CK2
+        ):
+            # already re-paired (double invocation): nothing to do
+            continue
         if node.am.state(item) is not ItemState.SHARED_CK1:
             raise UnrecoverableFailure(
                 f"singleton item {item} at node {holder} is in state "
                 f"{node.am.state(item).name}"
             )
-        result = protocol.injector.inject(
-            holder,
-            item,
-            ItemState.SHARED_CK2,
-            engine.now,
-            InjectionCause.RECONFIGURATION,
-            drop_local=False,
-        )
-        entry = protocol.directory.entry(holder, item)
+        try:
+            result = protocol.injector.inject(
+                holder,
+                item,
+                ItemState.SHARED_CK2,
+                engine.now,
+                InjectionCause.RECONFIGURATION,
+                drop_local=False,
+            )
+        except InjectionFailed as exc:
+            # too few live memories with room: the persistence property
+            # cannot be restored — fatal by the fault model
+            raise UnrecoverableFailure.fatal(
+                f"cannot re-replicate singleton item {item}: {exc}"
+            ) from exc
         entry.partner = result.acceptor
         node.stats.reconfig_items_recreated += 1
         recreated += 1

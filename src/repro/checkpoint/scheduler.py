@@ -30,26 +30,45 @@ if TYPE_CHECKING:  # pragma: no cover
 POLL_INTERVAL = 2_000
 
 
+def _disabled(cfg) -> bool:
+    """Checkpointing is off: no period override and a non-positive
+    frequency (zero recovery points per second)."""
+    return (
+        cfg.ft.checkpoint_period_override is None
+        and cfg.ft.checkpoint_frequency_hz * cfg.ft.frequency_compression <= 0
+    )
+
+
 def checkpoint_scheduler(machine: "Machine") -> Generator[object, object, None]:
-    """Simulation process driving periodic recovery points."""
+    """Simulation process driving periodic recovery points.
+
+    The period is re-read from ``machine.cfg`` on every iteration, so a
+    harness may swap the config mid-run (``machine.cfg =
+    machine.cfg.with_ft(checkpoint_frequency_hz=...)``) to change the
+    checkpoint frequency — or set it to zero to disable checkpointing —
+    without rebuilding the machine.  With an unchanged config the
+    re-read computes the same period each pass: bit-identical behaviour.
+    """
     cfg = machine.cfg
+    if _disabled(cfg):
+        return
     use_refs = (
         cfg.ft.period_in_references
         and cfg.ft.checkpoint_period_override is None
     )
     if use_refs:
-        period_refs = cfg.checkpoint_period_references(
-            machine.workload.reference_density
-        )
-        yield from _reference_indexed(machine, period_refs)
+        yield from _reference_indexed(machine)
     else:
-        yield from _cycle_indexed(machine, cfg.checkpoint_period_cycles())
+        yield from _cycle_indexed(machine)
 
 
-def _cycle_indexed(machine: "Machine", period: int) -> Generator[object, object, None]:
+def _cycle_indexed(machine: "Machine") -> Generator[object, object, None]:
     coordinator = machine.coordinator
     while True:
-        yield period
+        cfg = machine.cfg
+        if _disabled(cfg):
+            return
+        yield cfg.checkpoint_period_cycles()
         if not coordinator.active:
             return
         done = coordinator.request_checkpoint()
@@ -59,12 +78,16 @@ def _cycle_indexed(machine: "Machine", period: int) -> Generator[object, object,
             return
 
 
-def _reference_indexed(
-    machine: "Machine", period_refs: int
-) -> Generator[object, object, None]:
+def _reference_indexed(machine: "Machine") -> Generator[object, object, None]:
     coordinator = machine.coordinator
     refs_at_last = 0
     while True:
+        cfg = machine.cfg
+        if _disabled(cfg):
+            return
+        period_refs = cfg.checkpoint_period_references(
+            machine.workload.reference_density
+        )
         yield POLL_INTERVAL
         if not coordinator.active:
             return

@@ -45,6 +45,7 @@ from repro import __version__
 from repro.config import ArchConfig, PAPER_FREQUENCIES_HZ, PAPER_NODE_COUNTS
 from repro.fault.failures import FailurePlan
 from repro.machine import Machine
+from repro.recovery import RECOVERY_STRATEGIES
 from repro.stats.report import format_table
 from repro.workloads.registry import WORKLOAD_FAMILIES, make_workload
 
@@ -119,6 +120,10 @@ def _add_sweep_orchestration_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-cell progress lines")
+    parser.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="shared handshake secret; workers started with the same "
+             "--token accept this coordinator, all others are rejected")
 
 
 def _make_executor(args: argparse.Namespace):
@@ -135,6 +140,7 @@ def _make_executor(args: argparse.Namespace):
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_misses=args.heartbeat_misses,
         local_fallback=not args.no_local_fallback,
+        token=getattr(args, "token", None),
         log=log,
     )
 
@@ -186,7 +192,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"running {args.app} on a {n_nodes}-node COMA "
         f"({args.protocol}, scale={args.scale})..."
     )
-    machine = Machine(cfg, wl, protocol=args.protocol)
+    machine = Machine(
+        cfg, wl, protocol=args.protocol,
+        recovery_strategy=args.recovery_strategy,
+    )
     result = machine.run()
     s = result.stats
     rows = [
@@ -224,7 +233,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.stats.charts import grouped_bar_chart
 
     apps = tuple(args.apps) if args.apps else None
-    runner = PairRunner(store=_make_store(args))
+    runner = PairRunner(store=_make_store(args),
+                        recovery_strategy=args.recovery_strategy)
     sweep = FrequencySweep(
         apps=apps, frequencies=tuple(args.frequencies), n_nodes=args.nodes,
         runner=runner,
@@ -252,7 +262,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     from repro.stats.charts import grouped_bar_chart
 
     apps = tuple(args.apps) if args.apps else None
-    runner = PairRunner(store=_make_store(args))
+    runner = PairRunner(store=_make_store(args),
+                        recovery_strategy=args.recovery_strategy)
     sweep = ScalingSweep(
         apps=apps, node_counts=tuple(args.nodes), frequency_hz=args.frequency,
         runner=runner,
@@ -330,6 +341,7 @@ def _campaign_config_from_args(args: argparse.Namespace):
         dup_rate=args.dup_rate,
         reorder_rate=args.reorder_rate,
         outage_rate=args.outage_rate,
+        recovery_strategy=args.recovery_strategy,
     )
 
 
@@ -390,6 +402,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         fuzz_run,
     )
 
+    strategy = args.recovery_strategy
+    failures = args.failures
     mutate = None
     if args.mutate:
         if args.mutate not in MUTATIONS:
@@ -399,6 +413,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         mutation = MUTATIONS[args.mutate]
         mutate = mutation.apply
         print(f"seeding bug {mutation.name!r}: {mutation.description}")
+        if mutation.strategy != "ecp" and strategy == "ecp":
+            # the seeded path lives in another strategy's code: check it
+            strategy = mutation.strategy
+            print(f"  (mutation targets the {strategy!r} recovery strategy)")
+        if mutation.requires_failures and not failures:
+            failures = True
+            print("  (mutation only reachable on the failure path; "
+                  "enabling --failures)")
 
     failed = False
 
@@ -408,16 +430,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         n_items=args.items,
         max_depth=args.depth,
         checkpoints=args.protocol == "ecp",
-        failures=args.failures and args.protocol == "ecp",
+        failures=failures and args.protocol == "ecp",
         duplicates=args.duplicates,
         lossy=args.lossy and args.protocol == "ecp",
+        strategy=strategy,
     )
     print(f"model checking {mcfg.acting_nodes} acting nodes x "
           f"{mcfg.n_items} item(s), protocol={mcfg.protocol}, "
           f"depth={'closure' if mcfg.max_depth is None else mcfg.max_depth}, "
           f"failures={'on' if mcfg.failures else 'off'}, "
           f"duplicates={'on' if mcfg.duplicates else 'off'}, "
-          f"lossy={'on' if mcfg.lossy else 'off'}...")
+          f"lossy={'on' if mcfg.lossy else 'off'}, "
+          f"strategy={mcfg.strategy}...")
     result = check(mcfg, mutate=mutate, progress=lambda msg: print(f"  {msg}"))
     print(result.summary())
     if result.counterexample is not None:
@@ -527,6 +551,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         port=port,
         slots=args.parallel,
         max_tasks=args.max_tasks,
+        token=args.token,
         log=(lambda _msg: None) if args.quiet else print,
     )
     daemon.start()
@@ -552,7 +577,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
 
     if args.ping or args.shutdown:
         probe = shutdown_workers if args.shutdown else ping_workers
-        rows = probe(addrs)
+        rows = probe(addrs, token=args.token)
         ok = True
         for row in rows:
             if row["ok"]:
@@ -705,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--pressure", type=float, default=4.0, metavar="RATIO",
                      help="working-set to attraction-memory pressure ratio "
                           "(scan only)")
+    run.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
+                     default="ecp",
+                     help="recovery backend for ECP runs (default ecp)")
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="reproduce Tables 1-3")
@@ -724,6 +752,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--nodes", type=int, default=16,
                        help="machine size for every cell (default 16)")
+    sweep.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
+                       default="ecp",
+                       help="recovery backend for the ECP cells (default ecp)")
     _add_sweep_orchestration_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -737,6 +768,9 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--apps", nargs="*", choices=sorted(WORKLOAD_FAMILIES))
     scale.add_argument("--nodes", nargs="*", type=int, default=list(PAPER_NODE_COUNTS))
     scale.add_argument("--frequency", type=float, default=100.0)
+    scale.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
+                       default="ecp",
+                       help="recovery backend for the ECP cells (default ecp)")
     _add_sweep_orchestration_args(scale)
     scale.set_defaults(func=_cmd_scale)
 
@@ -798,6 +832,10 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="CYCLES",
                             help="per-run no-progress budget before the "
                                  "watchdog declares a stall")
+        target.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
+                            default="ecp",
+                            help="recovery backend every cell runs under "
+                                 "(default ecp)")
         target.add_argument("--report", default=None, metavar="PATH",
                             help="also write the full JSON report here")
         target.add_argument("--json", action="store_true",
@@ -835,6 +873,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hard-exit upon receiving task N+1, leaving it "
                              "unanswered (crash-injection knob for "
                              "reassignment tests)")
+    worker.add_argument("--token", default=None, metavar="SECRET",
+                        help="shared handshake secret; only coordinators "
+                             "presenting the same --token are served")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task log lines")
     worker.set_defaults(func=_cmd_worker)
@@ -903,6 +944,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="references per processor for --full-run")
     verify.add_argument("--mutate", metavar="NAME", default=None,
                         help="seed a named protocol bug (expect a counterexample)")
+    verify.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
+                        default="ecp",
+                        help="recovery backend the model establishes and "
+                             "recovers through (default ecp)")
     verify.add_argument("--seed", type=int, default=2026)
     verify.set_defaults(func=_cmd_verify)
 

@@ -172,6 +172,14 @@ class InjectionEngine:
             probe_hops=probe_hops,
         )
 
+    def install_at(self, node_id: int, item: int, state: ItemState, now: int) -> None:
+        """Install a copy directly at ``node_id``, with the same room
+        making discipline as an injection.  Restore paths use this when
+        the data arrives from outside the AM fabric (e.g. a
+        disaggregated checkpoint pool); the caller owns the directory
+        bookkeeping."""
+        self._install(node_id, item, state, now)
+
     # -- internals ------------------------------------------------------
 
     def _install(self, node_id: int, item: int, state: ItemState, now: int) -> None:

@@ -122,6 +122,7 @@ class Coordinator:
         heartbeat_misses: int = 3,
         connect_timeout: float = 5.0,
         local_fallback: bool = True,
+        token: str | None = None,
         log=None,
     ):
         if not addrs:
@@ -133,6 +134,7 @@ class Coordinator:
         self.heartbeat_misses = heartbeat_misses
         self.connect_timeout = connect_timeout
         self.local_fallback = local_fallback
+        self.token = token
         self.stats = DispatchStats(n_workers=len(addrs))
         self._log = log or (lambda _msg: None)
         self._events: queue.Queue = queue.Queue()
@@ -168,8 +170,10 @@ class Coordinator:
         try:
             sock = socket.create_connection(worker.addr, timeout=self.connect_timeout)
             sock.settimeout(None)
-            framing.send_frame(sock, protocol.hello())
-            welcome = protocol.check_welcome(framing.recv_frame(sock))
+            framing.send_frame(sock, protocol.hello(token=self.token))
+            welcome = protocol.check_welcome(
+                framing.recv_frame(sock), token=self.token
+            )
         except (OSError, ConnectionClosed, FrameError,
                 protocol.ProtocolError) as exc:
             self._events.put(("dead", worker, f"connect failed: {exc}"))
@@ -501,6 +505,7 @@ class DistributedExecutor:
         heartbeat_interval: float = 1.0,
         heartbeat_misses: int = 3,
         local_fallback: bool = True,
+        token: str | None = None,
         log=None,
     ):
         self.addrs = list(addrs)
@@ -509,6 +514,7 @@ class DistributedExecutor:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
         self.local_fallback = local_fallback
+        self.token = token
         self._log = log
         #: Set for the lifetime of each run; ``repro serve`` polls it.
         self.coordinator: Coordinator | None = None
@@ -541,6 +547,7 @@ class DistributedExecutor:
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_misses=self.heartbeat_misses,
             local_fallback=self.local_fallback,
+            token=self.token,
             log=self._log,
         )
         try:
@@ -555,7 +562,8 @@ class DistributedExecutor:
 
 
 def ping_workers(addrs: list[tuple[str, int]],
-                 timeout: float = 5.0) -> list[dict]:
+                 timeout: float = 5.0,
+                 token: str | None = None) -> list[dict]:
     """Handshake + one ping per address; returns a status row each."""
     rows = []
     for addr in addrs:
@@ -563,8 +571,10 @@ def ping_workers(addrs: list[tuple[str, int]],
         t0 = time.perf_counter()
         try:
             with socket.create_connection(addr, timeout=timeout) as sock:
-                framing.send_frame(sock, protocol.hello())
-                welcome = protocol.check_welcome(framing.recv_frame(sock))
+                framing.send_frame(sock, protocol.hello(token=token))
+                welcome = protocol.check_welcome(
+                    framing.recv_frame(sock), token=token
+                )
                 framing.send_frame(sock, protocol.ping(time.time()))
                 reply = framing.recv_frame(sock)
                 if reply.get("type") != "pong":
@@ -583,15 +593,16 @@ def ping_workers(addrs: list[tuple[str, int]],
 
 
 def shutdown_workers(addrs: list[tuple[str, int]],
-                     timeout: float = 5.0) -> list[dict]:
+                     timeout: float = 5.0,
+                     token: str | None = None) -> list[dict]:
     """Ask every reachable daemon to exit; returns a status row each."""
     rows = []
     for addr in addrs:
         name = f"{addr[0]}:{addr[1]}"
         try:
             with socket.create_connection(addr, timeout=timeout) as sock:
-                framing.send_frame(sock, protocol.hello())
-                protocol.check_welcome(framing.recv_frame(sock))
+                framing.send_frame(sock, protocol.hello(token=token))
+                protocol.check_welcome(framing.recv_frame(sock), token=token)
                 framing.send_frame(sock, protocol.shutdown())
             rows.append({"addr": name, "ok": True})
         except (OSError, ConnectionClosed, FrameError,

@@ -23,6 +23,12 @@ protocol mismatch is a hard error, and a worker running a different
 under the same content key — the same rule the result store applies to
 cached records.
 
+Both handshake frames may additionally carry a shared-secret ``token``
+(``repro worker --token`` / coordinator ``--token``).  Each side
+compares the peer's token against its own with a constant-time digest
+comparison; any mismatch — including a token presented to a tokenless
+peer, or vice versa — is a clean handshake rejection, not a crash.
+
 Tasks are named by *kind*, not by pickled callables: the worker resolves
 a kind against :data:`TASK_KINDS`, a fixed allowlist of module-level
 entry points (the same functions the local process pool uses).  Nothing
@@ -32,6 +38,7 @@ error, not a daemon crash.
 
 from __future__ import annotations
 
+import hmac
 from importlib import import_module
 from typing import Callable
 
@@ -83,14 +90,20 @@ def kind_for(worker: Callable) -> str | None:
 # -- message constructors ----------------------------------------------
 
 
-def hello() -> dict:
-    return {"type": "hello", "version": PROTOCOL_VERSION,
-            "repro_version": repro_version}
+def hello(token: str | None = None) -> dict:
+    message = {"type": "hello", "version": PROTOCOL_VERSION,
+               "repro_version": repro_version}
+    if token is not None:
+        message["token"] = token
+    return message
 
 
-def welcome(slots: int, pid: int) -> dict:
-    return {"type": "welcome", "version": PROTOCOL_VERSION,
-            "repro_version": repro_version, "slots": slots, "pid": pid}
+def welcome(slots: int, pid: int, token: str | None = None) -> dict:
+    message = {"type": "welcome", "version": PROTOCOL_VERSION,
+               "repro_version": repro_version, "slots": slots, "pid": pid}
+    if token is not None:
+        message["token"] = token
+    return message
 
 
 def task(task_id: int, kind: str, payload: dict) -> dict:
@@ -122,7 +135,20 @@ def shutdown() -> dict:
 # -- validation --------------------------------------------------------
 
 
-def check_welcome(message: dict) -> dict:
+def _check_token(message: dict, token: str | None, peer: str) -> None:
+    """Constant-time shared-secret comparison; absent == empty.
+
+    ``hmac.compare_digest`` keeps the comparison timing independent of
+    where the first differing byte sits, so a mismatching peer learns
+    nothing about the expected secret from response latency.
+    """
+    presented = (message.get("token") or "").encode("utf-8")
+    expected = (token or "").encode("utf-8")
+    if not hmac.compare_digest(presented, expected):
+        raise ProtocolError(f"{peer} handshake token mismatch")
+
+
+def check_welcome(message: dict, token: str | None = None) -> dict:
     """Validate a worker's handshake reply; returns it."""
     if message.get("type") != "welcome":
         raise ProtocolError(f"expected welcome, got {message.get('type')!r}")
@@ -139,10 +165,11 @@ def check_welcome(message: dict) -> dict:
         )
     if not isinstance(message.get("slots"), int) or message["slots"] < 1:
         raise ProtocolError(f"welcome carries invalid slots {message.get('slots')!r}")
+    _check_token(message, token, "worker")
     return message
 
 
-def check_hello(message: dict) -> dict:
+def check_hello(message: dict, token: str | None = None) -> dict:
     """Validate a coordinator's handshake; returns it."""
     if message.get("type") != "hello":
         raise ProtocolError(f"expected hello, got {message.get('type')!r}")
@@ -156,6 +183,7 @@ def check_hello(message: dict) -> dict:
             f"repro version mismatch: coordinator runs "
             f"{message.get('repro_version')!r}, worker runs {repro_version}"
         )
+    _check_token(message, token, "coordinator")
     return message
 
 

@@ -52,6 +52,7 @@ class WorkerDaemon:
         port: int = 0,
         slots: int = 1,
         max_tasks: int | None = None,
+        token: str | None = None,
         log=None,
     ):
         if slots < 1:
@@ -60,6 +61,7 @@ class WorkerDaemon:
         self.port = port
         self.slots = slots
         self.max_tasks = max_tasks
+        self.token = token
         self._log = log or (lambda _msg: None)
         self._listener: socket.socket | None = None
         self._pool: ProcessPoolExecutor | None = None
@@ -161,8 +163,10 @@ class WorkerDaemon:
         """One coordinator conversation; returns False on ``shutdown``."""
         writer = FrameWriter(conn)
         try:
-            protocol.check_hello(framing.recv_frame(conn))
-            writer.send(protocol.welcome(slots=self.slots, pid=os.getpid()))
+            protocol.check_hello(framing.recv_frame(conn), token=self.token)
+            writer.send(protocol.welcome(
+                slots=self.slots, pid=os.getpid(), token=self.token
+            ))
         except (ConnectionClosed, FrameError, protocol.ProtocolError, OSError) as exc:
             self._log(f"handshake with {peer} failed: {exc}")
             return True

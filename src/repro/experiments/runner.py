@@ -164,12 +164,16 @@ class PairRunner:
         profile: ExperimentProfile | None = None,
         seed: int = 2026,
         store: ResultStore | None | object = _DEFAULT,
+        recovery_strategy: str = "ecp",
     ):
         self.profile = profile or current_profile()
         self.seed = seed
         self.store: ResultStore | None = (
             default_store() if store is _DEFAULT else store
         )
+        #: Recovery backend (repro.recovery) every ECP cell runs under;
+        #: the standard-protocol baseline cells are unaffected.
+        self.recovery_strategy = recovery_strategy
         self._memo: dict[str, RunResult] = {}
 
     # -- cell specs -----------------------------------------------------
@@ -187,6 +191,7 @@ class PairRunner:
             protocol="ecp", app=app, n_nodes=n_nodes, scale=scale,
             seed=self.seed, frequency_hz=frequency_hz,
             frequency_compression=self.profile.compression_for(app, frequency_hz),
+            recovery_strategy=self.recovery_strategy,
         )
 
     # -- execution ------------------------------------------------------

@@ -37,8 +37,10 @@ from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShare
 #: Bump when the cell parameter surface changes incompatibly; old cache
 #: records then hash differently and are recomputed.  v3: outcomes grew
 #: checkpoint-pollution metrics, so v2 records (which would read back
-#: as all-zero pollution) are invalidated wholesale.
-CAMPAIGN_SPEC_VERSION = 3
+#: as all-zero pollution) are invalidated wholesale.  v4: cells carry a
+#: recovery strategy; v3 records predate the strategy field and cannot
+#: be trusted to have run the strategy the cell now names.
+CAMPAIGN_SPEC_VERSION = 4
 
 #: ``kind`` discriminator for campaign records in the result store.
 CAMPAIGN_RECORD_KIND = "campaign-cell"
@@ -104,8 +106,17 @@ class CampaignConfig:
     dup_rate: float = 0.0
     reorder_rate: float = 0.0
     outage_rate: float = 0.0
+    #: Recovery backend (repro.recovery) every cell runs under.
+    recovery_strategy: str = "ecp"
 
     def __post_init__(self) -> None:
+        from repro.recovery import STRATEGIES
+
+        if self.recovery_strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown recovery strategy {self.recovery_strategy!r}; "
+                f"pick one of {', '.join(sorted(STRATEGIES))}"
+            )
         if self.seeds <= 0:
             raise ValueError("a campaign needs at least one seed")
         for name in ("loss_rate", "dup_rate", "reorder_rate", "outage_rate"):
@@ -147,6 +158,7 @@ class CampaignConfig:
             "dup_rate": self.dup_rate,
             "reorder_rate": self.reorder_rate,
             "outage_rate": self.outage_rate,
+            "recovery_strategy": self.recovery_strategy,
         }
 
 
@@ -172,6 +184,8 @@ class CampaignCell:
     dup_rate: float = 0.0
     reorder_rate: float = 0.0
     outage_rate: float = 0.0
+    #: Recovery backend (repro.recovery) this cell runs under.
+    recovery_strategy: str = "ecp"
 
     # -- canonical form -------------------------------------------------
 
@@ -193,6 +207,7 @@ class CampaignCell:
             "dup_rate": self.dup_rate,
             "reorder_rate": self.reorder_rate,
             "outage_rate": self.outage_rate,
+            "recovery_strategy": self.recovery_strategy,
         }
 
     @classmethod
@@ -212,6 +227,7 @@ class CampaignCell:
             dup_rate=data.get("dup_rate", 0.0),
             reorder_rate=data.get("reorder_rate", 0.0),
             outage_rate=data.get("outage_rate", 0.0),
+            recovery_strategy=data.get("recovery_strategy", "ecp"),
         )
 
     @property
@@ -222,9 +238,13 @@ class CampaignCell:
 
     def label(self) -> str:
         mode = self.trigger["window"] if self.trigger else "timed"
+        backend = (
+            "" if self.recovery_strategy == "ecp"
+            else f" strategy={self.recovery_strategy}"
+        )
         return (
             f"cell{self.index:03d} {self.app} seed={self.seed} "
-            f"mode={mode} failures={len(self.plan)}"
+            f"mode={mode} failures={len(self.plan)}{backend}"
         )
 
     # -- rehydration ----------------------------------------------------
@@ -343,6 +363,7 @@ def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
             dup_rate=cfg.dup_rate,
             reorder_rate=cfg.reorder_rate,
             outage_rate=cfg.outage_rate,
+            recovery_strategy=cfg.recovery_strategy,
         ))
     return cells
 
@@ -377,6 +398,7 @@ def execute_campaign_payload(payload: dict) -> dict:
     machine = Machine(
         cfg, workload,
         protocol="ecp",
+        recovery_strategy=cell.recovery_strategy,
         failure_plan=cell.failure_plan(),
         stall_cycle_budget=cell.stall_budget,
     )
@@ -414,6 +436,9 @@ class CampaignReport:
     #: ECP metrics: checkpoint pollution, work lost, rollback distance,
     #: recovery latency.
     class_metrics: dict = field(default_factory=dict)
+    #: recovery strategy -> the same aggregated metrics plus the
+    #: per-strategy outcome taxonomy (the head-to-head table's rows).
+    strategy_metrics: dict = field(default_factory=dict)
     total_failures_skipped: int = 0
     total_spurious_suspicions: int = 0
     total_transport_retries: int = 0
@@ -467,6 +492,10 @@ class CampaignReport:
             "total_ckpt_items_reused": self.total_ckpt_items_reused,
             "class_metrics": {
                 cls: dict(metrics) for cls, metrics in self.class_metrics.items()
+            },
+            "strategy_metrics": {
+                name: dict(metrics)
+                for name, metrics in self.strategy_metrics.items()
             },
             "total_failures_skipped": self.total_failures_skipped,
             "total_spurious_suspicions": self.total_spurious_suspicions,
@@ -548,6 +577,28 @@ class CampaignReport:
                     for cls, m in sorted(self.class_metrics.items())
                 ],
             ))
+        if self.strategy_metrics:
+            lines.append(format_table(
+                ["strategy", "cells", "ckpt bytes", "work lost",
+                 "rollback dist", "recovery lat"],
+                [
+                    (
+                        name,
+                        m.get("cells", 0),
+                        m.get("ckpt_bytes_replicated", 0),
+                        m.get("rollback_refs", 0),
+                        f"{m.get('mean_rollback_distance', 0.0):.0f} refs",
+                        f"{m.get('mean_recovery_latency', 0.0):.0f} cyc",
+                    )
+                    for name, m in sorted(self.strategy_metrics.items())
+                ],
+            ))
+            for name, m in sorted(self.strategy_metrics.items()):
+                taxonomy = ", ".join(
+                    f"{outcome}={count}"
+                    for outcome, count in sorted(m.get("outcomes", {}).items())
+                )
+                lines.append(f"outcomes[{name}]: {taxonomy or 'none'}")
         defect_cells = [
             c for c in self.cells
             if c["outcome"] in (Outcome.SIMULATOR_BUG.value, Outcome.STALLED.value)
@@ -686,6 +737,8 @@ class CampaignRunner:
         windows: Counter = Counter()
         triggers: dict[str, Counter] = {}
         by_class: dict[str, Counter] = {}
+        by_strategy: dict[str, Counter] = {}
+        strategy_outcomes: dict[str, Counter] = {}
         for cell in self.cells:
             outcome = outcomes.get(cell.index)
             if outcome is None:
@@ -712,6 +765,18 @@ class CampaignRunner:
             bucket["n_recoveries"] += outcome.n_recoveries
             bucket["recovery_cycles"] += outcome.recovery_cycles
             bucket["n_checkpoints"] += outcome.n_checkpoints
+            sbucket = by_strategy.setdefault(cell.recovery_strategy, Counter())
+            sbucket["cells"] += 1
+            sbucket["ckpt_bytes_replicated"] += outcome.ckpt_bytes_replicated
+            sbucket["ckpt_items_replicated"] += outcome.ckpt_items_replicated
+            sbucket["ckpt_items_reused"] += outcome.ckpt_items_reused
+            sbucket["rollback_refs"] += outcome.rollback_refs
+            sbucket["n_recoveries"] += outcome.n_recoveries
+            sbucket["recovery_cycles"] += outcome.recovery_cycles
+            sbucket["n_checkpoints"] += outcome.n_checkpoints
+            strategy_outcomes.setdefault(cell.recovery_strategy, Counter())[
+                outcome.outcome.value
+            ] += 1
             report.total_failures_skipped += outcome.n_failures_skipped
             report.total_spurious_suspicions += outcome.spurious_suspicions
             report.total_transport_retries += outcome.transport_retries
@@ -751,6 +816,18 @@ class CampaignRunner:
                 "mean_recovery_latency": (
                     bucket["recovery_cycles"] / recoveries if recoveries else 0.0
                 ),
+            }
+        for name, bucket in by_strategy.items():
+            recoveries = bucket["n_recoveries"]
+            report.strategy_metrics[name] = {
+                **{k: int(v) for k, v in bucket.items()},
+                "mean_rollback_distance": (
+                    bucket["rollback_refs"] / recoveries if recoveries else 0.0
+                ),
+                "mean_recovery_latency": (
+                    bucket["recovery_cycles"] / recoveries if recoveries else 0.0
+                ),
+                "outcomes": dict(strategy_outcomes.get(name, Counter())),
             }
         if journal is not None:
             journal.run_completed({

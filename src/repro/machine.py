@@ -23,17 +23,8 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Generator
 
-from repro.checkpoint.establish import (
-    EstablishmentFailed,
-    commit_cost_cycles,
-    node_create_phase,
-    scan_cost_cycles,
-)
-from repro.checkpoint.recovery import (
-    UnrecoverableFailure,
-    rebuild_metadata,
-    reconfiguration_phase,
-)
+from repro.checkpoint.establish import EstablishmentFailed
+from repro.checkpoint.recovery import UnrecoverableFailure
 from repro.checkpoint.scheduler import checkpoint_scheduler
 from repro.coherence.directory import Directory
 from repro.coherence.ecp import ExtendedProtocol
@@ -50,6 +41,7 @@ from repro.network.transport import ReliableTransport
 from repro.network.topology import Mesh
 from repro.node.node import Node
 from repro.node.processor import Processor
+from repro.recovery import build_strategy
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.sync import EventFlag, MemberBarrier
@@ -59,21 +51,22 @@ from repro.workloads.base import Workload
 PROTOCOLS = {"standard": StandardProtocol, "ecp": ExtendedProtocol}
 
 def _fault_model_fatal(message: str) -> UnrecoverableFailure:
-    """An :class:`UnrecoverableFailure` the paper's fault model *allows*
-    to be fatal (overlapping failures, too few live memories).  The
-    campaign classifier distinguishes these (``UNRECOVERABLE_EXPECTED``)
-    from unrecoverable states the protocol should never reach
+    """An :class:`UnrecoverableFailure` the fault model *allows* to be
+    fatal (overlapping failures, too few live memories).  The campaign
+    classifier distinguishes these (``UNRECOVERABLE_EXPECTED``) from
+    unrecoverable states the protocol should never reach
     (``SIMULATOR_BUG``) via the ``fault_model_fatal`` attribute."""
-    error = UnrecoverableFailure(message)
-    error.fault_model_fatal = True
-    return error
+    return UnrecoverableFailure.fatal(message)
 
 
 #: A modified item needs up to four copies in *distinct* memories while
 #: a recovery point is established (Exclusive owner + the two Inv-CK
 #: copies of the old point + the new Pre-Commit2 copy — Section 4.1,
 #: which is also why four irreplaceable pages are reserved).  Below
-#: four live nodes the ECP can no longer place recovery copies.
+#: four live nodes the ECP can no longer place recovery copies.  The
+#: authoritative floor is ``RecoveryStrategy.min_live_nodes`` (pooled
+#: and recompute survive down to a live pair); this constant is the
+#: ECP's value, kept for the tests and docs that cite it.
 MIN_LIVE_NODES_ECP = 4
 
 
@@ -257,7 +250,7 @@ class Coordinator:
 
     def participate_checkpoint(self, node_id: int) -> Generator[object, object, None]:
         machine = self.machine
-        protocol = machine.protocol
+        recovery = machine.recovery
         node = machine.nodes[node_id]
         barrier = self.ckpt_barrier
         done_flag = self.ckpt_done
@@ -271,18 +264,17 @@ class Coordinator:
         node.stats.ckpt_sync_cycles += t_start - t_entry
         if self.ckpt_phase != "create":
             self.ckpt_phase = "create"
+            recovery.begin_establishment()
             self._enter_window("ckpt_create")
 
         if node.alive and not self.ckpt_abort:
             try:
-                yield from node_create_phase(
-                    protocol,
-                    self.engine,
+                yield from recovery.node_create_phase(
                     node_id,
                     should_abort=lambda: self.ckpt_abort or not node.alive,
                 )
             except EstablishmentFailed:
-                # cannot place a Pre-Commit copy (e.g. too few live
+                # cannot place a recovery copy (e.g. too few live
                 # memories): abort — the old recovery point is intact
                 self.ckpt_abort = True
         if not node.alive:
@@ -297,16 +289,15 @@ class Coordinator:
 
         aborted = self.ckpt_abort
         if node.alive and not aborted:
-            protocol.commit_node(node_id)
-            cost = commit_cost_cycles(protocol, node_id)
+            cost = recovery.commit_node(node_id)
             node.stats.ckpt_commit_cycles += cost
             if cost:
                 yield cost
         elif node.alive and aborted and not self.recovery_requested:
-            # failure-free abort: revert the Pre-Commit copies to
-            # current states (a failure-triggered abort leaves them for
-            # the recovery scan instead)
-            protocol.abort_establishment_node(node_id)
+            # failure-free abort: revert the half-established recovery
+            # data to current state (a failure-triggered abort leaves
+            # it for the recovery scan instead)
+            recovery.abort_node(node_id)
         if not node.alive:
             return
         yield barrier.arrive(node_id)
@@ -355,7 +346,7 @@ class Coordinator:
 
     def participate_recovery(self, node_id: int) -> Generator[object, object, None]:
         machine = self.machine
-        protocol = machine.protocol
+        recovery = machine.recovery
         node = machine.nodes[node_id]
         barrier = self.rec_barrier
         done_flag = self.recovery_done
@@ -368,8 +359,7 @@ class Coordinator:
         if self.rec_phase != "scan":
             self.rec_phase = "scan"
             self._enter_window("recovery_scan")
-        protocol.recovery_scan_node(node_id)
-        cost = scan_cost_cycles(protocol, node_id)
+        cost = recovery.scan_node(node_id)
         node.stats.recovery_scan_cycles += cost
         if cost:
             yield cost
@@ -382,8 +372,7 @@ class Coordinator:
         if node_id == self.rec_leader:
             self.rec_phase = "reconfig"
             self._enter_window("reconfig")
-            singletons = rebuild_metadata(protocol)
-            yield from reconfiguration_phase(protocol, self.engine, singletons)
+            yield from recovery.reconfigure()
             machine.rewind_streams()
             machine.stats.n_recoveries += 1
             machine.stats.recovery_cycles += self.engine.now - t0
@@ -408,9 +397,15 @@ class Machine:
         checkpointing: bool | None = None,
         record_network_trace: bool = False,
         stall_cycle_budget: int | None = None,
+        recovery_strategy: str = "ecp",
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; pick {sorted(PROTOCOLS)}")
+        if recovery_strategy != "ecp" and protocol != "ecp":
+            raise ValueError(
+                "recovery strategies ride on the ECP machine; "
+                f"protocol {protocol!r} cannot host {recovery_strategy!r}"
+            )
         self.cfg = config
         self.workload = workload
         self.protocol_name = protocol
@@ -450,6 +445,10 @@ class Machine:
             rng=self.rng,
         )
         self.coordinator = Coordinator(self)
+        #: Pluggable recovery backend (repro.recovery); "ecp" is the
+        #: paper's scheme and is bit-identical to the pre-interface
+        #: machine.
+        self.recovery = build_strategy(recovery_strategy, self)
         # real (cancellable) retransmission timers ride the event heap;
         # they are always cancelled before dispatch, so they cost no
         # dispatched events
@@ -603,11 +602,12 @@ class Machine:
                 "a second node failed while a recovery was in progress"
             )
         live_after = sum(1 for n in self.nodes if n.alive) - 1
-        if live_after < MIN_LIVE_NODES_ECP:
+        if live_after < self.recovery.min_live_nodes:
             raise _fault_model_fatal(
-                f"only {live_after} live nodes would remain; the ECP needs "
-                f"at least {MIN_LIVE_NODES_ECP} to host the copies of a "
-                "modified item"
+                f"only {live_after} live nodes would remain; the "
+                f"{self.recovery.name} recovery strategy needs at least "
+                f"{self.recovery.min_live_nodes} to keep the machine "
+                "recoverable"
             )
         node.fail()
         self.stats.n_failures += 1

@@ -52,6 +52,8 @@ class TaskSpec:
     frequency_hz: float | None = None
     #: Period compression applied by the experiment profile (ECP only).
     frequency_compression: float = 1.0
+    #: Recovery backend (repro.recovery); "ecp" is the reference.
+    recovery_strategy: str = "ecp"
 
     def __post_init__(self) -> None:
         if self.protocol not in ("standard", "ecp"):
@@ -60,11 +62,13 @@ class TaskSpec:
             raise ValueError("an ECP cell needs a checkpoint frequency")
         if self.protocol == "standard" and self.frequency_hz is not None:
             raise ValueError("a standard cell has no checkpoint frequency")
+        if self.recovery_strategy != "ecp" and self.protocol != "ecp":
+            raise ValueError("recovery strategies ride on the ECP machine")
 
     # -- canonical form -------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "spec_version": SPEC_VERSION,
             "protocol": self.protocol,
             "app": self.app,
@@ -74,6 +78,12 @@ class TaskSpec:
             "frequency_hz": _canon_float(self.frequency_hz),
             "frequency_compression": _canon_float(self.frequency_compression),
         }
+        # folded into the content key only when set: reference ("ecp")
+        # cells keep their pre-strategy keys, so existing caches,
+        # journals and golden digests stay valid
+        if self.recovery_strategy != "ecp":
+            data["recovery_strategy"] = self.recovery_strategy
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TaskSpec":
@@ -85,6 +95,7 @@ class TaskSpec:
             seed=data["seed"],
             frequency_hz=data.get("frequency_hz"),
             frequency_compression=data.get("frequency_compression", 1.0),
+            recovery_strategy=data.get("recovery_strategy", "ecp"),
         )
 
     @property
@@ -100,9 +111,13 @@ class TaskSpec:
     def label(self) -> str:
         """Human-readable cell label for progress lines and journals."""
         if self.protocol == "ecp":
+            backend = (
+                "" if self.recovery_strategy == "ecp"
+                else f"[{self.recovery_strategy}]"
+            )
             return (
-                f"ecp {self.app} n={self.n_nodes} f={self.frequency_hz:g}/s "
-                f"scale={self.scale:g}"
+                f"ecp{backend} {self.app} n={self.n_nodes} "
+                f"f={self.frequency_hz:g}/s scale={self.scale:g}"
             )
         return f"standard {self.app} n={self.n_nodes} scale={self.scale:g}"
 
@@ -128,4 +143,9 @@ class TaskSpec:
         workload = make_workload(
             self.app, n_procs=self.n_nodes, scale=self.scale, seed=self.seed
         )
-        return Machine(self.to_config(), workload, protocol=self.protocol).run()
+        return Machine(
+            self.to_config(),
+            workload,
+            protocol=self.protocol,
+            recovery_strategy=self.recovery_strategy,
+        ).run()

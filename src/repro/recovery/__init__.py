@@ -1,0 +1,58 @@
+"""Pluggable recovery backends (the fault-tolerance laboratory).
+
+The machine owns exactly one :class:`~repro.recovery.base.RecoveryStrategy`;
+the coordinator's barriers, windows and cost bookkeeping are shared and
+every strategy-specific step is delegated to it.  Three backends ship:
+
+``ecp``
+    the paper's error-containing protocol (reference implementation;
+    bit-identical to the pre-interface machine);
+``pooled``
+    checkpoint-to-disaggregated-pool with CXL-style failure domains;
+``recompute``
+    recomputation-based restart that tags regenerable items and
+    replays a bounded reference window on recovery.
+
+See PROTOCOL.md section 9 for the interface contract and each
+strategy's failure-domain assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.recovery.base import RecoveryStrategy
+from repro.recovery.ecp import EcpStrategy
+from repro.recovery.pooled import PooledStrategy
+from repro.recovery.recompute import RecomputeStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+STRATEGIES: dict[str, type[RecoveryStrategy]] = {
+    cls.name: cls for cls in (EcpStrategy, PooledStrategy, RecomputeStrategy)
+}
+
+#: CLI spellings, reference implementation first.
+RECOVERY_STRATEGIES = tuple(STRATEGIES)
+
+
+def build_strategy(name: str, machine: "Machine") -> RecoveryStrategy:
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery strategy {name!r}; pick {sorted(STRATEGIES)}"
+        ) from None
+    return cls(machine)
+
+
+__all__ = [
+    "RecoveryStrategy",
+    "EcpStrategy",
+    "PooledStrategy",
+    "RecomputeStrategy",
+    "STRATEGIES",
+    "RECOVERY_STRATEGIES",
+    "build_strategy",
+]

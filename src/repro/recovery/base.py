@@ -1,0 +1,106 @@
+"""The RecoveryStrategy interface.
+
+The paper's ECP weaves recovery-point establishment, failure handling
+and reconfiguration directly into the coherence protocol.  Its modern
+descendants (PAPERS.md: CXL resilience to CPU failures,
+recomputation-enabled checkpointing) keep the same *coordination*
+skeleton — BER barriers, per-node create/commit, scan, rebuild — but
+place the recovery data somewhere else entirely.  This interface is the
+seam between the two: :class:`repro.machine.Coordinator` owns the
+barriers, the windows and the cost bookkeeping, and delegates every
+strategy-specific step to the machine's :class:`RecoveryStrategy`.
+
+A strategy supplies:
+
+``begin_establishment``
+    called once per establishment episode, when the coordination enters
+    the create window (after the sync barrier);
+
+``node_create_phase``
+    one node's create-phase work as a simulation generator (yields
+    delays, so creates interleave and contend like any other traffic);
+
+``commit_node`` / ``abort_node``
+    the local commit (returns its scan cost in cycles, charged to
+    ``ckpt_commit_cycles`` by the coordinator) and the failure-free
+    abort that reverts a half-established point;
+
+``scan_node``
+    one node's recovery scan (returns its cost in cycles);
+
+``reconfigure``
+    the leader's post-scan restoration as a simulation generator
+    (metadata rebuild, restores, re-replication); returns the number of
+    items recreated;
+
+``min_live_nodes``
+    the strategy's failure-domain floor: below this many live nodes a
+    further failure is fatal *by the fault model* (the ECP needs four
+    memories for the four copies of a modified item; pool-backed
+    strategies survive down to a single pair of live nodes);
+
+``snapshot``
+    the strategy's private recovery state as a hashable value, merged
+    into the model checker's canonical machine state so exploration
+    never conflates two states that differ only in (say) pool content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+class RecoveryStrategy:
+    """Base class for pluggable recovery backends."""
+
+    #: Registry key and CLI spelling.
+    name = "base"
+    #: Fewest live nodes that can still absorb another failure.
+    min_live_nodes = 2
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+
+    # -- establishment -------------------------------------------------
+
+    def begin_establishment(self) -> None:
+        """A new establishment episode entered its create window."""
+
+    def node_create_phase(
+        self, node_id: int, should_abort: Callable[[], bool] | None = None
+    ) -> Generator[int, None, None]:
+        raise NotImplementedError
+
+    def commit_node(self, node_id: int) -> int:
+        """Commit one node's part of the recovery point; returns the
+        commit cost in cycles."""
+        raise NotImplementedError
+
+    def abort_node(self, node_id: int) -> None:
+        """Failure-free abort: revert one node's half-established
+        recovery data (a failure-triggered abort instead leaves it for
+        the recovery scan)."""
+        raise NotImplementedError
+
+    # -- recovery ------------------------------------------------------
+
+    def scan_node(self, node_id: int) -> int:
+        """Recovery scan of one live node; returns the scan cost in
+        cycles."""
+        raise NotImplementedError
+
+    def reconfigure(self) -> Generator[int, None, int]:
+        """Leader-side restoration after the scans: rebuild metadata and
+        re-establish the persistence property.  Simulation generator;
+        returns the number of items recreated."""
+        raise NotImplementedError
+
+    # -- model checking ------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Strategy-private state as a hashable value (canonical-state
+        component for the model checker)."""
+        return ()

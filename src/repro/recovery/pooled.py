@@ -1,0 +1,55 @@
+"""Checkpoint-to-disaggregated-pool recovery (CXL-style failure domains).
+
+Modeled after the failure domains of "Towards CXL Resilience to CPU
+Failures" (PAPERS.md): a node fault kills a compute+AM group, but the
+disaggregated checkpoint pool — fabric-attached memory behind its own
+controller — survives every node failure the campaigns inject.  The
+trade against the ECP:
+
+* **No AM pollution.**  Recovery data never occupies attraction-memory
+  frames, so there are no Shared-CK/Inv-CK copies competing with the
+  working set and no Pre-Commit state machine woven into coherence.
+* **Full-image writes.**  Without the ECP's state-encoded dirty
+  tracking (Exclusive/Master-Shared -> Shared-CK transitions), every
+  owned item is written to the pool each establishment — checkpoint
+  traffic scales with the *owned footprint*, not the inter-checkpoint
+  write set.
+* **Remote restore, not peer scan.**  Recovery wipes the AMs and
+  streams every committed item back from the pool, charging a
+  round-trip per item at the pool's fabric distance.
+
+The pool itself is modeled as reliable storage (its contents are this
+strategy's :meth:`snapshot`); only two live nodes are needed to keep
+the machine recoverable, versus the ECP's four.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.staging import StagedRestoreStrategy
+
+#: Fabric distance to the pool controller, in mesh hops.  Farther than
+#: a typical AM neighbour — disaggregated memory sits behind the fabric
+#: edge (cf. the CXL 2-hop switch topologies in PAPERS.md).
+POOL_HOPS = 4
+
+
+class PooledStrategy(StagedRestoreStrategy):
+    """Checkpoint to a disaggregated pool; restore over the fabric."""
+
+    name = "pooled"
+
+    def _pool_item_cycles(self) -> int:
+        """One item's pool round trip: control + data flits over
+        ``POOL_HOPS`` hops plus the pool controller's service time."""
+        cfg = self.machine.protocol.cfg
+        lat = cfg.latency
+        flits = lat.control_flits + lat.item_flits(cfg.item_bytes)
+        return lat.remote_am_service + cfg.transfer_cycles(POOL_HOPS, flits)
+
+    def _stage_item(self, item: int, node_id: int, stats) -> int:
+        stats.ckpt_items_replicated += 1
+        stats.ckpt_bytes_replicated += self.machine.protocol.cfg.item_bytes
+        return self._pool_item_cycles()
+
+    def _restore_cost(self, item: int) -> int:
+        return self._pool_item_cycles()

@@ -1,0 +1,66 @@
+"""Recomputation-based restart (tag at checkpoint, replay on recovery).
+
+Modeled after "Recomputation Enabled Efficient Checkpointing"
+(PAPERS.md): data that a bounded re-execution window can regenerate is
+not worth storing.  Establishment therefore *tags* each owned item as
+regenerable instead of replicating it — zero checkpoint bytes, a
+one-cycle tag test per item — and recovery re-materializes the tagged
+items (an allocation and a pointer republish, no data movement) before
+charging the real price: replaying the rolled-back reference window at
+``REPLAY_CYCLES_PER_REF`` per reference, bounded by
+``REPLAY_WINDOW_REFS``.
+
+The trade against the ECP and the pool:
+
+* **Cheapest establishment of the three** — no recovery copies in the
+  AMs (no pollution), no pool traffic, just the tag pass.
+* **Recovery pays for the distance rolled back.**  The ECP's restore
+  cost is (mostly) independent of when the failure lands; recompute's
+  grows linearly with the work lost, so infrequent checkpoints hurt it
+  hardest — exactly the frequency sensitivity the head-to-head table
+  in EXPERIMENTS.md measures.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.staging import StagedRestoreStrategy
+
+#: Longest reference window the recovery replay is allowed to charge
+#: for (beyond it, re-execution overlaps resumed forward progress).
+REPLAY_WINDOW_REFS = 2048
+#: Replay cost per rolled-back reference.  Cheaper than first
+#: execution: operands are cache-resident and no recovery data is
+#: maintained while replaying.
+REPLAY_CYCLES_PER_REF = 2
+
+
+class RecomputeStrategy(StagedRestoreStrategy):
+    """Tag regenerable items at checkpoint; replay the window on recovery."""
+
+    name = "recompute"
+
+    def _stage_item(self, item: int, node_id: int, stats) -> int:
+        # tagged as regenerable, not stored: counts as a reused (non
+        # data-moving) recovery action, zero checkpoint bytes
+        stats.ckpt_items_reused += 1
+        return self.machine.protocol.cfg.latency.commit_item_test
+
+    def _restore_cost(self, item: int) -> int:
+        # re-materialization is an allocation + pointer republish; the
+        # regeneration work itself is charged once, below
+        return 0
+
+    def _after_restore_cost(self, restored: int) -> int:
+        return min(self.rolled_back_refs(), REPLAY_WINDOW_REFS) * (
+            REPLAY_CYCLES_PER_REF
+        )
+
+    def rolled_back_refs(self) -> int:
+        """References past the recovery point, before the streams are
+        rewound (``reconfigure`` runs before ``Machine.rewind_streams``)."""
+        machine = self.machine
+        rolled = 0
+        for stream in machine.all_streams():
+            target = machine._stream_snapshot.get(stream.proc_id, 0)
+            rolled += max(0, stream.position - target)
+        return rolled

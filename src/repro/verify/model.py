@@ -35,12 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.checkpoint.establish import EstablishmentFailed, node_create_phase
-from repro.checkpoint.recovery import (
-    UnrecoverableFailure,
-    rebuild_metadata,
-    reconfiguration_phase,
-)
+from repro.checkpoint.establish import EstablishmentFailed
+from repro.checkpoint.recovery import UnrecoverableFailure
 from repro.coherence.injection import InjectionFailed
 from repro.coherence.standard import NodeUnavailable
 from repro.config import AMConfig, ArchConfig, CacheConfig
@@ -106,6 +102,9 @@ class ModelConfig:
     """Scope of one exhaustive exploration."""
 
     protocol: str = "ecp"
+    #: Recovery backend under check (repro.recovery); every strategy
+    #: runs through the same events and invariants.
+    strategy: str = "ecp"
     #: Nodes issuing reads/writes (events address only these).
     acting_nodes: int = 2
     n_items: int = 1
@@ -130,6 +129,8 @@ class ModelConfig:
                 "checkpoint/failure events need the ECP; pass "
                 "checkpoints=False, failures=False for the standard protocol"
             )
+        if self.protocol != "ecp" and self.strategy != "ecp":
+            raise ValueError("recovery strategies ride on the ECP machine")
         if self.lossy and not self.checkpoints:
             raise ValueError("lossy establishment events need checkpoints=True")
 
@@ -180,9 +181,13 @@ class ModelResult:
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "VIOLATION"
+        backend = (
+            "" if self.config.strategy == "ecp"
+            else f"/{self.config.strategy}"
+        )
         scope = (
-            f"{self.config.protocol} {self.config.acting_nodes} acting nodes "
-            f"x {self.config.n_items} items"
+            f"{self.config.protocol}{backend} {self.config.acting_nodes} "
+            f"acting nodes x {self.config.n_items} items"
         )
         closure = "closed" if self.complete else "bounded"
         return (
@@ -243,7 +248,13 @@ def build_machine(mcfg: ModelConfig, mutate: Callable[[Machine], None] | None = 
         seed=mcfg.seed,
     )
     workload = TraceWorkload.from_ops([[("r", 0)]])
-    machine = Machine(cfg, workload, protocol=mcfg.protocol, checkpointing=False)
+    machine = Machine(
+        cfg,
+        workload,
+        protocol=mcfg.protocol,
+        checkpointing=False,
+        recovery_strategy=mcfg.strategy,
+    )
     if mutate is not None:
         mutate(machine)
     return machine
@@ -265,7 +276,9 @@ def canonical_state(machine: Machine) -> tuple:
         )
         for node in machine.nodes
     )
-    return nodes, machine.directory.snapshot()
+    # strategy-private recovery state (e.g. pool content) distinguishes
+    # states the AMs alone would conflate; the ECP's is always ()
+    return nodes, machine.directory.snapshot(), machine.recovery.snapshot()
 
 
 def _pending_failure(machine: Machine) -> bool:
@@ -484,12 +497,11 @@ def _fail(machine: Machine, node_id: int) -> None:
 
 
 def _recover(machine: Machine) -> None:
-    protocol = machine.protocol
+    recovery = machine.recovery
     for node in machine.nodes:
         if node.alive:
-            protocol.recovery_scan_node(node.node_id)
-    singletons = rebuild_metadata(protocol)
-    _drain(machine, reconfiguration_phase(protocol, machine.engine, singletons))
+            recovery.scan_node(node.node_id)
+    _drain(machine, recovery.reconfigure())
     machine.rewind_streams()
     machine.stats.n_recoveries += 1
     machine.coordinator.recovery_requested = False
@@ -508,11 +520,11 @@ def _establish(
     creates on all live nodes, then commits on all live nodes; a failure
     during create aborts, a failure during commit drains (the remaining
     nodes still commit before the recovery barrier can form)."""
-    protocol = machine.protocol
-    engine = machine.engine
+    recovery = machine.recovery
     live = [n.node_id for n in machine.nodes if n.alive]
     aborted = False
 
+    recovery.begin_establishment()
     done = 0
     for node_id in live:
         if abort_after is not None and done >= abort_after:
@@ -525,7 +537,7 @@ def _establish(
         if not machine.nodes[node_id].alive:
             continue
         try:
-            _drain(machine, node_create_phase(protocol, engine, node_id))
+            _drain(machine, recovery.node_create_phase(node_id))
         except EstablishmentFailed:
             aborted = True
             break
@@ -536,7 +548,7 @@ def _establish(
             # failure-free abort (or late detection): revert in place
             for node_id in live:
                 if machine.nodes[node_id].alive:
-                    protocol.abort_establishment_node(node_id)
+                    recovery.abort_node(node_id)
             if fail_node is None:
                 machine.notify_verifiers("on_establishment_aborted")
         # with leave_pre_commit the copies stay for the recovery scan
@@ -549,7 +561,7 @@ def _establish(
             _fail(machine, fail_node)
         if not machine.nodes[node_id].alive:
             continue
-        protocol.commit_node(node_id)
+        recovery.commit_node(node_id)
         done += 1
     machine.stats.n_checkpoints += 1
     machine.snapshot_streams()

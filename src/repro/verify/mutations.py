@@ -29,6 +29,12 @@ class Mutation:
     #: often trips a sibling invariant before the headline one).
     expected_codes: tuple[str, ...]
     apply: Callable[["Machine"], None]
+    #: Recovery strategy whose code path the mutation seeds (the model
+    #: must be checked with ``ModelConfig(strategy=...)`` to reach it).
+    strategy: str = "ecp"
+    #: True when only failure events reach the mutated path
+    #: (``ModelConfig(failures=True)``).
+    requires_failures: bool = False
 
 
 def _mut_commit_keeps_inv_ck(machine: "Machine") -> None:
@@ -152,6 +158,21 @@ def _mut_dup_inject_reinstalls(machine: "Machine") -> None:
     injector._install = _install
 
 
+def _mut_pooled_restore_unpublished(machine: "Machine") -> None:
+    """The pooled restore installs each item's copy but loses the
+    pointer republish: serving copies exist that no localization
+    pointer names (DIR-POINTER; pooled strategy, failure path)."""
+    machine.recovery._publish = lambda item, target: None
+
+
+def _mut_recompute_restore_shared(machine: "Machine") -> None:
+    """The recompute restore re-materializes items as plain Shared
+    instead of Exclusive: the republished pointer names a copy that
+    cannot serve ownership (DIR-POINTER; recompute strategy, failure
+    path)."""
+    machine.recovery.restore_state = S.SHARED
+
+
 def _mut_home_timeout_ignored(machine: "Machine") -> None:
     """Regression guard for a real bug: a cold miss on an item whose
     home node died (pointer partition wiped, not yet rehosted) used to
@@ -209,6 +230,22 @@ MUTATIONS: dict[str, Mutation] = {
             "cold miss trusts a wiped pointer partition (dead home node)",
             ("OWNER", "DUP", "CK-VS-OWNER"),
             _mut_home_timeout_ignored,
+        ),
+        Mutation(
+            "pooled-restore-unpublished",
+            "pool restore never republishes the localization pointer",
+            ("DIR-POINTER",),
+            _mut_pooled_restore_unpublished,
+            strategy="pooled",
+            requires_failures=True,
+        ),
+        Mutation(
+            "recompute-restore-shared",
+            "recompute re-materializes items as Shared, not Exclusive",
+            ("DIR-POINTER",),
+            _mut_recompute_restore_shared,
+            strategy="recompute",
+            requires_failures=True,
         ),
     )
 }

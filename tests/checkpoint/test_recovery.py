@@ -230,6 +230,102 @@ def test_rebuild_rehosts_dead_pointer_partitions():
     assert all(n.pointers_rehosted for n in m.nodes if not n.alive)
 
 
+def test_rebuild_metadata_is_idempotent():
+    """A replayed recovery re-runs the metadata rebuild from the same
+    surviving copies: the second pass must reproduce the first."""
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    for item in (1, 2, 3):
+        p.write(0, addr(item), 0)
+    do_checkpoint(m)
+    fail_node(m, p.directory.entry(0, 1).partner)
+    scan_all(m)
+    first = rebuild_metadata(p)
+    serving = {item: p.directory.serving_node(item) for item in first}
+    second = rebuild_metadata(p)
+    assert second == first
+    assert {item: p.directory.serving_node(item) for item in second} == serving
+    assert m.item_census() == {"SHARED_CK1": 3}
+
+
+def test_reconfiguration_double_invocation_skips_whole_pairs():
+    """Running the reconfiguration twice over the same singleton list
+    (a replayed recovery) must not mint a third Shared-CK2 copy."""
+    m = bare_machine(protocol="ecp")
+    p = m.protocol
+    p.write(0, addr(5), 0)
+    do_checkpoint(m)
+    fail_node(m, p.directory.entry(0, 5).partner)
+    scan_all(m)
+    singletons = rebuild_metadata(p)
+    drain(m, reconfiguration_phase(p, m.engine, singletons))
+    recreated_once = m.stats.total("reconfig_items_recreated")
+    # replay: same singleton list against the already-repaired state
+    gen = reconfiguration_phase(p, m.engine, list(singletons))
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            assert stop.value == 0  # nothing recreated the second time
+            break
+    assert m.stats.total("reconfig_items_recreated") == recreated_once
+    assert m.item_census() == {"SHARED_CK1": 1, "SHARED_CK2": 1}
+    m.check_invariants()
+
+
+def test_second_death_mid_rebuild_escalates_fatally():
+    """A holder that dies between the metadata rebuild and its item's
+    reconfiguration turn: the only recovery copy is gone, and the phase
+    must escalate to a fault-model-fatal UnrecoverableFailure instead
+    of corrupting the rebuilt directory."""
+    m = bare_machine(n_nodes=6, protocol="ecp")
+    p = m.protocol
+    # an item whose localization pointer is homed away from node 0, so
+    # killing the CK1 holder does not also wipe the pointer partition
+    item = 2 * p.directory.items_per_page  # page 2 -> home node 2
+    p.write(0, addr(item), 0)
+    do_checkpoint(m)
+    fail_node(m, p.directory.entry(0, item).partner)
+    scan_all(m)
+    singletons = rebuild_metadata(p)
+    assert singletons == [item]
+    # overlapping failure: the CK1 holder dies before its turn
+    fail_node(m, p.directory.serving_node(item))
+    with pytest.raises(UnrecoverableFailure) as excinfo:
+        drain(m, reconfiguration_phase(p, m.engine, singletons))
+    assert excinfo.value.fault_model_fatal
+    assert "died during reconfiguration" in str(excinfo.value)
+
+
+def test_failure_during_recovery_classifies_expected_fatal():
+    """Machine-level: a second failure landing while a recovery is in
+    progress ends the run as UNRECOVERABLE_EXPECTED — a clean,
+    classified stop, never a simulator bug or a corrupted survivor."""
+    from repro.config import ArchConfig
+    from repro.fault.failures import FailurePlan
+    from repro.fault.outcomes import Outcome, run_and_classify
+    from repro.fault.triggers import RANDOM, PhaseTrigger, attach_trigger_injector
+    from repro.machine import Machine
+    from repro.workloads.synthetic import UniformShared
+
+    cfg = ArchConfig(n_nodes=6, seed=3).with_ft(
+        checkpoint_period_override=2_000, detection_latency=100
+    )
+    wl = UniformShared(n_procs=6, refs_per_proc=1_500,
+                       write_fraction=0.3, window_items=12, seed=3)
+    machine = Machine(
+        cfg, wl, protocol="ecp",
+        failure_plan=[FailurePlan(time=5_000, node=2, repair_delay=1_000)],
+        stall_cycle_budget=100_000,
+    )
+    trigger = PhaseTrigger(window="reconfig", target=RANDOM,
+                           permanent=True, repair_delay=0, delay=0)
+    injector = attach_trigger_injector(machine, [trigger])
+    outcome = run_and_classify(machine, injector)
+    assert outcome.outcome is Outcome.UNRECOVERABLE_EXPECTED, outcome.detail
+    assert outcome.outcome not in (Outcome.SIMULATOR_BUG, Outcome.STALLED)
+
+
 def test_restore_then_rerun_reaches_failure_free_result():
     """BER equivalence (Section 3): roll back to the last recovery
     point, rewind the instruction streams, re-execute — the run must

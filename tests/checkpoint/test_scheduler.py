@@ -70,3 +70,113 @@ def test_more_frequent_reference_periods_mean_more_checkpoints():
         return r.stats.n_checkpoints
 
     assert count(16.0) > count(4.0)
+
+
+def test_zero_frequency_disables_checkpointing():
+    wl = PrivateOnly(4, refs_per_proc=2000)
+    m, r = run(wl, checkpoint_frequency_hz=0.0)
+    assert r.stats.n_checkpoints == 0
+    assert m.engine.idle()
+
+
+def test_frequency_change_mid_run_takes_effect():
+    """The scheduler re-reads machine.cfg every iteration: compressing
+    the frequency mid-run shortens the remaining periods without
+    rebuilding the machine."""
+    def checkpoints(swap_at):
+        wl = PrivateOnly(4, refs_per_proc=12_000)
+        cfg = small_config(4).with_ft(
+            checkpoint_frequency_hz=400,
+            frequency_compression=4.0,
+            period_in_references=True,
+        )
+        m = Machine(cfg, wl, protocol="ecp")
+        if swap_at is not None:
+            m.engine.schedule_at(swap_at, lambda: setattr(
+                m, "cfg", m.cfg.with_ft(frequency_compression=32.0)
+            ))
+        r = m.run()
+        return r.stats.n_checkpoints
+
+    unchanged = checkpoints(None)
+    accelerated = checkpoints(10_000)
+    assert accelerated > unchanged
+
+
+def test_frequency_zeroed_mid_run_stops_scheduling():
+    """Zeroing the frequency mid-run ends checkpointing cleanly: the
+    scheduler exits on its next pass and the run still completes."""
+    wl = PrivateOnly(4, refs_per_proc=12_000)
+    cfg = small_config(4).with_ft(
+        checkpoint_frequency_hz=400,
+        frequency_compression=8.0,
+        period_in_references=True,
+    )
+    m = Machine(cfg, wl, protocol="ecp")
+    m.engine.schedule_at(8_000, lambda: setattr(
+        m, "cfg", m.cfg.with_ft(checkpoint_frequency_hz=0.0)
+    ))
+    r = m.run()
+    early = r.stats.n_checkpoints
+    assert m.engine.idle()
+    # the unswapped run keeps checkpointing past the swap point
+    wl = PrivateOnly(4, refs_per_proc=12_000)
+    m2 = Machine(cfg, wl, protocol="ecp")
+    assert m2.run().stats.n_checkpoints > early
+
+
+def test_zero_frequency_under_injected_fault_rolls_back_to_start():
+    """With checkpointing disabled there is no recovery point: a
+    failure rolls every stream back to position 0 and the machine
+    re-executes from scratch — a clean worst case, not a wedge."""
+    from repro.fault.failures import FailurePlan
+
+    wl = PrivateOnly(6, refs_per_proc=1_500)
+    cfg = small_config(6).with_ft(
+        checkpoint_frequency_hz=0.0, detection_latency=100
+    )
+    m = Machine(
+        cfg, wl, protocol="ecp",
+        failure_plan=[FailurePlan(time=4_000, node=1, repair_delay=500)],
+        stall_cycle_budget=100_000,
+    )
+    r = m.run()
+    m.check_invariants()
+    assert r.stats.n_checkpoints == 0
+    assert r.stats.n_recoveries >= 1
+    # rollback distance equals everything executed before the failure
+    assert r.stats.rollback_refs > 0
+    assert all(stream.exhausted for stream in m.all_streams())
+
+
+def test_reference_and_cycle_indexed_modes_honor_their_period():
+    """Parity between the two period measures: each mode must deliver
+    the recovery-point count its own period predicts — references
+    executed per period in reference mode, cycles elapsed per period in
+    cycle mode (the measures intentionally diverge when the memory
+    system spends many cycles per reference, DESIGN.md section 3)."""
+    wl = PrivateOnly(4, refs_per_proc=10_000)
+    m, r = run(
+        wl,
+        checkpoint_frequency_hz=2_000,
+        frequency_compression=1.0,
+        period_in_references=True,
+    )
+    period_refs = m.cfg.checkpoint_period_references(
+        m.workload.reference_density
+    )
+    expected = (r.stats.refs / 4) / period_refs
+    assert expected - 1 <= r.stats.n_checkpoints <= expected + 1
+
+    wl = PrivateOnly(4, refs_per_proc=10_000)
+    m, r = run(
+        wl,
+        checkpoint_frequency_hz=2_000,
+        frequency_compression=1.0,
+        period_in_references=False,
+    )
+    period_cycles = m.cfg.checkpoint_period_cycles()
+    expected = r.total_cycles / period_cycles
+    # checkpoint time itself stretches the run: count can only trail
+    assert r.stats.n_checkpoints <= expected + 1
+    assert r.stats.n_checkpoints >= expected * 0.5

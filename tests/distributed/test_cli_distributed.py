@@ -81,3 +81,26 @@ def test_cache_gc_cli_dry_run_then_real(capsys, tmp_path):
     assert report["removed_records"] == 1
     assert report["journal_lines_dropped"] == 1  # the superseded completion
     assert not path.exists()
+
+
+def test_worker_daemon_enforces_handshake_token():
+    daemon = WorkerDaemon(port=0, slots=1, token="s3cret")
+    host, port = daemon.start()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        good = ping_workers([(host, port)], token="s3cret")
+        assert good[0]["ok"]
+
+        # wrong or missing secret: the daemon drops the connection
+        # without a welcome, so the coordinator side sees a dead stream
+        for bad_token in ("wrong", None):
+            rows = ping_workers([(host, port)], token=bad_token)
+            assert not rows[0]["ok"]
+
+        # the daemon survives rejected peers and still serves good ones
+        assert ping_workers([(host, port)], token="s3cret")[0]["ok"]
+    finally:
+        shutdown_workers([(host, port)], token="s3cret")
+        thread.join(timeout=10)
+        daemon.close()

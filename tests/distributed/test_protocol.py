@@ -68,3 +68,33 @@ def test_parse_workers():
     assert protocol.parse_workers("a:1, b:2,") == [("a", 1), ("b", 2)]
     with pytest.raises(ValueError):
         protocol.parse_workers(" , ")
+
+
+def test_handshake_token_round_trip():
+    protocol.check_hello(protocol.hello(token="s3cret"), token="s3cret")
+    protocol.check_welcome(
+        protocol.welcome(slots=4, pid=123, token="s3cret"), token="s3cret"
+    )
+
+
+def test_untokened_handshake_omits_the_field():
+    # absent and empty mean the same thing: no secret configured
+    assert "token" not in protocol.hello()
+    assert "token" not in protocol.welcome(slots=1, pid=1)
+    protocol.check_hello(protocol.hello(), token="")
+    protocol.check_hello(protocol.hello(token=""), token=None)
+
+
+@pytest.mark.parametrize("presented,expected", [
+    ("wrong", "s3cret"),     # mismatched secrets
+    (None, "s3cret"),        # tokenless peer against a tokened daemon
+    ("s3cret", None),        # tokened peer against a tokenless daemon
+])
+def test_handshake_token_mismatch_rejects_both_directions(
+    presented, expected
+):
+    with pytest.raises(protocol.ProtocolError, match="token mismatch"):
+        protocol.check_hello(protocol.hello(token=presented), token=expected)
+    message = protocol.welcome(slots=2, pid=1, token=presented)
+    with pytest.raises(protocol.ProtocolError, match="token mismatch"):
+        protocol.check_welcome(message, token=expected)

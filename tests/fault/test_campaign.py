@@ -174,3 +174,44 @@ def test_lossy_cell_round_trips():
     clone = CampaignCell.from_dict(cell.to_dict())
     assert clone == cell and clone.key == cell.key
     assert clone.loss_rate == 0.02 and clone.outage_rate == 0.001
+
+
+def test_recovery_strategy_round_trips_and_changes_keys():
+    cfg = CampaignConfig(**{**SMALL, "recovery_strategy": "pooled"})
+    cell = build_cells(cfg)[0]
+    clone = CampaignCell.from_dict(cell.to_dict())
+    assert clone == cell and clone.key == cell.key
+    assert clone.recovery_strategy == "pooled"
+    assert "strategy=pooled" in cell.label()
+
+    keys_ecp = {c.key for c in build_cells(CampaignConfig(**SMALL))}
+    keys_pooled = {c.key for c in build_cells(cfg)}
+    assert keys_ecp.isdisjoint(keys_pooled)
+
+
+def test_legacy_cell_dict_defaults_to_ecp():
+    cell = build_cells(CampaignConfig(**SMALL))[0]
+    legacy = cell.to_dict()
+    legacy.pop("recovery_strategy")
+    assert CampaignCell.from_dict(legacy).recovery_strategy == "ecp"
+
+
+def test_campaign_config_rejects_unknown_strategy():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown recovery strategy"):
+        CampaignConfig(**{**SMALL, "recovery_strategy": "tape-backup"})
+
+
+def test_campaign_report_breaks_out_strategy_metrics():
+    cfg = CampaignConfig(
+        **{**SMALL, "seeds": 3, "recovery_strategy": "recompute"}
+    )
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    assert report.ok
+    metrics = report.strategy_metrics["recompute"]
+    assert metrics["cells"] == 3
+    assert sum(metrics["outcomes"].values()) == 3
+    text = report.format()
+    assert "recompute" in text
+    assert "outcomes[recompute]" in text

@@ -66,7 +66,10 @@ def _mutation_config(name):
     if name == "dup-inject-reinstalls":
         # the bug only fires on a duplicate delivery
         return ModelConfig(acting_nodes=2, n_items=1, duplicates=True)
-    return ModelConfig(acting_nodes=2, n_items=1)
+    mutation = MUTATIONS[name]
+    return ModelConfig(acting_nodes=2, n_items=1,
+                       strategy=mutation.strategy,
+                       failures=mutation.requires_failures)
 
 
 @pytest.mark.parametrize("name", sorted(MUTATIONS))
