@@ -100,6 +100,15 @@ def _add_sweep_orchestration_args(parser: argparse.ArgumentParser) -> None:
         help="consecutive missed heartbeats before a worker is "
              "declared dead and its cells reassigned (default 3)")
     parser.add_argument(
+        "--connect-retries", type=int, default=5, metavar="N",
+        help="dial attempts per worker before declaring it unreachable, "
+             "so coordinator and daemons may start in any order "
+             "(default 5)")
+    parser.add_argument(
+        "--connect-backoff", type=float, default=0.3, metavar="SECONDS",
+        help="sleep before the first redial, doubling each attempt "
+             "(default 0.3)")
+    parser.add_argument(
         "--no-local-fallback", action="store_true",
         help="fail (exit 9) instead of finishing cells in-process "
              "when every worker has died")
@@ -139,6 +148,8 @@ def _make_executor(args: argparse.Namespace):
         task_timeout=args.task_timeout,
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_misses=args.heartbeat_misses,
+        connect_retries=args.connect_retries,
+        connect_backoff=args.connect_backoff,
         local_fallback=not args.no_local_fallback,
         token=getattr(args, "token", None),
         log=log,
@@ -342,6 +353,9 @@ def _campaign_config_from_args(args: argparse.Namespace):
         reorder_rate=args.reorder_rate,
         outage_rate=args.outage_rate,
         recovery_strategy=args.recovery_strategy,
+        membership=args.membership,
+        grow_from=args.grow_from,
+        grow_to=args.grow_to,
     )
 
 
@@ -358,6 +372,8 @@ def _cmd_campaign(args: argparse.Namespace, on_cell=None) -> int:
         f"campaign: {cfg.seeds} seeded cells of {cfg.app} on "
         f"{cfg.n_nodes} nodes (MTBF {cfg.mtbf_cycles} cycles, "
         f"target phase {cfg.target_phase}, master seed {cfg.master_seed}"
+        + (f", rolling membership {cfg.grow_from}->{cfg.grow_to}"
+           if cfg.membership == "rolling" else "")
         + (f", workers {args.workers}" if args.workers else "")
         + ")..."
     )
@@ -404,6 +420,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     strategy = args.recovery_strategy
     failures = args.failures
+    membership = args.membership
     mutate = None
     if args.mutate:
         if args.mutate not in MUTATIONS:
@@ -421,6 +438,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             failures = True
             print("  (mutation only reachable on the failure path; "
                   "enabling --failures)")
+        if mutation.requires_membership and not membership:
+            membership = True
+            print("  (mutation only reachable on the membership path; "
+                  "enabling --membership)")
 
     failed = False
 
@@ -433,6 +454,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         failures=failures and args.protocol == "ecp",
         duplicates=args.duplicates,
         lossy=args.lossy and args.protocol == "ecp",
+        membership=membership and args.protocol == "ecp",
         strategy=strategy,
     )
     print(f"model checking {mcfg.acting_nodes} acting nodes x "
@@ -441,6 +463,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
           f"failures={'on' if mcfg.failures else 'off'}, "
           f"duplicates={'on' if mcfg.duplicates else 'off'}, "
           f"lossy={'on' if mcfg.lossy else 'off'}, "
+          f"membership={'on' if mcfg.membership else 'off'}, "
           f"strategy={mcfg.strategy}...")
     result = check(mcfg, mutate=mutate, progress=lambda msg: print(f"  {msg}"))
     print(result.summary())
@@ -836,6 +859,18 @@ def build_parser() -> argparse.ArgumentParser:
                             default="ecp",
                             help="recovery backend every cell runs under "
                                  "(default ecp)")
+        target.add_argument("--membership", choices=("static", "rolling"),
+                            default="static",
+                            help="'rolling' starts each cell with --grow-from "
+                                 "members on an --nodes-capacity machine and "
+                                 "admits the remaining slots mid-run while "
+                                 "the fault plan executes (default static)")
+        target.add_argument("--grow-from", type=int, default=0, metavar="N",
+                            help="rolling only: members at t=0 "
+                                 "(default: nodes - 2)")
+        target.add_argument("--grow-to", type=int, default=0, metavar="N",
+                            help="rolling only: members after all joins "
+                                 "(default: nodes)")
         target.add_argument("--report", default=None, metavar="PATH",
                             help="also write the full JSON report here")
         target.add_argument("--json", action="store_true",
@@ -936,6 +971,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "drop/dup schedules (transport fault masking)")
     verify.add_argument("--failures", action="store_true",
                         help="enumerate single permanent node failures")
+    verify.add_argument("--membership", action="store_true",
+                        help="enumerate elastic-membership events: a join "
+                             "landing anywhere (including mid-establishment) "
+                             "and leadership handoffs at the sync point")
     verify.add_argument("--fuzz-seeds", type=int, default=10)
     verify.add_argument("--fuzz-steps", type=int, default=150)
     verify.add_argument("--full-run", action="store_true",

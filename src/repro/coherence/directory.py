@@ -62,6 +62,11 @@ class Directory:
     def drop_pointer(self, item: int) -> None:
         self._pointers[self.home_of(item)].pop(item, None)
 
+    def pointer_partition_size(self, node: int) -> int:
+        """Entries in ``node``'s pointer partition (what a join must
+        reclaim from the ring successor hosting it)."""
+        return len(self._pointers[node])
+
     # -- directory entries --------------------------------------------------
 
     def entry(self, node: int, item: int) -> DirectoryEntry:

@@ -121,18 +121,24 @@ class Coordinator:
         heartbeat_interval: float = 1.0,
         heartbeat_misses: int = 3,
         connect_timeout: float = 5.0,
+        connect_retries: int = 5,
+        connect_backoff: float = 0.3,
         local_fallback: bool = True,
         token: str | None = None,
         log=None,
     ):
         if not addrs:
             raise DispatchError("a coordinator needs at least one worker address")
+        if connect_retries < 1:
+            raise DispatchError("connect_retries must be at least 1")
         self.registry = WorkerRegistry(addrs)
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
         self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
         self.local_fallback = local_fallback
         self.token = token
         self.stats = DispatchStats(n_workers=len(addrs))
@@ -154,6 +160,15 @@ class Coordinator:
 
     # -- connection management -------------------------------------------
 
+    def _connect_budget(self) -> float:
+        """Worst-case seconds one worker's whole dial loop can take
+        (every attempt times out, every backoff is slept)."""
+        backoff = sum(
+            self.connect_backoff * (2 ** i)
+            for i in range(self.connect_retries - 1)
+        )
+        return self.connect_retries * self.connect_timeout + backoff
+
     def _connect_all(self, worker_fn_kind: str) -> None:
         threads = []
         for worker in self.registry:
@@ -164,21 +179,44 @@ class Coordinator:
             thread.start()
             threads.append(thread)
         for thread in threads:
-            thread.join(self.connect_timeout + 1.0)
+            thread.join(self._connect_budget() + 1.0)
 
     def _connect_one(self, worker: WorkerHandle) -> None:
-        try:
-            sock = socket.create_connection(worker.addr, timeout=self.connect_timeout)
-            sock.settimeout(None)
-            framing.send_frame(sock, protocol.hello(token=self.token))
-            welcome = protocol.check_welcome(
-                framing.recv_frame(sock), token=self.token
-            )
-        except (OSError, ConnectionClosed, FrameError,
-                protocol.ProtocolError) as exc:
-            self._events.put(("dead", worker, f"connect failed: {exc}"))
+        """Dial one worker, retrying with exponential backoff.
+
+        Coordinator and daemons may start in any order: a refused dial
+        usually means the daemon is not listening *yet*, so within a
+        bounded budget a failed attempt is deferral, not death.
+        """
+        backoff = self.connect_backoff
+        for attempt in range(1, self.connect_retries + 1):
+            try:
+                sock = socket.create_connection(
+                    worker.addr, timeout=self.connect_timeout
+                )
+                sock.settimeout(None)
+                framing.send_frame(sock, protocol.hello(token=self.token))
+                welcome = protocol.check_welcome(
+                    framing.recv_frame(sock), token=self.token
+                )
+            except (OSError, ConnectionClosed, FrameError,
+                    protocol.ProtocolError) as exc:
+                if attempt < self.connect_retries:
+                    self._log(
+                        f"worker {worker.name} not ready "
+                        f"(attempt {attempt}/{self.connect_retries}: {exc}); "
+                        f"retrying in {backoff:.1f}s"
+                    )
+                    time.sleep(backoff)
+                    backoff *= 2
+                    continue
+                self._events.put((
+                    "dead", worker,
+                    f"connect failed after {attempt} attempt(s): {exc}",
+                ))
+                return
+            self._events.put(("welcome", worker, welcome, sock))
             return
-        self._events.put(("welcome", worker, welcome, sock))
 
     def _start_reader(self, worker: WorkerHandle, sock: socket.socket) -> None:
         def read_loop() -> None:
@@ -245,21 +283,23 @@ class Coordinator:
 
         self._connect_all(kind)
         # drain connection results before first assignment so the very
-        # first cells spread across every worker that came up
-        deadline = time.monotonic() + self.connect_timeout
-        while (
-            sum(1 for w in self.registry
-                if w.state is WorkerState.CONNECTING) > 0
-            and time.monotonic() < deadline
-        ):
+        # first cells spread across every worker that came up; once the
+        # first wave is in, stop waiting — a straggler still inside its
+        # retry loop joins the pool mid-run through the dispatch drain
+        deadline = time.monotonic() + self._connect_budget()
+        first_wave = time.monotonic() + self.connect_timeout
+        while time.monotonic() < deadline:
+            if not any(w.state is WorkerState.CONNECTING for w in self.registry):
+                break
+            if self.registry.up() and time.monotonic() >= first_wave:
+                break
             self._drain_events(assignments, pending, block=True)
         if not self.registry.up():
             reasons = ", ".join(
-                f"{w.name}: {w.death_reason or 'no answer'}" for w in self.registry
+                f"{w.name}: {w.death_reason or 'still dialling'}"
+                for w in self.registry
             )
             raise DispatchError(f"no worker reachable ({reasons})")
-        with self._lock:
-            self.stats.connected = len(self.registry.up())
 
         def requeue(stranded_ids: list[int], reassigned: bool = False) -> None:
             for task_id in stranded_ids:
@@ -413,6 +453,7 @@ class Coordinator:
                     worker.slots = welcome["slots"]
                     worker.pid = welcome.get("pid")
                     worker.last_pong = time.monotonic()
+                    self.stats.connected += 1
                 self._sockets[id(worker)] = sock
                 self._writers[id(worker)] = framing.FrameWriter(sock)
                 self._start_reader(worker, sock)
@@ -504,6 +545,8 @@ class DistributedExecutor:
         max_retries: int = 1,
         heartbeat_interval: float = 1.0,
         heartbeat_misses: int = 3,
+        connect_retries: int = 5,
+        connect_backoff: float = 0.3,
         local_fallback: bool = True,
         token: str | None = None,
         log=None,
@@ -513,6 +556,8 @@ class DistributedExecutor:
         self.max_retries = max_retries
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
         self.local_fallback = local_fallback
         self.token = token
         self._log = log
@@ -546,6 +591,8 @@ class DistributedExecutor:
             max_retries=self.max_retries,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_misses=self.heartbeat_misses,
+            connect_retries=self.connect_retries,
+            connect_backoff=self.connect_backoff,
             local_fallback=self.local_fallback,
             token=self.token,
             log=self._log,

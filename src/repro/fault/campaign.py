@@ -26,9 +26,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.fault.failures import FailurePlan
+from repro.fault.failures import FailurePlan, MembershipEvent
 from repro.fault.outcomes import Outcome, RunOutcome, run_and_classify
-from repro.fault.triggers import LEADER, RANDOM, PhaseTrigger, attach_trigger_injector
+from repro.fault.triggers import (
+    JOINER, LEADER, RANDOM, PhaseTrigger, attach_trigger_injector,
+)
 from repro.machine import TRIGGER_WINDOWS, Machine
 from repro.workloads.datacenter import ScanAnalytics, ZipfKV
 from repro.workloads.splash import Water
@@ -39,8 +41,10 @@ from repro.workloads.synthetic import MigratoryShared, PrivateOnly, UniformShare
 #: checkpoint-pollution metrics, so v2 records (which would read back
 #: as all-zero pollution) are invalidated wholesale.  v4: cells carry a
 #: recovery strategy; v3 records predate the strategy field and cannot
-#: be trusted to have run the strategy the cell now names.
-CAMPAIGN_SPEC_VERSION = 4
+#: be trusted to have run the strategy the cell now names.  v5:
+#: outcomes grew elastic-membership metrics (joins, catch-up bytes,
+#: handoffs), so v4 records would read back as all-zero membership.
+CAMPAIGN_SPEC_VERSION = 5
 
 #: ``kind`` discriminator for campaign records in the result store.
 CAMPAIGN_RECORD_KIND = "campaign-cell"
@@ -72,10 +76,25 @@ CAMPAIGN_WORKLOAD_KW = {
     "water": {"scale": 0.125},
 }
 
+#: Windows a *static-membership* campaign can enter.  The membership
+#: windows (``join_catchup``, ``leader_handoff``) only open when a
+#: membership plan fires events, so static mixed campaigns must not
+#: cycle through them — a trigger aimed at a window that never opens is
+#: a guaranteed no-op cell.  (They sit at the *end* of
+#: ``TRIGGER_WINDOWS`` precisely so this split keeps the static mixed
+#: cycling, and therefore every static cell, bit-identical to v4.)
+STATIC_WINDOWS = tuple(
+    w for w in TRIGGER_WINDOWS if w not in ("join_catchup", "leader_handoff")
+)
+
 #: Per-cell targeting modes: purely timed (MTBF-only) or one trigger
 #: aimed at a named window.  ``mixed`` campaigns cycle through all of
 #: these so every window is exercised.
-TARGET_MODES = ("timed",) + TRIGGER_WINDOWS
+TARGET_MODES = ("timed",) + STATIC_WINDOWS
+
+#: The mixed-mode cycle for rolling-membership campaigns: every static
+#: window plus the two membership windows.
+ROLLING_TARGET_MODES = ("timed",) + TRIGGER_WINDOWS
 
 
 @dataclass(frozen=True)
@@ -108,6 +127,14 @@ class CampaignConfig:
     outage_rate: float = 0.0
     #: Recovery backend (repro.recovery) every cell runs under.
     recovery_strategy: str = "ecp"
+    #: ``static`` (default) or ``rolling``: rolling cells start with
+    #: ``grow_from`` members on an ``n_nodes``-capacity machine and
+    #: admit the remaining slots mid-run until ``grow_to`` are serving.
+    membership: str = "static"
+    #: Rolling only: members at t=0.  Zero derives ``n_nodes - 2``.
+    grow_from: int = 0
+    #: Rolling only: members after all joins.  Zero derives ``n_nodes``.
+    grow_to: int = 0
 
     def __post_init__(self) -> None:
         from repro.recovery import STRATEGIES
@@ -116,6 +143,26 @@ class CampaignConfig:
             raise ValueError(
                 f"unknown recovery strategy {self.recovery_strategy!r}; "
                 f"pick one of {', '.join(sorted(STRATEGIES))}"
+            )
+        if self.membership not in ("static", "rolling"):
+            raise ValueError(
+                f"unknown membership mode {self.membership!r}; pick "
+                "'static' or 'rolling'"
+            )
+        if self.membership == "rolling":
+            if self.grow_from == 0:
+                object.__setattr__(self, "grow_from", max(1, self.n_nodes - 2))
+            if self.grow_to == 0:
+                object.__setattr__(self, "grow_to", self.n_nodes)
+            if not 1 <= self.grow_from < self.grow_to <= self.n_nodes:
+                raise ValueError(
+                    f"rolling membership needs 1 <= grow_from < grow_to <= "
+                    f"n_nodes, got {self.grow_from} -> {self.grow_to} on "
+                    f"{self.n_nodes} nodes"
+                )
+        elif self.grow_from or self.grow_to:
+            raise ValueError(
+                "grow_from/grow_to only apply to --membership rolling"
             )
         if self.seeds <= 0:
             raise ValueError("a campaign needs at least one seed")
@@ -128,10 +175,14 @@ class CampaignConfig:
                 f"unknown campaign app {self.app!r}; pick one of "
                 f"{', '.join(sorted(CAMPAIGN_WORKLOADS))}"
             )
-        if self.target_phase != "mixed" and self.target_phase not in TARGET_MODES:
+        modes = (
+            ROLLING_TARGET_MODES if self.membership == "rolling"
+            else TARGET_MODES
+        )
+        if self.target_phase != "mixed" and self.target_phase not in modes:
             raise ValueError(
                 f"unknown target phase {self.target_phase!r}; pick 'mixed', "
-                f"'timed' or one of {', '.join(TRIGGER_WINDOWS)}"
+                f"'timed' or one of {', '.join(modes[1:])}"
             )
         if self.mtbf_cycles <= 0:
             raise ValueError("MTBF must be positive")
@@ -159,6 +210,9 @@ class CampaignConfig:
             "reorder_rate": self.reorder_rate,
             "outage_rate": self.outage_rate,
             "recovery_strategy": self.recovery_strategy,
+            "membership": self.membership,
+            "grow_from": self.grow_from,
+            "grow_to": self.grow_to,
         }
 
 
@@ -186,6 +240,10 @@ class CampaignCell:
     outage_rate: float = 0.0
     #: Recovery backend (repro.recovery) this cell runs under.
     recovery_strategy: str = "ecp"
+    #: Members at t=0 (zero: all ``n_nodes``, i.e. static membership).
+    initial_members: int = 0
+    #: Membership events, as ``MembershipEvent`` field dicts, time-ordered.
+    membership: tuple = ()
 
     # -- canonical form -------------------------------------------------
 
@@ -208,6 +266,8 @@ class CampaignCell:
             "reorder_rate": self.reorder_rate,
             "outage_rate": self.outage_rate,
             "recovery_strategy": self.recovery_strategy,
+            "initial_members": self.initial_members,
+            "membership": [dict(e) for e in self.membership],
         }
 
     @classmethod
@@ -228,6 +288,8 @@ class CampaignCell:
             reorder_rate=data.get("reorder_rate", 0.0),
             outage_rate=data.get("outage_rate", 0.0),
             recovery_strategy=data.get("recovery_strategy", "ecp"),
+            initial_members=data.get("initial_members", 0),
+            membership=tuple(dict(e) for e in data.get("membership", [])),
         )
 
     @property
@@ -242,9 +304,13 @@ class CampaignCell:
             "" if self.recovery_strategy == "ecp"
             else f" strategy={self.recovery_strategy}"
         )
+        growth = ""
+        if self.initial_members:
+            joins = sum(1 for e in self.membership if e["kind"] == "join")
+            growth = f" members={self.initial_members}+{joins}"
         return (
             f"cell{self.index:03d} {self.app} seed={self.seed} "
-            f"mode={mode} failures={len(self.plan)}{backend}"
+            f"mode={mode} failures={len(self.plan)}{backend}{growth}"
         )
 
     # -- rehydration ----------------------------------------------------
@@ -255,6 +321,47 @@ class CampaignCell:
     def phase_trigger(self) -> PhaseTrigger | None:
         return PhaseTrigger(**self.trigger) if self.trigger else None
 
+    def membership_plan(self) -> list[MembershipEvent]:
+        return [MembershipEvent(**e) for e in self.membership]
+
+
+def generate_membership_plan(
+    rng: random.Random,
+    grow_from: int,
+    grow_to: int,
+    period: int,
+    horizon: int,
+) -> list[MembershipEvent]:
+    """Draw a rolling-membership plan: staggered joins plus handoffs.
+
+    The ``grow_to - grow_from`` installed slots join one by one, spread
+    over the middle of the run (each jittered by up to one checkpoint
+    period, so joins land in every protocol phase across cells); one
+    deliberate leadership handoff fires before the first join and a
+    second, half the time, after the last — the elastic worst case of
+    reconfiguring the coordinator while the membership is in motion.
+    """
+    n_joins = grow_to - grow_from
+    spacing = max(period + 1, horizon // (n_joins + 2))
+    events = [
+        MembershipEvent(
+            time=spacing * (k + 1) + rng.randrange(max(1, period)),
+            kind="join",
+            node=grow_from + k,
+        )
+        for k in range(n_joins)
+    ]
+    events.append(MembershipEvent(
+        time=spacing // 2 + rng.randrange(max(1, period)), kind="handoff",
+        node=rng.randrange(grow_from) if rng.random() < 0.3 else -1,
+    ))
+    if rng.random() < 0.5:
+        events.append(MembershipEvent(
+            time=spacing * (n_joins + 1) + rng.randrange(max(1, period)),
+            kind="handoff",
+        ))
+    return sorted(events, key=lambda e: e.time)
+
 
 def generate_failure_plan(
     rng: random.Random,
@@ -263,6 +370,8 @@ def generate_failure_plan(
     transient_fraction: float,
     repair_delay: int,
     horizon: int,
+    initial_members: int | None = None,
+    joins_at: dict[int, int] | None = None,
 ) -> list[FailurePlan]:
     """Draw a statically valid failure plan from the fault model.
 
@@ -272,6 +381,12 @@ def generate_failure_plan(
     the mean), permanent otherwise — but never more than one permanent
     per plan, and never a victim still down from an earlier failure
     (both would fail :func:`~repro.fault.failures.validate_failure_plan`).
+
+    With ``initial_members``/``joins_at`` (rolling membership), victims
+    drawn on a slot that has not joined yet are discarded like
+    still-down victims — the fault model cannot fail hardware that is
+    not a member.  The draw sequence is unchanged, so static plans stay
+    bit-identical.
     """
     plan: list[FailurePlan] = []
     ready_at: dict[int, int] = {}
@@ -283,6 +398,10 @@ def generate_failure_plan(
         if t > horizon:
             return plan
         node = rng.randrange(n_nodes)
+        if initial_members is not None and node >= initial_members:
+            join_time = (joins_at or {}).get(node)
+            if join_time is None or t < join_time:
+                continue  # slot not a member yet: nothing to fail
         if node in dead or t <= ready_at.get(node, -1):
             continue  # victim still down: the model has nothing to fail
         transient = rng.random() < transient_fraction or permanent_used
@@ -307,18 +426,32 @@ def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
     # rough upper bound on run length; failures drawn past the actual
     # end are harmless (the injector exits when the computation does)
     horizon = cfg.refs_per_proc * 15
+    rolling = cfg.membership == "rolling"
+    members0 = cfg.grow_from if rolling else cfg.n_nodes
+    mode_cycle = ROLLING_TARGET_MODES if rolling else TARGET_MODES
     cells: list[CampaignCell] = []
     for index in range(cfg.seeds):
         seed = rng.randrange(2**31)
         cell_rng = random.Random(seed)
         mode = (
-            TARGET_MODES[index % len(TARGET_MODES)]
+            mode_cycle[index % len(mode_cycle)]
             if cfg.target_phase == "mixed"
             else cfg.target_phase
         )
+        membership: list[MembershipEvent] = []
+        joins_at: dict[int, int] = {}
+        if rolling:
+            membership = generate_membership_plan(
+                cell_rng, cfg.grow_from, cfg.grow_to, cfg.period, horizon,
+            )
+            joins_at = {
+                e.node: e.time for e in membership if e.kind == "join"
+            }
         plan = generate_failure_plan(
             cell_rng, cfg.n_nodes, cfg.mtbf_cycles,
             cfg.transient_fraction, cfg.repair_delay, horizon,
+            initial_members=members0 if rolling else None,
+            joins_at=joins_at,
         )
         trigger = None
         if mode != "timed":
@@ -327,12 +460,18 @@ def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
                 # guarantee at least one timed transient failure
                 plan.append(FailurePlan(
                     time=cfg.period + cfg.detection_latency + 1,
-                    node=cell_rng.randrange(cfg.n_nodes),
+                    node=cell_rng.randrange(members0),
                     repair_delay=cfg.repair_delay,
                 ))
+            if mode == "join_catchup":
+                # the scenario worth aiming at is killing the joiner
+                # itself mid-catch-up; a random victim covers the rest
+                target = JOINER if cell_rng.random() < 0.7 else RANDOM
+            else:
+                target = LEADER if cell_rng.random() < 0.5 else RANDOM
             trigger = {
                 "window": mode,
-                "target": LEADER if cell_rng.random() < 0.5 else RANDOM,
+                "target": target,
                 # permanents only in checkpoint windows: any failure
                 # during a recovery window is expected-fatal anyway
                 "permanent": (
@@ -364,6 +503,11 @@ def build_cells(cfg: CampaignConfig) -> list[CampaignCell]:
             reorder_rate=cfg.reorder_rate,
             outage_rate=cfg.outage_rate,
             recovery_strategy=cfg.recovery_strategy,
+            initial_members=members0 if rolling else 0,
+            membership=tuple(
+                {"time": e.time, "kind": e.kind, "node": e.node}
+                for e in membership
+            ),
         ))
     return cells
 
@@ -401,6 +545,8 @@ def execute_campaign_payload(payload: dict) -> dict:
         recovery_strategy=cell.recovery_strategy,
         failure_plan=cell.failure_plan(),
         stall_cycle_budget=cell.stall_budget,
+        initial_members=cell.initial_members or None,
+        membership_plan=cell.membership_plan(),
     )
     trigger = cell.phase_trigger()
     # always attach the injector — with an empty trigger list it is the
@@ -440,6 +586,13 @@ class CampaignReport:
     #: per-strategy outcome taxonomy (the head-to-head table's rows).
     strategy_metrics: dict = field(default_factory=dict)
     total_failures_skipped: int = 0
+    # elastic-membership aggregates (all zero on static campaigns)
+    total_joins: int = 0
+    total_joins_aborted: int = 0
+    total_join_latency_cycles: int = 0
+    total_catchup_bytes: int = 0
+    total_refs_during_reconfig: int = 0
+    total_handoffs: int = 0
     total_spurious_suspicions: int = 0
     total_transport_retries: int = 0
     total_transport_retransmitted_flits: int = 0
@@ -475,6 +628,12 @@ class CampaignReport:
             return 0.0
         return self.total_recovery_cycles / self.total_recoveries
 
+    def mean_join_latency(self) -> float:
+        completed = self.total_joins - self.total_joins_aborted
+        if completed <= 0:
+            return 0.0
+        return self.total_join_latency_cycles / completed
+
     def to_dict(self) -> dict:
         return {
             "config": self.config,
@@ -498,6 +657,13 @@ class CampaignReport:
                 for name, metrics in self.strategy_metrics.items()
             },
             "total_failures_skipped": self.total_failures_skipped,
+            "total_joins": self.total_joins,
+            "total_joins_aborted": self.total_joins_aborted,
+            "total_join_latency_cycles": self.total_join_latency_cycles,
+            "total_catchup_bytes": self.total_catchup_bytes,
+            "total_refs_during_reconfig": self.total_refs_during_reconfig,
+            "total_handoffs": self.total_handoffs,
+            "mean_join_latency": self.mean_join_latency(),
             "total_spurious_suspicions": self.total_spurious_suspicions,
             "total_transport_retries": self.total_transport_retries,
             "total_transport_retransmitted_flits":
@@ -555,6 +721,21 @@ class CampaignReport:
             ("ckpt items replicated", self.total_ckpt_items_replicated),
             ("ckpt items reused", self.total_ckpt_items_reused),
             ("failures skipped", self.total_failures_skipped),
+            *(
+                [
+                    ("joins completed",
+                     self.total_joins - self.total_joins_aborted),
+                    ("joins aborted", self.total_joins_aborted),
+                    ("mean join latency",
+                     f"{self.mean_join_latency():.0f} cycles"),
+                    ("catch-up traffic", f"{self.total_catchup_bytes} bytes"),
+                    ("refs served during reconfig",
+                     self.total_refs_during_reconfig),
+                    ("leadership handoffs", self.total_handoffs),
+                ]
+                if self.total_joins or self.total_handoffs
+                else []
+            ),
             ("spurious suspicions", self.total_spurious_suspicions),
             ("transport retries", self.total_transport_retries),
             ("retransmitted flits", self.total_transport_retransmitted_flits),
@@ -593,6 +774,26 @@ class CampaignReport:
                     for name, m in sorted(self.strategy_metrics.items())
                 ],
             ))
+            if any(
+                m.get("n_joins") or m.get("n_handoffs")
+                for m in self.strategy_metrics.values()
+            ):
+                lines.append(format_table(
+                    ["strategy", "joins", "aborted", "join lat",
+                     "catch-up", "refs@reconfig", "handoffs"],
+                    [
+                        (
+                            name,
+                            m.get("n_joins", 0),
+                            m.get("joins_aborted", 0),
+                            f"{m.get('mean_join_latency', 0.0):.0f} cyc",
+                            f"{m.get('catchup_bytes', 0)} B",
+                            m.get("refs_during_reconfig", 0),
+                            m.get("n_handoffs", 0),
+                        )
+                        for name, m in sorted(self.strategy_metrics.items())
+                    ],
+                ))
             for name, m in sorted(self.strategy_metrics.items()):
                 taxonomy = ", ".join(
                     f"{outcome}={count}"
@@ -774,10 +975,22 @@ class CampaignRunner:
             sbucket["n_recoveries"] += outcome.n_recoveries
             sbucket["recovery_cycles"] += outcome.recovery_cycles
             sbucket["n_checkpoints"] += outcome.n_checkpoints
+            sbucket["n_joins"] += outcome.n_joins
+            sbucket["joins_aborted"] += outcome.joins_aborted
+            sbucket["join_latency_cycles"] += outcome.join_latency_cycles
+            sbucket["catchup_bytes"] += outcome.catchup_bytes
+            sbucket["refs_during_reconfig"] += outcome.refs_during_reconfig
+            sbucket["n_handoffs"] += outcome.n_handoffs
             strategy_outcomes.setdefault(cell.recovery_strategy, Counter())[
                 outcome.outcome.value
             ] += 1
             report.total_failures_skipped += outcome.n_failures_skipped
+            report.total_joins += outcome.n_joins
+            report.total_joins_aborted += outcome.joins_aborted
+            report.total_join_latency_cycles += outcome.join_latency_cycles
+            report.total_catchup_bytes += outcome.catchup_bytes
+            report.total_refs_during_reconfig += outcome.refs_during_reconfig
+            report.total_handoffs += outcome.n_handoffs
             report.total_spurious_suspicions += outcome.spurious_suspicions
             report.total_transport_retries += outcome.transport_retries
             report.total_transport_retransmitted_flits += (
@@ -819,6 +1032,7 @@ class CampaignRunner:
             }
         for name, bucket in by_strategy.items():
             recoveries = bucket["n_recoveries"]
+            joins_done = bucket["n_joins"] - bucket["joins_aborted"]
             report.strategy_metrics[name] = {
                 **{k: int(v) for k, v in bucket.items()},
                 "mean_rollback_distance": (
@@ -826,6 +1040,10 @@ class CampaignRunner:
                 ),
                 "mean_recovery_latency": (
                     bucket["recovery_cycles"] / recoveries if recoveries else 0.0
+                ),
+                "mean_join_latency": (
+                    bucket["join_latency_cycles"] / joins_done
+                    if joins_done > 0 else 0.0
                 ),
                 "outcomes": dict(strategy_outcomes.get(name, Counter())),
             }

@@ -7,6 +7,13 @@ two completed recoveries.  A *transient* failure loses the node's
 volatile state (cache and AM contents) but the hardware returns after
 ``repair_delay`` cycles; a *permanent* failure removes the node for the
 rest of the run.
+
+Elastic membership adds a third plan dimension: a
+:class:`MembershipEvent` either *joins* an installed-but-unjoined node
+slot mid-run or requests a deliberate coordination-leadership
+*handoff*.  Failure-plan validation is membership-aware — a plan may
+target a node that joins earlier in the run, and never one that has
+not joined yet.
 """
 
 from __future__ import annotations
@@ -34,7 +41,72 @@ class FailurePlan:
             raise ValueError("a permanent failure has no repair delay")
 
 
-def validate_failure_plan(plan: list[FailurePlan], n_nodes: int) -> None:
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One scheduled membership change.
+
+    ``kind="join"`` admits node slot ``node`` (built unjoined via
+    ``Machine(initial_members=...)``) at ``time``; ``kind="handoff"``
+    requests a deliberate checkpoint-leadership transfer to participant
+    ``node`` (or to the smallest other participant when ``node`` is
+    negative).
+    """
+
+    time: int
+    kind: str = "join"
+    node: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("membership event time must be non-negative")
+        if self.kind not in ("join", "handoff"):
+            raise ValueError(
+                f"unknown membership event kind {self.kind!r}; "
+                "pick 'join' or 'handoff'"
+            )
+        if self.kind == "join" and self.node < 0:
+            raise ValueError("a join event must name the slot to admit")
+
+
+def validate_membership_plan(
+    plan: list[MembershipEvent], n_nodes: int, initial_members: int
+) -> None:
+    """Reject membership plans that cannot be executed.
+
+    - a join must target an installed-but-unjoined slot
+      (``initial_members <= node < n_nodes``);
+    - each slot joins at most once;
+    - a handoff target, when explicit, must be an existing node.
+    """
+    joined: set[int] = set()
+    for event in sorted(plan, key=lambda e: e.time):
+        if event.kind == "join":
+            if not initial_members <= event.node < n_nodes:
+                raise ValueError(
+                    f"membership plan joins node {event.node}, but only "
+                    f"slots {initial_members}..{n_nodes - 1} are installed "
+                    "and unjoined"
+                )
+            if event.node in joined:
+                raise ValueError(
+                    f"membership plan joins node {event.node} twice; a "
+                    "slot joins at most once"
+                )
+            joined.add(event.node)
+        elif event.node >= n_nodes:
+            raise ValueError(
+                f"membership plan hands leadership to node {event.node}, "
+                f"but the machine has nodes 0..{n_nodes - 1}"
+            )
+
+
+def validate_failure_plan(
+    plan: list[FailurePlan],
+    n_nodes: int,
+    *,
+    initial_members: int | None = None,
+    membership_plan: list[MembershipEvent] | None = None,
+) -> None:
     """Reject plans that cannot be executed or violate the fault model.
 
     Checked statically, at :class:`~repro.machine.Machine` construction,
@@ -49,7 +121,16 @@ def validate_failure_plan(plan: list[FailurePlan], n_nodes: int) -> None:
       allows one permanent failure *between two completed recoveries*,
       and a static plan has no way to order a completed recovery
       between two permanent failures.
+
+    Targets resolve against *dynamic* membership: with
+    ``initial_members``/``membership_plan`` given, a failure may target
+    a joined slot from its join time onward, and never before.
     """
+    joins_at: dict[int, int] = {}
+    if membership_plan:
+        joins_at = {
+            e.node: e.time for e in membership_plan if e.kind == "join"
+        }
     permanents = [f for f in plan if f.permanent]
     if len(permanents) > 1:
         times = ", ".join(f"t={f.time}" for f in sorted(permanents, key=lambda f: f.time))
@@ -66,6 +147,20 @@ def validate_failure_plan(plan: list[FailurePlan], n_nodes: int) -> None:
                 f"failure plan targets node {failure.node}, but the "
                 f"machine has nodes 0..{n_nodes - 1}"
             )
+        if initial_members is not None and failure.node >= initial_members:
+            join_time = joins_at.get(failure.node)
+            if join_time is None:
+                raise ValueError(
+                    f"failure plan targets node {failure.node}, but only "
+                    f"nodes 0..{initial_members - 1} are members and no "
+                    "membership event ever joins it"
+                )
+            if failure.time < join_time:
+                raise ValueError(
+                    f"failure plan targets node {failure.node} at "
+                    f"t={failure.time}, before its join at t={join_time}; "
+                    "an unjoined slot cannot fail"
+                )
         by_node.setdefault(failure.node, []).append(failure)
     for node, failures in by_node.items():
         failures.sort(key=lambda f: (f.time, f.permanent))

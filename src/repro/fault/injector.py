@@ -1,10 +1,10 @@
-"""The fault-injection simulation process."""
+"""The fault-injection and membership-injection simulation processes."""
 
 from __future__ import annotations
 
 from typing import Generator, TYPE_CHECKING
 
-from repro.fault.failures import FailurePlan
+from repro.fault.failures import FailurePlan, MembershipEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine import Machine
@@ -15,13 +15,15 @@ def fault_injector(
 ) -> Generator[int, None, None]:
     """Fire the planned failures at their scheduled times.
 
-    Liveness is re-checked at fire time: the static plan validation
-    cannot see failures injected by phase-targeted triggers or repairs
-    delayed by a pending recovery, so a plan entry may target a node
-    that is (still) dead when its time arrives.  Failing a dead node is
-    meaningless under the fail-silent model, so the entry becomes a
-    recorded no-op (``stats.n_failures_skipped``) instead of an error
-    mid-run.
+    Liveness is re-checked at fire time against *dynamic* membership:
+    the static plan validation cannot see failures injected by
+    phase-targeted triggers, repairs delayed by a pending recovery, or
+    joins that a failure earlier in the run aborted — so a plan entry
+    may target a node that is (still, or again) dead when its time
+    arrives.  Failing a dead node is meaningless under the fail-silent
+    model, so the entry becomes a recorded no-op
+    (``stats.n_failures_skipped``) instead of an error mid-run.  (A
+    joined-then-killed slot is simply dead: the same check covers it.)
     """
     for failure in sorted(plan, key=lambda f: f.time):
         delay = failure.time - machine.engine.now
@@ -37,3 +39,35 @@ def fault_injector(
             permanent=failure.permanent,
             repair_delay=failure.repair_delay,
         )
+
+
+def membership_injector(
+    machine: "Machine", plan: list[MembershipEvent]
+) -> Generator[int, None, None]:
+    """Fire the planned membership events at their scheduled times.
+
+    Joins run ``machine.join_node`` inline — this process *is* the
+    join's catch-up, so overlapping joins in one plan serialize in time
+    order.  Handoffs resolve their target at fire time: an explicit
+    target that is not a participant (it died, or its join was aborted)
+    becomes a recorded no-op like a stale failure-plan entry.
+    """
+    coordinator = machine.coordinator
+    for event in sorted(plan, key=lambda e: e.time):
+        delay = event.time - machine.engine.now
+        if delay > 0:
+            yield delay
+        if not coordinator.active:
+            return  # the computation already finished
+        if event.kind == "join":
+            if machine.nodes[event.node].joined:
+                continue  # superseded (already admitted by a harness)
+            yield from machine.join_node(event.node)
+        else:
+            target = event.node if event.node >= 0 else None
+            if target is not None and target not in coordinator.participants:
+                machine.stats.n_failures_skipped += 1
+                continue
+            cost = coordinator.request_leader_handoff("ckpt", target=target)
+            if cost:
+                yield cost

@@ -98,6 +98,14 @@ class RunOutcome:
     transport_suspicions: int = 0
     spurious_suspicions: int = 0
 
+    # elastic-membership metrics (zero on static-membership runs)
+    n_joins: int = 0
+    joins_aborted: int = 0
+    join_latency_cycles: int = 0
+    catchup_bytes: int = 0
+    refs_during_reconfig: int = 0
+    n_handoffs: int = 0
+
     # phase-targeting coverage (from the TriggerInjector, if any)
     windows_entered: dict[str, int] = field(default_factory=dict)
     triggers_fired: int = 0
@@ -143,6 +151,12 @@ class RunOutcome:
             "transport_duplicates_suppressed": self.transport_duplicates_suppressed,
             "transport_suspicions": self.transport_suspicions,
             "spurious_suspicions": self.spurious_suspicions,
+            "n_joins": self.n_joins,
+            "joins_aborted": self.joins_aborted,
+            "join_latency_cycles": self.join_latency_cycles,
+            "catchup_bytes": self.catchup_bytes,
+            "refs_during_reconfig": self.refs_during_reconfig,
+            "n_handoffs": self.n_handoffs,
             "windows_entered": dict(self.windows_entered),
             "triggers_fired": self.triggers_fired,
             "triggers_skipped": self.triggers_skipped,
@@ -178,6 +192,12 @@ def _collect_metrics(
     outcome.transport_duplicates_suppressed = stats.transport_duplicates_suppressed
     outcome.transport_suspicions = stats.transport_suspicions
     outcome.spurious_suspicions = stats.spurious_suspicions
+    outcome.n_joins = stats.n_joins
+    outcome.joins_aborted = stats.joins_aborted
+    outcome.join_latency_cycles = stats.join_latency_cycles
+    outcome.catchup_bytes = stats.catchup_bytes
+    outcome.refs_during_reconfig = stats.refs_during_reconfig
+    outcome.n_handoffs = stats.n_handoffs
     if injector is not None:
         outcome.windows_entered = dict(injector.windows_entered)
         outcome.triggers_fired = len(injector.fired)

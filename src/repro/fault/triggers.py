@@ -37,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover
 LEADER = "leader"
 #: Target sentinel: a uniformly drawn live node, resolved at fire time.
 RANDOM = "random"
+#: Target sentinel: the node whose join catch-up opened the window
+#: (``machine._joining``), resolved at fire time — the way to kill a
+#: join mid-catch-up.  Skipped when no join is in flight.
+JOINER = "joiner"
 
 
 @dataclass(frozen=True)
@@ -65,10 +69,12 @@ class PhaseTrigger:
                 f"unknown trigger window {self.window!r}; pick one of "
                 f"{', '.join(TRIGGER_WINDOWS)}"
             )
-        if isinstance(self.target, str) and self.target not in (LEADER, RANDOM):
+        if isinstance(self.target, str) and self.target not in (
+            LEADER, RANDOM, JOINER,
+        ):
             raise ValueError(
-                f"trigger target must be a node id, {LEADER!r} or {RANDOM!r}, "
-                f"not {self.target!r}"
+                f"trigger target must be a node id, {LEADER!r}, {RANDOM!r} "
+                f"or {JOINER!r}, not {self.target!r}"
             )
         if self.delay < 0:
             raise ValueError("trigger delay must be non-negative")
@@ -137,12 +143,17 @@ class TriggerInjector:
     def _resolve_target(self, trigger: PhaseTrigger) -> int | None:
         coord = self.machine.coordinator
         if trigger.target == LEADER:
+            # leader_handoff transfers *checkpoint* leadership, so its
+            # LEADER is the checkpoint leader like the ckpt_* windows
             leader = (
                 coord.ckpt_leader
                 if trigger.window.startswith("ckpt")
+                or trigger.window == "leader_handoff"
                 else coord.rec_leader
             )
             return leader if leader >= 0 else None
+        if trigger.target == JOINER:
+            return self.machine._joining
         if trigger.target == RANDOM:
             live = [n.node_id for n in self.machine.nodes if n.alive]
             return self.rng.choice(live) if live else None

@@ -30,8 +30,13 @@ from repro.coherence.directory import Directory
 from repro.coherence.ecp import ExtendedProtocol
 from repro.coherence.standard import StandardProtocol
 from repro.config import ArchConfig, mesh_dimensions
-from repro.fault.failures import FailurePlan, validate_failure_plan
-from repro.fault.injector import fault_injector
+from repro.fault.failures import (
+    FailurePlan,
+    MembershipEvent,
+    validate_failure_plan,
+    validate_membership_plan,
+)
+from repro.fault.injector import fault_injector, membership_injector
 from repro.fault.watchdog import stall_watchdog
 from repro.memory.pages import PageRegistry
 from repro.memory.states import ItemState
@@ -103,6 +108,10 @@ TRIGGER_WINDOWS = (
     # destination (consecutive retransmission timeouts) — only entered
     # on an unreliable interconnect (repro.network.transport)
     "transport_retry_storm",
+    # elastic membership (only entered on machines built with
+    # ``initial_members < n_nodes`` or driven by a membership plan)
+    "join_catchup",    # a joiner is catching up to the committed point
+    "leader_handoff",  # a deliberate coordinator transfer was requested
 )
 
 
@@ -146,6 +155,10 @@ class Coordinator:
         #: minimum participant changes mid-episode).
         self.ckpt_leader: int = -1
         self.rec_leader: int = -1
+        #: Sticky leadership preferences set by deliberate handoffs
+        #: (``request_leader_handoff``); ``None`` falls back to the
+        #: minimum participant, the historical rule.
+        self.preferred_leader: dict[str, int | None] = {"ckpt": None, "rec": None}
 
     # -- processor lifecycle ------------------------------------------------
 
@@ -189,9 +202,10 @@ class Coordinator:
             # creates to finish and the commit barrier to pass.
             self.ckpt_abort = True
         if node_id == self.ckpt_leader and self.participants:
-            self.ckpt_leader = min(self.participants)
+            # forced handoff: the leader died mid-episode
+            self.ckpt_leader = self._pick_leader("ckpt")
         if node_id == self.rec_leader and self.participants:
-            self.rec_leader = min(self.participants)
+            self.rec_leader = self._pick_leader("rec")
         self._resize_barriers()
 
     def on_node_revived(self, node_id: int) -> None:
@@ -200,6 +214,68 @@ class Coordinator:
         if processor.has_work():
             self.active.add(node_id)
         self.fire_revival(node_id)
+
+    def on_node_joined(self, node_id: int) -> None:
+        """An elastic join completed catch-up: the node enters global
+        coordination from the *next* episode.  Its epoch counters are
+        advanced past any episode currently in flight — the in-flight
+        barrier was sized before the join (``MemberBarrier`` copies the
+        member set), so the joiner is neither expected nor allowed
+        there."""
+        processor = self.machine.processors[node_id]
+        processor.last_ckpt_epoch = self.ckpt_epoch
+        processor.last_recovery_epoch = self.recovery_epoch
+        self.participants.add(node_id)
+        if processor.has_work():
+            self.active.add(node_id)
+        self.fire_revival(node_id)
+
+    def request_leader_handoff(self, kind: str = "ckpt", target: int | None = None) -> int:
+        """Deliberately transfer coordination leadership.
+
+        ``kind`` picks the checkpoint ("ckpt") or recovery ("rec")
+        leadership; ``target`` of ``None`` hands off to the smallest
+        other participant.  The preference is sticky: every later
+        episode elects the preferred leader while it stays a
+        participant.  An in-flight episode keeps running — the transfer
+        applies immediately while the episode is in a phase where no
+        node can have reached the leader-finalize step (ckpt
+        sync/create, recovery scan), and from the next episode
+        otherwise (commit/reconfig), so an establishment is never
+        aborted or double-finalized by a handoff.
+
+        Returns the strategy-defined handoff cost in cycles (0 when
+        there was nothing to hand off); callers running inside a
+        simulation process should ``yield`` it.
+        """
+        if kind not in ("ckpt", "rec"):
+            raise ValueError(f"unknown leadership kind {kind!r}; pick 'ckpt' or 'rec'")
+        if not self.participants:
+            return 0
+        current = self.ckpt_leader if kind == "ckpt" else self.rec_leader
+        if target is None:
+            candidates = sorted(self.participants - {current})
+            if not candidates:
+                return 0
+            target = candidates[0]
+        if target not in self.participants:
+            raise ValueError(f"handoff target {target} is not a participant")
+        self.preferred_leader[kind] = target
+        self._enter_window("leader_handoff")
+        if kind == "ckpt":
+            if self.ckpt_requested and self.ckpt_phase in ("sync", "create"):
+                self.ckpt_leader = target
+        else:
+            if self.recovery_requested and self.rec_phase == "scan":
+                self.rec_leader = target
+        self.machine.stats.n_handoffs += 1
+        return self.machine.recovery.handoff_cycles(kind)
+
+    def _pick_leader(self, kind: str) -> int:
+        preferred = self.preferred_leader[kind]
+        if preferred is not None and preferred in self.participants:
+            return preferred
+        return min(self.participants)
 
     def _resize_barriers(self) -> None:
         """A node left the participant set: stop expecting it at the
@@ -243,7 +319,7 @@ class Coordinator:
         self.ckpt_barrier = MemberBarrier(
             self.engine, self.participants, name="ckpt"
         )
-        self.ckpt_leader = min(self.participants)
+        self.ckpt_leader = self._pick_leader("ckpt")
         self._wake_parked()
         self._enter_window("ckpt_sync")
         return self.ckpt_done
@@ -336,7 +412,7 @@ class Coordinator:
         self.rec_barrier = MemberBarrier(
             self.engine, self.participants, name="rec"
         )
-        self.rec_leader = min(self.participants)
+        self.rec_leader = self._pick_leader("rec")
         self._wake_parked()
         if self.ckpt_requested and self.ckpt_phase in ("sync", "create"):
             # failure during the create phase: abort — the previous
@@ -398,6 +474,8 @@ class Machine:
         record_network_trace: bool = False,
         stall_cycle_budget: int | None = None,
         recovery_strategy: str = "ecp",
+        initial_members: int | None = None,
+        membership_plan: list[MembershipEvent] | None = None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; pick {sorted(PROTOCOLS)}")
@@ -406,6 +484,16 @@ class Machine:
                 "recovery strategies ride on the ECP machine; "
                 f"protocol {protocol!r} cannot host {recovery_strategy!r}"
             )
+        members = config.n_nodes if initial_members is None else initial_members
+        if not 1 <= members <= config.n_nodes:
+            raise ValueError(
+                f"initial_members must be in 1..{config.n_nodes}, got {members}"
+            )
+        if members != config.n_nodes and protocol != "ecp":
+            raise ValueError("elastic membership rides on the ECP machine")
+        #: Nodes 0..initial_members-1 are members from cycle 0; the rest
+        #: are installed capacity waiting for a ``join_node`` admission.
+        self.initial_members = members
         self.cfg = config
         self.workload = workload
         self.protocol_name = protocol
@@ -414,12 +502,18 @@ class Machine:
         self.mesh = Mesh(width, height)
         self.fabric = MeshFabric(self.mesh, config.latency, record_trace=record_network_trace)
         self.ring = LogicalRing(self.mesh)
-        self.nodes = [Node(i, config) for i in range(config.n_nodes)]
+        self.nodes = [
+            Node(i, config, joined=(i < members)) for i in range(config.n_nodes)
+        ]
+        # unjoined slots are off the injection ring until they join
+        for i in range(members, config.n_nodes):
+            self.ring.mark_dead(i)
         reserved = (
             config.am.reserved_frames_per_page if protocol == "ecp" else 1
         )
         self.registry = PageRegistry(
-            config.n_nodes, config.am.n_frames, reserved_frames_per_page=reserved
+            config.n_nodes, config.am.n_frames, reserved_frames_per_page=reserved,
+            n_members=members,
         )
         self.directory = Directory(config.n_nodes, config.items_per_page)
         self.rng = random.Random(config.seed)
@@ -458,10 +552,15 @@ class Machine:
             "transport_retry_storm"
         )
 
-        # wire workload streams to processors (stream p -> node p % N)
+        # wire workload streams to processors (stream p -> node p % N);
+        # streams homed on an unjoined slot are fostered on a member
+        # until the slot joins (join_node moves them home)
         self.processors = [Processor(self, i) for i in range(config.n_nodes)]
         for stream in workload.build_streams():
-            self.processors[stream.proc_id % config.n_nodes].assign(stream)
+            target = stream.proc_id % config.n_nodes
+            if target >= members:
+                target = stream.proc_id % members
+            self.processors[target].assign(stream)
         self._stream_snapshot: dict[int, int] = {}
         self.snapshot_streams()  # position 0 is the initial recovery point
 
@@ -486,7 +585,17 @@ class Machine:
         self.failure_plan = list(failure_plan or [])
         if self.failure_plan and protocol != "ecp":
             raise ValueError("the standard protocol cannot survive failures")
-        validate_failure_plan(self.failure_plan, config.n_nodes)
+        self.membership_plan = list(membership_plan or [])
+        if self.membership_plan and protocol != "ecp":
+            raise ValueError("the standard protocol cannot change membership")
+        validate_membership_plan(self.membership_plan, config.n_nodes, members)
+        validate_failure_plan(
+            self.failure_plan, config.n_nodes,
+            initial_members=members, membership_plan=self.membership_plan,
+        )
+        #: Node currently in join catch-up (``None`` outside a join);
+        #: the JOINER trigger target resolves against this.
+        self._joining: int | None = None
         #: No-progress cycle budget for the stall watchdog; ``None``
         #: leaves the watchdog off (plain runs cannot livelock without
         #: failures, and tests drive machines by hand).
@@ -525,9 +634,13 @@ class Machine:
     # -- lifecycle ------------------------------------------------------------
 
     def _start_processes(self) -> None:
-        # every node's processor runs: even work-less nodes participate
-        # in checkpoints, since their AMs receive injected copies
+        # every member's processor runs: even work-less nodes participate
+        # in checkpoints, since their AMs receive injected copies.
+        # Unjoined slots get a processor too — it parks on the revival
+        # flag that join_node fires once catch-up completes.
         for processor in self.processors:
+            if not self.nodes[processor.node_id].joined:
+                continue
             self.coordinator.participants.add(processor.node_id)
             if processor.has_work():
                 self.coordinator.active.add(processor.node_id)
@@ -537,6 +650,12 @@ class Machine:
             Process(self.engine, checkpoint_scheduler(self), name="ckpt-sched")
         if self.failure_plan:
             Process(self.engine, fault_injector(self, self.failure_plan), name="faults")
+        if self.membership_plan:
+            Process(
+                self.engine,
+                membership_injector(self, self.membership_plan),
+                name="membership",
+            )
         if self.stall_cycle_budget is not None:
             Process(
                 self.engine,
@@ -587,6 +706,96 @@ class Machine:
         for processor in self.processors:
             if processor.has_work() and self.nodes[processor.node_id].alive:
                 self.coordinator.unretire(processor.node_id)
+
+    # -- elastic membership ------------------------------------------------------------
+
+    def join_node(self, node_id: int) -> Generator[object, object, None]:
+        """Admit an installed-but-unjoined node to the running machine.
+
+        A simulation-process generator (``yield`` values are cycle
+        delays).  The join handshake:
+
+        1. the node powers on with empty memory and is counted a member
+           (its frames back the reservation; a failure can now target
+           it — a join is killable);
+        2. the recovery strategy runs its catch-up: the node reclaims
+           its localization-pointer partition from the ring successor
+           that hosted it and syncs whatever per-strategy state brings
+           it to the last committed recovery point;
+        3. only then does the node start serving references: it enters
+           the injection ring, joins coordination from the next episode,
+           and adopts the reference streams fostered elsewhere on its
+           behalf.
+
+        A failure that kills the joiner mid-catch-up aborts the join
+        through the ordinary failure path (wipe, detection, recovery);
+        a transient such failure leaves the node a member that died —
+        its later revival follows the normal transient-rejoin path.
+        """
+        node = self.nodes[node_id]
+        if node.joined:
+            raise ValueError(f"node {node_id} is already a member")
+        if self.protocol_name != "ecp":
+            raise RuntimeError("the standard protocol cannot change membership")
+        t0 = self.engine.now
+        refs0 = self.stats.refs
+        self._joining = node_id
+        try:
+            node.join()
+            self.stats.n_joins += 1
+            self.registry.on_node_joined(node_id)
+            self.coordinator._enter_window("join_catchup")
+            yield from self.recovery.join_node(node_id)
+            # admission completes only between coordination episodes
+            # (like a transient revival): serving references while the
+            # rest of the machine is inside an establishment would read
+            # Pre-Commit state no static run ever exposes
+            while node.alive and (
+                self.coordinator.ckpt_requested
+                or self.coordinator.recovery_requested
+            ):
+                flag = (
+                    self.coordinator.recovery_done
+                    if self.coordinator.recovery_requested
+                    else self.coordinator.ckpt_done
+                )
+                if flag is None:
+                    yield 1
+                else:
+                    yield flag
+            if not node.alive or node_id in self.coordinator.participants:
+                # killed mid-catch-up (and possibly already revived
+                # through the transient path): the join itself aborted
+                self.stats.joins_aborted += 1
+                return
+            node.pointers_rehosted = True
+            self.ring.revive(node_id)
+            self._adopt_home_streams(node_id)
+            self.coordinator.on_node_joined(node_id)
+            self.stats.join_latency_cycles += self.engine.now - t0
+            self.stats.refs_during_reconfig += self.stats.refs - refs0
+        finally:
+            self._joining = None
+
+    def _adopt_home_streams(self, node_id: int) -> None:
+        """Completion of a join: reference streams homed on the joiner
+        (fostered on members at build time) move home, positions
+        preserved — the joiner resumes them where the foster left off."""
+        n = self.cfg.n_nodes
+        home = self.processors[node_id]
+        for processor in self.processors:
+            if processor is home:
+                continue
+            moved = [s for s in processor.streams if s.proc_id % n == node_id]
+            if not moved:
+                continue
+            processor.streams[:] = [
+                s for s in processor.streams if s.proc_id % n != node_id
+            ]
+            for stream in moved:
+                home.assign(stream)
+            if not processor.has_work():
+                self.coordinator.retire(processor.node_id)
 
     # -- failures ---------------------------------------------------------------------
 

@@ -25,8 +25,19 @@ class ReservationError(RuntimeError):
 class PageRegistry:
     """Global registry of page residency across all AMs."""
 
-    def __init__(self, n_nodes: int, frames_per_node: int, reserved_frames_per_page: int):
+    def __init__(
+        self,
+        n_nodes: int,
+        frames_per_node: int,
+        reserved_frames_per_page: int,
+        n_members: int | None = None,
+    ):
         self.n_nodes = n_nodes
+        #: Nodes currently admitted to the machine.  Frame capacity is
+        #: counted over members, not installed slots: an unjoined node's
+        #: AM cannot host copies, so its frames must not back the
+        #: irreplaceable-frame reservation until it joins.
+        self.n_members = n_nodes if n_members is None else n_members
         self.frames_per_node = frames_per_node
         self.reserved_frames_per_page = reserved_frames_per_page
         self._holders: dict[int, set[int]] = defaultdict(set)
@@ -70,11 +81,15 @@ class PageRegistry:
                 holders.discard(node)
                 self.frames_in_use -= 1
 
+    def on_node_joined(self, node: int) -> None:
+        """An elastic join brought a new (empty) AM's frames online."""
+        self.n_members += 1
+
     # -- queries ---------------------------------------------------------
 
     @property
     def total_frames(self) -> int:
-        return self.n_nodes * self.frames_per_node
+        return self.n_members * self.frames_per_node
 
     def holders(self, page: int) -> set[int]:
         return set(self._holders.get(page, ()))

@@ -17,7 +17,7 @@ class Node:
     """Hardware state of one node (everything that a failure wipes,
     plus the statistics that survive for reporting)."""
 
-    def __init__(self, node_id: int, config: ArchConfig):
+    def __init__(self, node_id: int, config: ArchConfig, joined: bool = True):
         self.node_id = node_id
         self.config = config
         self.cache = SectoredCache(config.cache)
@@ -26,12 +26,18 @@ class Node:
         #: and injections contend here.  "As in the KSR1, four
         #: independent controllers implement the AMs" (Section 4.2.2).
         self.mem_ctrl = ContentionPoint(name=f"node{node_id}.mem", servers=4)
-        self.alive = True
+        #: Has this node ever been admitted to the machine?  A node built
+        #: with ``joined=False`` is installed capacity waiting for an
+        #: elastic-membership join: it is not alive, not on the ring, and
+        #: invisible to the protocol until :meth:`join` runs.
+        self.joined = joined
+        self.alive = joined
         #: While this node is down, has the recovery rebuilt (rehosted)
         #: its localization-pointer partition?  Until then a pointer
         #: lookup homed here times out like any other request to the
-        #: dead node.
-        self.pointers_rehosted = False
+        #: dead node.  An unjoined node's partition is hosted by its ring
+        #: successor from the start, so it counts as rehosted.
+        self.pointers_rehosted = not joined
         self.stats = NodeStats(node_id)
 
     def fail(self) -> None:
@@ -43,6 +49,13 @@ class Node:
 
     def revive(self) -> None:
         """Transient-failure rejoin: the node returns with empty memory."""
+        self.alive = True
+        self.pointers_rehosted = False
+
+    def join(self) -> None:
+        """Elastic-membership admission: the node powers on with empty
+        memory and starts reclaiming its pointer partition."""
+        self.joined = True
         self.alive = True
         self.pointers_rehosted = False
 

@@ -39,6 +39,16 @@ A strategy supplies:
     memories for the four copies of a modified item; pool-backed
     strategies survive down to a single pair of live nodes);
 
+``join_node``
+    one elastic-membership admission's catch-up as a simulation
+    generator: whatever the strategy must move or sync before the
+    joiner may serve references (pointer-partition reclaim is common to
+    all; the per-strategy part ranges from the ECP's group-set
+    announcement to recompute's tag-table sync);
+
+``handoff_cycles``
+    the cost of a deliberate coordination-leadership transfer;
+
 ``snapshot``
     the strategy's private recovery state as a hashable value, merged
     into the model checker's canonical machine state so exploration
@@ -51,6 +61,10 @@ from typing import Callable, Generator, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine import Machine
+
+#: Wire size of one localization-pointer entry moved during a join's
+#: pointer-partition reclaim (node id + item tag).
+POINTER_ENTRY_BYTES = 8
 
 
 class RecoveryStrategy:
@@ -97,6 +111,39 @@ class RecoveryStrategy:
         re-establish the persistence property.  Simulation generator;
         returns the number of items recreated."""
         raise NotImplementedError
+
+    # -- elastic membership --------------------------------------------
+
+    def join_node(self, node_id: int) -> Generator[int, None, None]:
+        """One admission's catch-up work as a simulation generator
+        (yields cycle delays).  Runs after the joiner powered on (empty
+        memory, counted a member) and before it serves references; the
+        machine handles ring entry, stream adoption and coordination
+        enrolment once this returns."""
+        raise NotImplementedError
+
+    def handoff_cycles(self, kind: str) -> int:
+        """Cost of a deliberate leadership transfer (``kind`` is "ckpt"
+        or "rec"): an announce + ack control round trip.  Leadership is
+        pure coordination in every shipped strategy — recovery data is
+        never leader-resident — so no strategy pays data movement here.
+        """
+        cfg = self.machine.protocol.cfg
+        return 2 * cfg.transfer_cycles(1, cfg.latency.control_flits)
+
+    def _claim_pointer_partition(self, node_id: int) -> int:
+        """Pointer-partition rehosting in reverse: the joiner reclaims
+        its localization-pointer partition from the ring successor that
+        hosted it while the slot was empty.  Returns the reclaim cost in
+        cycles and accounts the bytes moved as catch-up traffic."""
+        machine = self.machine
+        cfg = machine.protocol.cfg
+        lat = cfg.latency
+        entries = machine.directory.pointer_partition_size(node_id)
+        machine.stats.catchup_bytes += entries * POINTER_ENTRY_BYTES
+        return entries * (
+            lat.pointer_lookup + cfg.transfer_cycles(1, lat.control_flits)
+        )
 
     # -- model checking ------------------------------------------------
 

@@ -62,3 +62,23 @@ class EcpStrategy(RecoveryStrategy):
                 protocol, self.machine.engine, singletons
             )
         )
+
+    def join_node(self, node_id: int) -> Generator[int, None, None]:
+        """ECP admission catch-up.
+
+        The joiner's AM is empty, so the committed recovery point needs
+        no data movement — every Shared-CK/Inv-CK pair stays exactly
+        where it lives.  Catch-up is (1) AM group-set integration: the
+        joiner announces itself to every live memory so later injection
+        walks and group scans include it, one control round trip per
+        member; (2) pointer-partition reclaim from the ring successor.
+        """
+        machine = self.machine
+        cfg = machine.protocol.cfg
+        announce = 2 * cfg.transfer_cycles(1, cfg.latency.control_flits)
+        for node in machine.nodes:
+            if node.alive and node.node_id != node_id:
+                yield announce
+        cost = self._claim_pointer_partition(node_id)
+        if cost:
+            yield cost

@@ -53,3 +53,8 @@ class PooledStrategy(StagedRestoreStrategy):
 
     def _restore_cost(self, item: int) -> int:
         return self._pool_item_cycles()
+
+    def _join_sync_cost(self, node_id: int) -> int:
+        # the pool controller registers the new failure domain: one
+        # round trip; the committed image stays put, zero catch-up bytes
+        return self._pool_item_cycles()

@@ -55,6 +55,15 @@ class RecomputeStrategy(StagedRestoreStrategy):
             REPLAY_CYCLES_PER_REF
         )
 
+    def _join_sync_cost(self, node_id: int) -> int:
+        # the joiner copies the regenerable-tag table so a later replay
+        # can schedule work onto it: one tag test per committed item,
+        # no data movement
+        return (
+            self.machine.protocol.cfg.latency.commit_item_test
+            * len(self._committed)
+        )
+
     def rolled_back_refs(self) -> int:
         """References past the recovery point, before the streams are
         rewound (``reconfigure`` runs before ``Machine.rewind_streams``)."""

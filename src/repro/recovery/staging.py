@@ -161,6 +161,24 @@ class StagedRestoreStrategy(RecoveryStrategy):
         """Cycles charged once after all items are restored."""
         return 0
 
+    # -- elastic membership --------------------------------------------
+
+    def join_node(self, node_id: int) -> Generator[int, None, None]:
+        """Staged-strategy admission: reclaim the pointer partition,
+        then run the backend's own sync (pool registration, tag-table
+        copy).  The committed image lives outside the AMs, so a join
+        never moves recovery data."""
+        cost = self._claim_pointer_partition(node_id)
+        if cost:
+            yield cost
+        cost = self._join_sync_cost(node_id)
+        if cost:
+            yield cost
+
+    def _join_sync_cost(self, node_id: int) -> int:
+        """Backend-specific catch-up cycles for one admission."""
+        raise NotImplementedError
+
     # -- model checking ------------------------------------------------
 
     def snapshot(self) -> tuple:

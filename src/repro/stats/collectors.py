@@ -109,6 +109,22 @@ class MachineStats:
     n_checkpoints: int = 0
     n_recoveries: int = 0
     n_failures: int = 0
+    # elastic membership (repro.machine.Machine.join_node and the
+    # coordinator's leader handoff); all stay zero on static runs
+    #: Nodes admitted mid-run (joins that reached catch-up).
+    n_joins: int = 0
+    #: Joins killed by a failure before catch-up completed.
+    joins_aborted: int = 0
+    #: Cycles between join admission and the node serving references.
+    join_latency_cycles: int = 0
+    #: Bytes moved to bring joiners current (pointer-partition reclaim
+    #: plus per-strategy catch-up state).
+    catchup_bytes: int = 0
+    #: References the rest of the machine served while a join was in
+    #: flight (the availability-under-reconfiguration metric).
+    refs_during_reconfig: int = 0
+    #: Deliberate leader handoffs applied by the coordinator.
+    n_handoffs: int = 0
     #: Planned or triggered failures skipped because the target node was
     #: already dead at fire time (recorded no-ops, never errors).
     n_failures_skipped: int = 0

@@ -64,7 +64,13 @@ S = ItemState
 #: (a retransmitted message delivered a second time — the idempotent
 #: handler must not change state) and ("ckpt_lossy", spec) (an
 #: establishment under a scripted drop/dup schedule — the reliable
-#: transport must mask it, i.e. reach the loss-free end state).
+#: transport must mask it, i.e. reach the loss-free end state), plus
+#: the elastic-membership events ("join",) (the unjoined slot joins,
+#: atomically), ("ckpt_join_create", k) / ("ckpt_join_commit", k) (the
+#: join lands inside an establishment, after k create/commit phases),
+#: ("handoff",) (a deliberate leadership handoff between episodes) and
+#: ("ckpt_handoff_sync",) (leadership handed off at the sync point, so
+#: the episode is issued in the incoming leader's order).
 Event = tuple
 
 #: Scripted transport fates for ``ckpt_lossy``: each character is one
@@ -121,6 +127,11 @@ class ModelConfig:
     #: Enumerate establishments under scripted drop/dup schedules (the
     #: transport must mask them: same end state as a loss-free run).
     lossy: bool = False
+    #: Enumerate elastic-membership events: the last node slot starts
+    #: unjoined and may join at any point — including between the
+    #: create/commit phases of an establishment — and checkpoint
+    #: leadership may be handed off at the sync point.
+    membership: bool = False
     seed: int = 0
 
     def __post_init__(self):
@@ -133,15 +144,43 @@ class ModelConfig:
             raise ValueError("recovery strategies ride on the ECP machine")
         if self.lossy and not self.checkpoints:
             raise ValueError("lossy establishment events need checkpoints=True")
+        if self.membership and self.protocol != "ecp":
+            raise ValueError("membership events ride on the ECP machine")
 
     @property
     def machine_nodes(self) -> int:
         # the ECP needs MIN_LIVE_NODES_ECP(=4) live AMs to place a
         # recovery pair away from the writer; with failures one node
-        # may die, and a spare gives injections room to land
+        # may die, and a spare gives injections room to land.  With
+        # membership the last slot starts unjoined, so everything needs
+        # one more node — sized to a valid (non-prime) mesh
+        if self.membership:
+            return max(8 if self.failures else 6, self.acting_nodes + 2)
         if self.failures:
             return max(6, self.acting_nodes + 1)
         return max(4, self.acting_nodes)
+
+    @property
+    def joiner(self) -> int:
+        """Membership mode: the unjoined slot (always the last node)."""
+        return self.machine_nodes - 1
+
+    def model_items(self) -> tuple[int, ...]:
+        """Items the acting nodes address.  Membership mode rehomes the
+        last item onto the joiner, so the unjoined pointer partition —
+        and its reclamation at join — is on the explored surface
+        without enlarging the item count."""
+        items = tuple(range(self.n_items))
+        if self.membership:
+            from repro.config import AMConfig
+
+            # same AM geometry as build_machine, so the home really is
+            # the joiner: home_of = (item // items_per_page) % n_nodes
+            joiner_item = (
+                AMConfig(size_bytes=512 * 1024).items_per_page * self.joiner
+            )
+            items = items[:-1] + (joiner_item,)
+        return items
 
 
 @dataclass
@@ -233,6 +272,19 @@ def format_event(event: Event) -> str:
         return (
             f"establish recovery point under drop/dup schedule {event[1]!r}"
         )
+    if kind == "join":
+        return "unjoined slot joins (catch-up + pointer reclamation)"
+    if kind == "ckpt_join_create":
+        return f"join lands mid-establishment, after {event[1]} create phase(s)"
+    if kind == "ckpt_join_commit":
+        return f"join lands mid-establishment, after {event[1]} commit phase(s)"
+    if kind == "handoff":
+        return "checkpoint leadership handed off between episodes"
+    if kind == "ckpt_handoff_sync":
+        return (
+            "leadership handed off at the sync point; establishment issued "
+            "in the incoming leader's order"
+        )
     return repr(event)
 
 
@@ -254,6 +306,7 @@ def build_machine(mcfg: ModelConfig, mutate: Callable[[Machine], None] | None = 
         protocol=mcfg.protocol,
         checkpointing=False,
         recovery_strategy=mcfg.strategy,
+        initial_members=mcfg.machine_nodes - 1 if mcfg.membership else None,
     )
     if mutate is not None:
         mutate(machine)
@@ -270,6 +323,7 @@ def canonical_state(machine: Machine) -> tuple:
     nodes = tuple(
         (
             node.alive,
+            node.joined,
             node.pointers_rehosted,
             tuple(sorted((item, state.value) for item, state in node.am.non_invalid_items())),
             tuple(sorted(node.am.pages())),
@@ -315,10 +369,11 @@ def enabled_events(machine: Machine, mcfg: ModelConfig) -> list[Event]:
         # recovery barrier — processors stay parked until it completes
         return [("recover",)]
 
+    items = mcfg.model_items()
     for n in range(mcfg.acting_nodes):
         if not machine.nodes[n].alive:
             continue
-        for i in range(mcfg.n_items):
+        for i in items:
             events.append(("r", n, i))
             events.append(("w", n, i))
 
@@ -326,7 +381,7 @@ def enabled_events(machine: Machine, mcfg: ModelConfig) -> list[Event]:
         for node in machine.nodes:
             if not node.alive:
                 continue
-            for i in range(mcfg.n_items):
+            for i in items:
                 if node.am.state(i) in _EVICTABLE:
                     events.append(("evict", node.node_id, i))
 
@@ -335,7 +390,7 @@ def enabled_events(machine: Machine, mcfg: ModelConfig) -> list[Event]:
         for node in machine.nodes:
             if not node.alive:
                 continue
-            for i in range(mcfg.n_items):
+            for i in items:
                 state = node.am.state(i)
                 if state is S.INVALID:
                     # a retransmitted INVALIDATE lands after its effect
@@ -366,6 +421,19 @@ def enabled_events(machine: Machine, mcfg: ModelConfig) -> list[Event]:
                     events.append(("ckpt_fail_create", f, k, "leave"))
                     events.append(("ckpt_fail_commit", f, k))
 
+    if mcfg.membership:
+        if not machine.nodes[mcfg.joiner].joined:
+            # a join may land at any point, including while a failed
+            # node awaits recovery (the real injector does not wait)
+            events.append(("join",))
+            if mcfg.checkpoints and not pending:
+                for k in range(len(live) + 1):
+                    events.append(("ckpt_join_create", k))
+                    events.append(("ckpt_join_commit", k))
+        if mcfg.checkpoints and not pending:
+            events.append(("handoff",))
+            events.append(("ckpt_handoff_sync",))
+
     if pending:
         events.append(("recover",))
     return events
@@ -376,7 +444,7 @@ def _fail_candidates(machine: Machine, mcfg: ModelConfig) -> list[int]:
     failing an empty spare adds states without exercising anything."""
     interesting = set(range(mcfg.acting_nodes))
     for node in machine.nodes:
-        for i in range(mcfg.n_items):
+        for i in mcfg.model_items():
             if node.am.state(i) is not S.INVALID:
                 interesting.add(node.node_id)
     return sorted(n for n in interesting if machine.nodes[n].alive)
@@ -416,6 +484,19 @@ def apply_event(machine: Machine, event: Event) -> bool:
             _fail(machine, event[1])
         elif kind == "recover":
             _recover(machine)
+        elif kind == "join":
+            _join(machine)
+        elif kind == "ckpt_join_create":
+            _establish(machine, join_after_create=event[1])
+        elif kind == "ckpt_join_commit":
+            _establish(machine, join_after_commit=event[1])
+        elif kind == "handoff":
+            # between episodes a handoff is pure strategy bookkeeping:
+            # the hook is the mutation surface the model must cover
+            machine.recovery.handoff_cycles("ckpt")
+        elif kind == "ckpt_handoff_sync":
+            machine.recovery.handoff_cycles("ckpt")
+            _establish(machine, rotate=1)
         elif kind in ("dup_invalidate", "dup_partner_invalidate", "dup_inject"):
             _redeliver(machine, event)
         elif kind == "ckpt_lossy":
@@ -496,6 +577,32 @@ def _fail(machine: Machine, node_id: int) -> None:
     machine.notify_verifiers("on_failure", node_id)
 
 
+def _join(machine: Machine, complete: bool = True) -> None:
+    """Admit the unjoined slot: the machine's ``join_node`` state
+    effects with the timing collapsed.  ``complete=False`` performs
+    only the *admission* half (node powers on, membership registered,
+    strategy catch-up runs) — ``Machine.join_node`` defers the
+    completion half (ring revival, pointer reclamation) until no
+    establishment is in flight, so a join landing mid-episode must
+    too: reviving the ring mid-episode would let the injector place a
+    recovery-pair partner on a node that is not an episode participant
+    and whose Pre-Commit copy nobody would ever commit."""
+    joiner = len(machine.nodes) - 1
+    node = machine.nodes[joiner]
+    node.join()
+    machine.stats.n_joins += 1
+    machine.registry.on_node_joined(joiner)
+    _drain(machine, machine.recovery.join_node(joiner))
+    if complete:
+        _join_complete(machine)
+
+
+def _join_complete(machine: Machine) -> None:
+    joiner = len(machine.nodes) - 1
+    machine.nodes[joiner].pointers_rehosted = True
+    machine.ring.revive(joiner)
+
+
 def _recover(machine: Machine) -> None:
     recovery = machine.recovery
     for node in machine.nodes:
@@ -515,18 +622,37 @@ def _establish(
     fail_after: int = 0,
     fail_phase: str = "create",
     leave_pre_commit: bool = False,
+    join_after_create: int | None = None,
+    join_after_commit: int | None = None,
+    rotate: int = 0,
 ) -> None:
     """One establishment episode, mirroring Coordinator semantics:
     creates on all live nodes, then commits on all live nodes; a failure
     during create aborts, a failure during commit drains (the remaining
-    nodes still commit before the recovery barrier can form)."""
+    nodes still commit before the recovery barrier can form).
+
+    ``join_after_create``/``join_after_commit`` land the unjoined
+    slot's admission inside the episode, after that many phases — the
+    joiner is *not* a participant of the in-flight episode (it was not
+    at the sync barrier), it merely changes global membership state
+    under the episode's feet.  ``rotate`` issues the phases in a
+    rotated node order, as an incoming leader after a sync-point
+    handoff would."""
     recovery = machine.recovery
     live = [n.node_id for n in machine.nodes if n.alive]
+    if rotate:
+        live = live[rotate:] + live[:rotate]
     aborted = False
+    join_pending = join_after_create is not None or join_after_commit is not None
+    joined_mid = False
 
     recovery.begin_establishment()
     done = 0
     for node_id in live:
+        if join_after_create is not None and done >= join_after_create:
+            _join(machine, complete=False)
+            join_after_create = None
+            joined_mid = True
         if abort_after is not None and done >= abort_after:
             aborted = True
             break
@@ -542,6 +668,10 @@ def _establish(
             aborted = True
             break
         done += 1
+    if join_after_create is not None and not aborted:
+        _join(machine, complete=False)  # after every create, pre-commit
+        join_after_create = None
+        joined_mid = True
 
     if aborted:
         if not leave_pre_commit:
@@ -552,10 +682,18 @@ def _establish(
             if fail_node is None:
                 machine.notify_verifiers("on_establishment_aborted")
         # with leave_pre_commit the copies stay for the recovery scan
+        if joined_mid:
+            _join_complete(machine)  # the episode is over: join finishes
+        elif join_pending:
+            _join(machine)  # the episode died before the join position
         return
 
     done = 0
     for node_id in live:
+        if join_after_commit is not None and done >= join_after_commit:
+            _join(machine, complete=False)
+            join_after_commit = None
+            joined_mid = True
         if fail_node is not None and fail_phase == "commit" and done >= fail_after \
                 and machine.nodes[fail_node].alive:
             _fail(machine, fail_node)
@@ -563,9 +701,14 @@ def _establish(
             continue
         recovery.commit_node(node_id)
         done += 1
+    if join_after_commit is not None:
+        _join(machine, complete=False)  # after the last commit
+        joined_mid = True
     machine.stats.n_checkpoints += 1
     machine.snapshot_streams()
     machine.notify_verifiers("on_establishment_complete")
+    if joined_mid:
+        _join_complete(machine)  # no episode in flight any more
 
 
 # --------------------------------------------------------------- search

@@ -35,6 +35,9 @@ class Mutation:
     #: True when only failure events reach the mutated path
     #: (``ModelConfig(failures=True)``).
     requires_failures: bool = False
+    #: True when only membership events (joins, leadership handoffs)
+    #: reach the mutated path (``ModelConfig(membership=True)``).
+    requires_membership: bool = False
 
 
 def _mut_commit_keeps_inv_ck(machine: "Machine") -> None:
@@ -173,6 +176,46 @@ def _mut_recompute_restore_shared(machine: "Machine") -> None:
     machine.recovery.restore_state = S.SHARED
 
 
+def _mut_join_wipes_pointer_partition(machine: "Machine") -> None:
+    """The joining node initializes its pointer partition to empty
+    instead of reclaiming the entries accumulated while it was
+    unjoined: every copy of a joiner-homed item loses its localization
+    pointer (DIR-POINTER; membership path)."""
+    recovery = machine.recovery
+    inner = recovery.join_node
+
+    def join_node(node_id):
+        yield from inner(node_id)
+        # bug: "fresh node, fresh partition" — the home's directory
+        # entries were live the whole time
+        machine.directory._pointers[node_id].clear()
+
+    recovery.join_node = join_node
+
+
+def _mut_handoff_claims_serving_copies(machine: "Machine") -> None:
+    """The incoming checkpoint leader 're-registers' its copies on
+    handoff, repointing localization pointers at its plain Shared
+    replicas: the pointer names a copy that cannot serve ownership
+    (DIR-POINTER; membership path)."""
+    recovery = machine.recovery
+    inner = recovery.handoff_cycles
+
+    def handoff_cycles(kind):
+        # the model hands leadership to the next node in issue order
+        new_leader = next(
+            (n.node_id for n in machine.nodes[1:] if n.alive), None
+        )
+        if new_leader is not None:
+            node = machine.nodes[new_leader]
+            for item, state in list(node.am.non_invalid_items()):
+                if state is S.SHARED:
+                    machine.directory.set_serving_node(item, new_leader)
+        return inner(kind)
+
+    recovery.handoff_cycles = handoff_cycles
+
+
 def _mut_home_timeout_ignored(machine: "Machine") -> None:
     """Regression guard for a real bug: a cold miss on an item whose
     home node died (pointer partition wiped, not yet rehosted) used to
@@ -230,6 +273,20 @@ MUTATIONS: dict[str, Mutation] = {
             "cold miss trusts a wiped pointer partition (dead home node)",
             ("OWNER", "DUP", "CK-VS-OWNER"),
             _mut_home_timeout_ignored,
+        ),
+        Mutation(
+            "join-wipes-pointer-partition",
+            "join clears its pointer partition instead of reclaiming it",
+            ("DIR-POINTER",),
+            _mut_join_wipes_pointer_partition,
+            requires_membership=True,
+        ),
+        Mutation(
+            "handoff-claims-serving-copies",
+            "incoming leader repoints items at its plain Shared copies",
+            ("DIR-POINTER",),
+            _mut_handoff_claims_serving_copies,
+            requires_membership=True,
         ),
         Mutation(
             "pooled-restore-unpublished",

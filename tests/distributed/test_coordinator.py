@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import socket
 import threading
+import time
 
 import pytest
 
@@ -28,20 +29,21 @@ from repro.distributed.registry import WorkerState
 class FakeWorker(threading.Thread):
     """A scripted worker daemon: one connection, one behaviour.
 
-    Modes: ``good`` answers everything; ``silent`` handshakes then never
-    replies (heartbeat-miss fodder); ``die-on-task`` drops the
-    connection upon its first task (EOF with the cell in flight);
-    ``always-error`` answers every task with ``ok: false``.
+    Modes: ``good`` answers everything; ``slow`` answers everything
+    after a short think; ``silent`` handshakes then never replies
+    (heartbeat-miss fodder); ``die-on-task`` drops the connection upon
+    its first task (EOF with the cell in flight); ``always-error``
+    answers every task with ``ok: false``.
     """
 
-    def __init__(self, mode: str = "good", slots: int = 1):
+    def __init__(self, mode: str = "good", slots: int = 1, port: int = 0):
         super().__init__(daemon=True)
         self.mode = mode
         self.slots = slots
         self.tasks_seen = 0
         self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self.listener.bind(("127.0.0.1", 0))
+        self.listener.bind(("127.0.0.1", port))
         self.listener.listen(1)
         self.addr = self.listener.getsockname()
 
@@ -73,6 +75,8 @@ class FakeWorker(threading.Thread):
                     if self.mode == "die-on-task":
                         conn.close()
                         return
+                    if self.mode == "slow":
+                        time.sleep(0.05)
                     if self.mode == "always-error":
                         framing.send_frame(conn, protocol.result_error(
                             message["task_id"], "scripted failure", 0.01
@@ -161,15 +165,96 @@ def test_eof_death_reassigns_inflight_cell(spawn):
     assert coordinator.stats.reassignments >= 1
 
 
-def test_no_worker_reachable_raises_dispatch_error():
-    # a freshly bound-then-closed port: nothing listens there
+def _free_addr() -> tuple[str, int]:
+    """A freshly bound-then-closed port: nothing listens there (yet)."""
     probe = socket.socket()
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     probe.bind(("127.0.0.1", 0))
     addr = probe.getsockname()
     probe.close()
-    coordinator = Coordinator([addr], connect_timeout=2.0)
+    return addr
+
+
+def test_no_worker_reachable_raises_dispatch_error():
+    coordinator = Coordinator(
+        [_free_addr()], connect_timeout=2.0,
+        connect_retries=2, connect_backoff=0.05,
+    )
     with pytest.raises(DispatchError, match="no worker reachable"):
         list(coordinator.run(PAYLOADS, "campaign-cell"))
+    dead = [w for w in coordinator.registry if w.state is WorkerState.DEAD]
+    assert len(dead) == 1
+    # the bounded redial ran out, and the reason says so
+    assert "after 2 attempt(s)" in dead[0].death_reason
+
+
+def test_connect_retry_tolerates_late_worker_start():
+    """Start order must not matter: the daemon comes up *after* the
+    coordinator begins dialling, and the bounded redial bridges the
+    gap instead of declaring the worker dead."""
+    addr = _free_addr()
+    late: list[FakeWorker] = []
+
+    def start_worker():
+        worker = FakeWorker(mode="good", port=addr[1])
+        worker.start()
+        late.append(worker)
+
+    timer = threading.Timer(0.6, start_worker)
+    timer.start()
+    try:
+        coordinator = Coordinator(
+            [addr], connect_timeout=2.0,
+            connect_retries=8, connect_backoff=0.1,
+            local_fallback=False,
+        )
+        outcomes = list(coordinator.run(PAYLOADS, "campaign-cell"))
+    finally:
+        timer.cancel()
+        for worker in late:
+            worker.close()
+    assert late, "the late worker never started"
+    assert len(outcomes) == len(PAYLOADS)
+    assert all(o.ok for o in outcomes)
+    assert coordinator.stats.connected == 1
+    assert coordinator.stats.worker_deaths == 0
+    assert coordinator.stats.local_fallback_cells == 0
+
+
+def test_straggler_joins_pool_mid_run(spawn):
+    """One worker is up immediately, the other's daemon starts late:
+    dispatch begins on the first wave and the straggler joins the
+    pool once its redial lands, without stalling the run."""
+    workers = spawn("slow")
+    addr = _free_addr()
+    late: list[FakeWorker] = []
+
+    def start_worker():
+        worker = FakeWorker(mode="good", port=addr[1])
+        worker.start()
+        late.append(worker)
+
+    timer = threading.Timer(0.5, start_worker)
+    timer.start()
+    try:
+        coordinator = Coordinator(
+            [workers[0].addr, addr], connect_timeout=0.3,
+            connect_retries=10, connect_backoff=0.1,
+            local_fallback=False,
+        )
+        # enough cells that the run outlives the straggler's redial
+        payloads = [{"cell": i} for i in range(40)]
+        outcomes = list(coordinator.run(payloads, "campaign-cell"))
+    finally:
+        timer.cancel()
+        for worker in late:
+            worker.close()
+    assert len(outcomes) == len(payloads)
+    assert all(o.ok for o in outcomes)
+    assert coordinator.stats.connected == 2
+    assert coordinator.stats.worker_deaths == 0
+    # the straggler actually carried load once it joined
+    assert late[0].tasks_seen > 0
 
 
 def test_unknown_kind_is_refused_up_front(spawn):

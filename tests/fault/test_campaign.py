@@ -4,14 +4,16 @@ import random
 
 from repro.fault.campaign import (
     CAMPAIGN_RECORD_KIND,
+    STATIC_WINDOWS,
     CampaignCell,
     CampaignConfig,
     CampaignRunner,
     build_cells,
     execute_campaign_payload,
     generate_failure_plan,
+    generate_membership_plan,
 )
-from repro.fault.failures import validate_failure_plan
+from repro.fault.failures import validate_failure_plan, validate_membership_plan
 from repro.fault.outcomes import Outcome
 from repro.machine import TRIGGER_WINDOWS
 from repro.orch.store import ResultStore
@@ -20,6 +22,8 @@ SMALL = dict(
     seeds=7, master_seed=42, n_nodes=6, refs_per_proc=900,
     mtbf_cycles=15_000, period=4_000, stall_budget=60_000,
 )
+
+ROLLING = dict(membership="rolling", grow_from=4, grow_to=6)
 
 
 def test_generated_plans_are_statically_valid():
@@ -46,11 +50,19 @@ def test_master_seed_changes_every_cell():
     assert keys_a.isdisjoint(keys_b)
 
 
-def test_mixed_campaign_covers_every_window():
+def test_mixed_campaign_covers_every_static_window():
     cells = build_cells(CampaignConfig(**SMALL))
     modes = {c.trigger["window"] for c in cells if c.trigger}
-    assert modes == set(TRIGGER_WINDOWS)
+    # static campaigns never enter the membership windows, so mixed
+    # cycling must not aim triggers at them
+    assert modes == set(STATIC_WINDOWS)
     assert any(c.trigger is None for c in cells)  # timed cells too
+
+
+def test_rolling_mixed_campaign_covers_every_window():
+    cells = build_cells(CampaignConfig(**{**SMALL, **ROLLING, "seeds": 9}))
+    modes = {c.trigger["window"] for c in cells if c.trigger}
+    assert modes == set(TRIGGER_WINDOWS)
 
 
 def test_cell_round_trips_and_keys_stably():
@@ -201,6 +213,72 @@ def test_campaign_config_rejects_unknown_strategy():
 
     with pytest.raises(ValueError, match="unknown recovery strategy"):
         CampaignConfig(**{**SMALL, "recovery_strategy": "tape-backup"})
+
+
+def test_rolling_plans_are_statically_valid():
+    for seed in range(20):
+        rng = random.Random(seed)
+        membership = generate_membership_plan(
+            rng, grow_from=4, grow_to=6, period=4_000, horizon=40_000,
+        )
+        validate_membership_plan(membership, n_nodes=6, initial_members=4)
+        joins_at = {e.node: e.time for e in membership if e.kind == "join"}
+        plan = generate_failure_plan(
+            rng, n_nodes=6, mtbf_cycles=5_000, transient_fraction=0.7,
+            repair_delay=1_000, horizon=40_000,
+            initial_members=4, joins_at=joins_at,
+        )
+        validate_failure_plan(
+            plan, n_nodes=6, initial_members=4, membership_plan=membership,
+        )
+
+
+def test_rolling_cells_round_trip_and_differ_from_static():
+    cfg = CampaignConfig(**{**SMALL, **ROLLING})
+    cell = build_cells(cfg)[0]
+    clone = CampaignCell.from_dict(cell.to_dict())
+    assert clone == cell and clone.key == cell.key
+    assert clone.initial_members == 4
+    assert any(e["kind"] == "join" for e in clone.membership)
+    assert "members=4+" in cell.label()
+
+    keys_static = {c.key for c in build_cells(CampaignConfig(**SMALL))}
+    keys_rolling = {c.key for c in build_cells(cfg)}
+    assert keys_static.isdisjoint(keys_rolling)
+
+
+def test_rolling_membership_leaves_static_cells_bit_identical():
+    """The membership feature must not perturb static campaigns: same
+    config, same cells, same keys as before the feature existed."""
+    static = build_cells(CampaignConfig(**SMALL))
+    assert all(c.initial_members == 0 and not c.membership for c in static)
+    # the mixed cycle stays on the static windows in the legacy order
+    modes = [c.trigger["window"] if c.trigger else "timed" for c in static]
+    assert modes == list((("timed",) + STATIC_WINDOWS)[:len(static)])
+
+
+def test_rolling_campaign_completes_without_defects():
+    cfg = CampaignConfig(**{**SMALL, **ROLLING, "seeds": 5})
+    report = CampaignRunner(cfg, store=None).run(parallel=1)
+    assert report.ok, report.format()
+    assert report.total_joins > 0
+    assert report.total_handoffs > 0
+    assert report.total_catchup_bytes > 0
+    metrics = report.strategy_metrics["ecp"]
+    assert metrics["n_joins"] == report.total_joins
+    text = report.format()
+    assert "joins completed" in text
+    assert "join lat" in text
+
+
+def test_campaign_config_rejects_bad_growth():
+    import pytest
+
+    with pytest.raises(ValueError, match="grow_from"):
+        CampaignConfig(**{**SMALL, "membership": "rolling",
+                          "grow_from": 6, "grow_to": 6})
+    with pytest.raises(ValueError, match="rolling"):
+        CampaignConfig(**{**SMALL, "grow_from": 4, "grow_to": 6})
 
 
 def test_campaign_report_breaks_out_strategy_metrics():

@@ -1,0 +1,294 @@
+"""Elastic membership: joins, leader handoffs, aborted joins, and
+reconfiguration under failures and a lossy interconnect."""
+
+import random
+
+import pytest
+
+from repro.fault.failures import (
+    FailurePlan,
+    MembershipEvent,
+    validate_failure_plan,
+    validate_membership_plan,
+)
+from repro.fault.outcomes import run_and_classify
+from repro.fault.triggers import JOINER, PhaseTrigger, attach_trigger_injector
+from repro.machine import Machine
+from repro.workloads.synthetic import UniformShared
+from tests.fault.helpers import ft_machine
+from tests.helpers import small_config
+
+
+def rolling_machine(
+    n_nodes=6,
+    members=4,
+    membership=None,
+    plan=None,
+    refs=3_000,
+    wl=None,
+    recovery_strategy="ecp",
+    **transport,
+):
+    """A checkpointing machine that starts at ``members`` of
+    ``n_nodes`` slots, optionally on a lossy interconnect."""
+    cfg = small_config(n_nodes).with_ft(
+        checkpoint_period_override=6_000, detection_latency=200
+    )
+    if transport:
+        cfg = cfg.with_transport(**transport)
+    wl = wl or UniformShared(n_nodes, refs_per_proc=refs)
+    return Machine(
+        cfg,
+        wl,
+        protocol="ecp",
+        failure_plan=plan or [],
+        initial_members=members,
+        membership_plan=membership
+        or [MembershipEvent(time=8_000 + 5_000 * i, kind="join", node=n)
+            for i, n in enumerate(range(members, n_nodes))],
+        stall_cycle_budget=300_000,
+        recovery_strategy=recovery_strategy,
+    )
+
+
+# -- plan validation (static, at machine construction) -------------------
+
+
+def test_join_must_target_installed_unjoined_slot():
+    with pytest.raises(ValueError, match="installed"):
+        validate_membership_plan(
+            [MembershipEvent(time=10, kind="join", node=2)],
+            n_nodes=6, initial_members=4,
+        )
+    with pytest.raises(ValueError, match="installed"):
+        validate_membership_plan(
+            [MembershipEvent(time=10, kind="join", node=6)],
+            n_nodes=6, initial_members=4,
+        )
+
+
+def test_slot_joins_at_most_once():
+    with pytest.raises(ValueError, match="twice"):
+        validate_membership_plan(
+            [MembershipEvent(time=10, kind="join", node=4),
+             MembershipEvent(time=20, kind="join", node=4)],
+            n_nodes=6, initial_members=4,
+        )
+
+
+def test_failure_plan_may_target_a_node_only_after_it_joins():
+    membership = [MembershipEvent(time=5_000, kind="join", node=4)]
+    # before the join: the slot is not a member yet, nothing to kill
+    with pytest.raises(ValueError, match="join"):
+        validate_failure_plan(
+            [FailurePlan(time=1_000, node=4, repair_delay=500)],
+            n_nodes=6, initial_members=4, membership_plan=membership,
+        )
+    # after the join: a legal target like any member
+    validate_failure_plan(
+        [FailurePlan(time=9_000, node=4, repair_delay=500)],
+        n_nodes=6, initial_members=4, membership_plan=membership,
+    )
+
+
+def test_machine_validates_membership_plan_at_construction():
+    with pytest.raises(ValueError, match="installed"):
+        rolling_machine(membership=[
+            MembershipEvent(time=10, kind="join", node=1)
+        ])
+
+
+# -- joins ---------------------------------------------------------------
+
+
+def test_verified_join_and_handoff_hold_every_invariant():
+    """One small run with the runtime invariant observer on *every*
+    transition (too expensive for the larger tests below, which rely
+    on outcome classification and the model checker instead): a join
+    and a handoff break none of PROTOCOL.md §5."""
+    cfg = small_config(4).with_ft(
+        checkpoint_period_override=3_000, detection_latency=200
+    )
+    wl = UniformShared(4, refs_per_proc=400, write_fraction=0.3,
+                       window_items=12, seed=11)
+    m = Machine(
+        cfg, wl, protocol="ecp", initial_members=3,
+        membership_plan=[MembershipEvent(time=4_000, kind="join", node=3),
+                         MembershipEvent(time=9_000, kind="handoff")],
+        stall_cycle_budget=300_000,
+    )
+    observer = m.attach_verifier()
+    m.run()
+    assert m.stats.n_joins == 1 and m.stats.n_handoffs == 1
+    assert observer.checks > 1_000
+    assert m.stats.invariant_violations == 0
+    assert all(s.exhausted for s in m.all_streams())
+
+
+def test_join_admits_nodes_and_machine_finishes():
+    m = rolling_machine()
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_joins == 2
+    assert m.stats.joins_aborted == 0
+    assert all(node.joined for node in m.nodes)
+    assert all(s.exhausted for s in m.all_streams())
+    # catch-up moved real bytes and admission took real cycles
+    assert m.stats.catchup_bytes > 0
+    assert m.stats.join_latency_cycles > 0
+    # the rest of the machine kept serving during reconfiguration
+    assert m.stats.refs_during_reconfig > 0
+
+
+def test_join_adopts_fostered_streams():
+    m = rolling_machine(refs=2_000)
+    fostered = [
+        s for p in m.processors[:4] for s in p.streams if s.proc_id % 6 >= 4
+    ]
+    assert fostered, "unjoined slots' streams start fostered on members"
+    assert all(not p.streams for p in m.processors[4:])
+    m.run()
+    # after the joins the streams ran home and were exhausted there
+    for node_id in (4, 5):
+        home = m.processors[node_id].streams
+        assert home and all(s.proc_id % 6 == node_id for s in home)
+        assert all(s.exhausted for s in home)
+
+
+def test_joiner_killed_mid_catchup_aborts_join():
+    m = rolling_machine(
+        membership=[MembershipEvent(time=8_000, kind="join", node=4),
+                    MembershipEvent(time=20_000, kind="join", node=5)],
+    )
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="join_catchup", target=JOINER,
+                      repair_delay=2_000)],
+        rng=random.Random(3),
+    )
+    outcome = run_and_classify(m, injector)
+    assert not outcome.is_defect, outcome.detail
+    assert len(injector.fired) == 1
+    assert m.stats.joins_aborted == 1
+    # the aborted joiner is a member that died: the transient-revival
+    # path brings it back and the machine still finishes all work
+    assert all(s.exhausted for s in m.all_streams())
+    assert outcome.joins_aborted == 1
+
+
+def test_join_during_commit_window_defers_service():
+    """A join admitted while an establishment is in flight waits the
+    episode out before serving; the run stays defect-free."""
+    m = rolling_machine(
+        membership=[MembershipEvent(time=6_050, kind="join", node=4),
+                    MembershipEvent(time=18_000, kind="join", node=5)],
+    )
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_joins == 2 and m.stats.joins_aborted == 0
+
+
+@pytest.mark.parametrize("strategy", ["ecp", "pooled", "recompute"])
+def test_every_recovery_strategy_supports_joins(strategy):
+    m = rolling_machine(refs=2_000, recovery_strategy=strategy)
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_joins == 2
+    assert m.stats.catchup_bytes > 0
+
+
+# -- leader handoff ------------------------------------------------------
+
+
+def test_deliberate_handoff_moves_leadership():
+    m = rolling_machine(
+        members=6,
+        membership=[MembershipEvent(time=7_000, kind="handoff", node=3)],
+    )
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_handoffs == 1
+    assert m.coordinator.preferred_leader["ckpt"] == 3
+    # the sticky preference elected 3 for every later episode
+    assert m.coordinator.ckpt_leader == 3
+
+
+def test_handoff_to_dead_target_is_recorded_noop():
+    m = rolling_machine(
+        members=6,
+        plan=[FailurePlan(time=6_000, node=3, repair_delay=40_000)],
+        membership=[MembershipEvent(time=7_000, kind="handoff", node=3)],
+    )
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_handoffs == 0
+    assert m.stats.n_failures_skipped >= 1
+
+
+# -- reconfiguration under failures and a lossy interconnect -------------
+
+
+def test_join_composed_with_member_death():
+    """Reconfiguration both ways at once: a member dies transiently
+    while the membership plan is still admitting new slots."""
+    m = rolling_machine(
+        plan=[FailurePlan(time=13_000, node=1, repair_delay=1_500)],
+    )
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_joins == 2
+    assert m.stats.n_recoveries >= 1
+    assert all(s.exhausted for s in m.all_streams())
+
+
+def test_rolling_reconfiguration_survives_lossy_transport():
+    """Loss and duplication composed with joins, a handoff and a
+    death: the reliable transport masks the link faults, catch-up is
+    idempotent under retransmission, and no duplicate delivery
+    corrupts the directory."""
+    m = rolling_machine(
+        plan=[FailurePlan(time=14_000, node=2, repair_delay=1_500)],
+        membership=[MembershipEvent(time=8_000, kind="join", node=4),
+                    MembershipEvent(time=16_000, kind="handoff"),
+                    MembershipEvent(time=22_000, kind="join", node=5)],
+        loss_rate=0.02,
+        dup_rate=0.01,
+    )
+    outcome = run_and_classify(m, attach_trigger_injector(m, []))
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.n_joins == 2 and m.stats.joins_aborted == 0
+    assert m.stats.n_handoffs == 1
+    assert all(node.joined for node in m.nodes)
+    assert all(s.exhausted for s in m.all_streams())
+    # the interconnect really was lossy, and the transport masked it
+    assert m.stats.transport_retries > 0
+    assert m.stats.transport_duplicates_suppressed > 0
+
+
+def test_joiner_killed_mid_catchup_under_loss():
+    m = rolling_machine(
+        membership=[MembershipEvent(time=8_000, kind="join", node=4),
+                    MembershipEvent(time=20_000, kind="join", node=5)],
+        loss_rate=0.02,
+        dup_rate=0.01,
+    )
+    injector = attach_trigger_injector(
+        m,
+        [PhaseTrigger(window="join_catchup", target=JOINER,
+                      repair_delay=2_000)],
+        rng=random.Random(5),
+    )
+    outcome = run_and_classify(m, injector)
+    assert not outcome.is_defect, outcome.detail
+    assert m.stats.joins_aborted == 1
+    assert m.stats.transport_retries > 0
+    assert all(s.exhausted for s in m.all_streams())
+
+
+def test_static_membership_stats_stay_zero():
+    m = ft_machine(refs=2_000)
+    m.run()
+    assert m.stats.n_joins == 0
+    assert m.stats.joins_aborted == 0
+    assert m.stats.catchup_bytes == 0
+    assert m.stats.n_handoffs == 0

@@ -27,12 +27,21 @@ def test_bad_target_rejected():
 
 
 def test_all_windows_entered_on_a_faulty_run():
-    """The coverage probe sees every named window on a run with both
-    checkpoints and one recovery.  The transport window needs a retry
-    storm, scripted here as three consecutive drops of one message."""
+    """The coverage probe sees every named window on a run with
+    checkpoints, one recovery and one membership change.  The transport
+    window needs a retry storm, scripted here as three consecutive
+    drops of one message."""
+    from repro.fault.failures import MembershipEvent
     from repro.network.transport import DeliveryFate
 
-    m = ft_machine(plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)])
+    m = ft_machine(
+        plan=[FailurePlan(time=15_000, node=2, repair_delay=1_000)],
+        initial_members=5,
+        membership_plan=[
+            MembershipEvent(time=9_000, kind="join", node=5),
+            MembershipEvent(time=20_000, kind="handoff"),
+        ],
+    )
     m.transport.faults.force(
         DeliveryFate.DROPPED, DeliveryFate.DROPPED, DeliveryFate.DROPPED
     )

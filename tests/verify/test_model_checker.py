@@ -69,7 +69,8 @@ def _mutation_config(name):
     mutation = MUTATIONS[name]
     return ModelConfig(acting_nodes=2, n_items=1,
                        strategy=mutation.strategy,
-                       failures=mutation.requires_failures)
+                       failures=mutation.requires_failures,
+                       membership=mutation.requires_membership)
 
 
 @pytest.mark.parametrize("name", sorted(MUTATIONS))
@@ -125,6 +126,28 @@ def test_lossy_requires_checkpoints():
         ModelConfig(acting_nodes=2, n_items=1, lossy=True, checkpoints=False)
 
 
+@pytest.mark.parametrize("strategy", ["ecp", "pooled", "recompute"])
+def test_membership_closes_clean(strategy):
+    """The elastic-membership acceptance run: joins admitted at every
+    point inside an establishment (join-during-create and
+    join-during-commit at each participant position) plus deliberate
+    leader handoffs mid-sync, explored to closure under each recovery
+    strategy, zero violations."""
+    result = check(
+        ModelConfig(acting_nodes=2, n_items=1, strategy=strategy,
+                    membership=True)
+    )
+    assert result.ok, result.counterexample.format()
+    assert result.complete
+    assert result.states > 20
+
+
+def test_membership_requires_ecp():
+    with pytest.raises(ValueError, match="membership"):
+        ModelConfig(acting_nodes=2, n_items=1, protocol="standard",
+                    checkpoints=False, membership=True)
+
+
 def test_format_event_covers_alphabet():
     events = [
         ("r", 0, 1),
@@ -141,6 +164,11 @@ def test_format_event_covers_alphabet():
         ("dup_invalidate", 0, 1),
         ("dup_partner_invalidate", 1, 0),
         ("dup_inject", 0, 0),
+        ("join",),
+        ("ckpt_join_create", 1),
+        ("ckpt_join_commit", 0),
+        ("handoff",),
+        ("ckpt_handoff_sync",),
     ]
     rendered = [format_event(e) for e in events]
     assert all(rendered)
