@@ -62,7 +62,7 @@ from repro.workloads import (
     make_workload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AMConfig",

@@ -173,6 +173,30 @@ def _run_sweep_harness(sweep, args: argparse.Namespace):
     return report
 
 
+#: CLI choices for --backend ("auto" negotiates compiled > vector > python).
+BACKEND_CHOICES = ("auto", "python", "vector", "compiled")
+
+
+def _select_backend(args: argparse.Namespace) -> int | None:
+    """Set the process-default kernel backend from ``--backend``.
+
+    Returns ``EXIT_CONFIG`` (with the backend's install hint on stderr)
+    when an explicitly requested backend is unavailable, ``None`` on
+    success.  Results are backend-invariant by the golden-digest
+    contract, so this only ever changes speed.
+    """
+    from repro.kernel import BackendUnavailable, set_default_backend
+
+    try:
+        set_default_backend(getattr(args, "backend", "auto"))
+    except BackendUnavailable as exc:
+        print(f"backend '{exc.backend}' unavailable: {exc.reason}",
+              file=sys.stderr)
+        print(f"hint: {exc.hint}", file=sys.stderr)
+        return EXIT_CONFIG
+    return None
+
+
 def _build_run_workload(args: argparse.Namespace):
     """The workload `repro run` drives: a registered generator or a
     streaming gzip trace replay (`run trace --trace PATH`)."""
@@ -194,6 +218,11 @@ def _build_run_workload(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    rc = _select_backend(args)
+    if rc is not None:
+        return rc
+    from repro.kernel import get_default_backend
+
     wl = _build_run_workload(args)
     n_nodes = wl.n_procs if args.app == "trace" else args.nodes
     cfg = ArchConfig(n_nodes=n_nodes, seed=args.seed)
@@ -201,7 +230,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cfg = cfg.with_ft(checkpoint_frequency_hz=args.frequency)
     print(
         f"running {args.app} on a {n_nodes}-node COMA "
-        f"({args.protocol}, scale={args.scale})..."
+        f"({args.protocol}, scale={args.scale}, "
+        f"backend={get_default_backend()})..."
     )
     machine = Machine(
         cfg, wl, protocol=args.protocol,
@@ -243,6 +273,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import FrequencySweep, PairRunner
     from repro.stats.charts import grouped_bar_chart
 
+    rc = _select_backend(args)
+    if rc is not None:
+        return rc
     apps = tuple(args.apps) if args.apps else None
     runner = PairRunner(store=_make_store(args),
                         recovery_strategy=args.recovery_strategy)
@@ -272,6 +305,9 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     from repro.experiments import PairRunner, ScalingSweep
     from repro.stats.charts import grouped_bar_chart
 
+    rc = _select_backend(args)
+    if rc is not None:
+        return rc
     apps = tuple(args.apps) if args.apps else None
     runner = PairRunner(store=_make_store(args),
                         recovery_strategy=args.recovery_strategy)
@@ -365,6 +401,9 @@ def _cmd_campaign(args: argparse.Namespace, on_cell=None) -> int:
 
     from repro.fault.campaign import CampaignRunner
 
+    rc = _select_backend(args)
+    if rc is not None:
+        return rc
     cfg = _campaign_config_from_args(args)
     runner = CampaignRunner(cfg, store=_make_store(args))
     executor = _make_executor(args)
@@ -625,6 +664,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.distributed import DashboardServer, ServeState
     from repro.fault.campaign import CampaignRunner
 
+    rc = _select_backend(args)
+    if rc is not None:
+        return rc
     cfg = _campaign_config_from_args(args)
     state = ServeState()
     server = DashboardServer(state, host=args.host, port=args.port)
@@ -687,6 +729,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.kernel import BackendUnavailable, available_backends, negotiate
     from repro.perf.bench import (
         check_regression,
         profile_reference,
@@ -696,9 +739,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.profile:
         print(profile_reference(top=args.top, quick=args.quick))
         return EXIT_OK
+    if not args.backend:
+        backends = available_backends()
+    else:
+        from repro.kernel import get_backend
+
+        backends = []
+        for name in args.backend:
+            try:
+                backends.append(
+                    negotiate().name if name == "auto" else get_backend(name).name
+                )
+            except BackendUnavailable as exc:
+                print(f"backend '{exc.backend}' unavailable: {exc.reason}",
+                      file=sys.stderr)
+                print(f"hint: {exc.hint}", file=sys.stderr)
+                return EXIT_CONFIG
+        backends = tuple(dict.fromkeys(backends))  # dedup, keep order
     mode = "quick" if args.quick else "full"
-    print(f"repro bench ({mode} suite)...")
-    report = run_suite(quick=args.quick, progress=lambda m: print(f"  {m}"))
+    print(f"repro bench ({mode} suite, backends: {', '.join(backends)})...")
+    report = run_suite(quick=args.quick, backends=tuple(backends),
+                       progress=lambda m: print(f"  {m}"))
     if args.baseline:
         report.attach_baseline(args.baseline)
     report.write(args.out)
@@ -756,6 +817,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
                      default="ecp",
                      help="recovery backend for ECP runs (default ecp)")
+    run.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                     help="kernel backend; results are bit-identical, "
+                          "only speed changes ('auto' picks the fastest "
+                          "available, default)")
     run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="reproduce Tables 1-3")
@@ -778,6 +843,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
                        default="ecp",
                        help="recovery backend for the ECP cells (default ecp)")
+    sweep.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                       help="kernel backend for every cell (bit-identical "
+                            "results; 'auto' = fastest available, default)")
     _add_sweep_orchestration_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -794,6 +862,9 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--recovery-strategy", choices=RECOVERY_STRATEGIES,
                        default="ecp",
                        help="recovery backend for the ECP cells (default ecp)")
+    scale.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                       help="kernel backend for every cell (bit-identical "
+                            "results; 'auto' = fastest available, default)")
     _add_sweep_orchestration_args(scale)
     scale.set_defaults(func=_cmd_scale)
 
@@ -859,6 +930,12 @@ def build_parser() -> argparse.ArgumentParser:
                             default="ecp",
                             help="recovery backend every cell runs under "
                                  "(default ecp)")
+        target.add_argument("--backend", choices=BACKEND_CHOICES,
+                            default="auto",
+                            help="kernel backend for locally executed cells "
+                                 "(bit-identical results; 'auto' = fastest "
+                                 "available, default; remote workers "
+                                 "negotiate their own)")
         target.add_argument("--membership", choices=("static", "rolling"),
                             default="static",
                             help="'rolling' starts each cell with --grow-from "
@@ -1037,6 +1114,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="shrunk workloads for CI smoke runs")
+    bench.add_argument("--backend", action="append", default=None,
+                       choices=BACKEND_CHOICES, metavar="NAME",
+                       help="kernel backend for the end-to-end rows "
+                            "(repeatable; default: every available backend)")
     bench.add_argument("--out", default="BENCH_kernel.json",
                        help="report path (default BENCH_kernel.json)")
     bench.add_argument("--baseline", default=None, metavar="JSON",
@@ -1061,10 +1142,15 @@ def main(argv: list[str] | None = None) -> int:
     from repro.checkpoint.recovery import UnrecoverableFailure
     from repro.distributed.coordinator import DispatchError
     from repro.fault.watchdog import StallError
+    from repro.kernel import get_default_backend, set_default_backend
     from repro.orch.store import CacheError
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The --backend flag selects the process-default kernel backend for
+    # this invocation only; restore it afterwards so in-process callers
+    # (tests, embedding) observe no global side effect.
+    prior_backend = get_default_backend()
     try:
         return args.func(args)
     except DispatchError as exc:
@@ -1089,6 +1175,8 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"invalid parameters: {exc}", file=sys.stderr)
         return EXIT_CONFIG
+    finally:
+        set_default_backend(prior_backend)
 
 
 if __name__ == "__main__":  # pragma: no cover

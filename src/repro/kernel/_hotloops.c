@@ -1,0 +1,158 @@
+/* Compiled hot loops for the `compiled` kernel backend.
+ *
+ * One function matters: drain_hits() walks a materialised block of
+ * references and consumes the longest prefix of consecutive cache
+ * *hits* (read hit: line CLEAN or DIRTY; write hit: line DIRTY) in a
+ * single C call, performing exactly the state updates the interpreter
+ * batch loop would — LRU touch per hit, local-time advance by
+ * think + cache-hit latency, batch-budget check before every
+ * reference.  It stops, without consuming, at the first reference that
+ * is not a plain cache hit (the interpreter then runs the full
+ * protocol path for it), so misses, AM accesses, coordination and
+ * failures all keep their pure-Python semantics.
+ *
+ * Built by `python -m repro.kernel.build_ext` (no build-time
+ * dependencies beyond a C compiler and the Python headers); the
+ * backend degrades to pure Python when the extension is absent.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* drain_hits(thinks, isws, addrs, start, t_local, deadline,
+ *            index, sets, n_sets, sector_bytes, line_bytes,
+ *            invalid, dirty, hit_lat)
+ *   -> (consumed, t_local, read_hits, write_hits)
+ *
+ * thinks/isws/addrs: the block's parallel column lists (ints, bools, ints)
+ * start:  offset of the next reference within the block
+ * index:  SectoredCache._index  (dict: sector_id -> _Sector)
+ * sets:   SectoredCache._sets   (list of per-set LRU lists)
+ * invalid/dirty: the LineState.INVALID / LineState.DIRTY singletons
+ */
+static PyObject *
+drain_hits(PyObject *self, PyObject *args)
+{
+    PyObject *thinks, *isws, *addrs, *index, *sets, *invalid, *dirty;
+    Py_ssize_t start;
+    long long t_local, deadline, n_sets, sector_bytes, line_bytes, hit_lat;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nLLO!O!LLLOOL",
+                          &PyList_Type, &thinks, &PyList_Type, &isws,
+                          &PyList_Type, &addrs, &start, &t_local, &deadline,
+                          &PyDict_Type, &index, &PyList_Type, &sets,
+                          &n_sets, &sector_bytes, &line_bytes,
+                          &invalid, &dirty, &hit_lat))
+        return NULL;
+    if (sector_bytes <= 0 || line_bytes <= 0 || n_sets <= 0) {
+        PyErr_SetString(PyExc_ValueError, "cache geometry must be positive");
+        return NULL;
+    }
+
+    Py_ssize_t n = PyList_GET_SIZE(addrs);
+    if (PyList_GET_SIZE(thinks) != n || PyList_GET_SIZE(isws) != n) {
+        PyErr_SetString(PyExc_ValueError, "block columns differ in length");
+        return NULL;
+    }
+    Py_ssize_t pos = start;
+    long long read_hits = 0, write_hits = 0;
+
+    while (pos < n && t_local < deadline) {
+        long long think = PyLong_AsLongLong(PyList_GET_ITEM(thinks, pos));
+        if (think == -1 && PyErr_Occurred())
+            return NULL;
+        int is_write = PyObject_IsTrue(PyList_GET_ITEM(isws, pos));
+        if (is_write < 0)
+            return NULL;
+        long long addr = PyLong_AsLongLong(PyList_GET_ITEM(addrs, pos));
+        if (addr == -1 && PyErr_Occurred())
+            return NULL;
+
+        long long sector_id = addr / sector_bytes;
+        PyObject *key = PyLong_FromLongLong(sector_id);
+        if (key == NULL)
+            return NULL;
+        PyObject *sector = PyDict_GetItemWithError(index, key); /* borrowed */
+        Py_DECREF(key);
+        if (sector == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            break; /* sector absent: miss */
+        }
+        PyObject *lines = PyObject_GetAttrString(sector, "lines");
+        if (lines == NULL || !PyList_Check(lines)) {
+            Py_XDECREF(lines);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError, "_Sector.lines must be a list");
+            return NULL;
+        }
+        Py_ssize_t li = (Py_ssize_t)((addr % sector_bytes) / line_bytes);
+        if (li < 0 || li >= PyList_GET_SIZE(lines)) {
+            Py_DECREF(lines);
+            PyErr_SetString(PyExc_IndexError, "line index outside sector");
+            return NULL;
+        }
+        PyObject *state = PyList_GET_ITEM(lines, li); /* borrowed */
+        Py_DECREF(lines);
+
+        int hit = is_write ? (state == dirty) : (state != invalid);
+        if (!hit)
+            break;
+
+        /* LRU touch == SectoredCache._touch_sector */
+        PyObject *ways = PyList_GET_ITEM(sets, (Py_ssize_t)(sector_id % n_sets));
+        if (!PyList_Check(ways)) {
+            PyErr_SetString(PyExc_TypeError, "cache set must be a list");
+            return NULL;
+        }
+        Py_ssize_t wn = PyList_GET_SIZE(ways);
+        if (wn == 0 || PyList_GET_ITEM(ways, wn - 1) != sector) {
+            Py_ssize_t j;
+            for (j = 0; j < wn; j++) {
+                if (PyList_GET_ITEM(ways, j) == sector)
+                    break;
+            }
+            if (j == wn) {
+                PyErr_SetString(PyExc_RuntimeError,
+                                "resident sector missing from its LRU set");
+                return NULL;
+            }
+            Py_INCREF(sector);
+            if (PyList_SetSlice(ways, j, j + 1, NULL) < 0 ||
+                PyList_Append(ways, sector) < 0) {
+                Py_DECREF(sector);
+                return NULL;
+            }
+            Py_DECREF(sector);
+        }
+
+        if (is_write)
+            write_hits++;
+        else
+            read_hits++;
+        t_local += think + hit_lat; /* issue_at = t+think; done = issue+lat */
+        pos++;
+    }
+
+    return Py_BuildValue("(nLLL)", pos - start, t_local, read_hits, write_hits);
+}
+
+static PyMethodDef hotloop_methods[] = {
+    {"drain_hits", drain_hits, METH_VARARGS,
+     "Consume a run of consecutive cache hits from a reference block."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef hotloops_module = {
+    PyModuleDef_HEAD_INIT,
+    "_hotloops",
+    "Compiled inner loops for the repro kernel (see repro.kernel.compiled).",
+    -1,
+    hotloop_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__hotloops(void)
+{
+    return PyModule_Create(&hotloops_module);
+}

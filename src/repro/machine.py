@@ -38,6 +38,7 @@ from repro.fault.failures import (
 )
 from repro.fault.injector import fault_injector, membership_injector
 from repro.fault.watchdog import stall_watchdog
+from repro.kernel import resolve_backend
 from repro.memory.pages import PageRegistry
 from repro.memory.states import ItemState
 from repro.network.fabric import MeshFabric
@@ -476,6 +477,7 @@ class Machine:
         recovery_strategy: str = "ecp",
         initial_members: int | None = None,
         membership_plan: list[MembershipEvent] | None = None,
+        backend: str | None = None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}; pick {sorted(PROTOCOLS)}")
@@ -561,6 +563,16 @@ class Machine:
             if target >= members:
                 target = stream.proc_id % members
             self.processors[target].assign(stream)
+        #: Pluggable kernel backend (repro.kernel): accelerates stream
+        #: generation (and, compiled, the cache-hit batch loop) without
+        #: changing any observable result — every backend is held to
+        #: the golden digests.  ``None`` follows the process default
+        #: (repro.kernel.get_default_backend, what --backend sets).
+        self.kernel = resolve_backend(backend)
+        #: Optional compiled hit-drain hook installed by the backend;
+        #: the processor batch loop consults it once per run.
+        self.kernel_drain = None
+        self.kernel.attach(self)
         self._stream_snapshot: dict[int, int] = {}
         self.snapshot_streams()  # position 0 is the initial recovery point
 

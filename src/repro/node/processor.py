@@ -81,6 +81,9 @@ class Processor:
         proto_read = protocol.read
         proto_write = protocol.write
         next_ref = self._next_ref
+        # compiled-backend hit drain (repro.kernel.compiled); None on
+        # the python and vector backends
+        drain = machine.kernel_drain
 
         while True:
             if not node.alive:
@@ -138,6 +141,17 @@ class Processor:
                         if position >= n_refs:
                             consumed += 1  # the next_ref call that found None
                             break
+                        if drain is not None:
+                            # consume a run of consecutive cache hits in
+                            # one compiled call; between drained hits no
+                            # Python code runs, so the coordination
+                            # flags rechecked above cannot have changed
+                            # and skipping the per-reference checks is
+                            # observationally identical
+                            hits, t_local = drain(node, stream, t_local, deadline)
+                            if hits:
+                                consumed += hits
+                                continue
                         stream.position = position + 1
                         consumed += 1
                         think, is_write, addr = ref_at(proc_id, position)

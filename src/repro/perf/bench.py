@@ -41,6 +41,7 @@ from random import Random
 
 from repro import __version__
 from repro.config import ArchConfig, LatencyConfig, mesh_dimensions
+from repro.kernel import get_default_backend
 from repro.machine import Machine
 from repro.network.fabric import MeshFabric
 from repro.network.topology import Mesh, Subnet
@@ -72,6 +73,7 @@ class BenchRow:
     metric: str           # events_per_sec | flit_hops_per_sec | cycles_per_sec
     value: float
     wall_seconds: float
+    backend: str = "python"  # kernel backend the row was measured under
     detail: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -81,6 +83,7 @@ class BenchRow:
             "metric": self.metric,
             "value": self.value,
             "wall_seconds": self.wall_seconds,
+            "backend": self.backend,
             "detail": dict(self.detail),
         }
 
@@ -94,22 +97,31 @@ class BenchReport:
     quick: bool
     baseline: dict | None = None
 
-    def row(self, key: str) -> BenchRow | None:
+    def row(self, key: str, backend: str | None = None) -> BenchRow | None:
+        """First row matching ``key`` (and ``backend``, when given)."""
         for row in self.rows:
-            if row.key == key:
+            if row.key == key and (backend is None or row.backend == backend):
                 return row
         return None
 
     def attach_baseline(self, path: str | Path) -> None:
-        """Record baseline values and speedups for matching rows."""
+        """Record baseline values and speedups for matching rows.
+
+        Rows match per ``(key, backend)``; baseline rows written before
+        backends existed carry no ``backend`` field and count as
+        ``python`` measurements.
+        """
         data = json.loads(Path(path).read_text(encoding="utf-8"))
-        base_rows = {r["key"]: r for r in data.get("rows", [])}
+        base_rows = {
+            (r["key"], r.get("backend", "python")): r
+            for r in data.get("rows", [])
+        }
         comparison: dict[str, dict] = {}
         for row in self.rows:
-            base = base_rows.get(row.key)
+            base = base_rows.get((row.key, row.backend))
             if base is None or not base.get("value"):
                 continue
-            comparison[row.key] = {
+            comparison[f"{row.key}@{row.backend}"] = {
                 "baseline_value": base["value"],
                 "current_value": row.value,
                 "speedup": row.value / base["value"],
@@ -141,17 +153,19 @@ class BenchReport:
 
         rows = []
         for row in self.rows:
-            entry = [row.key, row.metric, f"{row.value:,.0f}",
+            entry = [row.key, row.backend, row.metric, f"{row.value:,.0f}",
                      f"{row.wall_seconds:.2f}s"]
-            if self.baseline and row.key in self.baseline["comparison"]:
+            ckey = f"{row.key}@{row.backend}"
+            if self.baseline and ckey in self.baseline["comparison"]:
                 entry.append(
-                    f"{self.baseline['comparison'][row.key]['speedup']:.2f}x"
+                    f"{self.baseline['comparison'][ckey]['speedup']:.2f}x"
                 )
             else:
                 entry.append("-")
             rows.append(tuple(entry))
         return format_table(
-            ["benchmark", "metric", "value", "wall", "vs baseline"], rows
+            ["benchmark", "backend", "metric", "value", "wall", "vs baseline"],
+            rows,
         )
 
 
@@ -261,15 +275,19 @@ def bench_end_to_end(
     key: str | None = None,
     repeats: int = 2,
     app: str = REFERENCE_APP,
+    backend: str | None = None,
 ) -> BenchRow:
     """``Machine.run`` cycles/sec on a registered workload (the
-    reference app by default).
+    reference app by default) under one kernel backend (the process
+    default when ``backend`` is ``None``).
 
     The row reports the best of ``repeats`` identical runs: the work is
     deterministic, so the wall-clock minimum is the standard estimator
     of the noise floor (scheduler preemption and allocator state only
     ever add time).
     """
+    if backend is None:
+        backend = get_default_backend()
     best_wall = None
     best_result = None
     best_machine = None
@@ -280,7 +298,7 @@ def bench_end_to_end(
         wl = make_workload(
             app, n_procs=n_nodes, scale=scale, seed=REFERENCE_SEED
         )
-        machine = Machine(cfg, wl, protocol="ecp")
+        machine = Machine(cfg, wl, protocol="ecp", backend=backend)
         gc.collect()
         t0 = time.perf_counter()
         result = machine.run()
@@ -294,6 +312,7 @@ def bench_end_to_end(
         metric="cycles_per_sec",
         value=result.total_cycles / wall if wall else 0.0,
         wall_seconds=wall,
+        backend=backend,
         detail={
             "app": app,
             "protocol": "ecp",
@@ -311,8 +330,20 @@ def bench_end_to_end(
 # -- the suite ----------------------------------------------------------
 
 
-def run_suite(quick: bool = False, progress=None) -> BenchReport:
-    """Run the full fixed suite; ``quick`` shrinks work for CI smoke."""
+def run_suite(
+    quick: bool = False,
+    progress=None,
+    backends: tuple[str, ...] | None = None,
+) -> BenchReport:
+    """Run the full fixed suite; ``quick`` shrinks work for CI smoke.
+
+    ``backends`` selects the kernel backends the end-to-end rows are
+    measured under (default: the process-default backend only).  The
+    engine and fabric benches exercise pure interpreter paths that no
+    backend touches, so they run once and report as ``python``.
+    """
+    if backends is None:
+        backends = (get_default_backend(),)
 
     def note(msg: str) -> None:
         if progress is not None:
@@ -328,30 +359,39 @@ def run_suite(quick: bool = False, progress=None) -> BenchReport:
     rows.append(bench_engine(engine_events))
     note(f"fabric: {fabric_transfers:,} transfers on an 8x7 mesh...")
     rows.append(bench_fabric(fabric_transfers))
-    for n in SCALING_NODES:
-        mesh_dimensions(n)  # sanity: rectangular counts only
-        note(f"end-to-end: {REFERENCE_APP} on {n} nodes (scale {e2e_scale})...")
-        rows.append(bench_end_to_end(n, e2e_scale))
-    note(
-        f"end-to-end reference: {REFERENCE_APP} on {REFERENCE_NODES} nodes "
-        f"(scale {ref_scale}, the `repro run` default)..."
-    )
-    rows.append(
-        bench_end_to_end(REFERENCE_NODES, ref_scale, key="end_to_end_reference")
-    )
-    # heavy-traffic rows: the datacenter generators stress the kernel
-    # differently — zipf concentrates coherence traffic on hot pages,
-    # scan streams misses through the attraction memory
-    for app in ("zipf", "scan"):
+    for backend in backends:
+        for n in SCALING_NODES:
+            mesh_dimensions(n)  # sanity: rectangular counts only
+            note(
+                f"end-to-end [{backend}]: {REFERENCE_APP} on {n} nodes "
+                f"(scale {e2e_scale})..."
+            )
+            rows.append(bench_end_to_end(n, e2e_scale, backend=backend))
         note(
-            f"end-to-end heavy traffic: {app} on {REFERENCE_NODES} nodes "
-            f"(scale {ref_scale})..."
+            f"end-to-end reference [{backend}]: {REFERENCE_APP} on "
+            f"{REFERENCE_NODES} nodes (scale {ref_scale}, the "
+            f"`repro run` default)..."
         )
         rows.append(
             bench_end_to_end(
-                REFERENCE_NODES, ref_scale, key=f"end_to_end_{app}", app=app
+                REFERENCE_NODES, ref_scale, key="end_to_end_reference",
+                backend=backend,
             )
         )
+        # heavy-traffic rows: the datacenter generators stress the kernel
+        # differently — zipf concentrates coherence traffic on hot pages,
+        # scan streams misses through the attraction memory
+        for app in ("zipf", "scan"):
+            note(
+                f"end-to-end heavy traffic [{backend}]: {app} on "
+                f"{REFERENCE_NODES} nodes (scale {ref_scale})..."
+            )
+            rows.append(
+                bench_end_to_end(
+                    REFERENCE_NODES, ref_scale, key=f"end_to_end_{app}",
+                    app=app, backend=backend,
+                )
+            )
     return BenchReport(
         rows=rows, environment=environment_fingerprint(), quick=quick
     )
@@ -368,26 +408,38 @@ def check_regression(
 ) -> list[str]:
     """Compare ``report`` against a committed baseline JSON.
 
-    Returns a list of human-readable failures; empty means no row in
-    ``keys`` regressed by more than ``tolerance`` (generous by design —
-    the gate absorbs runner noise and only trips on real cliffs).
+    Rows compare per ``(key, backend)`` — a fast vector row can never
+    mask a regression in the python row of the same key.  Baseline rows
+    without a ``backend`` field count as ``python``.  Returns a list of
+    human-readable failures; empty means no matching row regressed by
+    more than ``tolerance`` (generous by design — the gate absorbs
+    runner noise and only trips on real cliffs).
     """
     data = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
-    base_rows = {r["key"]: r for r in data.get("rows", [])}
+    base_rows = {
+        (r["key"], r.get("backend", "python")): r
+        for r in data.get("rows", [])
+    }
     failures = []
     for key in keys:
-        base = base_rows.get(key)
-        row = report.row(key)
-        if base is None or row is None:
-            failures.append(f"{key}: missing from baseline or current report")
+        rows = [row for row in report.rows if row.key == key]
+        if not rows:
+            failures.append(f"{key}: missing from current report")
             continue
-        floor = base["value"] * (1.0 - tolerance)
-        if row.value < floor:
-            failures.append(
-                f"{key}: {row.metric} {row.value:,.0f} is below "
-                f"{floor:,.0f} (baseline {base['value']:,.0f} "
-                f"- {tolerance:.0%} tolerance)"
-            )
+        for row in rows:
+            base = base_rows.get((key, row.backend))
+            if base is None:
+                failures.append(
+                    f"{key}@{row.backend}: missing from baseline"
+                )
+                continue
+            floor = base["value"] * (1.0 - tolerance)
+            if row.value < floor:
+                failures.append(
+                    f"{key}@{row.backend}: {row.metric} {row.value:,.0f} "
+                    f"is below {floor:,.0f} (baseline {base['value']:,.0f} "
+                    f"- {tolerance:.0%} tolerance)"
+                )
     return failures
 
 
@@ -427,8 +479,19 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--backend", action="append", default=None,
+                        metavar="NAME",
+                        help="kernel backend for the end-to-end rows "
+                        "(repeatable; default: all available)")
     args = parser.parse_args(argv)
-    report = run_suite(quick=args.quick, progress=lambda m: print(f"  {m}"))
+    if args.backend is None:
+        from repro.kernel import available_backends
+
+        backends = available_backends()
+    else:
+        backends = tuple(args.backend)
+    report = run_suite(quick=args.quick, backends=backends,
+                       progress=lambda m: print(f"  {m}"))
     report.write(args.out)
     print(report.format())
     return 0

@@ -50,7 +50,10 @@ class GoldenCell:
     checkpoint_frequency_hz: float = 100.0
     loss_rate: float = 0.0
 
-    def build(self) -> Machine:
+    def build(self, backend: str | None = None) -> Machine:
+        """Construct the cell's machine, optionally pinning a kernel
+        backend (``None`` follows the process default — the digests are
+        backend-invariant by contract, so any value must verify)."""
         cfg = ArchConfig(n_nodes=self.n_nodes, seed=self.seed)
         if self.protocol == "ecp":
             cfg = cfg.with_ft(
@@ -58,10 +61,26 @@ class GoldenCell:
             )
         if self.loss_rate:
             cfg = cfg.with_transport(loss_rate=self.loss_rate)
-        wl = make_workload(
-            self.app, n_procs=self.n_nodes, scale=self.scale, seed=self.seed
-        )
-        return Machine(cfg, wl, protocol=self.protocol)
+        if self.app == "trace":
+            # replayed-trace cell: record the water streams in memory
+            # and replay them through TraceWorkload, pinning the trace
+            # replay machinery (no vector generator exists for it, so
+            # it also pins the scalar block-materialisation fallback)
+            from repro.workloads.traces import TraceWorkload, record_trace
+
+            source = make_workload(
+                "water", n_procs=self.n_nodes, scale=self.scale,
+                seed=self.seed,
+            )
+            wl = TraceWorkload(
+                record_trace(source), shared_base=source.shared_base
+            )
+        else:
+            wl = make_workload(
+                self.app, n_procs=self.n_nodes, scale=self.scale,
+                seed=self.seed,
+            )
+        return Machine(cfg, wl, protocol=self.protocol, backend=backend)
 
     @property
     def digest_path(self) -> Path:
@@ -78,6 +97,12 @@ GOLDEN_CELLS = (
     # datacenter traffic: a skewed KV stream pins the hot-key coherence
     # pattern (and the Zipf sampler's bit-exactness) the same way
     GoldenCell(name="zipf9_faultfree", app="zipf"),
+    # the streaming scan pins the attraction-memory pressure path and
+    # the scan generator's vector kernel
+    GoldenCell(name="scan9_faultfree", app="scan"),
+    # a replayed trace pins the trace machinery and the scalar
+    # block-materialisation fallback (traces have no vector generator)
+    GoldenCell(name="trace9_faultfree", app="trace"),
 )
 
 
@@ -105,11 +130,16 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
         "--write", action="store_true",
         help="overwrite the committed digests with freshly computed ones",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend to run the cells under (default: the "
+        "process default; every backend must match the same digests)",
+    )
     args = parser.parse_args(argv)
     status = 0
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for cell in GOLDEN_CELLS:
-        digest = result_digest(reference_run(cell))
+        digest = result_digest(cell.build(backend=args.backend).run())
         if args.write:
             cell.digest_path.write_text(digest + "\n", encoding="utf-8")
             print(f"{cell.name}: wrote {digest}")

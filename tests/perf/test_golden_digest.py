@@ -15,17 +15,19 @@ the point of a change (and reviewed as such):
 
 import pytest
 
+from repro.kernel import available_backends
 from repro.perf.golden import GOLDEN_CELLS, result_digest
 
 
+@pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=lambda c: c.name)
-def test_golden_digest_matches_committed(cell):
+def test_golden_digest_matches_committed(cell, backend):
     committed = cell.digest_path.read_text().strip()
     assert len(committed) == 64, f"malformed digest file {cell.digest_path}"
-    result = cell.build().run()
+    result = cell.build(backend=backend).run()
     assert result_digest(result) == committed, (
-        f"{cell.name}: simulation result diverged from the committed "
-        f"golden digest — the kernel is no longer bit-identical"
+        f"{cell.name} [{backend}]: simulation result diverged from the "
+        f"committed golden digest — the kernel is no longer bit-identical"
     )
 
 
